@@ -1,0 +1,190 @@
+//! The per-host 007 agent: monitoring → pacing → path discovery →
+//! reporting.
+
+use crate::monitor::RetransmissionEvent;
+use crate::pathdisc::{DiscoveredPath, HostPacer, Tracer};
+use serde::{Deserialize, Serialize};
+use vigil_packet::FiveTuple;
+use vigil_topology::{HostId, LinkId};
+
+/// What a host sends the centralized analysis agent for one traced flow.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceReport {
+    /// Reporting host.
+    pub host: HostId,
+    /// The flow.
+    pub tuple: FiveTuple,
+    /// Retransmissions the monitor saw this epoch.
+    pub retransmissions: u32,
+    /// Links of the discovered path (complete or partial).
+    pub links: Vec<LinkId>,
+    /// Whether the discovered path was complete.
+    pub complete: bool,
+}
+
+/// One host's agent for one epoch.
+#[derive(Debug)]
+pub struct HostAgent {
+    host: HostId,
+    pacer: HostPacer,
+}
+
+impl HostAgent {
+    /// An agent for `host` with the given pacer.
+    pub fn new(host: HostId, pacer: HostPacer) -> Self {
+        Self { host, pacer }
+    }
+
+    /// The host this agent runs on.
+    pub fn host(&self) -> HostId {
+        self.host
+    }
+
+    /// Traceroutes spent so far this epoch.
+    pub fn traceroutes_used(&self) -> u32 {
+        self.pacer.used()
+    }
+
+    /// Handles one retransmission event: admits it through the pacer,
+    /// discovers the path, and emits a report.
+    ///
+    /// Returns `None` when the event is filtered (already traced this
+    /// epoch, budget exhausted, or discovery failed) — the cases §4/§9.1
+    /// accept as lost coverage in exchange for bounded overhead.
+    pub fn handle_event(
+        &mut self,
+        event: &RetransmissionEvent,
+        tracer: &mut dyn Tracer,
+    ) -> Option<TraceReport> {
+        debug_assert_eq!(event.host, self.host, "event routed to wrong host agent");
+        if !self.pacer.admit(&event.tuple) {
+            return None;
+        }
+        let DiscoveredPath { links, complete } = tracer.trace(self.host, &event.tuple)?;
+        if links.is_empty() {
+            return None;
+        }
+        Some(TraceReport {
+            host: self.host,
+            tuple: event.tuple,
+            retransmissions: event.retransmissions,
+            links,
+            complete,
+        })
+    }
+
+    /// Processes a batch of this host's events for the epoch.
+    pub fn run_epoch(
+        &mut self,
+        events: impl IntoIterator<Item = RetransmissionEvent>,
+        tracer: &mut dyn Tracer,
+    ) -> Vec<TraceReport> {
+        events
+            .into_iter()
+            .filter_map(|e| self.handle_event(&e, tracer))
+            .collect()
+    }
+
+    /// Rolls the agent into the next epoch.
+    pub fn next_epoch(&mut self) {
+        self.pacer.next_epoch();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monitor::TcpMonitor;
+    use crate::pathdisc::OracleTracer;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use vigil_fabric::faults::LinkFaults;
+    use vigil_fabric::flowsim::{simulate_epoch, SimConfig};
+    use vigil_fabric::traffic::{ConnCount, TrafficSpec};
+    use vigil_topology::{ClosParams, ClosTopology, LinkKind};
+
+    fn epoch() -> (ClosTopology, vigil_fabric::flowsim::EpochOutcome) {
+        let topo = ClosTopology::new(ClosParams::tiny(), 17).unwrap();
+        let mut faults = LinkFaults::new(topo.num_links());
+        let bad = topo
+            .links()
+            .iter()
+            .find(|l| l.kind == LinkKind::T1ToTor)
+            .unwrap()
+            .id;
+        faults.fail_link(bad, 0.1);
+        let traffic = TrafficSpec {
+            conns_per_host: ConnCount::Fixed(25),
+            ..TrafficSpec::paper_default()
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let out = simulate_epoch(&topo, &faults, &traffic, &SimConfig::default(), &mut rng);
+        (topo, out)
+    }
+
+    #[test]
+    fn reports_cover_all_admitted_events() {
+        let (topo, out) = epoch();
+        let monitor = TcpMonitor::new();
+        let mut tracer = OracleTracer::from_flows(&out.flows);
+        let mut total_reports = 0;
+        for h in topo.hosts() {
+            let mut agent = HostAgent::new(h, HostPacer::with_budget(1000));
+            let events: Vec<_> = monitor.events_for_host(h, &out.flows).collect();
+            let reports = agent.run_epoch(events.iter().copied(), &mut tracer);
+            assert_eq!(reports.len(), events.len(), "ample budget traces all");
+            for r in &reports {
+                assert_eq!(r.host, h);
+                assert!(!r.links.is_empty());
+                let f = out.flows.iter().find(|f| f.tuple == r.tuple).unwrap();
+                assert_eq!(r.links, f.path.links);
+            }
+            total_reports += reports.len();
+        }
+        assert!(total_reports > 0);
+    }
+
+    #[test]
+    fn budget_caps_reports() {
+        let (topo, out) = epoch();
+        let monitor = TcpMonitor::new();
+        let mut tracer = OracleTracer::from_flows(&out.flows);
+        // Find a host with ≥ 2 events.
+        let busy = topo
+            .hosts()
+            .find(|h| monitor.events_for_host(*h, &out.flows).count() >= 2);
+        let Some(h) = busy else {
+            // Statistically improbable with a 10% failed link; treat as
+            // test-environment failure.
+            panic!("no host saw two retransmitting flows");
+        };
+        let mut agent = HostAgent::new(h, HostPacer::with_budget(1));
+        let events: Vec<_> = monitor.events_for_host(h, &out.flows).collect();
+        let reports = agent.run_epoch(events.iter().copied(), &mut tracer);
+        assert_eq!(reports.len(), 1, "budget of 1 admits exactly one trace");
+        assert_eq!(agent.traceroutes_used(), 1);
+    }
+
+    #[test]
+    fn duplicate_events_traced_once() {
+        let (topo, out) = epoch();
+        let monitor = TcpMonitor::new();
+        let mut tracer = OracleTracer::from_flows(&out.flows);
+        let h = topo
+            .hosts()
+            .find(|h| monitor.events_for_host(*h, &out.flows).count() >= 1)
+            .unwrap();
+        let event = monitor.events_for_host(h, &out.flows).next().unwrap();
+        let mut agent = HostAgent::new(h, HostPacer::with_budget(10));
+        assert!(agent.handle_event(&event, &mut tracer).is_some());
+        assert!(
+            agent.handle_event(&event, &mut tracer).is_none(),
+            "same flow, same epoch: cached"
+        );
+        agent.next_epoch();
+        assert!(
+            agent.handle_event(&event, &mut tracer).is_some(),
+            "next epoch traces again"
+        );
+    }
+}

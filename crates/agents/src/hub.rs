@@ -1,0 +1,126 @@
+//! Report fan-in: per-host agents → centralized analysis agent.
+//!
+//! The paper's Figure 2 shows every host's 007 process feeding a central
+//! analysis agent ("At regular intervals of 30s the votes are tallied by a
+//! centralized analysis agent"). This module is that arrow: a crossbeam
+//! MPMC channel pair, so host agents can run on their own threads and the
+//! collector drains everything that arrived in the epoch.
+
+use crate::host_agent::TraceReport;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+/// Sending half given to each host agent (clone freely; one per host
+/// thread).
+#[derive(Debug, Clone)]
+pub struct ReportSender {
+    tx: Sender<TraceReport>,
+}
+
+impl ReportSender {
+    /// Submits one report to the analysis agent. Returns `false` when the
+    /// collector is gone (shutdown) — hosts just drop reports then,
+    /// matching the "monitoring must never hurt the application" stance.
+    pub fn send(&self, report: TraceReport) -> bool {
+        self.tx.send(report).is_ok()
+    }
+}
+
+/// Receiving half owned by the centralized analysis agent.
+#[derive(Debug)]
+pub struct ReportCollector {
+    rx: Receiver<TraceReport>,
+}
+
+impl ReportCollector {
+    /// Drains every report currently queued (non-blocking) — called at
+    /// the epoch boundary before tallying votes.
+    pub fn drain(&self) -> Vec<TraceReport> {
+        let mut out = Vec::new();
+        while let Ok(r) = self.rx.try_recv() {
+            out.push(r);
+        }
+        out
+    }
+
+    /// Blocks for exactly `n` reports (test/tooling convenience; returns
+    /// early if all senders disconnect).
+    pub fn collect_n(&self, n: usize) -> Vec<TraceReport> {
+        let mut out = Vec::with_capacity(n);
+        while out.len() < n {
+            match self.rx.recv() {
+                Ok(r) => out.push(r),
+                Err(_) => break,
+            }
+        }
+        out
+    }
+}
+
+/// Creates the hub: one sender prototype + the collector.
+pub fn report_channel() -> (ReportSender, ReportCollector) {
+    let (tx, rx) = unbounded();
+    (ReportSender { tx }, ReportCollector { rx })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vigil_packet::FiveTuple;
+    use vigil_topology::{HostId, LinkId};
+
+    fn report(host: u32, retx: u32) -> TraceReport {
+        TraceReport {
+            host: HostId(host),
+            tuple: FiveTuple::tcp(
+                "10.0.0.1".parse().unwrap(),
+                40_000 + host as u16,
+                "10.0.1.1".parse().unwrap(),
+                443,
+            ),
+            retransmissions: retx,
+            links: vec![LinkId(1), LinkId(2)],
+            complete: true,
+        }
+    }
+
+    #[test]
+    fn fan_in_from_threads() {
+        let (tx, collector) = report_channel();
+        let mut handles = Vec::new();
+        for h in 0..8u32 {
+            let tx = tx.clone();
+            handles.push(std::thread::spawn(move || {
+                for r in 0..5 {
+                    assert!(tx.send(report(h, r + 1)));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let reports = collector.collect_n(40);
+        assert_eq!(reports.len(), 40);
+        // Every host contributed 5.
+        for h in 0..8u32 {
+            assert_eq!(reports.iter().filter(|r| r.host == HostId(h)).count(), 5);
+        }
+    }
+
+    #[test]
+    fn drain_is_non_blocking() {
+        let (tx, collector) = report_channel();
+        assert!(collector.drain().is_empty());
+        tx.send(report(1, 1));
+        tx.send(report(2, 1));
+        let got = collector.drain();
+        assert_eq!(got.len(), 2);
+        assert!(collector.drain().is_empty());
+    }
+
+    #[test]
+    fn send_after_collector_drop_fails_softly() {
+        let (tx, collector) = report_channel();
+        drop(collector);
+        assert!(!tx.send(report(1, 1)));
+    }
+}

@@ -1,0 +1,35 @@
+//! The end-host agents of 007 (paper §3–§4).
+//!
+//! "007 consists of three agents responsible for TCP monitoring, path
+//! discovery, and analysis." The first two live on every host and are
+//! implemented here; the analysis agent is centralized and lives in
+//! `vigil-analysis`.
+//!
+//! * [`monitor`] — the TCP monitoring agent: an ETW-like event stream of
+//!   retransmission notifications per flow. (On Windows the paper uses
+//!   Event Tracing for Windows; "similar functionality exists in Linux."
+//!   Our fabric generates the same events.)
+//! * [`pathdisc`] — the path discovery agent: on a retransmission, check
+//!   the per-epoch cache, respect the Theorem 1 traceroute budget, query
+//!   the SLB for the VIP→DIP mapping, then discover the path — via the
+//!   ground-truth oracle (flow-mode, as the paper's §6 simulator did) or
+//!   via real probe trains on the packet-level emulator.
+//! * [`host_agent`] — glue: turns one host's retransmission events into
+//!   the per-flow [`TraceReport`]s the analysis agent consumes.
+//! * [`hub`] — crossbeam-channel fan-in from the per-host agents to the
+//!   centralized analysis agent (the arrow in the paper's Figure 2).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod host_agent;
+pub mod hub;
+pub mod monitor;
+pub mod pathdisc;
+pub mod slb_gate;
+
+pub use host_agent::{HostAgent, TraceReport};
+pub use hub::{report_channel, ReportCollector, ReportSender};
+pub use monitor::{RetransmissionEvent, TcpMonitor};
+pub use pathdisc::{DiscoveredPath, HostPacer, OracleTracer, ProbeTracer, Tracer};
+pub use slb_gate::{GateSkip, GateStats, SlbGate};

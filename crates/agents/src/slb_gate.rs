@@ -1,0 +1,275 @@
+//! The SLB query gate in front of path discovery (§4.2, §9.1).
+//!
+//! Flows to a service VIP must be traced with the **DIP** in the probe
+//! header — probes to the VIP would route to the load balancer, not along
+//! the data path. Before tracing, the agent therefore asks the SLB for
+//! the flow's VIP→DIP mapping. Three outcomes stop the trace:
+//!
+//! * the query fails — "to avoid tracerouting the internet";
+//! * the flow is SNATed — ICMP replies would carry the wrong source and
+//!   never come back (§9.1; the paper's implementation assumes
+//!   SNAT-bypassed connections);
+//! * the destination is no VIP at all and not a fabric address (ditto).
+//!
+//! Infrastructure flows that already carry a DIP pass through untouched.
+
+use crate::host_agent::TraceReport;
+use crate::monitor::RetransmissionEvent;
+use crate::pathdisc::Tracer;
+use crate::HostAgent;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use vigil_fabric::slb::{Slb, SlbError};
+use vigil_packet::FiveTuple;
+
+/// Why a trace was skipped at the gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GateSkip {
+    /// SLB query failed.
+    QueryFailed,
+    /// Flow is SNATed.
+    Snat,
+    /// No mapping known for this flow.
+    UnknownFlow,
+}
+
+/// Gate statistics (the operator-visible skip counters).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GateStats {
+    /// Flows passed through (DIP already present).
+    pub passthrough: u64,
+    /// Flows resolved VIP→DIP successfully.
+    pub resolved: u64,
+    /// Traces skipped, by cause.
+    pub skipped_query_failed: u64,
+    /// Traces skipped because the flow is SNATed.
+    pub skipped_snat: u64,
+    /// Traces skipped because the mapping is unknown.
+    pub skipped_unknown: u64,
+}
+
+/// The gate: resolves VIP flows against the SLB before tracing.
+#[derive(Debug)]
+pub struct SlbGate<'a> {
+    slb: &'a Slb,
+    /// Addresses in the VIP range (the gate consults the SLB only for
+    /// these; everything else is an infrastructure DIP).
+    is_vip: fn(&FiveTuple) -> bool,
+    stats: GateStats,
+}
+
+impl<'a> SlbGate<'a> {
+    /// A gate over the given SLB. `is_vip` classifies destinations (the
+    /// deployment knows its VIP prefixes; the default topology uses
+    /// 10.255.0.0/16).
+    pub fn new(slb: &'a Slb, is_vip: fn(&FiveTuple) -> bool) -> Self {
+        Self {
+            slb,
+            is_vip,
+            stats: GateStats::default(),
+        }
+    }
+
+    /// The default VIP classifier for this workspace's addressing plan.
+    pub fn default_vip_classifier(tuple: &FiveTuple) -> bool {
+        tuple.dst_ip.octets()[0] == 10 && tuple.dst_ip.octets()[1] == 255
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> GateStats {
+        self.stats
+    }
+
+    /// Resolves the tuple path discovery should trace: the original for
+    /// DIP flows, the rewritten one for VIP flows, or a skip.
+    pub fn resolve<R: Rng + ?Sized>(
+        &mut self,
+        tuple: &FiveTuple,
+        rng: &mut R,
+    ) -> Result<FiveTuple, GateSkip> {
+        if !(self.is_vip)(tuple) {
+            self.stats.passthrough += 1;
+            return Ok(*tuple);
+        }
+        match self.slb.query(tuple, rng) {
+            Ok(assign) => {
+                self.stats.resolved += 1;
+                Ok(tuple.with_destination(assign.dip, assign.port))
+            }
+            Err(SlbError::QueryFailed) => {
+                self.stats.skipped_query_failed += 1;
+                Err(GateSkip::QueryFailed)
+            }
+            Err(SlbError::Snat) => {
+                self.stats.skipped_snat += 1;
+                Err(GateSkip::Snat)
+            }
+            Err(SlbError::UnknownVip) | Err(SlbError::UnknownFlow) => {
+                self.stats.skipped_unknown += 1;
+                Err(GateSkip::UnknownFlow)
+            }
+        }
+    }
+
+    /// Full gated handling of one event: resolve, then hand the (possibly
+    /// rewritten) event to the host agent. The emitted report keeps the
+    /// *original* tuple so the analysis keys match the monitor's view.
+    pub fn handle_event<R: Rng + ?Sized>(
+        &mut self,
+        agent: &mut HostAgent,
+        event: &RetransmissionEvent,
+        tracer: &mut dyn Tracer,
+        rng: &mut R,
+    ) -> Option<TraceReport> {
+        let resolved = self.resolve(&event.tuple, rng).ok()?;
+        let rewritten = RetransmissionEvent {
+            tuple: resolved,
+            ..*event
+        };
+        let mut report = agent.handle_event(&rewritten, tracer)?;
+        report.tuple = event.tuple;
+        Some(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pathdisc::{DiscoveredPath, HostPacer};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use std::net::Ipv4Addr;
+    use vigil_fabric::slb::VipPool;
+    use vigil_topology::{HostId, LinkId};
+
+    struct FixedTracer;
+    impl Tracer for FixedTracer {
+        fn trace(&mut self, _src: HostId, _tuple: &FiveTuple) -> Option<DiscoveredPath> {
+            Some(DiscoveredPath {
+                links: vec![LinkId(1), LinkId(2)],
+                complete: true,
+            })
+        }
+    }
+
+    fn vip_tuple(port: u16) -> FiveTuple {
+        FiveTuple::tcp(
+            Ipv4Addr::new(10, 0, 0, 1),
+            port,
+            Ipv4Addr::new(10, 255, 0, 1),
+            443,
+        )
+    }
+
+    fn slb_with_pool() -> Slb {
+        let mut slb = Slb::new();
+        slb.add_pool(VipPool {
+            vip: Ipv4Addr::new(10, 255, 0, 1),
+            vip_port: 443,
+            backends: vec![(HostId(9), Ipv4Addr::new(10, 1, 0, 1), 8443)],
+        });
+        slb
+    }
+
+    #[test]
+    fn dip_flows_pass_through() {
+        let slb = slb_with_pool();
+        let mut gate = SlbGate::new(&slb, SlbGate::default_vip_classifier);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let dip_flow = FiveTuple::tcp(
+            Ipv4Addr::new(10, 0, 0, 1),
+            50_000,
+            Ipv4Addr::new(10, 1, 2, 3),
+            443,
+        );
+        assert_eq!(gate.resolve(&dip_flow, &mut rng), Ok(dip_flow));
+        assert_eq!(gate.stats().passthrough, 1);
+    }
+
+    #[test]
+    fn vip_flow_rewritten_to_dip() {
+        let mut slb = slb_with_pool();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let flow = vip_tuple(50_001);
+        let assign = slb.establish(HostId(0), flow, &mut rng).unwrap();
+        let mut gate = SlbGate::new(&slb, SlbGate::default_vip_classifier);
+        let resolved = gate.resolve(&flow, &mut rng).unwrap();
+        assert_eq!(resolved.dst_ip, assign.dip);
+        assert_eq!(resolved.dst_port, assign.port);
+        assert_eq!(resolved.src_ip, flow.src_ip);
+        assert_eq!(gate.stats().resolved, 1);
+    }
+
+    #[test]
+    fn query_failure_skips_trace() {
+        let mut slb = slb_with_pool();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let flow = vip_tuple(50_002);
+        let _ = slb.establish(HostId(0), flow, &mut rng).unwrap();
+        slb.set_query_failure_rate(1.0);
+        let mut gate = SlbGate::new(&slb, SlbGate::default_vip_classifier);
+        assert_eq!(gate.resolve(&flow, &mut rng), Err(GateSkip::QueryFailed));
+        assert_eq!(gate.stats().skipped_query_failed, 1);
+    }
+
+    #[test]
+    fn snat_skips_trace() {
+        let mut slb = slb_with_pool();
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let flow = vip_tuple(50_003);
+        let _ = slb.establish(HostId(0), flow, &mut rng).unwrap();
+        slb.mark_snat(flow);
+        let mut gate = SlbGate::new(&slb, SlbGate::default_vip_classifier);
+        assert_eq!(gate.resolve(&flow, &mut rng), Err(GateSkip::Snat));
+        assert_eq!(gate.stats().skipped_snat, 1);
+    }
+
+    #[test]
+    fn unknown_flow_skips_trace() {
+        let slb = slb_with_pool();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mut gate = SlbGate::new(&slb, SlbGate::default_vip_classifier);
+        assert_eq!(
+            gate.resolve(&vip_tuple(50_004), &mut rng),
+            Err(GateSkip::UnknownFlow)
+        );
+    }
+
+    #[test]
+    fn gated_event_reports_original_tuple() {
+        let mut slb = slb_with_pool();
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let flow = vip_tuple(50_005);
+        let _ = slb.establish(HostId(0), flow, &mut rng).unwrap();
+        let mut gate = SlbGate::new(&slb, SlbGate::default_vip_classifier);
+        let mut agent = HostAgent::new(HostId(0), HostPacer::with_budget(10));
+        let event = RetransmissionEvent {
+            host: HostId(0),
+            tuple: flow,
+            retransmissions: 2,
+        };
+        let report = gate
+            .handle_event(&mut agent, &event, &mut FixedTracer, &mut rng)
+            .expect("resolvable flow traces");
+        assert_eq!(report.tuple, flow, "analysis keys by the monitor's tuple");
+        assert_eq!(report.links, vec![LinkId(1), LinkId(2)]);
+    }
+
+    #[test]
+    fn gated_skip_consumes_no_budget() {
+        let mut slb = slb_with_pool();
+        slb.set_query_failure_rate(1.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let mut gate = SlbGate::new(&slb, SlbGate::default_vip_classifier);
+        let mut agent = HostAgent::new(HostId(0), HostPacer::with_budget(10));
+        let event = RetransmissionEvent {
+            host: HostId(0),
+            tuple: vip_tuple(50_006),
+            retransmissions: 1,
+        };
+        assert!(gate
+            .handle_event(&mut agent, &event, &mut FixedTracer, &mut rng)
+            .is_none());
+        assert_eq!(agent.traceroutes_used(), 0);
+    }
+}

@@ -1,0 +1,52 @@
+//! Per-flow blame assignment (§5.1).
+//!
+//! "The ranking obtained after compiling the votes allows us to identify
+//! the most likely cause of drops on each flow: links ranked higher have
+//! higher drop rates (Theorem 2)." The blamed link for a flow is simply
+//! the most-voted link on its own (discovered) path.
+
+use crate::evidence::FlowEvidence;
+use crate::voting::VoteTally;
+use vigil_topology::LinkId;
+
+/// The most likely cause of this flow's drops: the highest-voted link on
+/// its path (ties to the lowest id). `None` when no link on the path holds
+/// votes — impossible for a flow that itself voted, possible for an
+/// outsider's path.
+pub fn blame_flow(tally: &VoteTally, evidence: &FlowEvidence) -> Option<LinkId> {
+    tally.top_among(&evidence.links).map(|(l, _)| l)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::voting::VoteWeight;
+
+    fn ev(links: &[u32]) -> FlowEvidence {
+        FlowEvidence::new(links.iter().map(|l| LinkId(*l)).collect(), 1)
+    }
+
+    #[test]
+    fn blames_highest_voted_on_path() {
+        // Link 5 shared by many failed flows; link 9 only on one path.
+        let evidence: Vec<FlowEvidence> =
+            (0..8).map(|i| ev(&[5, 10 + i])).chain([ev(&[9, 5])]).collect();
+        let tally = VoteTally::tally(&evidence, 20, VoteWeight::ReciprocalPathLength);
+        assert_eq!(blame_flow(&tally, &ev(&[9, 5])), Some(LinkId(5)));
+        assert_eq!(blame_flow(&tally, &ev(&[5, 10])), Some(LinkId(5)));
+    }
+
+    #[test]
+    fn no_votes_no_blame() {
+        let tally = VoteTally::new(10);
+        assert_eq!(blame_flow(&tally, &ev(&[1, 2])), None);
+    }
+
+    #[test]
+    fn a_flow_that_voted_always_gets_a_blame() {
+        let evidence = vec![ev(&[3, 4])];
+        let tally = VoteTally::tally(&evidence, 10, VoteWeight::ReciprocalPathLength);
+        let blamed = blame_flow(&tally, &evidence[0]).unwrap();
+        assert!(evidence[0].links.contains(&blamed));
+    }
+}

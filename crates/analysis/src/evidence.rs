@@ -1,0 +1,46 @@
+//! Analysis-agent input: one record per traced flow.
+
+use serde::{Deserialize, Serialize};
+use vigil_topology::LinkId;
+
+/// Everything the analysis agent knows about one flow that suffered
+/// retransmissions this epoch: its discovered path and the retransmission
+/// count. (It deliberately does *not* see topology ground truth.)
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlowEvidence {
+    /// Links of the discovered (possibly partial) path.
+    pub links: Vec<LinkId>,
+    /// Retransmissions observed by the monitoring agent.
+    pub retransmissions: u32,
+    /// Whether the discovered path was complete (reached the destination).
+    pub complete: bool,
+}
+
+impl FlowEvidence {
+    /// Evidence with a complete path.
+    pub fn new(links: Vec<LinkId>, retransmissions: u32) -> Self {
+        Self {
+            links,
+            retransmissions,
+            complete: true,
+        }
+    }
+
+    /// Path length `h` for the `1/h` vote.
+    pub fn hop_count(&self) -> usize {
+        self.links.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructor_and_hops() {
+        let e = FlowEvidence::new(vec![LinkId(1), LinkId(2), LinkId(3)], 4);
+        assert_eq!(e.hop_count(), 3);
+        assert!(e.complete);
+        assert_eq!(e.retransmissions, 4);
+    }
+}

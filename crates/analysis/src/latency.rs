@@ -1,0 +1,131 @@
+//! Latency diagnosis (the §9.2 extension).
+//!
+//! "For example, for latency, ETW provides TCP's smooth RTT estimates
+//! upon each received ACK. Thresholding on these values allows for
+//! identifying 'failed' flows and 007's voting scheme can be used to
+//! provide a ranked list of suspects."
+//!
+//! This module is that sketch made concrete: an EWMA smoother matching
+//! TCP's SRTT update (`srtt ← (1−α)·srtt + α·rtt`, α = 1/8 per RFC 6298)
+//! plus a thresholding classifier that turns slow flows into
+//! [`FlowEvidence`] for the ordinary voting pipeline.
+
+use crate::evidence::FlowEvidence;
+use serde::{Deserialize, Serialize};
+use vigil_topology::LinkId;
+
+/// TCP-style smoothed RTT estimator (RFC 6298, α = 1/8).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize, Default)]
+pub struct SrttEstimator {
+    srtt: Option<f64>,
+}
+
+impl SrttEstimator {
+    /// A fresh estimator (no samples yet).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds one RTT sample (seconds), returning the updated SRTT.
+    pub fn update(&mut self, rtt: f64) -> f64 {
+        assert!(rtt >= 0.0 && rtt.is_finite(), "RTT must be finite, ≥ 0");
+        let next = match self.srtt {
+            None => rtt,
+            Some(s) => 0.875 * s + 0.125 * rtt,
+        };
+        self.srtt = Some(next);
+        next
+    }
+
+    /// The current estimate, if any sample arrived.
+    pub fn srtt(&self) -> Option<f64> {
+        self.srtt
+    }
+}
+
+/// One flow's latency record as the monitoring agent sees it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlowLatency {
+    /// The flow's (discovered) path.
+    pub links: Vec<LinkId>,
+    /// Its smoothed RTT, seconds.
+    pub srtt: f64,
+}
+
+/// Flows whose SRTT exceeds `threshold` become voting evidence — the
+/// "failed flows" of the latency variant. Retransmission count is reused
+/// as a severity tag (1 = crossed the threshold).
+pub fn high_latency_evidence(flows: &[FlowLatency], threshold: f64) -> Vec<FlowEvidence> {
+    flows
+        .iter()
+        .filter(|f| f.srtt > threshold)
+        .map(|f| FlowEvidence::new(f.links.clone(), 1))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::voting::{VoteTally, VoteWeight};
+
+    #[test]
+    fn srtt_first_sample_initializes() {
+        let mut e = SrttEstimator::new();
+        assert_eq!(e.srtt(), None);
+        assert_eq!(e.update(0.100), 0.100);
+    }
+
+    #[test]
+    fn srtt_smooths_like_rfc6298() {
+        let mut e = SrttEstimator::new();
+        e.update(0.100);
+        let s = e.update(0.200);
+        assert!((s - (0.875 * 0.100 + 0.125 * 0.200)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn srtt_converges_to_constant_input() {
+        let mut e = SrttEstimator::new();
+        for _ in 0..200 {
+            e.update(0.050);
+        }
+        assert!((e.srtt().unwrap() - 0.050).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "RTT must be finite")]
+    fn srtt_rejects_nan() {
+        SrttEstimator::new().update(f64::NAN);
+    }
+
+    #[test]
+    fn thresholding_selects_slow_flows() {
+        let flows = vec![
+            FlowLatency {
+                links: vec![LinkId(1), LinkId(2)],
+                srtt: 0.0005,
+            },
+            FlowLatency {
+                links: vec![LinkId(2), LinkId(3)],
+                srtt: 0.050, // a queue built up somewhere
+            },
+        ];
+        let evidence = high_latency_evidence(&flows, 0.002);
+        assert_eq!(evidence.len(), 1);
+        assert_eq!(evidence[0].links, vec![LinkId(2), LinkId(3)]);
+    }
+
+    #[test]
+    fn latency_votes_rank_the_shared_link() {
+        // Three slow flows all cross link 7.
+        let flows: Vec<FlowLatency> = (0..3)
+            .map(|i| FlowLatency {
+                links: vec![LinkId(7), LinkId(10 + i)],
+                srtt: 0.030,
+            })
+            .collect();
+        let evidence = high_latency_evidence(&flows, 0.002);
+        let tally = VoteTally::tally(&evidence, 20, VoteWeight::ReciprocalPathLength);
+        assert_eq!(tally.ranking()[0].0, LinkId(7));
+    }
+}

@@ -1,0 +1,159 @@
+//! Noise / failure-drop classification (§6).
+//!
+//! "007 first finds flows whose drops were due to noise and marks them as
+//! 'noise drops'. It then finds the link most likely responsible for
+//! drops on the remaining set of flows ('failure drops'). … 007 never
+//! marked a connection into the noisy category incorrectly."
+//!
+//! This classification runs **before** detection — "007 first finds
+//! flows whose drops were due to noise and marks them as 'noise drops'.
+//! It then finds the link most likely responsible for drops on the
+//! remaining set of flows" (§6) — so Algorithm 1's vote pool contains
+//! only failure-class evidence. (That ordering is also what makes the
+//! algorithm's shrinking threshold safe: once real failures are explained
+//! and retracted, no residual lone-drop votes are left to masquerade as
+//! detections.)
+//!
+//! Without ground truth, 007 classifies from what it can see, given a
+//! *conservative* first-pass detection (Algorithm 1 with the fixed
+//! threshold bar — the links that are definitely bad). A flow is *noise*
+//! only when its drop pattern is consistent with a lone, sporadic loss,
+//! which takes all of:
+//!
+//! 1. exactly one retransmission;
+//! 2. no conservatively-detected link on its path (a single
+//!    retransmission on a known-bad link is evidence, not noise);
+//! 3. the flow is the **sole voter** on every link of its path *among
+//!    the flows not already explained by the detected links* — if an
+//!    unexplained flow shares a link, that link may have dropped more
+//!    than one packet, and marking this flow noise could be wrong.
+//!    (Flows crossing detected links don't disqualify: their drops are
+//!    already accounted to those links.)
+//!
+//! Condition 3 is what makes the classifier *sound* (the paper: "007
+//! never marked a connection into the noisy category incorrectly"): it
+//! deliberately under-marks (a genuine lone drop sharing a healthy link
+//! with another victim stays in the failure class) rather than ever
+//! mislabeling a failure drop as noise.
+
+use crate::evidence::FlowEvidence;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+use vigil_topology::LinkId;
+
+/// The classification of one flow's drops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DropClass {
+    /// Lone, sporadic loss on an apparently healthy path.
+    Noise,
+    /// Drops attributed to a problematic link.
+    Failure,
+}
+
+/// Classifies each flow in the epoch's evidence against a conservative
+/// first-pass detection. Noise-class flows are withheld from the final
+/// Algorithm 1 vote pool (the paper's §6 ordering: noise first, then
+/// detection on the rest).
+pub fn classify_flows(evidence: &[FlowEvidence], detected: &[LinkId]) -> Vec<DropClass> {
+    let bad: HashSet<LinkId> = detected.iter().copied().collect();
+    let crosses_bad: Vec<bool> = evidence
+        .iter()
+        .map(|e| e.links.iter().any(|l| bad.contains(l)))
+        .collect();
+    // Voter counts over *unexplained* flows only.
+    let mut voters: HashMap<LinkId, u32> = HashMap::new();
+    for (e, crosses) in evidence.iter().zip(&crosses_bad) {
+        if *crosses {
+            continue;
+        }
+        for l in &e.links {
+            *voters.entry(*l).or_insert(0) += 1;
+        }
+    }
+    evidence
+        .iter()
+        .zip(&crosses_bad)
+        .map(|(e, crosses)| {
+            let sole_voter = e
+                .links
+                .iter()
+                .all(|l| voters.get(l).copied().unwrap_or(0) <= 1);
+            if e.retransmissions == 1 && !crosses && sole_voter {
+                DropClass::Noise
+            } else {
+                DropClass::Failure
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(links: &[u32], retx: u32) -> FlowEvidence {
+        FlowEvidence::new(links.iter().map(|l| LinkId(*l)).collect(), retx)
+    }
+
+    #[test]
+    fn lone_isolated_drop_is_noise() {
+        let classes = classify_flows(&[ev(&[1, 2], 1)], &[]);
+        assert_eq!(classes, vec![DropClass::Noise]);
+    }
+
+    #[test]
+    fn lone_drop_on_detected_link_is_failure() {
+        let classes = classify_flows(&[ev(&[1, 9], 1)], &[LinkId(9)]);
+        assert_eq!(classes, vec![DropClass::Failure]);
+    }
+
+    #[test]
+    fn lone_drop_sharing_a_suspect_link_is_failure() {
+        // The 1-retx flow shares link 9 with a heavily retransmitting,
+        // unexplained flow: link 9 may have dropped both, so no noise
+        // mark for either.
+        let evidence = vec![ev(&[1, 9], 1), ev(&[9, 7], 5)];
+        let classes = classify_flows(&evidence, &[]);
+        assert_eq!(classes, vec![DropClass::Failure, DropClass::Failure]);
+    }
+
+    #[test]
+    fn explained_flows_do_not_disqualify_noise() {
+        // The heavy flow crosses a detected link (2 → explained); the
+        // lone flow sharing healthy link 3 with it is genuinely a lone
+        // voter among the unexplained and may be marked noise.
+        let evidence = vec![ev(&[3, 4], 1), ev(&[3, 2], 9)];
+        let classes = classify_flows(&evidence, &[LinkId(2)]);
+        assert_eq!(classes, vec![DropClass::Noise, DropClass::Failure]);
+    }
+
+    #[test]
+    fn multiple_retransmissions_are_failure() {
+        let classes = classify_flows(&[ev(&[1, 2], 3)], &[]);
+        assert_eq!(classes, vec![DropClass::Failure]);
+    }
+
+    #[test]
+    fn mixed_epoch() {
+        let evidence = vec![ev(&[1, 9], 5), ev(&[2, 3], 1), ev(&[4, 9], 1)];
+        let classes = classify_flows(&evidence, &[]);
+        assert_eq!(
+            classes,
+            vec![DropClass::Failure, DropClass::Noise, DropClass::Failure]
+        );
+    }
+
+    #[test]
+    fn shared_link_disqualifies_noise() {
+        // Two lone-retransmission flows sharing link 5: either could be a
+        // victim of the same >1-drop link, so neither may be noise-marked.
+        let evidence = vec![ev(&[5, 1], 1), ev(&[5, 2], 1)];
+        let classes = classify_flows(&evidence, &[]);
+        assert_eq!(classes, vec![DropClass::Failure, DropClass::Failure]);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(classify_flows(&[], &[LinkId(1)]).is_empty());
+    }
+}

@@ -1,0 +1,271 @@
+//! Switch-level voting (the §5.1 extension).
+//!
+//! "007 can also be used to detect switch failures in a similar fashion
+//! by applying votes to switches instead of links." A flow's vote of
+//! `1/s` goes to each of the `s` distinct switches on its path; a switch
+//! that drops packets on many of its interfaces (FCS errors after a power
+//! event, a bad forwarding ASIC, the §7.1 repaved-cluster ToR) then
+//! outranks any single link.
+
+use crate::evidence::FlowEvidence;
+use serde::{Deserialize, Serialize};
+use vigil_topology::{ClosTopology, Node, SwitchId};
+
+/// Dense per-switch vote tally.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SwitchTally {
+    votes: Vec<f64>,
+}
+
+impl SwitchTally {
+    /// An empty tally over the topology's switches.
+    pub fn new(num_switches: usize) -> Self {
+        Self {
+            votes: vec![0.0; num_switches],
+        }
+    }
+
+    /// Tallies evidence: each flow votes `1/s` on each distinct switch
+    /// its links touch (link endpoints that are switches).
+    pub fn tally(topo: &ClosTopology, evidence: &[FlowEvidence]) -> Self {
+        let mut t = Self::new(topo.num_switches());
+        for e in evidence {
+            let mut switches: Vec<SwitchId> = Vec::with_capacity(e.links.len() + 1);
+            for l in &e.links {
+                let link = topo.link(*l);
+                for node in [link.from, link.to] {
+                    if let Node::Switch(s) = node {
+                        if !switches.contains(&s) {
+                            switches.push(s);
+                        }
+                    }
+                }
+            }
+            if switches.is_empty() {
+                continue;
+            }
+            let w = 1.0 / switches.len() as f64;
+            for s in switches {
+                t.votes[s.0 as usize] += w;
+            }
+        }
+        t
+    }
+
+    /// A switch's votes.
+    pub fn votes(&self, switch: SwitchId) -> f64 {
+        self.votes[switch.0 as usize]
+    }
+
+    /// Ranking, descending (ties by id), zero-vote switches omitted.
+    pub fn ranking(&self) -> Vec<(SwitchId, f64)> {
+        let mut v: Vec<(SwitchId, f64)> = self
+            .votes
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| **v > 0.0)
+            .map(|(i, v)| (SwitchId(i as u32), *v))
+            .collect();
+        v.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
+        v
+    }
+
+    /// Sum of votes over all switches.
+    pub fn total(&self) -> f64 {
+        self.votes.iter().sum()
+    }
+}
+
+/// A detected switch.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SwitchDetection {
+    /// The switch.
+    pub switch: SwitchId,
+    /// Its votes when picked.
+    pub votes: f64,
+}
+
+/// Algorithm 1 transplanted to switches: iteratively take the most-voted
+/// switch, retract the flows it explains (any flow whose path touches
+/// it), stop at `threshold_frac` of the running total — "007 can also be
+/// used to detect switch failures in a similar fashion by applying votes
+/// to switches instead of links" (§5.1).
+pub fn detect_switches(
+    topo: &ClosTopology,
+    evidence: &[FlowEvidence],
+    threshold_frac: f64,
+) -> Vec<SwitchDetection> {
+    // Per-flow distinct switch sets, computed once.
+    let switch_sets: Vec<Vec<SwitchId>> = evidence
+        .iter()
+        .map(|e| {
+            let mut switches = Vec::new();
+            for l in &e.links {
+                let link = topo.link(*l);
+                for node in [link.from, link.to] {
+                    if let Node::Switch(s) = node {
+                        if !switches.contains(&s) {
+                            switches.push(s);
+                        }
+                    }
+                }
+            }
+            switches
+        })
+        .collect();
+
+    let mut votes = vec![0.0f64; topo.num_switches()];
+    for set in &switch_sets {
+        if set.is_empty() {
+            continue;
+        }
+        let w = 1.0 / set.len() as f64;
+        for s in set {
+            votes[s.0 as usize] += w;
+        }
+    }
+
+    let mut explained = vec![false; evidence.len()];
+    let mut detected: Vec<SwitchDetection> = Vec::new();
+    loop {
+        let total: f64 = votes.iter().sum();
+        let Some((idx, &v)) = votes
+            .iter()
+            .enumerate()
+            .filter(|(i, v)| {
+                **v > 1e-9 && !detected.iter().any(|d| d.switch.0 as usize == *i)
+            })
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite votes"))
+        else {
+            break;
+        };
+        if v < threshold_frac * total {
+            break;
+        }
+        let switch = SwitchId(idx as u32);
+        detected.push(SwitchDetection { switch, votes: v });
+        for (i, set) in switch_sets.iter().enumerate() {
+            if !explained[i] && set.contains(&switch) {
+                explained[i] = true;
+                let w = 1.0 / set.len() as f64;
+                for s in set {
+                    let slot = &mut votes[s.0 as usize];
+                    *slot = (*slot - w).max(0.0);
+                }
+            }
+        }
+    }
+    detected
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vigil_topology::{ClosParams, LinkId};
+
+    fn topo() -> ClosTopology {
+        ClosTopology::new(ClosParams::tiny(), 31).unwrap()
+    }
+
+    #[test]
+    fn bad_switch_outranks_links() {
+        let topo = topo();
+        // Flows through multiple different links of the same T1 switch.
+        let t1 = topo.t1(0, 0);
+        let in_links: Vec<LinkId> = topo
+            .links()
+            .iter()
+            .filter(|l| l.to == Node::Switch(t1))
+            .map(|l| l.id)
+            .collect();
+        let out_links: Vec<LinkId> = topo
+            .links()
+            .iter()
+            .filter(|l| l.from == Node::Switch(t1))
+            .map(|l| l.id)
+            .collect();
+        let evidence: Vec<FlowEvidence> = in_links
+            .iter()
+            .zip(out_links.iter().cycle())
+            .take(8)
+            .map(|(a, b)| FlowEvidence::new(vec![*a, *b], 1))
+            .collect();
+        let tally = SwitchTally::tally(&topo, &evidence);
+        assert_eq!(tally.ranking()[0].0, t1);
+    }
+
+    #[test]
+    fn empty_evidence() {
+        let topo = topo();
+        let tally = SwitchTally::tally(&topo, &[]);
+        assert!(tally.ranking().is_empty());
+    }
+
+    #[test]
+    fn distinct_switch_normalization() {
+        let topo = topo();
+        // One flow: votes sum to 1 over its distinct switches.
+        let host = vigil_topology::HostId(0);
+        let tor = topo.host_tor(host);
+        let up = topo
+            .link_between(Node::Host(host), Node::Switch(tor))
+            .unwrap();
+        let evidence = vec![FlowEvidence::new(vec![up], 1)];
+        let tally = SwitchTally::tally(&topo, &evidence);
+        assert!((tally.votes(tor) - 1.0).abs() < 1e-12);
+        assert!((tally.total() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn detect_switches_finds_the_sick_one() {
+        let topo = topo();
+        let t1 = topo.t1(0, 1);
+        // Flows through many distinct interfaces of t1 (a failing ASIC),
+        // plus unrelated flows elsewhere.
+        let t1_links: Vec<LinkId> = topo
+            .links()
+            .iter()
+            .filter(|l| l.from == Node::Switch(t1) || l.to == Node::Switch(t1))
+            .map(|l| l.id)
+            .collect();
+        let mut evidence: Vec<FlowEvidence> = t1_links
+            .windows(2)
+            .take(10)
+            .map(|w| FlowEvidence::new(w.to_vec(), 1))
+            .collect();
+        // Unrelated lone flow through a different pod's T1.
+        let other = topo.t1(1, 0);
+        let other_link = topo
+            .links()
+            .iter()
+            .find(|l| l.from == Node::Switch(other))
+            .unwrap()
+            .id;
+        evidence.push(FlowEvidence::new(vec![other_link], 1));
+
+        let detections = detect_switches(&topo, &evidence, 0.01);
+        assert_eq!(detections.first().map(|d| d.switch), Some(t1));
+        // After explaining t1's flows, only the lone flow remains; its
+        // switches clear 1% of the residual total, so extra detections
+        // are allowed — but t1 must be first and dominant (each of the 10
+        // flows gives it ⅓–½ of a vote; no neighbour gets more than a
+        // couple).
+        assert!(detections[0].votes > 3.0, "got {}", detections[0].votes);
+    }
+
+    #[test]
+    fn detect_switches_empty_and_threshold() {
+        let topo = topo();
+        assert!(detect_switches(&topo, &[], 0.01).is_empty());
+        // A uniform smear with a high threshold detects nothing.
+        let evidence: Vec<FlowEvidence> = topo
+            .links()
+            .iter()
+            .filter(|l| l.kind == vigil_topology::LinkKind::TorToT1)
+            .take(12)
+            .map(|l| FlowEvidence::new(vec![l.id], 1))
+            .collect();
+        let detections = detect_switches(&topo, &evidence, 0.9);
+        assert!(detections.is_empty());
+    }
+}

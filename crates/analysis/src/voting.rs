@@ -1,0 +1,296 @@
+//! Vote casting and tallying (§5.1).
+//!
+//! "If a flow sees a retransmission, 007 votes its links as bad. Each vote
+//! has a value that is tallied at the end of every epoch, providing a
+//! natural ranking of the links. We set the value of good votes to 0 …
+//! Bad votes are assigned a value of 1/h, where h is the number of hops on
+//! the path, since each link on the path is equally likely to be
+//! responsible for the drop."
+//!
+//! [`VoteWeight`] carries the DESIGN.md ablation: the paper's `1/h`
+//! against flat votes (over-blames long paths) and `1/h²` (under-weights
+//! evidence from long paths).
+
+use crate::evidence::FlowEvidence;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use vigil_topology::LinkId;
+
+/// Vote value assigned to each link of a retransmitting flow's path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum VoteWeight {
+    /// The paper's choice: `1/h`.
+    #[default]
+    ReciprocalPathLength,
+    /// Ablation: every link gets a full vote.
+    Unit,
+    /// Ablation: `1/h²`.
+    ReciprocalSquared,
+}
+
+impl VoteWeight {
+    /// The per-link vote value for a path of `h` links.
+    pub fn value(self, h: usize) -> f64 {
+        if h == 0 {
+            return 0.0;
+        }
+        let h = h as f64;
+        match self {
+            VoteWeight::ReciprocalPathLength => 1.0 / h,
+            VoteWeight::Unit => 1.0,
+            VoteWeight::ReciprocalSquared => 1.0 / (h * h),
+        }
+    }
+}
+
+/// Dense per-link vote tally for one epoch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VoteTally {
+    votes: Vec<f64>,
+    total: f64,
+}
+
+impl VoteTally {
+    /// An empty tally over `num_links` links.
+    pub fn new(num_links: usize) -> Self {
+        Self {
+            votes: vec![0.0; num_links],
+            total: 0.0,
+        }
+    }
+
+    /// Tallies a whole epoch of evidence.
+    pub fn tally(evidence: &[FlowEvidence], num_links: usize, weight: VoteWeight) -> Self {
+        let mut t = Self::new(num_links);
+        for e in evidence {
+            t.cast(e, weight);
+        }
+        t
+    }
+
+    /// Casts one flow's votes.
+    pub fn cast(&mut self, evidence: &FlowEvidence, weight: VoteWeight) {
+        let w = weight.value(evidence.hop_count());
+        for l in &evidence.links {
+            self.votes[l.index()] += w;
+            self.total += w;
+        }
+    }
+
+    /// Retracts one flow's votes (Algorithm 1's adjustment: the flow is
+    /// now explained by a detected link, so its votes on *other* links
+    /// were noise amplification). Votes clamp at zero against float
+    /// drift.
+    pub fn retract(&mut self, evidence: &FlowEvidence, weight: VoteWeight) {
+        let w = weight.value(evidence.hop_count());
+        for l in &evidence.links {
+            let v = &mut self.votes[l.index()];
+            let mut removed = w.min(*v);
+            *v -= removed;
+            if *v < 1e-12 {
+                // Snap float dust to a true zero so residues never
+                // masquerade as votes.
+                removed += *v;
+                *v = 0.0;
+            }
+            self.total -= removed;
+        }
+        if self.total < 1e-12 {
+            self.total = 0.0;
+        }
+    }
+
+    /// A link's current vote count.
+    pub fn votes(&self, link: LinkId) -> f64 {
+        self.votes[link.index()]
+    }
+
+    /// Sum of votes over all links.
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// Number of links tracked.
+    pub fn num_links(&self) -> usize {
+        self.votes.len()
+    }
+
+    /// The most-voted link, skipping `exclude`; ties break to the lowest
+    /// id. Returns `None` when every (non-excluded) link has zero votes.
+    pub fn max_excluding(&self, exclude: &HashSet<LinkId>) -> Option<(LinkId, f64)> {
+        self.max_where(|l, _| !exclude.contains(&l))
+    }
+
+    /// The most-voted link among those the predicate admits; ties break
+    /// to the lowest id. `None` when no admitted link has positive votes.
+    pub fn max_where(&self, mut admit: impl FnMut(LinkId, f64) -> bool) -> Option<(LinkId, f64)> {
+        let mut best: Option<(LinkId, f64)> = None;
+        for (i, &v) in self.votes.iter().enumerate() {
+            if v <= 0.0 {
+                continue;
+            }
+            let id = LinkId(i as u32);
+            if !admit(id, v) {
+                continue;
+            }
+            let better = match best {
+                None => true,
+                Some((_, bv)) => v > bv,
+            };
+            if better {
+                best = Some((id, v));
+            }
+        }
+        best
+    }
+
+    /// The full ranking: `(link, votes)` sorted by votes descending, zero
+    /// -vote links omitted, ties by id ascending. This is the paper's
+    /// "heat-map of the network".
+    pub fn ranking(&self) -> Vec<(LinkId, f64)> {
+        let mut v: Vec<(LinkId, f64)> = self
+            .votes
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| **v > 0.0)
+            .map(|(i, v)| (LinkId(i as u32), *v))
+            .collect();
+        v.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite votes").then(a.0.cmp(&b.0)));
+        v
+    }
+
+    /// The most-voted link among `links` (per-flow blame support); ties to
+    /// the lowest id; `None` if none of them holds votes.
+    pub fn top_among(&self, links: &[LinkId]) -> Option<(LinkId, f64)> {
+        links
+            .iter()
+            .map(|l| (*l, self.votes(*l)))
+            .filter(|(_, v)| *v > 0.0)
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite votes").then(b.0.cmp(&a.0)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn ev(links: &[u32], retx: u32) -> FlowEvidence {
+        FlowEvidence::new(links.iter().map(|l| LinkId(*l)).collect(), retx)
+    }
+
+    #[test]
+    fn weights() {
+        assert_eq!(VoteWeight::ReciprocalPathLength.value(4), 0.25);
+        assert_eq!(VoteWeight::Unit.value(4), 1.0);
+        assert_eq!(VoteWeight::ReciprocalSquared.value(2), 0.25);
+        assert_eq!(VoteWeight::ReciprocalPathLength.value(0), 0.0);
+    }
+
+    #[test]
+    fn one_flow_casts_unit_total() {
+        // h links × 1/h each = exactly 1 vote of total mass per flow.
+        let mut t = VoteTally::new(10);
+        t.cast(&ev(&[1, 2, 3, 4], 1), VoteWeight::ReciprocalPathLength);
+        assert!((t.total() - 1.0).abs() < 1e-12);
+        assert!((t.votes(LinkId(1)) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tally_accumulates() {
+        let evidence = vec![ev(&[1, 2], 1), ev(&[2, 3], 1)];
+        let t = VoteTally::tally(&evidence, 5, VoteWeight::ReciprocalPathLength);
+        assert!((t.votes(LinkId(2)) - 1.0).abs() < 1e-12);
+        assert!((t.votes(LinkId(1)) - 0.5).abs() < 1e-12);
+        assert!((t.total() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ranking_orders_and_breaks_ties() {
+        let evidence = vec![ev(&[1, 2], 1), ev(&[2, 3], 1), ev(&[4, 5], 1)];
+        let t = VoteTally::tally(&evidence, 8, VoteWeight::ReciprocalPathLength);
+        let r = t.ranking();
+        assert_eq!(r[0].0, LinkId(2));
+        // 1, 3, 4, 5 all at 0.5: ties by id.
+        assert_eq!(
+            r[1..].iter().map(|(l, _)| *l).collect::<Vec<_>>(),
+            vec![LinkId(1), LinkId(3), LinkId(4), LinkId(5)]
+        );
+    }
+
+    #[test]
+    fn retract_undoes_cast() {
+        let mut t = VoteTally::new(6);
+        let e1 = ev(&[1, 2, 3], 1);
+        let e2 = ev(&[3, 4], 1);
+        t.cast(&e1, VoteWeight::ReciprocalPathLength);
+        t.cast(&e2, VoteWeight::ReciprocalPathLength);
+        t.retract(&e1, VoteWeight::ReciprocalPathLength);
+        assert!(t.votes(LinkId(1)).abs() < 1e-12);
+        assert!((t.votes(LinkId(3)) - 0.5).abs() < 1e-12);
+        assert!((t.total() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn retract_clamps_at_zero() {
+        let mut t = VoteTally::new(3);
+        let e = ev(&[1], 1);
+        t.retract(&e, VoteWeight::Unit); // retract without cast
+        assert_eq!(t.votes(LinkId(1)), 0.0);
+        assert_eq!(t.total(), 0.0);
+    }
+
+    #[test]
+    fn max_excluding_skips() {
+        let t = VoteTally::tally(
+            &[ev(&[1, 2], 1), ev(&[2], 1)],
+            4,
+            VoteWeight::ReciprocalPathLength,
+        );
+        let mut ex = HashSet::new();
+        assert_eq!(t.max_excluding(&ex).unwrap().0, LinkId(2));
+        ex.insert(LinkId(2));
+        assert_eq!(t.max_excluding(&ex).unwrap().0, LinkId(1));
+        ex.insert(LinkId(1));
+        assert!(t.max_excluding(&ex).is_none());
+    }
+
+    #[test]
+    fn top_among_restricted() {
+        let t = VoteTally::tally(
+            &[ev(&[1, 2], 1), ev(&[2, 3], 1)],
+            5,
+            VoteWeight::ReciprocalPathLength,
+        );
+        assert_eq!(t.top_among(&[LinkId(1), LinkId(3)]).unwrap().0, LinkId(1));
+        assert_eq!(t.top_among(&[LinkId(2), LinkId(3)]).unwrap().0, LinkId(2));
+        assert!(t.top_among(&[LinkId(4)]).is_none());
+    }
+
+    proptest! {
+        #[test]
+        fn total_equals_sum_of_votes(paths in proptest::collection::vec(
+            proptest::collection::vec(0u32..20, 1..6), 0..30)) {
+            let evidence: Vec<FlowEvidence> = paths.iter()
+                .map(|p| ev(p, 1)).collect();
+            let t = VoteTally::tally(&evidence, 20, VoteWeight::ReciprocalPathLength);
+            let sum: f64 = (0..20).map(|i| t.votes(LinkId(i))).sum();
+            prop_assert!((sum - t.total()).abs() < 1e-9);
+        }
+
+        #[test]
+        fn vote_mass_conservation(paths in proptest::collection::vec(
+            proptest::collection::vec(0u32..20, 1..6), 1..30)) {
+            // Each flow casts exactly 1.0 total mass under 1/h (duplicate
+            // links in a path would double-count, so dedupe first).
+            let evidence: Vec<FlowEvidence> = paths.iter().map(|p| {
+                let mut q = p.clone();
+                q.sort_unstable();
+                q.dedup();
+                ev(&q, 1)
+            }).collect();
+            let t = VoteTally::tally(&evidence, 20, VoteWeight::ReciprocalPathLength);
+            prop_assert!((t.total() - evidence.len() as f64).abs() < 1e-9);
+        }
+    }
+}

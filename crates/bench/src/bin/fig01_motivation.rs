@@ -1,0 +1,150 @@
+//! Figure 1: the motivating observations from production traffic.
+//!
+//! (a) CDF of the number of flows with ≥ 1 retransmission per 30-second
+//!     interval, conditioned on the interval's total drop count
+//!     (> 0, > 1, > 10, > 30, > 50). Paper: "95 % of the time, at least
+//!     3 flows see drops when we condition on ≥ 10 total drops".
+//! (b) CDF of the fraction of an interval's drops belonging to each flow
+//!     (intervals with ≥ 10 drops). Paper: "in ≥ 80 % of cases, no single
+//!     flow captures more than 34 % of all drops".
+//!
+//! The production day is reproduced as a sequence of intervals with an
+//! evolving fault population (0–3 lossy links, re-drawn per interval)
+//! over background noise.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use vigil::prelude::*;
+use vigil_bench::{banner, write_json, Scale};
+use vigil_fabric::flowsim::simulate_epoch;
+use vigil_stats::Ecdf;
+
+fn main() {
+    banner(
+        "fig01",
+        "drops are spread across flows (per-interval CDFs)",
+        "§2 Figure 1: ≥3 flows see drops when ≥10 drop (95%); max flow share ≤34% (80%)",
+    );
+    let scale = Scale::resolve(1, 1);
+    let intervals = if scale.fast { 60 } else { 240 };
+
+    let params = if scale.fast {
+        ClosParams {
+            npod: 2,
+            n0: 8,
+            n1: 6,
+            n2: 6,
+            hosts_per_tor: 6,
+        }
+    } else {
+        ClosParams::paper_sim()
+    };
+    let topo = ClosTopology::new(params, 1).expect("valid");
+    let traffic = TrafficSpec {
+        conns_per_host: ConnCount::Fixed(20),
+        packets_per_flow: PacketCount::Uniform(50, 100),
+        ..TrafficSpec::paper_default()
+    };
+    let sim = SimConfig::default();
+    let mut rng = ChaCha8Rng::seed_from_u64(0x01);
+
+    // Per-interval: (total drops, flows with ≥1 drop, per-flow shares).
+    let mut flows_with_drops: Vec<(u64, u64)> = Vec::new();
+    let mut shares: Vec<f64> = Vec::new();
+    let mut max_shares: Vec<f64> = Vec::new();
+
+    for _interval in 0..intervals {
+        // The fault population drifts: some intervals quiet, most with a
+        // few lossy links of varying severity (a day in a big fabric).
+        let failures = *[0u32, 1, 1, 2, 2, 3, 4]
+            .get(rng.gen_range(0..7))
+            .expect("non-empty");
+        let plan = FaultPlan {
+            failures,
+            failure_rate: RateRange { lo: 5e-4, hi: 5e-3 },
+            ..FaultPlan::paper_default(0)
+        };
+        let faults = plan.build(&topo, &mut rng);
+        let out = simulate_epoch(&topo, &faults, &traffic, &sim, &mut rng);
+
+        let total: u64 = out.ground_truth.drops_per_link.iter().sum();
+        let dropping = out.flows.iter().filter(|f| f.total_drops() > 0).count() as u64;
+        flows_with_drops.push((total, dropping));
+        if total >= 10 {
+            let mut interval_max: f64 = 0.0;
+            for f in &out.flows {
+                let d = f.total_drops() as f64;
+                if d > 0.0 {
+                    let share = d / total as f64;
+                    shares.push(share);
+                    interval_max = interval_max.max(share);
+                }
+            }
+            max_shares.push(interval_max);
+        }
+    }
+
+    println!("\n(a) flows with ≥1 drop per interval, conditioned on total drops:\n");
+    println!(
+        "{:>12} {:>10} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "condition", "intervals", "P5", "P25", "P50", "P75", "P95"
+    );
+    for &(cond, label) in &[
+        (0u64, "> 0"),
+        (1, "> 1"),
+        (10, "> 10"),
+        (30, "> 30"),
+        (50, "> 50"),
+    ] {
+        let sample: Vec<f64> = flows_with_drops
+            .iter()
+            .filter(|(total, _)| *total > cond)
+            .map(|(_, n)| *n as f64)
+            .collect();
+        let n = sample.len();
+        let e = Ecdf::new(sample);
+        let q = |p: f64| e.quantile(p).map_or("-".into(), |v| format!("{v:.0}"));
+        println!(
+            "{:>12} {:>10} {:>8} {:>8} {:>8} {:>8} {:>8}",
+            label,
+            n,
+            q(0.05),
+            q(0.25),
+            q(0.50),
+            q(0.75),
+            q(0.95)
+        );
+    }
+    // The paper's headline check.
+    let cond10: Vec<f64> = flows_with_drops
+        .iter()
+        .filter(|(t, _)| *t >= 10)
+        .map(|(_, n)| *n as f64)
+        .collect();
+    if !cond10.is_empty() {
+        let e = Ecdf::new(cond10);
+        let at_least_3 = 1.0 - e.eval(2.0);
+        println!(
+            "\nP[≥3 flows see drops | ≥10 total drops] = {:.0}%  (paper: 95%)",
+            at_least_3 * 100.0
+        );
+    }
+
+    println!("\n(b) per-flow share of an interval's drops (intervals with ≥10 drops):\n");
+    let share_ecdf = Ecdf::new(shares.clone());
+    for p in [0.25, 0.50, 0.75, 0.80, 0.90, 0.95] {
+        if let Some(v) = share_ecdf.quantile(p) {
+            println!("  P{:>2.0} share = {:>5.1}%", p * 100.0, v * 100.0);
+        }
+    }
+    let max_ecdf = Ecdf::new(max_shares);
+    println!(
+        "\nP[max single-flow share ≤ 34%] = {:.0}%  (paper: ≥80%)",
+        max_ecdf.eval(0.34) * 100.0
+    );
+    println!(
+        "P[max single-flow share ≤ 40%] = {:.0}%  (paper: 'no single flow sees more than 40%' in most cases)",
+        max_ecdf.eval(0.40) * 100.0
+    );
+    write_json("fig01", &share_ecdf.sampled(50));
+}

@@ -1,0 +1,213 @@
+//! Shared support for the experiment binaries that regenerate the paper's
+//! tables and figures.
+//!
+//! Every binary follows the same shape:
+//!
+//! 1. build the scenario from `vigil::scenarios`,
+//! 2. sweep the figure's x-axis, calling `run_experiment` per point,
+//! 3. print a fixed-width table of the series the paper plots, with the
+//!    paper's reported numbers alongside for comparison,
+//! 4. drop a machine-readable JSON copy under `results/`.
+//!
+//! Scale is controlled by environment variables so CI smoke runs and
+//! full reproductions share one binary:
+//!
+//! * `VIGIL_TRIALS` — independent trials per point (default per bin);
+//! * `VIGIL_EPOCHS` — epochs per trial;
+//! * `VIGIL_FAST=1` — shrink everything for a quick smoke run.
+
+#![forbid(unsafe_code)]
+
+use serde::Serialize;
+use std::io::Write;
+use vigil::prelude::*;
+
+/// Sweep scale knobs, resolved from the environment.
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    /// Trials per experiment point.
+    pub trials: usize,
+    /// Epochs per trial.
+    pub epochs: usize,
+    /// True when `VIGIL_FAST=1` requested a smoke run.
+    pub fast: bool,
+}
+
+impl Scale {
+    /// Resolves the scale: defaults, shrunk under `VIGIL_FAST`,
+    /// overridden by `VIGIL_TRIALS` / `VIGIL_EPOCHS`.
+    pub fn resolve(default_trials: usize, default_epochs: usize) -> Self {
+        let fast = std::env::var("VIGIL_FAST").is_ok_and(|v| v == "1");
+        let mut trials = if fast {
+            default_trials.div_ceil(4).max(1)
+        } else {
+            default_trials
+        };
+        let mut epochs = if fast {
+            default_epochs.div_ceil(2).max(1)
+        } else {
+            default_epochs
+        };
+        if let Ok(v) = std::env::var("VIGIL_TRIALS") {
+            trials = v.parse().expect("VIGIL_TRIALS must be an integer");
+        }
+        if let Ok(v) = std::env::var("VIGIL_EPOCHS") {
+            epochs = v.parse().expect("VIGIL_EPOCHS must be an integer");
+        }
+        Self {
+            trials,
+            epochs,
+            fast,
+        }
+    }
+
+    /// Applies the scale to a scenario config.
+    pub fn apply(&self, mut cfg: ExperimentConfig) -> ExperimentConfig {
+        cfg.trials = self.trials;
+        cfg.epochs = self.epochs;
+        if self.fast {
+            // Smoke runs shrink the fabric too.
+            if cfg.params == ClosParams::paper_sim() {
+                cfg.params = ClosParams {
+                    npod: 2,
+                    n0: 8,
+                    n1: 6,
+                    n2: 6,
+                    hosts_per_tor: 6,
+                };
+            }
+        }
+        cfg
+    }
+}
+
+/// One row of a printed/serialized series.
+#[derive(Debug, Clone, Serialize)]
+pub struct SeriesRow {
+    /// x-axis value (drop rate, #failures, skew, …).
+    pub x: f64,
+    /// Metric values keyed by column label, in insertion order.
+    pub values: Vec<(String, f64)>,
+}
+
+/// Prints the standard experiment banner.
+pub fn banner(id: &str, what: &str, paper_ref: &str) {
+    println!("================================================================");
+    println!("{id}: {what}");
+    println!("paper reference: {paper_ref}");
+    println!("================================================================");
+}
+
+/// Prints a fixed-width table of series rows.
+pub fn print_table(x_label: &str, rows: &[SeriesRow]) {
+    if rows.is_empty() {
+        println!("(no data)");
+        return;
+    }
+    print!("{:>14}", x_label);
+    for (label, _) in &rows[0].values {
+        print!("  {label:>20}");
+    }
+    println!();
+    for row in rows {
+        print!("{:>14}", trim_float(row.x));
+        for (_, v) in &row.values {
+            if v.is_nan() {
+                print!("  {:>20}", "-");
+            } else {
+                print!("  {:>20.2}", v);
+            }
+        }
+        println!();
+    }
+}
+
+fn trim_float(x: f64) -> String {
+    if x == x.trunc() && x.abs() < 1e9 {
+        format!("{}", x as i64)
+    } else {
+        format!("{x}")
+    }
+}
+
+/// Serializes results under `results/<id>.json` (best effort — failures
+/// to write must not fail the experiment).
+pub fn write_json<T: Serialize>(id: &str, data: &T) {
+    let dir = std::path::Path::new("results");
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let path = dir.join(format!("{id}.json"));
+    if let Ok(mut f) = std::fs::File::create(&path) {
+        if let Ok(s) = serde_json::to_string_pretty(data) {
+            let _ = f.write_all(s.as_bytes());
+            println!("\n(wrote {})", path.display());
+        }
+    }
+}
+
+/// Percentage helpers over an experiment report.
+pub fn accuracy_pct(m: &vigil::MethodReport) -> f64 {
+    m.pooled.accuracy.value().map_or(f64::NAN, |v| v * 100.0)
+}
+
+/// Pooled precision (%), NaN when undefined.
+pub fn precision_pct(m: &vigil::MethodReport) -> f64 {
+    m.pooled.confusion.precision().map_or(f64::NAN, |v| v * 100.0)
+}
+
+/// Pooled recall (%), NaN when undefined.
+pub fn recall_pct(m: &vigil::MethodReport) -> f64 {
+    m.pooled.confusion.recall().map_or(f64::NAN, |v| v * 100.0)
+}
+
+/// Runs one configured point and returns `(007, integer?, binary?)`
+/// method reports.
+pub fn run_point(
+    cfg: ExperimentConfig,
+) -> (
+    vigil::ExperimentReport,
+    Option<vigil::MethodReport>,
+    Option<vigil::MethodReport>,
+) {
+    let report = run_experiment(&cfg);
+    let integer = report.integer.clone();
+    let binary = report.binary.clone();
+    (report, integer, binary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_resolution_defaults() {
+        // No env manipulation (tests run in parallel); just the defaults
+        // path — env overrides are exercised by the bins themselves.
+        let s = Scale {
+            trials: 5,
+            epochs: 2,
+            fast: false,
+        };
+        let cfg = s.apply(ExperimentConfig::default());
+        assert_eq!(cfg.trials, 5);
+        assert_eq!(cfg.epochs, 2);
+    }
+
+    #[test]
+    fn trim_float_formats() {
+        assert_eq!(trim_float(3.0), "3");
+        assert_eq!(trim_float(0.5), "0.5");
+    }
+
+    #[test]
+    fn table_printing_smoke() {
+        print_table(
+            "x",
+            &[SeriesRow {
+                x: 1.0,
+                values: vec![("a".into(), 2.0), ("b".into(), f64::NAN)],
+            }],
+        );
+    }
+}

@@ -1,0 +1,393 @@
+//! One epoch, end to end, in flow mode.
+//!
+//! The pipeline follows the paper's Figure 2: the fabric simulates the
+//! epoch's TCP traffic; each host's monitoring agent reports
+//! retransmissions; the path discovery agent (paced by Theorem 1 and the
+//! per-epoch cache) discovers paths; the centralized analysis agent
+//! tallies votes, runs Algorithm 1, classifies noise, and blames a link
+//! for every failure-class flow. Optionally the two NP-hard baselines of
+//! §5.3 run on exactly the same evidence.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use vigil_agents::{HostAgent, HostPacer, OracleTracer, TcpMonitor, TraceReport};
+use vigil_analysis::{
+    classify_flows, detect, Algorithm1Config, Algorithm1Output, DropClass, FlowEvidence,
+};
+use vigil_fabric::faults::LinkFaults;
+use vigil_fabric::flowsim::{simulate_epoch, EpochOutcome, SimConfig};
+use vigil_fabric::traffic::TrafficSpec;
+use vigil_optim::{
+    binary_program, integer_program, BinarySolution, CoverInstance, FlowRow, IntegerSolution,
+    SearchLimits,
+};
+use vigil_packet::FiveTuple;
+use vigil_topology::ClosTopology;
+
+/// How each host's traceroute budget is set.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PacerBudget {
+    /// Derive from Theorem 1 (`Ct × epoch_seconds` traces per epoch).
+    Theorem1 {
+        /// Switch-side ICMP cap (replies/second).
+        tmax: f64,
+        /// Epoch length in seconds (paper: 30).
+        epoch_seconds: f64,
+    },
+    /// A fixed per-epoch budget.
+    Fixed(u32),
+    /// No budget (upper-bound analyses).
+    Unlimited,
+}
+
+impl Default for PacerBudget {
+    fn default() -> Self {
+        PacerBudget::Theorem1 {
+            tmax: vigil_fabric::control_plane::PAPER_TMAX,
+            epoch_seconds: 30.0,
+        }
+    }
+}
+
+impl PacerBudget {
+    fn pacer(&self, topo: &ClosTopology) -> HostPacer {
+        match *self {
+            PacerBudget::Theorem1 {
+                tmax,
+                epoch_seconds,
+            } => HostPacer::from_theorem1(topo, tmax, epoch_seconds),
+            PacerBudget::Fixed(n) => HostPacer::with_budget(n),
+            PacerBudget::Unlimited => HostPacer::with_budget(u32::MAX),
+        }
+    }
+}
+
+/// Which §5.3 baselines to run alongside 007.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Baselines {
+    /// The integer program (4) (ranking-capable).
+    pub integer: bool,
+    /// The binary program (3) (set cover only).
+    pub binary: bool,
+    /// Node budget for the exact searches.
+    pub max_nodes: u64,
+}
+
+impl Default for Baselines {
+    fn default() -> Self {
+        Self {
+            integer: true,
+            binary: false,
+            max_nodes: 200_000,
+        }
+    }
+}
+
+/// Full configuration of one epoch run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunConfig {
+    /// Traffic model.
+    pub traffic: TrafficSpec,
+    /// Packet-drop simulation knobs.
+    pub sim: SimConfig,
+    /// Algorithm 1 configuration.
+    pub alg1: Algorithm1Config,
+    /// Traceroute pacing.
+    pub pacer: PacerBudget,
+    /// Baselines to evaluate.
+    pub baselines: Baselines,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        Self {
+            traffic: TrafficSpec::paper_default(),
+            sim: SimConfig::default(),
+            alg1: Algorithm1Config::default(),
+            pacer: PacerBudget::default(),
+            baselines: Baselines::default(),
+        }
+    }
+}
+
+/// Everything produced by one epoch.
+#[derive(Debug)]
+pub struct EpochRun {
+    /// The fabric's records and ground truth.
+    pub outcome: EpochOutcome,
+    /// Host agents' trace reports (post pacing/caching).
+    pub reports: Vec<TraceReport>,
+    /// The same reports as analysis evidence (parallel to `reports`).
+    pub evidence: Vec<FlowEvidence>,
+    /// Algorithm 1's output.
+    pub detection: Algorithm1Output,
+    /// Algorithm 1's pick order with the threshold disabled (first 20
+    /// picks) — the paper's "if the top k links had been selected"
+    /// counterfactual (Figure 12).
+    pub unbounded_picks: Vec<vigil_topology::LinkId>,
+    /// Per-evidence noise/failure classification (parallel to
+    /// `evidence`).
+    pub classes: Vec<DropClass>,
+    /// The integer program's solution, when enabled.
+    pub integer: Option<IntegerSolution>,
+    /// The binary program's solution, when enabled.
+    pub binary: Option<BinarySolution>,
+}
+
+impl EpochRun {
+    /// Maps a tuple to its flow record index.
+    pub fn flow_by_tuple(&self) -> HashMap<FiveTuple, usize> {
+        self.outcome
+            .flows
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (f.tuple, i))
+            .collect()
+    }
+}
+
+/// Runs one epoch sequentially (hosts iterated in id order).
+pub fn run_epoch<R: Rng + ?Sized>(
+    topo: &ClosTopology,
+    faults: &LinkFaults,
+    config: &RunConfig,
+    rng: &mut R,
+) -> EpochRun {
+    let outcome = simulate_epoch(topo, faults, &config.traffic, &config.sim, rng);
+    let monitor = TcpMonitor::new();
+    let mut tracer = OracleTracer::from_flows(&outcome.flows);
+
+    let mut reports = Vec::new();
+    for host in topo.hosts() {
+        let mut agent = HostAgent::new(host, config.pacer.pacer(topo));
+        let events: Vec<_> = monitor.events_for_host(host, &outcome.flows).collect();
+        reports.extend(agent.run_epoch(events, &mut tracer));
+    }
+    analyze(topo, outcome, reports, config)
+}
+
+/// Runs one epoch with host agents sharded over worker threads, reports
+/// fanned into the centralized collector over the crossbeam hub — the
+/// deployment shape of the paper's Figure 2.
+pub fn run_epoch_threaded<R: Rng + ?Sized>(
+    topo: &ClosTopology,
+    faults: &LinkFaults,
+    config: &RunConfig,
+    workers: usize,
+    rng: &mut R,
+) -> EpochRun {
+    assert!(workers > 0, "need at least one worker");
+    let outcome = simulate_epoch(topo, faults, &config.traffic, &config.sim, rng);
+    let monitor = TcpMonitor::new();
+    let (sender, collector) = vigil_agents::report_channel();
+
+    let hosts: Vec<_> = topo.hosts().collect();
+    std::thread::scope(|scope| {
+        for chunk in hosts.chunks(hosts.len().div_ceil(workers)) {
+            let tx = sender.clone();
+            let outcome_ref = &outcome;
+            let topo_ref = topo;
+            let monitor_ref = &monitor;
+            let config_ref = config;
+            scope.spawn(move || {
+                // Each worker traces only its own hosts' flows.
+                let mut tracer = OracleTracer::from_flows(
+                    outcome_ref
+                        .flows
+                        .iter()
+                        .filter(|f| chunk.contains(&f.src)),
+                );
+                for &host in chunk {
+                    let mut agent = HostAgent::new(host, config_ref.pacer.pacer(topo_ref));
+                    let events: Vec<_> =
+                        monitor_ref.events_for_host(host, &outcome_ref.flows).collect();
+                    for report in agent.run_epoch(events, &mut tracer) {
+                        tx.send(report);
+                    }
+                }
+            });
+        }
+        drop(sender);
+    });
+    // All workers have joined (scope end), so every report is queued.
+    let reports = collector.drain();
+    analyze(topo, outcome, reports, config)
+}
+
+/// The centralized analysis agent: votes, Algorithm 1, classification,
+/// baselines.
+fn analyze(
+    topo: &ClosTopology,
+    outcome: EpochOutcome,
+    mut reports: Vec<TraceReport>,
+    config: &RunConfig,
+) -> EpochRun {
+    // Canonical order: host-agent arrival order (channel or iteration) is
+    // an artifact, not information; sorting makes sequential and threaded
+    // runs bit-identical.
+    reports.sort_by_key(|r| (r.host, r.tuple));
+    let evidence: Vec<FlowEvidence> = reports
+        .iter()
+        .map(|r| FlowEvidence {
+            links: r.links.clone(),
+            retransmissions: r.retransmissions,
+            complete: r.complete,
+        })
+        .collect();
+
+    // The §6 ordering, as a two-pass scheme: a conservative first pass
+    // (fixed threshold bar over all evidence) licenses the noise filter;
+    // the final pass — the paper's Algorithm 1 with its shrinking bar —
+    // runs on the failure-class evidence only.
+    let conservative = detect(
+        &evidence,
+        topo.num_links(),
+        &Algorithm1Config {
+            threshold_base: vigil_analysis::ThresholdBase::Initial,
+            ..config.alg1
+        },
+    );
+    let classes = classify_flows(&evidence, &conservative.detected_links());
+    let failure_evidence: Vec<FlowEvidence> = evidence
+        .iter()
+        .zip(&classes)
+        .filter(|(_, c)| **c == DropClass::Failure)
+        .map(|(e, _)| e.clone())
+        .collect();
+    let detection = detect(&failure_evidence, topo.num_links(), &config.alg1);
+    let unbounded_picks = detect(
+        &failure_evidence,
+        topo.num_links(),
+        &Algorithm1Config {
+            threshold_frac: 0.0,
+            max_detections: 20,
+            ..config.alg1
+        },
+    )
+    .detected_links();
+
+    let limits = SearchLimits {
+        max_nodes: config.baselines.max_nodes,
+    };
+    let (integer, binary) = if config.baselines.integer || config.baselines.binary {
+        let rows: Vec<FlowRow> = reports
+            .iter()
+            .map(|r| FlowRow {
+                links: r.links.iter().map(|l| l.0).collect(),
+                demand: r.retransmissions,
+            })
+            .collect();
+        let instance = CoverInstance::new(&rows);
+        (
+            config
+                .baselines
+                .integer
+                .then(|| integer_program(&instance, &limits)),
+            config
+                .baselines
+                .binary
+                .then(|| binary_program(&instance, &limits)),
+        )
+    } else {
+        (None, None)
+    };
+
+    EpochRun {
+        outcome,
+        reports,
+        evidence,
+        detection,
+        unbounded_picks,
+        classes,
+        integer,
+        binary,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use vigil_fabric::faults::FaultPlan;
+    use vigil_fabric::faults::RateRange;
+    use vigil_topology::ClosParams;
+
+    fn setup(failures: u32, seed: u64) -> (ClosTopology, LinkFaults, ChaCha8Rng) {
+        let topo = ClosTopology::new(ClosParams::tiny(), seed).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let faults = FaultPlan {
+            failure_rate: RateRange::fixed(0.05),
+            ..FaultPlan::paper_default(failures)
+        }
+        .build(&topo, &mut rng);
+        (topo, faults, rng)
+    }
+
+    fn config() -> RunConfig {
+        RunConfig {
+            traffic: TrafficSpec {
+                conns_per_host: vigil_fabric::traffic::ConnCount::Fixed(30),
+                ..TrafficSpec::paper_default()
+            },
+            ..RunConfig::default()
+        }
+    }
+
+    #[test]
+    fn pipeline_detects_single_failure() {
+        let (topo, faults, mut rng) = setup(1, 11);
+        let run = run_epoch(&topo, &faults, &config(), &mut rng);
+        let bad = *faults.failed_set().iter().next().unwrap();
+        assert!(
+            run.detection.detected_links().contains(&bad),
+            "injected link {:?} not in detections {:?}",
+            bad,
+            run.detection.detections
+        );
+        assert!(!run.reports.is_empty());
+        assert_eq!(run.reports.len(), run.evidence.len());
+        assert_eq!(run.evidence.len(), run.classes.len());
+    }
+
+    #[test]
+    fn baselines_run_on_same_evidence() {
+        let (topo, faults, mut rng) = setup(1, 13);
+        let mut cfg = config();
+        cfg.baselines.binary = true;
+        let run = run_epoch(&topo, &faults, &cfg, &mut rng);
+        let integer = run.integer.as_ref().expect("integer baseline enabled");
+        let binary = run.binary.as_ref().expect("binary baseline enabled");
+        let bad = faults.failed_set().iter().next().unwrap().0;
+        assert!(integer.counts.contains_key(&bad));
+        assert!(binary.links.contains(&bad));
+    }
+
+    #[test]
+    fn threaded_matches_sequential() {
+        let (topo, faults, _) = setup(2, 17);
+        let cfg = config();
+        let mut rng1 = ChaCha8Rng::seed_from_u64(99);
+        let mut rng2 = ChaCha8Rng::seed_from_u64(99);
+        let seq = run_epoch(&topo, &faults, &cfg, &mut rng1);
+        let thr = run_epoch_threaded(&topo, &faults, &cfg, 4, &mut rng2);
+        // Same simulation (same rng), same reports (canonical order), same
+        // detections.
+        assert_eq!(seq.reports, thr.reports);
+        assert_eq!(
+            seq.detection.detected_links(),
+            thr.detection.detected_links()
+        );
+    }
+
+    #[test]
+    fn clean_fabric_reports_nothing() {
+        let topo = ClosTopology::new(ClosParams::tiny(), 19).unwrap();
+        let faults = LinkFaults::new(topo.num_links());
+        let mut rng = ChaCha8Rng::seed_from_u64(19);
+        let run = run_epoch(&topo, &faults, &config(), &mut rng);
+        assert!(run.reports.is_empty());
+        assert!(run.detection.detections.is_empty());
+    }
+}

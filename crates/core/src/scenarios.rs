@@ -1,0 +1,261 @@
+//! Ready-made experiment configurations for every evaluation point in the
+//! paper (§6–§8). Bench binaries parameterize these over their sweep
+//! variable; DESIGN.md's experiment index maps each figure/table to the
+//! builder used.
+
+use crate::experiment::ExperimentConfig;
+use crate::run::{Baselines, RunConfig};
+use vigil_analysis::Algorithm1Config;
+use vigil_fabric::faults::{FaultLocation, FaultPlan, RateRange};
+use vigil_fabric::traffic::{ConnCount, DestSpec, PacketCount, TrafficSpec};
+use vigil_topology::{ClosParams, LinkKind};
+
+/// The §6 baseline run configuration: 60 connections per host per epoch,
+/// up to 100 packets per flow, uniform destinations, integer baseline on.
+pub fn paper_run_config() -> RunConfig {
+    RunConfig {
+        traffic: TrafficSpec {
+            conns_per_host: ConnCount::Fixed(60),
+            packets_per_flow: PacketCount::Uniform(50, 100),
+            dest: DestSpec::Uniform,
+            dst_port: 443,
+        },
+        ..RunConfig::default()
+    }
+}
+
+fn base(name: &str, failures: u32) -> ExperimentConfig {
+    ExperimentConfig {
+        name: name.into(),
+        params: ClosParams::paper_sim(),
+        faults: FaultPlan::paper_default(failures),
+        run: paper_run_config(),
+        epochs: 1,
+        trials: 5,
+        seed: 0x0007,
+    }
+}
+
+/// Figure 3 / Figure 4: the Theorem-2-holds regime — `failures` failed
+/// links dropping at 0.05–1 %.
+pub fn fig03_optimal_case(failures: u32) -> ExperimentConfig {
+    let mut cfg = base(&format!("fig3/4 optimal-case k={failures}"), failures);
+    cfg.faults.failure_rate = RateRange { lo: 5e-4, hi: 1e-2 };
+    cfg
+}
+
+/// Figure 4 additionally compares the binary program: same scenario with
+/// both baselines enabled.
+pub fn fig04_detection(failures: u32) -> ExperimentConfig {
+    let mut cfg = fig03_optimal_case(failures);
+    cfg.name = format!("fig4 detection k={failures}");
+    cfg.run.baselines = Baselines {
+        binary: true,
+        ..Baselines::default()
+    };
+    cfg
+}
+
+/// Figure 5a: single failure at a fixed drop rate (sweep 0–1 %).
+pub fn fig05_single(rate: f64) -> ExperimentConfig {
+    let mut cfg = base(&format!("fig5a single rate={rate}"), 1);
+    cfg.faults.failure_rate = RateRange::fixed(rate);
+    cfg
+}
+
+/// Figure 5b: `failures` links with drop rates across the full 0.01–1 %
+/// spread.
+pub fn fig05_multi(failures: u32) -> ExperimentConfig {
+    base(&format!("fig5b multi k={failures}"), failures)
+}
+
+/// Figure 6: noise sweep — good links drop at up to `noise` (single or
+/// 5 failures).
+pub fn fig06_noise(noise: f64, failures: u32) -> ExperimentConfig {
+    let mut cfg = base(&format!("fig6 noise={noise} k={failures}"), failures);
+    cfg.faults.noise = RateRange {
+        lo: 0.0,
+        hi: noise.max(f64::MIN_POSITIVE),
+    };
+    cfg.faults.failure_rate = RateRange { lo: 5e-4, hi: 1e-2 };
+    cfg
+}
+
+/// Figure 7: connections per host per epoch uniform in (10, 60).
+pub fn fig07_connections(failures: u32, single_rate: Option<f64>) -> ExperimentConfig {
+    let mut cfg = base(&format!("fig7 conns k={failures}"), failures);
+    cfg.run.traffic.conns_per_host = ConnCount::Uniform(10, 60);
+    if let Some(rate) = single_rate {
+        cfg.faults.failure_rate = RateRange::fixed(rate);
+    }
+    cfg
+}
+
+/// Figure 8: skewed traffic — 80 % of flows to 25 % of ToRs.
+pub fn fig08_skew(failures: u32, single_rate: Option<f64>) -> ExperimentConfig {
+    let mut cfg = base(&format!("fig8 skew k={failures}"), failures);
+    cfg.run.traffic.dest = DestSpec::SkewedTors {
+        frac_hot_tors: 0.25,
+        frac_hot_flows: 0.8,
+    };
+    if let Some(rate) = single_rate {
+        cfg.faults.failure_rate = RateRange::fixed(rate);
+    }
+    cfg
+}
+
+/// Figure 9: hot-ToR sink taking `skew` of all flows, k failures.
+pub fn fig09_hot_tor(skew: f64, failures: u32) -> ExperimentConfig {
+    let mut cfg = base(&format!("fig9 hot-tor skew={skew} k={failures}"), failures);
+    cfg.run.traffic.dest = DestSpec::HotTor { frac: skew };
+    cfg.faults.failure_rate = RateRange { lo: 5e-4, hi: 1e-2 };
+    cfg
+}
+
+/// Figure 10: Algorithm 1 on a single failure at a fixed rate, all three
+/// methods.
+pub fn fig10_detection_single(rate: f64) -> ExperimentConfig {
+    let mut cfg = fig05_single(rate);
+    cfg.name = format!("fig10 rate={rate}");
+    cfg.run.baselines = Baselines {
+        binary: true,
+        ..Baselines::default()
+    };
+    cfg
+}
+
+/// Figure 11: single failure restricted to one location class.
+pub fn fig11_location(kind: LinkKind, rate: f64) -> ExperimentConfig {
+    let mut cfg = base(&format!("fig11 {kind:?} rate={rate}"), 1);
+    cfg.faults.failure_rate = RateRange::fixed(rate);
+    cfg.faults.location = FaultLocation::Kind(kind);
+    cfg
+}
+
+/// Figure 12: heavily skewed failure severities — one link at 10–100 %,
+/// the rest at 0.01–0.1 %.
+pub fn fig12_skewed_rates(failures: u32) -> ExperimentConfig {
+    let mut cfg = base(&format!("fig12 skewed-rates k={failures}"), failures);
+    cfg.faults.failure_rate = RateRange { lo: 1e-4, hi: 1e-3 };
+    cfg.faults.first_failure_rate = Some(RateRange { lo: 0.1, hi: 1.0 });
+    cfg
+}
+
+/// §6.7: network-size sweep — same shape, `pods` pods.
+pub fn sec6_7_network_size(pods: u16, failures: u32) -> ExperimentConfig {
+    let mut cfg = base(&format!("sec6.7 pods={pods} k={failures}"), failures);
+    cfg.params = ClosParams::paper_sim_with_pods(pods);
+    cfg.faults.failure_rate = RateRange { lo: 5e-4, hi: 1e-2 };
+    if pods == 1 {
+        // Single-pod traffic never touches level-2 links; injecting there
+        // would create undetectable (traffic-free) failures.
+        cfg.faults.location = FaultLocation::Level1;
+    }
+    cfg
+}
+
+/// §7 test cluster (10 ToRs, 80 switch links): single induced failure on
+/// a T1→ToR link at `rate` — the Figure 13 vote-gap experiment.
+pub fn fig13_cluster(rate: f64) -> ExperimentConfig {
+    ExperimentConfig {
+        name: format!("fig13 cluster rate={rate}"),
+        params: ClosParams::test_cluster(),
+        faults: FaultPlan {
+            noise: RateRange::PAPER_NOISE,
+            failures: 1,
+            failure_rate: RateRange::fixed(rate),
+            location: FaultLocation::Kind(LinkKind::T1ToTor),
+            first_failure_rate: None,
+        },
+        run: RunConfig {
+            traffic: TrafficSpec {
+                // 50 controlled hosts replaying 6 h of recorded storage
+                // traffic (§7): heavy, long-running connection load.
+                conns_per_host: ConnCount::Fixed(80),
+                packets_per_flow: PacketCount::Uniform(50, 100),
+                dest: DestSpec::Uniform,
+                dst_port: 443,
+            },
+            ..RunConfig::default()
+        },
+        epochs: 3,
+        trials: 5,
+        seed: 0x0713,
+    }
+}
+
+/// §7.2: two simultaneous cluster failures at 0.2 % and 0.05 %.
+pub fn sec7_2_two_failures() -> ExperimentConfig {
+    let mut cfg = fig13_cluster(5e-4);
+    cfg.name = "sec7.2 two failures 0.2%/0.05%".into();
+    cfg.faults.failures = 2;
+    cfg.faults.first_failure_rate = Some(RateRange::fixed(2e-3));
+    cfg.faults.location = FaultLocation::AnySwitchLink;
+    cfg
+}
+
+/// §7.3: two cluster failures at 0.2 % and 0.1 % (rank-position study).
+pub fn sec7_3_two_failures() -> ExperimentConfig {
+    let mut cfg = sec7_2_two_failures();
+    cfg.name = "sec7.3 two failures 0.2%/0.1%".into();
+    cfg.faults.failure_rate = RateRange::fixed(1e-3);
+    cfg
+}
+
+/// The §5.1 ablation base: fig4-style workload for vote-weight /
+/// threshold / adjustment sweeps.
+pub fn ablation_base(failures: u32, alg1: Algorithm1Config) -> ExperimentConfig {
+    let mut cfg = fig03_optimal_case(failures);
+    cfg.name = format!("ablation k={failures}");
+    cfg.run.alg1 = alg1;
+    cfg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_produce_valid_configs() {
+        let configs = vec![
+            fig03_optimal_case(2),
+            fig04_detection(6),
+            fig05_single(1e-3),
+            fig05_multi(10),
+            fig06_noise(1e-5, 5),
+            fig07_connections(1, Some(1e-3)),
+            fig08_skew(1, None),
+            fig09_hot_tor(0.5, 10),
+            fig10_detection_single(5e-3),
+            fig11_location(LinkKind::TorToT1, 1e-3),
+            fig12_skewed_rates(6),
+            sec6_7_network_size(3, 1),
+            fig13_cluster(1e-2),
+            sec7_2_two_failures(),
+            sec7_3_two_failures(),
+        ];
+        for cfg in configs {
+            cfg.params.validate().unwrap_or_else(|e| {
+                panic!("{}: invalid params: {e}", cfg.name);
+            });
+            assert!(cfg.trials > 0 && cfg.epochs > 0, "{}", cfg.name);
+        }
+    }
+
+    #[test]
+    fn fig12_has_one_hot_failure() {
+        let cfg = fig12_skewed_rates(6);
+        assert!(cfg.faults.first_failure_rate.is_some());
+        assert_eq!(cfg.faults.failures, 6);
+    }
+
+    #[test]
+    fn fig13_targets_t1_tor() {
+        let cfg = fig13_cluster(1e-3);
+        assert_eq!(
+            cfg.faults.location,
+            FaultLocation::Kind(LinkKind::T1ToTor)
+        );
+        assert_eq!(cfg.params, ClosParams::test_cluster());
+    }
+}

@@ -1,0 +1,211 @@
+//! Switch control-plane modelling: ICMP generation behind a rate cap.
+//!
+//! "Generating ICMP packets in response to traceroute consumes switch CPU,
+//! which is a valuable resource. In our network, there is a cap of
+//! `Tmax = 100` on the number of ICMP messages a switch can send per
+//! second." (§4.1). Theorem 1 derives the host-side traceroute budget from
+//! this cap; Table 1 validates in production that the cap is never hit.
+//!
+//! [`TokenBucket`] is the standard cap mechanism (capacity = burst,
+//! refill = `Tmax`/s); [`IcmpAccounting`] keeps the per-switch,
+//! per-second reply counts that Table 1 reports.
+
+use serde::{Deserialize, Serialize};
+use vigil_stats::Histogram;
+
+/// The paper's switch-side ICMP cap, replies per second.
+pub const PAPER_TMAX: f64 = 100.0;
+
+/// A token bucket enforcing an average rate with bounded burst.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TokenBucket {
+    rate: f64,
+    burst: f64,
+    tokens: f64,
+    last: f64,
+}
+
+impl TokenBucket {
+    /// A bucket refilling at `rate` tokens/second holding at most `burst`
+    /// tokens, starting full at time 0.
+    pub fn new(rate: f64, burst: f64) -> Self {
+        assert!(rate >= 0.0 && burst > 0.0, "rate ≥ 0 and burst > 0 required");
+        Self {
+            rate,
+            burst,
+            tokens: burst,
+            last: 0.0,
+        }
+    }
+
+    /// Tries to take one token at time `now` (seconds, monotone).
+    /// Returns `false` when the bucket is empty — the switch silently
+    /// drops the would-be ICMP reply.
+    pub fn try_take(&mut self, now: f64) -> bool {
+        debug_assert!(now + 1e-9 >= self.last, "time went backwards");
+        let elapsed = (now - self.last).max(0.0);
+        self.tokens = (self.tokens + elapsed * self.rate).min(self.burst);
+        self.last = now;
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Tokens currently available (after settling to `now`). Read-only
+    /// convenience for tests.
+    pub fn available(&self, now: f64) -> f64 {
+        let elapsed = (now - self.last).max(0.0);
+        (self.tokens + elapsed * self.rate).min(self.burst)
+    }
+}
+
+/// Per-switch, per-second ICMP reply accounting — exactly the statistic
+/// Table 1 reports ("Number of ICMPs per second per switch (T)").
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct IcmpAccounting {
+    /// `(second, switch index) → count`, kept sparse.
+    counts: std::collections::HashMap<(u64, u32), u32>,
+    /// Seconds × switches observed with zero replies are reconstructed at
+    /// summary time from this span.
+    num_switches: u32,
+    max_second: u64,
+}
+
+impl IcmpAccounting {
+    /// Accounting over `num_switches` switches.
+    pub fn new(num_switches: u32) -> Self {
+        Self {
+            counts: std::collections::HashMap::new(),
+            num_switches,
+            max_second: 0,
+        }
+    }
+
+    /// Records one ICMP reply sent by `switch` at time `now` (seconds).
+    pub fn record(&mut self, switch: u32, now: f64) {
+        let sec = now.max(0.0) as u64;
+        *self.counts.entry((sec, switch)).or_insert(0) += 1;
+        self.max_second = self.max_second.max(sec);
+    }
+
+    /// Extends the observation window (so trailing silent seconds count
+    /// as `T = 0` rows).
+    pub fn observe_until(&mut self, now: f64) {
+        self.max_second = self.max_second.max(now.max(0.0) as u64);
+    }
+
+    /// Builds the Table 1 histogram over per-(switch, second) reply
+    /// counts, bins `T = 0`, `0 < T ≤ 3`, `T > 3`.
+    pub fn table1_histogram(&self) -> Histogram {
+        let mut h = Histogram::new(vec![0.0, 3.0]);
+        let seconds = self.max_second + 1;
+        let nonzero_cells = self.counts.len() as u64;
+        let total_cells = seconds * u64::from(self.num_switches);
+        for _ in 0..total_cells.saturating_sub(nonzero_cells) {
+            h.record(0.0);
+        }
+        for count in self.counts.values() {
+            h.record(f64::from(*count));
+        }
+        h
+    }
+
+    /// The largest per-second reply count any switch reached —
+    /// Table 1's `max(T)`, which must stay ≤ `Tmax`.
+    pub fn max_per_second(&self) -> u32 {
+        self.counts.values().copied().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_starts_full_and_drains() {
+        let mut b = TokenBucket::new(10.0, 5.0);
+        for _ in 0..5 {
+            assert!(b.try_take(0.0));
+        }
+        assert!(!b.try_take(0.0), "burst exhausted");
+    }
+
+    #[test]
+    fn bucket_refills_over_time() {
+        let mut b = TokenBucket::new(10.0, 5.0);
+        for _ in 0..5 {
+            assert!(b.try_take(0.0));
+        }
+        assert!(!b.try_take(0.0));
+        // 0.1 s refills one token at 10/s.
+        assert!(b.try_take(0.1));
+        assert!(!b.try_take(0.1));
+    }
+
+    #[test]
+    fn bucket_caps_at_burst() {
+        let mut b = TokenBucket::new(100.0, 3.0);
+        // After a long idle period only `burst` tokens are available.
+        assert!((b.available(1000.0) - 3.0).abs() < 1e-9);
+        assert!(b.try_take(1000.0));
+        assert!(b.try_take(1000.0));
+        assert!(b.try_take(1000.0));
+        assert!(!b.try_take(1000.0));
+    }
+
+    #[test]
+    fn bucket_sustains_average_rate() {
+        let mut b = TokenBucket::new(100.0, 100.0);
+        let mut sent = 0;
+        let mut t = 0.0;
+        // Offer 200/s for 5 s; only ~100/s should pass (plus the burst).
+        while t < 5.0 {
+            if b.try_take(t) {
+                sent += 1;
+            }
+            t += 1.0 / 200.0;
+        }
+        assert!(
+            (500..=620).contains(&sent),
+            "sent {sent}, want ≈ 5·100 + burst"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "burst > 0")]
+    fn zero_burst_rejected() {
+        let _ = TokenBucket::new(1.0, 0.0);
+    }
+
+    #[test]
+    fn accounting_table1_shape() {
+        let mut acc = IcmpAccounting::new(4);
+        // Switch 0 answers twice in second 0; switch 1 answers 5 times in
+        // second 1; everything else is silent for 3 seconds.
+        acc.record(0, 0.1);
+        acc.record(0, 0.2);
+        for _ in 0..5 {
+            acc.record(1, 1.5);
+        }
+        acc.observe_until(2.9);
+        let h = acc.table1_histogram();
+        // 3 seconds × 4 switches = 12 cells; 2 nonzero.
+        assert_eq!(h.total(), 12);
+        assert_eq!(h.counts()[0], 10); // T = 0
+        assert_eq!(h.counts()[1], 1); // 0 < T ≤ 3 (the count of 2)
+        assert_eq!(h.counts()[2], 1); // T > 3 (the count of 5)
+        assert_eq!(acc.max_per_second(), 5);
+    }
+
+    #[test]
+    fn accounting_empty() {
+        let acc = IcmpAccounting::new(3);
+        assert_eq!(acc.max_per_second(), 0);
+        let h = acc.table1_histogram();
+        assert_eq!(h.total(), 3); // one silent second × 3 switches
+        assert_eq!(h.counts()[0], 3);
+    }
+}

@@ -1,0 +1,642 @@
+//! Flow-level Monte-Carlo simulation of one epoch (the paper's §6
+//! methodology).
+//!
+//! "Every 30 seconds of simulation time, we send up to 100 packets per flow
+//! and drop them based on the rates above as they traverse links along the
+//! path. The simulator records all flows with at least one drop and for
+//! each such flow, the link with the most drops."
+//!
+//! Each packet traverses its flow's ECMP path and is dropped at link `i`
+//! with the link's drop probability, conditioned on surviving links
+//! `0..i`; a dropped packet is retransmitted (and can drop again). The
+//! sampling is exact but takes a fast path — one RNG draw — for the
+//! overwhelmingly common zero-drop flow.
+//!
+//! The per-epoch [`GroundTruth`] (which link dropped how many packets,
+//! and the dominant drop link per flow) plays the role EverFlow plays in
+//! §8.2: an omniscient validation oracle.
+
+use crate::faults::LinkFaults;
+use crate::traffic::{FlowSpec, TrafficSpec};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use vigil_topology::{ClosTopology, HostId, LinkId, Path, RouteError};
+use vigil_packet::FiveTuple;
+
+/// Dense flow index within one epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct FlowId(pub u32);
+
+/// Simulation knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Retransmission attempts per packet before the connection is
+    /// declared broken (TCP gives up after several RTOs).
+    pub max_attempts_per_packet: u32,
+    /// SYN retransmission attempts before connection establishment fails
+    /// (§4.2: "Path discovery is not triggered for such connections").
+    pub syn_attempts: u32,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            max_attempts_per_packet: 6,
+            syn_attempts: 3,
+        }
+    }
+}
+
+/// Everything the simulator records about one flow in one epoch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlowRecord {
+    /// Flow index within the epoch.
+    pub id: FlowId,
+    /// Source host.
+    pub src: HostId,
+    /// Destination host.
+    pub dst: HostId,
+    /// The five-tuple (post-SLB).
+    pub tuple: FiveTuple,
+    /// Packets the flow attempted to deliver.
+    pub packets: u32,
+    /// Retransmissions observed by the sender (= packet drops, including
+    /// drops of retransmitted copies).
+    pub retransmissions: u32,
+    /// The actual path taken (ground truth; in the DES this is what
+    /// EverFlow would capture).
+    pub path: Path,
+    /// Ground truth: drops per link on this flow's path (parallel to
+    /// nothing — sparse pairs).
+    pub drops_per_link: Vec<(LinkId, u32)>,
+    /// Whether connection establishment succeeded. SYN-failed flows never
+    /// trigger path discovery.
+    pub established: bool,
+    /// Whether the flow delivered all its packets (false when some packet
+    /// exhausted its attempts — the VM-reboot-causing outages).
+    pub completed: bool,
+}
+
+impl FlowRecord {
+    /// Ground truth: the link that dropped the most of this flow's
+    /// packets, if any drop occurred (ties broken by lowest link id, as
+    /// any deterministic convention).
+    pub fn dominant_drop_link(&self) -> Option<LinkId> {
+        self.drops_per_link
+            .iter()
+            .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+            .map(|(l, _)| *l)
+    }
+
+    /// Total packets this flow lost (over all links).
+    pub fn total_drops(&self) -> u32 {
+        self.drops_per_link.iter().map(|(_, c)| c).sum()
+    }
+}
+
+/// Per-epoch ground truth, the simulator-as-EverFlow oracle.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GroundTruth {
+    /// Packets dropped by each link (dense, indexed by `LinkId`).
+    pub drops_per_link: Vec<u64>,
+    /// The injected failure set (from the fault table).
+    pub failed_links: BTreeSet<LinkId>,
+}
+
+impl GroundTruth {
+    /// True when the paper's noise definition applies to this link: it
+    /// "only dropped a single packet" this epoch.
+    pub fn is_noise_link(&self, link: LinkId) -> bool {
+        self.drops_per_link[link.index()] == 1
+    }
+
+    /// Links that dropped at least one packet.
+    pub fn dropping_links(&self) -> impl Iterator<Item = LinkId> + '_ {
+        self.drops_per_link
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c > 0)
+            .map(|(i, _)| LinkId(i as u32))
+    }
+}
+
+/// The complete outcome of simulating one epoch.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EpochOutcome {
+    /// All flows, including drop-free ones.
+    pub flows: Vec<FlowRecord>,
+    /// The oracle.
+    pub ground_truth: GroundTruth,
+}
+
+impl EpochOutcome {
+    /// Flows that suffered at least one retransmission — the set 007's
+    /// monitoring agent reacts to.
+    pub fn flows_with_retransmissions(&self) -> impl Iterator<Item = &FlowRecord> {
+        self.flows.iter().filter(|f| f.retransmissions > 0)
+    }
+}
+
+/// Simulates one epoch: generate traffic, route, drop, record.
+pub fn simulate_epoch<R: Rng + ?Sized>(
+    topo: &ClosTopology,
+    faults: &LinkFaults,
+    traffic: &TrafficSpec,
+    config: &SimConfig,
+    rng: &mut R,
+) -> EpochOutcome {
+    let specs = traffic.generate(topo, rng);
+    simulate_flows(topo, faults, &specs, config, rng)
+}
+
+/// Simulates a pre-generated flow list (used by the test-cluster replay
+/// experiments, which fix the workload across trials).
+pub fn simulate_flows<R: Rng + ?Sized>(
+    topo: &ClosTopology,
+    faults: &LinkFaults,
+    specs: &[FlowSpec],
+    config: &SimConfig,
+    rng: &mut R,
+) -> EpochOutcome {
+    let mut drops_per_link = vec![0u64; topo.num_links()];
+    let mut flows = Vec::with_capacity(specs.len());
+
+    for (i, spec) in specs.iter().enumerate() {
+        let id = FlowId(i as u32);
+        let record = match topo.route_filtered(&spec.tuple, spec.src, spec.dst, &|l| {
+            faults.is_down(l)
+        }) {
+            Ok(path) => simulate_one_flow(id, spec, path, faults, config, rng, &mut drops_per_link),
+            Err(RouteError::Blackhole { partial }) => {
+                // Administratively unreachable: SYN dies in the void. No
+                // link "drops" it (the blackhole is a routing hole), the
+                // connection simply fails to establish.
+                FlowRecord {
+                    id,
+                    src: spec.src,
+                    dst: spec.dst,
+                    tuple: spec.tuple,
+                    packets: spec.packets,
+                    retransmissions: config.syn_attempts,
+                    path: partial,
+                    drops_per_link: Vec::new(),
+                    established: false,
+                    completed: false,
+                }
+            }
+            Err(RouteError::SameHost) => {
+                panic!("traffic generator produced a same-host flow")
+            }
+        };
+        flows.push(record);
+    }
+
+    EpochOutcome {
+        flows,
+        ground_truth: GroundTruth {
+            drops_per_link,
+            failed_links: faults.failed_set().clone(),
+        },
+    }
+}
+
+/// Exact per-flow drop simulation with a one-draw fast path.
+fn simulate_one_flow<R: Rng + ?Sized>(
+    id: FlowId,
+    spec: &FlowSpec,
+    path: Path,
+    faults: &LinkFaults,
+    config: &SimConfig,
+    rng: &mut R,
+    global_drops: &mut [u64],
+) -> FlowRecord {
+    // Per-link drop rates along the path, and the aggregate per-packet
+    // drop probability q = 1 − Π(1 − r_i).
+    let rates: Vec<f64> = path.links.iter().map(|l| faults.rate(*l)).collect();
+    let survive_all: f64 = rates.iter().map(|r| 1.0 - r).product();
+    let q = 1.0 - survive_all;
+
+    let mut record = FlowRecord {
+        id,
+        src: spec.src,
+        dst: spec.dst,
+        tuple: spec.tuple,
+        packets: spec.packets,
+        retransmissions: 0,
+        path,
+        drops_per_link: Vec::new(),
+        established: true,
+        completed: true,
+    };
+
+    if q <= 0.0 {
+        return record;
+    }
+
+    // Exact skip-sampling: each packet's *first* transmission drops with
+    // probability q independently, so the gap between dropped packets is
+    // geometric. One log-uniform draw jumps over every clean packet —
+    // O(drops) per flow instead of O(packets) — with the exact
+    // distribution (no conditioning bias).
+    let ln_survive = survive_all.ln(); // −∞ when q = 1 (blackhole): gap 0
+    let geometric_gap = |rng: &mut R| -> u32 {
+        if q >= 1.0 {
+            return 0;
+        }
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let gap = (u.ln() / ln_survive).floor();
+        if gap >= f64::from(u32::MAX) {
+            u32::MAX
+        } else {
+            gap as u32
+        }
+    };
+
+    let mut local: Vec<u32> = vec![0; rates.len()];
+    let mut established = true;
+    let mut completed = true;
+
+    let mut pkt = geometric_gap(rng);
+    while pkt < spec.packets {
+        // Packet `pkt`'s first attempt dropped: attribute it.
+        local[attribute_drop(&rates, q, rng)] += 1;
+        record.retransmissions += 1;
+
+        let budget = if pkt == 0 {
+            config.syn_attempts
+        } else {
+            config.max_attempts_per_packet
+        };
+        let mut delivered = false;
+        for _retry in 1..budget {
+            match transmit(&rates, q, rng) {
+                None => {
+                    delivered = true;
+                    break;
+                }
+                Some(link_idx) => {
+                    local[link_idx] += 1;
+                    record.retransmissions += 1;
+                }
+            }
+        }
+        if !delivered {
+            if pkt == 0 {
+                // SYN never got through: establishment failure (§4.2 —
+                // path discovery must not trigger).
+                established = false;
+            }
+            completed = false;
+            break;
+        }
+        pkt = pkt
+            .saturating_add(1)
+            .saturating_add(geometric_gap(rng));
+    }
+
+    record.established = established;
+    record.completed = completed;
+    record.drops_per_link = record
+        .path
+        .links
+        .iter()
+        .zip(local.iter())
+        .filter(|(_, c)| **c > 0)
+        .map(|(l, c)| (*l, *c))
+        .collect();
+    for (l, c) in &record.drops_per_link {
+        global_drops[l.index()] += u64::from(*c);
+    }
+    record
+}
+
+/// Transmits one packet attempt along the path. Returns `None` when it
+/// survives every link, or `Some(i)` with the index (position on the
+/// path) of the dropping link, sampled from the exact sequential-thinning
+/// distribution: link `i` drops with probability `r_i · Π_{j<i}(1 − r_j)`.
+fn transmit<R: Rng + ?Sized>(rates: &[f64], q: f64, rng: &mut R) -> Option<usize> {
+    debug_assert!(q > 0.0);
+    let u: f64 = rng.gen();
+    if u >= q {
+        return None;
+    }
+    Some(locate_drop(rates, u))
+}
+
+/// Attributes a drop that is already known to have happened: samples the
+/// dropping link from the sequential-thinning distribution conditioned on
+/// a drop (`u` uniform on `[0, q)`).
+fn attribute_drop<R: Rng + ?Sized>(rates: &[f64], q: f64, rng: &mut R) -> usize {
+    debug_assert!(q > 0.0);
+    let u: f64 = rng.gen::<f64>() * q;
+    locate_drop(rates, u)
+}
+
+/// Maps a uniform variate `u ∈ [0, q)` onto the link whose drop-mass slice
+/// contains it: link `i` owns mass `r_i · Π_{j<i}(1 − r_j)`.
+fn locate_drop(rates: &[f64], u: f64) -> usize {
+    let mut survive_prefix = 1.0;
+    let mut cumulative = 0.0;
+    for (i, &r) in rates.iter().enumerate() {
+        cumulative += r * survive_prefix;
+        if u < cumulative {
+            return i;
+        }
+        survive_prefix *= 1.0 - r;
+    }
+    // Floating-point edge: u landed in [cumulative, q) due to rounding;
+    // attribute to the last lossy link.
+    rates
+        .iter()
+        .rposition(|r| *r > 0.0)
+        .expect("a drop implies at least one lossy link")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::{FaultPlan, LinkFaults, RateRange};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use vigil_topology::{ClosParams, ClosTopology};
+
+    fn topo() -> ClosTopology {
+        ClosTopology::new(ClosParams::tiny(), 21).unwrap()
+    }
+
+    fn traffic(conns: u32, pkts: u32) -> TrafficSpec {
+        TrafficSpec {
+            conns_per_host: crate::traffic::ConnCount::Fixed(conns),
+            packets_per_flow: crate::traffic::PacketCount::Fixed(pkts),
+            ..TrafficSpec::paper_default()
+        }
+    }
+
+    #[test]
+    fn clean_network_no_drops() {
+        let topo = topo();
+        let faults = LinkFaults::new(topo.num_links());
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let out = simulate_epoch(&topo, &faults, &traffic(5, 50), &SimConfig::default(), &mut rng);
+        assert!(out.flows.iter().all(|f| f.retransmissions == 0));
+        assert!(out.flows.iter().all(|f| f.established && f.completed));
+        assert_eq!(out.ground_truth.drops_per_link.iter().sum::<u64>(), 0);
+        assert_eq!(out.flows_with_retransmissions().count(), 0);
+    }
+
+    #[test]
+    fn blackhole_link_drops_flows_through_it() {
+        let topo = topo();
+        let mut faults = LinkFaults::new(topo.num_links());
+        // Fail one ToR→T1 link hard (silent blackhole, still routed).
+        let bad = topo
+            .links()
+            .iter()
+            .find(|l| l.kind == vigil_topology::LinkKind::TorToT1)
+            .unwrap()
+            .id;
+        faults.fail_link(bad, 1.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let out = simulate_epoch(&topo, &faults, &traffic(20, 20), &SimConfig::default(), &mut rng);
+
+        let through: Vec<_> = out
+            .flows
+            .iter()
+            .filter(|f| f.path.contains_link(bad))
+            .collect();
+        assert!(!through.is_empty(), "some flow must cross the bad link");
+        for f in &through {
+            assert!(!f.established, "SYN cannot cross a 100% blackhole");
+            assert_eq!(f.dominant_drop_link(), Some(bad));
+        }
+        // Every drop in the epoch should be on the blackhole (noise is 0).
+        assert_eq!(
+            out.ground_truth.drops_per_link[bad.index()],
+            out.flows.iter().map(|f| f.total_drops() as u64).sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn lossy_link_produces_retransmissions_but_flows_complete() {
+        let topo = topo();
+        let mut faults = LinkFaults::new(topo.num_links());
+        let bad = topo
+            .links()
+            .iter()
+            .find(|l| l.kind == vigil_topology::LinkKind::T1ToTor)
+            .unwrap()
+            .id;
+        faults.fail_link(bad, 0.05); // 5 %: drops happen, retries succeed
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let out = simulate_epoch(&topo, &faults, &traffic(20, 50), &SimConfig::default(), &mut rng);
+
+        let affected: Vec<_> = out
+            .flows
+            .iter()
+            .filter(|f| f.retransmissions > 0)
+            .collect();
+        assert!(!affected.is_empty());
+        for f in &affected {
+            assert!(f.path.contains_link(bad), "only the bad link drops here");
+            assert!(f.established);
+            assert_eq!(f.dominant_drop_link(), Some(bad));
+        }
+    }
+
+    #[test]
+    fn admin_down_diverts_instead_of_dropping() {
+        let topo = topo();
+        let mut faults = LinkFaults::new(topo.num_links());
+        let dead = topo
+            .links()
+            .iter()
+            .find(|l| l.kind == vigil_topology::LinkKind::TorToT1)
+            .unwrap()
+            .id;
+        faults.set_admin_down(dead, true);
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let out = simulate_epoch(&topo, &faults, &traffic(20, 20), &SimConfig::default(), &mut rng);
+        assert!(out.flows.iter().all(|f| !f.path.contains_link(dead)));
+        assert!(out.flows.iter().all(|f| f.retransmissions == 0));
+    }
+
+    #[test]
+    fn host_uplink_blackhole_fails_establishment() {
+        let topo = topo();
+        let mut faults = LinkFaults::new(topo.num_links());
+        // Withdraw host 0's only uplink: unroutable, SYN lost, no path.
+        let host_up = topo
+            .link_between(
+                vigil_topology::Node::Host(vigil_topology::HostId(0)),
+                vigil_topology::Node::Switch(topo.host_tor(vigil_topology::HostId(0))),
+            )
+            .unwrap();
+        faults.set_admin_down(host_up, true);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let out = simulate_epoch(&topo, &faults, &traffic(3, 10), &SimConfig::default(), &mut rng);
+        let from_h0: Vec<_> = out
+            .flows
+            .iter()
+            .filter(|f| f.src == vigil_topology::HostId(0))
+            .collect();
+        assert_eq!(from_h0.len(), 3);
+        for f in from_h0 {
+            assert!(!f.established);
+            assert!(!f.completed);
+            assert_eq!(f.path.hop_count(), 0, "blackholed at the host itself");
+        }
+    }
+
+    #[test]
+    fn drop_counts_conserve() {
+        let topo = topo();
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let faults = FaultPlan {
+            failure_rate: RateRange::fixed(0.02),
+            ..FaultPlan::paper_default(3)
+        }
+        .build(&topo, &mut rng);
+        let out = simulate_epoch(&topo, &faults, &traffic(10, 50), &SimConfig::default(), &mut rng);
+        // Sum of per-flow drops equals sum of per-link global drops.
+        let per_flow: u64 = out.flows.iter().map(|f| f.total_drops() as u64).sum();
+        let per_link: u64 = out.ground_truth.drops_per_link.iter().sum();
+        assert_eq!(per_flow, per_link);
+        // And retransmissions equal drops for established flows (every
+        // drop triggers exactly one retransmission).
+        for f in &out.flows {
+            assert_eq!(f.retransmissions, f.total_drops());
+        }
+    }
+
+    #[test]
+    fn noise_links_drop_rarely_and_singly() {
+        let topo = topo();
+        let mut faults = LinkFaults::new(topo.num_links());
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        faults.set_noise(RateRange { lo: 1e-5, hi: 1e-4 }, &mut rng); // exaggerated noise
+        let out = simulate_epoch(&topo, &faults, &traffic(30, 100), &SimConfig::default(), &mut rng);
+        let noisy_flows = out.flows_with_retransmissions().count();
+        assert!(noisy_flows > 0, "exaggerated noise should hit someone");
+        // No link should have a large tally from noise alone.
+        let max = out.ground_truth.drops_per_link.iter().max().copied().unwrap();
+        assert!(max <= 5, "noise produced a hot link ({max} drops)");
+    }
+
+    #[test]
+    fn determinism() {
+        let topo = topo();
+        let mut rng1 = ChaCha8Rng::seed_from_u64(8);
+        let mut rng2 = ChaCha8Rng::seed_from_u64(8);
+        let faults = FaultPlan::paper_default(2).build(&topo, &mut ChaCha8Rng::seed_from_u64(9));
+        let a = simulate_epoch(&topo, &faults, &traffic(5, 20), &SimConfig::default(), &mut rng1);
+        let b = simulate_epoch(&topo, &faults, &traffic(5, 20), &SimConfig::default(), &mut rng2);
+        assert_eq!(a.flows, b.flows);
+    }
+
+    #[test]
+    fn dominant_link_tiebreak_is_deterministic() {
+        let rec = FlowRecord {
+            id: FlowId(0),
+            src: vigil_topology::HostId(0),
+            dst: vigil_topology::HostId(1),
+            tuple: vigil_packet::FiveTuple::tcp(
+                "10.0.0.1".parse().unwrap(),
+                1,
+                "10.0.0.2".parse().unwrap(),
+                2,
+            ),
+            packets: 10,
+            retransmissions: 4,
+            path: Path::new(
+                vec![vigil_topology::Node::Host(vigil_topology::HostId(0))],
+                vec![],
+            ),
+            drops_per_link: vec![(LinkId(7), 2), (LinkId(3), 2)],
+            established: true,
+            completed: true,
+        };
+        // Equal counts: lowest link id wins.
+        assert_eq!(rec.dominant_drop_link(), Some(LinkId(3)));
+    }
+
+    #[test]
+    fn skip_sampling_matches_binomial_incidence() {
+        // P(flow sees ≥1 retransmission) must equal 1 − (1−q)^n exactly
+        // (no conditioning bias) — this is the property the fast path
+        // could silently break.
+        let topo = topo();
+        let mut faults = LinkFaults::new(topo.num_links());
+        let bad = topo
+            .links()
+            .iter()
+            .find(|l| l.kind == vigil_topology::LinkKind::TorToT1)
+            .unwrap()
+            .id;
+        let rate = 0.01;
+        faults.fail_link(bad, rate);
+
+        // One fixed flow crossing the bad link, resimulated many times.
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let src = vigil_topology::HostId(0);
+        // Find a destination + port whose path uses `bad`.
+        let spec = (0..500u16)
+            .find_map(|port| {
+                let dst = vigil_topology::HostId(topo.num_hosts() as u32 - 1);
+                let tuple =
+                    vigil_packet::FiveTuple::tcp(topo.host_ip(src), 40_000 + port, topo.host_ip(dst), 443);
+                let path = topo.route(&tuple, src, dst).unwrap();
+                path.contains_link(bad).then_some(crate::traffic::FlowSpec {
+                    src,
+                    dst,
+                    tuple,
+                    packets: 50,
+                })
+            })
+            .expect("some port crosses the bad link");
+
+        let n = 20_000;
+        let mut hit = 0u32;
+        for _ in 0..n {
+            let out = simulate_flows(&topo, &faults, &[spec], &SimConfig::default(), &mut rng);
+            if out.flows[0].retransmissions > 0 {
+                hit += 1;
+            }
+        }
+        let expected = 1.0 - (1.0 - rate).powi(50);
+        let emp = f64::from(hit) / f64::from(n);
+        assert!(
+            (emp - expected).abs() < 0.01,
+            "incidence {emp:.4} vs expected {expected:.4}"
+        );
+    }
+
+    #[test]
+    fn transmit_distribution_matches_rates() {
+        // Statistical check of the sequential-thinning sampler.
+        let rates = vec![0.1, 0.2, 0.0, 0.3];
+        let survive: f64 = rates.iter().map(|r| 1.0 - r).product();
+        let q = 1.0 - survive;
+        let mut rng = ChaCha8Rng::seed_from_u64(10);
+        let trials = 200_000;
+        let mut counts = vec![0u32; rates.len()];
+        let mut delivered = 0u32;
+        for _ in 0..trials {
+            match transmit(&rates, q, &mut rng) {
+                None => delivered += 1,
+                Some(i) => counts[i] += 1,
+            }
+        }
+        let expect = [0.1, 0.9 * 0.2, 0.0, 0.9 * 0.8 * 0.3];
+        for i in 0..rates.len() {
+            let emp = f64::from(counts[i]) / f64::from(trials);
+            assert!(
+                (emp - expect[i]).abs() < 0.005,
+                "link {i}: got {emp:.4}, want {:.4}",
+                expect[i]
+            );
+        }
+        let emp_ok = f64::from(delivered) / f64::from(trials);
+        assert!((emp_ok - survive).abs() < 0.005);
+    }
+}

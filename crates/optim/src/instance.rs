@@ -1,0 +1,220 @@
+//! Problem instances: the routing matrix restricted to failed flows.
+//!
+//! The paper's `A` is a `C × L` routing matrix over *all* links, but any
+//! link absent from every failed flow's path has an all-zero column and
+//! can never enter a minimal solution; instances therefore compress to the
+//! candidate links that actually appear. Rows keep their *demand*: 1 for
+//! the binary program (3) (the flow retransmitted) or `c_i` for the
+//! integer program (4) (how many retransmissions).
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One failed flow as raw data: the link ids on its (discovered) path and
+/// its retransmission count.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlowRow {
+    /// Link ids (opaque to this crate — callers pass `LinkId.0`).
+    pub links: Vec<u32>,
+    /// Retransmissions (`c_i ≥ 1`; the binary program reads this as 1).
+    pub demand: u32,
+}
+
+/// A compressed instance.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoverInstance {
+    /// Candidate link ids, sorted ascending; columns of the compressed
+    /// matrix.
+    candidates: Vec<u32>,
+    /// Rows as candidate-index lists (sorted, deduped), with demand.
+    rows: Vec<Row>,
+    /// Every input row unmerged (attribution needs per-flow demands).
+    raw: Vec<Row>,
+    /// `‖c‖₁` over all input rows (kept before any row dedup).
+    total_demand: u64,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub(crate) struct Row {
+    pub cand: Vec<usize>,
+    pub demand: u32,
+}
+
+impl CoverInstance {
+    /// Builds an instance from failed flows. Rows with empty link sets
+    /// (flows whose path discovery failed entirely) are dropped — no link
+    /// can explain them. Duplicate link-sets are merged keeping the
+    /// *maximum* demand (the binding constraint); the `‖c‖₁` budget keeps
+    /// the true total.
+    pub fn new(flows: &[FlowRow]) -> Self {
+        let mut total_demand = 0u64;
+        let mut candidates: Vec<u32> = Vec::new();
+        {
+            let mut seen = std::collections::BTreeSet::new();
+            for f in flows {
+                if f.links.is_empty() {
+                    continue;
+                }
+                total_demand += u64::from(f.demand.max(1));
+                for l in &f.links {
+                    seen.insert(*l);
+                }
+            }
+            candidates.extend(seen);
+        }
+        let index: HashMap<u32, usize> = candidates
+            .iter()
+            .enumerate()
+            .map(|(i, l)| (*l, i))
+            .collect();
+
+        let mut merged: HashMap<Vec<usize>, u32> = HashMap::new();
+        let mut raw: Vec<Row> = Vec::new();
+        for f in flows {
+            if f.links.is_empty() {
+                continue;
+            }
+            let mut cand: Vec<usize> = f.links.iter().map(|l| index[l]).collect();
+            cand.sort_unstable();
+            cand.dedup();
+            raw.push(Row {
+                cand: cand.clone(),
+                demand: f.demand.max(1),
+            });
+            let e = merged.entry(cand).or_insert(0);
+            *e = (*e).max(f.demand.max(1));
+        }
+        let mut rows: Vec<Row> = merged
+            .into_iter()
+            .map(|(cand, demand)| Row { cand, demand })
+            .collect();
+        // Deterministic order: by link set.
+        rows.sort_by(|a, b| a.cand.cmp(&b.cand).then(a.demand.cmp(&b.demand)));
+        Self {
+            candidates,
+            rows,
+            raw,
+            total_demand,
+        }
+    }
+
+    /// Candidate link ids (columns), ascending.
+    pub fn candidates(&self) -> &[u32] {
+        &self.candidates
+    }
+
+    /// Number of (merged) rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of candidate links.
+    pub fn num_candidates(&self) -> usize {
+        self.candidates.len()
+    }
+
+    /// The `‖c‖₁` budget (total retransmissions over all input rows).
+    pub fn total_demand(&self) -> u64 {
+        self.total_demand
+    }
+
+    /// True when there is nothing to explain.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    pub(crate) fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    pub(crate) fn raw_rows(&self) -> &[Row] {
+        &self.raw
+    }
+
+    /// Translates a candidate index back to its link id.
+    pub fn link_of(&self, cand: usize) -> u32 {
+        self.candidates[cand]
+    }
+
+    /// Whether the candidate set indexed by `picked` covers every row.
+    pub fn covers(&self, picked: &[usize]) -> bool {
+        let set: std::collections::HashSet<usize> = picked.iter().copied().collect();
+        self.rows
+            .iter()
+            .all(|r| r.cand.iter().any(|c| set.contains(c)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flows() -> Vec<FlowRow> {
+        vec![
+            FlowRow {
+                links: vec![10, 20, 30],
+                demand: 2,
+            },
+            FlowRow {
+                links: vec![20, 40],
+                demand: 1,
+            },
+            FlowRow {
+                links: vec![30, 20, 10],
+                demand: 5,
+            }, // same set as row 0
+            FlowRow {
+                links: vec![],
+                demand: 9,
+            }, // unexplainable, dropped
+        ]
+    }
+
+    #[test]
+    fn compression_and_dedup() {
+        let inst = CoverInstance::new(&flows());
+        assert_eq!(inst.candidates(), &[10, 20, 30, 40]);
+        assert_eq!(inst.num_rows(), 2, "duplicate sets merged");
+        // Budget counts all non-empty rows: 2 + 1 + 5 = 8.
+        assert_eq!(inst.total_demand(), 8);
+        // Merged row keeps the max demand (5).
+        assert!(inst.rows().iter().any(|r| r.demand == 5));
+    }
+
+    #[test]
+    fn covers_checks_all_rows() {
+        let inst = CoverInstance::new(&flows());
+        let idx20 = inst.candidates().iter().position(|l| *l == 20).unwrap();
+        assert!(inst.covers(&[idx20]), "link 20 hits both rows");
+        let idx10 = inst.candidates().iter().position(|l| *l == 10).unwrap();
+        assert!(!inst.covers(&[idx10]), "link 10 misses the second row");
+        assert!(!inst.covers(&[]));
+    }
+
+    #[test]
+    fn empty_instance() {
+        let inst = CoverInstance::new(&[]);
+        assert!(inst.is_empty());
+        assert_eq!(inst.total_demand(), 0);
+        assert!(inst.covers(&[]), "vacuously covered");
+    }
+
+    #[test]
+    fn zero_demand_treated_as_one() {
+        let inst = CoverInstance::new(&[FlowRow {
+            links: vec![1],
+            demand: 0,
+        }]);
+        assert_eq!(inst.total_demand(), 1);
+        assert_eq!(inst.rows()[0].demand, 1);
+    }
+
+    #[test]
+    fn duplicate_links_in_row_deduped() {
+        let inst = CoverInstance::new(&[FlowRow {
+            links: vec![7, 7, 7],
+            demand: 3,
+        }]);
+        assert_eq!(inst.rows()[0].cand.len(), 1);
+    }
+}

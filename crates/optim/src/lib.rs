@@ -1,0 +1,48 @@
+//! Optimization baselines for the `vigil` reproduction of 007 (NSDI 2018).
+//!
+//! §5.3 of the paper defines two NP-hard benchmarks 007 is compared
+//! against:
+//!
+//! * the **binary program** (3): find the fewest links explaining every
+//!   failed connection — the minimum set cover over the routing matrix;
+//! * the **integer program** (4): additionally assign a *drop count* to
+//!   each blamed link (`‖p‖₁ = ‖c‖₁`, `Ap ≥ c`), which yields a ranking.
+//!
+//! The paper solves these with Mosek; this crate substitutes a
+//! self-contained solver stack:
+//!
+//! * [`simplex`] — a dense two-phase primal simplex LP solver;
+//! * [`milp`] — branch & bound on the LP relaxation (with indicator
+//!   variables for the `‖p‖₀` objective), the literal MILP route;
+//! * [`setcover`] — an exact branch-and-bound minimum set cover exploiting
+//!   the problems' structure (see below), fast enough for epoch-scale
+//!   instances;
+//! * [`greedy`] — the paper's Algorithm 2, i.e. the MAX COVERAGE / Tomo
+//!   approximation.
+//!
+//! **Structure theorem** (why [`setcover`] solves both programs): a
+//! support `S ⊆ links` admits a feasible `p` for the integer program iff
+//! `S` covers every failed connection. *If* `S` covers each row `i`, pick
+//! any `l(i) ∈ S ∩ path(i)` and set `p_l = Σ_{i: l(i)=l} c_i`: then
+//! `Σ p = ‖c‖₁` and row `i`'s path sum is at least `c_i`. *Only if*: an
+//! uncovered row has path sum `0 < c_i`. Hence the minimal `‖p‖₀` of both
+//! (3) and (4) equals the minimum set cover size, and (4)'s extra power is
+//! in the count assignment (the ranking), which [`programs`] computes by
+//! demand-weighted attribution. The [`milp`] solver cross-checks this
+//! equivalence in tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod greedy;
+pub mod instance;
+pub mod milp;
+pub mod programs;
+pub mod setcover;
+pub mod simplex;
+
+pub use greedy::greedy_cover;
+pub use instance::{CoverInstance, FlowRow};
+pub use programs::{binary_program, integer_program, BinarySolution, IntegerSolution};
+pub use setcover::{min_set_cover, CoverResult, SearchLimits};
+pub use simplex::{LinearProgram, LpOutcome, Relation};

@@ -1,0 +1,312 @@
+//! Exact minimum set cover by branch and bound.
+//!
+//! The binary program (3) *is* minimum set cover (paper §5.3, ref. 23), and
+//! by the structure theorem in the crate docs the integer program (4)
+//! shares its optimal support size. This solver is exact with two
+//! safeguards for epoch-scale instances:
+//!
+//! * **branching on the sparsest uncovered row** (few candidates ⇒ small
+//!   fan-out), with
+//! * a **disjoint-row lower bound** (a set of pairwise-disjoint uncovered
+//!   rows needs one pick each) and the greedy solution as the incumbent;
+//! * a **node budget**: exhausting it returns the best cover found with
+//!   `optimal = false` (the greedy cover at worst), so callers never hang
+//!   on adversarial instances.
+
+use crate::greedy::greedy_cover;
+use crate::instance::CoverInstance;
+use serde::{Deserialize, Serialize};
+
+/// Search limits for the branch and bound.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SearchLimits {
+    /// Maximum number of explored nodes before giving up on optimality.
+    pub max_nodes: u64,
+}
+
+impl Default for SearchLimits {
+    fn default() -> Self {
+        Self {
+            max_nodes: 2_000_000,
+        }
+    }
+}
+
+/// The result of the exact search.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoverResult {
+    /// Chosen candidate indices (sorted).
+    pub picked: Vec<usize>,
+    /// Whether the search proved optimality (false ⇒ node budget hit and
+    /// this is the best incumbent found).
+    pub optimal: bool,
+    /// Nodes explored.
+    pub nodes: u64,
+}
+
+/// Solves minimum set cover on the instance.
+pub fn min_set_cover(instance: &CoverInstance, limits: &SearchLimits) -> CoverResult {
+    if instance.is_empty() {
+        return CoverResult {
+            picked: Vec::new(),
+            optimal: true,
+            nodes: 0,
+        };
+    }
+
+    let rows = instance.rows();
+    let num_rows = rows.len();
+    let num_cands = instance.num_candidates();
+
+    // Membership tables.
+    let mut rows_of_cand: Vec<Vec<usize>> = vec![Vec::new(); num_cands];
+    for (ri, row) in rows.iter().enumerate() {
+        for &c in &row.cand {
+            rows_of_cand[c].push(ri);
+        }
+    }
+
+    // Incumbent: greedy.
+    let mut best: Vec<usize> = greedy_cover(instance, false);
+    let mut proven = true;
+
+    struct Search<'a> {
+        rows: &'a [crate::instance::Row],
+        rows_of_cand: &'a [Vec<usize>],
+        cover_count: Vec<u32>,
+        uncovered: usize,
+        chosen: Vec<usize>,
+        best: Vec<usize>,
+        nodes: u64,
+        max_nodes: u64,
+        exhausted: bool,
+    }
+
+    impl Search<'_> {
+        /// Lower bound: greedily pick pairwise-disjoint uncovered rows;
+        /// each needs a distinct link.
+        fn lower_bound(&self, scratch: &mut Vec<bool>) -> usize {
+            scratch.clear();
+            scratch.resize(self.rows_of_cand.len(), false);
+            let mut lb = 0;
+            'rows: for (ri, row) in self.rows.iter().enumerate() {
+                if self.cover_count[ri] > 0 {
+                    continue;
+                }
+                for &c in &row.cand {
+                    if scratch[c] {
+                        continue 'rows;
+                    }
+                }
+                for &c in &row.cand {
+                    scratch[c] = true;
+                }
+                lb += 1;
+            }
+            lb
+        }
+
+        fn pick(&mut self, cand: usize) {
+            self.chosen.push(cand);
+            for &ri in &self.rows_of_cand[cand] {
+                if self.cover_count[ri] == 0 {
+                    self.uncovered -= 1;
+                }
+                self.cover_count[ri] += 1;
+            }
+        }
+
+        fn unpick(&mut self, cand: usize) {
+            let popped = self.chosen.pop();
+            debug_assert_eq!(popped, Some(cand));
+            for &ri in &self.rows_of_cand[cand] {
+                self.cover_count[ri] -= 1;
+                if self.cover_count[ri] == 0 {
+                    self.uncovered += 1;
+                }
+            }
+        }
+
+        fn dfs(&mut self, scratch: &mut Vec<bool>) {
+            self.nodes += 1;
+            if self.nodes > self.max_nodes {
+                self.exhausted = true;
+                return;
+            }
+            if self.uncovered == 0 {
+                if self.chosen.len() < self.best.len() {
+                    self.best = self.chosen.clone();
+                }
+                return;
+            }
+            if self.chosen.len() + 1 >= self.best.len() {
+                // Even one more pick cannot beat the incumbent unless it
+                // finishes the cover; the lower bound below subsumes this,
+                // but this cheap check avoids the LB computation.
+                if self.chosen.len() + self.lower_bound(scratch) >= self.best.len() {
+                    return;
+                }
+            } else if self.chosen.len() + self.lower_bound(scratch) >= self.best.len() {
+                return;
+            }
+
+            // Branch on the uncovered row with the fewest candidates.
+            let row = self
+                .rows
+                .iter()
+                .enumerate()
+                .filter(|(ri, _)| self.cover_count[*ri] == 0)
+                .min_by_key(|(_, r)| r.cand.len())
+                .map(|(ri, _)| ri)
+                .expect("uncovered > 0");
+            let cands = self.rows[row].cand.clone();
+            for c in cands {
+                self.pick(c);
+                self.dfs(scratch);
+                self.unpick(c);
+                if self.exhausted {
+                    return;
+                }
+            }
+        }
+    }
+
+    let mut search = Search {
+        rows,
+        rows_of_cand: &rows_of_cand,
+        cover_count: vec![0; num_rows],
+        uncovered: num_rows,
+        chosen: Vec::new(),
+        best: best.clone(),
+        nodes: 0,
+        max_nodes: limits.max_nodes,
+        exhausted: false,
+    };
+    let mut scratch = Vec::new();
+    search.dfs(&mut scratch);
+    if search.best.len() < best.len() {
+        best = search.best.clone();
+    }
+    if search.exhausted {
+        proven = false;
+    }
+    best.sort_unstable();
+    debug_assert!(instance.covers(&best));
+    CoverResult {
+        picked: best,
+        optimal: proven,
+        nodes: search.nodes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::FlowRow;
+    use proptest::prelude::*;
+
+    fn inst(rows: &[&[u32]]) -> CoverInstance {
+        CoverInstance::new(
+            &rows
+                .iter()
+                .map(|links| FlowRow {
+                    links: links.to_vec(),
+                    demand: 1,
+                })
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    #[test]
+    fn trivial_cases() {
+        let r = min_set_cover(&inst(&[]), &SearchLimits::default());
+        assert!(r.picked.is_empty() && r.optimal);
+
+        let i = inst(&[&[3]]);
+        let r = min_set_cover(&i, &SearchLimits::default());
+        assert_eq!(r.picked.len(), 1);
+        assert_eq!(i.link_of(r.picked[0]), 3);
+    }
+
+    #[test]
+    fn beats_greedy_on_the_trap() {
+        // The attractor instance where greedy needs 3 picks (see
+        // greedy::tests::greedy_can_be_suboptimal); the exact search must
+        // find the 2-link optimum {1, 2}.
+        let i = inst(&[
+            &[1, 100, 50],
+            &[1, 100, 51],
+            &[1, 52],
+            &[2, 100, 53],
+            &[2, 100, 54],
+            &[2, 55][..],
+        ]);
+        let g = greedy_cover(&i, false);
+        assert_eq!(g.len(), 3);
+        let e = min_set_cover(&i, &SearchLimits::default());
+        assert!(e.optimal);
+        assert_eq!(e.picked.len(), 2);
+        let links: Vec<u32> = e.picked.iter().map(|c| i.link_of(*c)).collect();
+        assert_eq!(links, vec![1, 2]);
+    }
+
+    #[test]
+    fn exact_is_never_worse_than_greedy_small_random() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
+        for _trial in 0..200 {
+            let num_links = rng.gen_range(3..12u32);
+            let rows: Vec<FlowRow> = (0..rng.gen_range(1..10))
+                .map(|_| {
+                    let len = rng.gen_range(1..4usize);
+                    let links: Vec<u32> =
+                        (0..len).map(|_| rng.gen_range(0..num_links)).collect();
+                    FlowRow { links, demand: 1 }
+                })
+                .collect();
+            let i = CoverInstance::new(&rows);
+            let g = greedy_cover(&i, false);
+            let e = min_set_cover(&i, &SearchLimits::default());
+            assert!(e.optimal);
+            assert!(e.picked.len() <= g.len());
+            assert!(i.covers(&e.picked));
+        }
+    }
+
+    #[test]
+    fn node_budget_degrades_gracefully() {
+        let i = inst(&[&[1, 2], &[2, 3], &[3, 4], &[4, 5], &[5, 1]]);
+        let r = min_set_cover(&i, &SearchLimits { max_nodes: 1 });
+        assert!(!r.optimal);
+        assert!(i.covers(&r.picked), "fallback must still cover");
+    }
+
+    #[test]
+    fn forced_singletons() {
+        let i = inst(&[&[7], &[8], &[7, 8, 9]]);
+        let r = min_set_cover(&i, &SearchLimits::default());
+        let links: Vec<u32> = r.picked.iter().map(|c| i.link_of(*c)).collect();
+        assert_eq!(links, vec![7, 8]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn exact_solution_always_covers(rows in proptest::collection::vec(
+            proptest::collection::vec(0u32..10, 1..4), 1..8)) {
+            let flows: Vec<FlowRow> = rows.iter().map(|links| FlowRow {
+                links: links.clone(), demand: 1 }).collect();
+            let i = CoverInstance::new(&flows);
+            let r = min_set_cover(&i, &SearchLimits::default());
+            prop_assert!(r.optimal);
+            prop_assert!(i.covers(&r.picked));
+            // Minimality: removing any pick breaks the cover.
+            for skip in 0..r.picked.len() {
+                let reduced: Vec<usize> = r.picked.iter().enumerate()
+                    .filter(|(i2, _)| *i2 != skip).map(|(_, c)| *c).collect();
+                prop_assert!(!i.covers(&reduced) || reduced.len() >= r.picked.len(),
+                             "a strictly smaller cover existed");
+            }
+        }
+    }
+}

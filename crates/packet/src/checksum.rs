@@ -1,0 +1,161 @@
+//! RFC 1071 Internet checksum.
+//!
+//! Used by the IPv4 header checksum, the TCP checksum (over a pseudo-header
+//! plus segment), and ICMP. 007's traceroute probes deliberately corrupt the
+//! TCP checksum (paper §4.2: "The TCP packets deliberately carry a bad
+//! checksum so that they do not interfere with the ongoing connection"), so
+//! both *computing* and *verifying* must be first-class here.
+
+use std::net::Ipv4Addr;
+
+/// One's-complement sum of 16-bit words over `data`, with odd trailing byte
+/// padded with zero, starting from `initial` (host order partial sum).
+///
+/// This is the folding accumulator of RFC 1071 §4.1; callers finish with
+/// [`finish`].
+pub fn sum(mut acc: u32, data: &[u8]) -> u32 {
+    let mut chunks = data.chunks_exact(2);
+    for chunk in &mut chunks {
+        acc += u32::from(u16::from_be_bytes([chunk[0], chunk[1]]));
+    }
+    if let [last] = chunks.remainder() {
+        acc += u32::from(u16::from_be_bytes([*last, 0]));
+    }
+    acc
+}
+
+/// Folds the 32-bit accumulator into a 16-bit one's-complement checksum.
+pub fn finish(mut acc: u32) -> u16 {
+    while acc > 0xffff {
+        acc = (acc & 0xffff) + (acc >> 16);
+    }
+    !(acc as u16)
+}
+
+/// The Internet checksum of `data` in one call.
+///
+/// # Examples
+///
+/// ```
+/// // RFC 1071 §3 worked example: 00 01 f2 03 f4 f5 f6 f7 → sum 0x2ddf0,
+/// // folded 0xddf2, checksum !0xddf2 = 0x220d.
+/// let data = [0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+/// assert_eq!(vigil_packet::checksum::checksum(&data), 0x220d);
+/// ```
+pub fn checksum(data: &[u8]) -> u16 {
+    finish(sum(0, data))
+}
+
+/// Verifies a buffer whose checksum field is already in place: the folded
+/// sum over the whole buffer must be zero.
+pub fn verify(data: &[u8]) -> bool {
+    finish(sum(0, data)) == 0
+}
+
+/// Partial sum over the TCP/UDP IPv4 pseudo-header
+/// (src, dst, zero, protocol, tcp length).
+pub fn pseudo_header_sum(src: Ipv4Addr, dst: Ipv4Addr, protocol: u8, tcp_len: u16) -> u32 {
+    let mut acc = 0u32;
+    acc = sum(acc, &src.octets());
+    acc = sum(acc, &dst.octets());
+    acc += u32::from(protocol);
+    acc += u32::from(tcp_len);
+    acc
+}
+
+/// Computes the TCP checksum over pseudo-header + segment bytes, with the
+/// checksum field in `segment` assumed zeroed by the caller.
+pub fn tcp_checksum(src: Ipv4Addr, dst: Ipv4Addr, segment: &[u8]) -> u16 {
+    let acc = pseudo_header_sum(src, dst, 6, segment.len() as u16);
+    finish(sum(acc, segment))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_is_all_ones() {
+        assert_eq!(checksum(&[]), 0xffff);
+    }
+
+    #[test]
+    fn rfc1071_worked_example() {
+        let data = [0x00u8, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        // words 0001 + f203 + f4f5 + f6f7 = 0x2ddf0, folds to 0xddf2
+        assert_eq!(checksum(&data), !0xddf2u16);
+        assert_eq!(checksum(&data), 0x220d);
+    }
+
+    #[test]
+    fn odd_length_padded() {
+        // [0x01] is treated as 0x0100
+        assert_eq!(checksum(&[0x01]), !0x0100);
+    }
+
+    #[test]
+    fn known_ipv4_header_checksum() {
+        // Classic example header (wikipedia): checksum should be 0xb861.
+        let mut hdr = [
+            0x45u8, 0x00, 0x00, 0x73, 0x00, 0x00, 0x40, 0x00, 0x40, 0x11, 0x00, 0x00, 0xc0, 0xa8,
+            0x00, 0x01, 0xc0, 0xa8, 0x00, 0xc7,
+        ];
+        let c = checksum(&hdr);
+        assert_eq!(c, 0xb861);
+        hdr[10..12].copy_from_slice(&c.to_be_bytes());
+        assert!(verify(&hdr));
+    }
+
+    #[test]
+    fn verify_detects_single_bit_flip() {
+        let mut data = vec![0xde, 0xad, 0xbe, 0xef, 0x12, 0x34];
+        let c = checksum(&data);
+        data.extend_from_slice(&c.to_be_bytes());
+        assert!(verify(&data));
+        data[0] ^= 0x01;
+        assert!(!verify(&data));
+    }
+
+    #[test]
+    fn pseudo_header_affects_tcp_checksum() {
+        let seg = [0u8; 20];
+        let a = tcp_checksum("10.0.0.1".parse().unwrap(), "10.0.0.2".parse().unwrap(), &seg);
+        let b = tcp_checksum("10.0.0.1".parse().unwrap(), "10.0.0.3".parse().unwrap(), &seg);
+        assert_ne!(a, b);
+    }
+
+    proptest! {
+        #[test]
+        fn inserting_checksum_verifies(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+            // Append the checksum of (data ++ 00 00) in a dedicated trailing
+            // field; the whole thing must then verify. The field must be
+            // 16-bit aligned, so pad odd-length data first.
+            let mut buf = data.clone();
+            if buf.len() % 2 == 1 {
+                buf.push(0);
+            }
+            buf.extend_from_slice(&[0, 0]);
+            let c = checksum(&buf);
+            let n = buf.len();
+            buf[n - 2..].copy_from_slice(&c.to_be_bytes());
+            prop_assert!(verify(&buf));
+        }
+
+        #[test]
+        fn sum_is_associative_across_splits(data in proptest::collection::vec(any::<u8>(), 0..256),
+                                            split in 0usize..256) {
+            // Splitting on an even boundary must give the same folded sum.
+            let split = (split.min(data.len())) & !1;
+            let whole = finish(sum(0, &data));
+            let parts = finish(sum(sum(0, &data[..split]), &data[split..]));
+            prop_assert_eq!(whole, parts);
+        }
+
+        #[test]
+        fn checksum_never_panics(data in proptest::collection::vec(any::<u8>(), 0..2048)) {
+            let _ = checksum(&data);
+            let _ = verify(&data);
+        }
+    }
+}

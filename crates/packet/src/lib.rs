@@ -1,0 +1,62 @@
+//! Wire formats for the `vigil` reproduction of 007 (NSDI 2018).
+//!
+//! 007's path discovery agent (paper §4.2) crafts TCP packets whose
+//! five-tuple matches the flow being traced, with TTL values 0–15, the TTL
+//! *also* encoded in the IPv4 Identification field (to disambiguate
+//! concurrent traceroutes, per RFC 791 usage in the paper), and a
+//! **deliberately bad TCP checksum** so the probes cannot be mistaken for
+//! real segments by the receiver. Switches answer expiring probes with ICMP
+//! Time Exceeded messages that embed the original IPv4 header + 8 payload
+//! bytes, from which the agent recovers which probe the reply answers.
+//!
+//! This crate implements those formats from scratch in the style the
+//! networking guides prescribe (smoltcp): thin, extensively documented
+//! wrapper types over byte buffers with checked constructors and explicit
+//! error enums — no macros, no type-level tricks.
+//!
+//! * [`checksum`] — RFC 1071 Internet checksum and the TCP pseudo-header.
+//! * [`ipv4`] — IPv4 header parsing/building ([`Ipv4Packet`], [`Ipv4Repr`]).
+//! * [`tcp`] — TCP segment parsing/building ([`TcpSegment`], [`TcpRepr`]).
+//! * [`icmp`] — ICMP Time Exceeded messages ([`IcmpTimeExceeded`]).
+//! * [`five_tuple`] — the ECMP [`FiveTuple`].
+//! * [`traceroute`] — probe crafting and reply parsing ([`ProbeBuilder`],
+//!   [`parse_time_exceeded`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod checksum;
+pub mod five_tuple;
+pub mod icmp;
+pub mod ipv4;
+pub mod tcp;
+pub mod traceroute;
+
+pub use five_tuple::{FiveTuple, Protocol};
+pub use icmp::IcmpTimeExceeded;
+pub use ipv4::{Ipv4Packet, Ipv4Repr};
+pub use tcp::{TcpFlags, TcpRepr, TcpSegment};
+pub use traceroute::{parse_time_exceeded, ProbeBuilder, ProbeReply, MAX_PROBE_TTL};
+
+/// Errors produced when parsing or building wire formats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer is shorter than the fixed header demands.
+    Truncated,
+    /// A version, length, or type field holds an unsupported value.
+    Malformed,
+    /// A checksum did not verify.
+    Checksum,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "buffer truncated"),
+            WireError::Malformed => write!(f, "malformed header field"),
+            WireError::Checksum => write!(f, "checksum mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}

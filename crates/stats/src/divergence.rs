@@ -1,0 +1,214 @@
+//! Kullback–Leibler divergence and binomial large-deviation bounds.
+//!
+//! These implement the inequalities used in the proof of the paper's
+//! Theorem 3 (the precise form of Theorem 2): for a binomial random variable
+//! `S ~ Bin(M, q)` and `δ > 0`,
+//!
+//! ```text
+//! P[S ≥ (1+δ)qM] ≤ exp(−M · D_KL((1+δ)q ‖ q))        (13a)
+//! P[S ≤ (1−δ)qM] ≤ exp(−M · D_KL((1−δ)q ‖ q))        (13b)
+//! ```
+//!
+//! where `D_KL(q‖r)` is the divergence between Bernoulli distributions with
+//! success probabilities `q` and `r`. The paper uses these to show the
+//! probability that 007 mis-ranks a good link above a bad link decays as
+//! `2·e^{−O(N)}` in the number of connections `N`.
+
+/// Kullback–Leibler divergence `D_KL(q ‖ r)` between two Bernoulli
+/// distributions with success probabilities `q` and `r`, in nats.
+///
+/// Uses the conventions `0·log(0/x) = 0` and `D = +∞` when `r` puts zero
+/// mass where `q` does not (absolute continuity violation).
+///
+/// # Panics
+///
+/// Panics if `q` or `r` lies outside `[0, 1]` or is NaN.
+///
+/// # Examples
+///
+/// ```
+/// use vigil_stats::kl_bernoulli;
+/// assert_eq!(kl_bernoulli(0.5, 0.5), 0.0);
+/// // D(0.5 ‖ 0.25) = 0.5 ln 2 + 0.5 ln(2/3)
+/// let expected = 0.5 * (2.0f64).ln() + 0.5 * (2.0f64 / 3.0).ln();
+/// assert!((kl_bernoulli(0.5, 0.25) - expected).abs() < 1e-12);
+/// ```
+pub fn kl_bernoulli(q: f64, r: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "q must be in [0,1], got {q}");
+    assert!((0.0..=1.0).contains(&r), "r must be in [0,1], got {r}");
+
+    let term = |num: f64, den: f64| -> f64 {
+        if num == 0.0 {
+            0.0
+        } else if den == 0.0 {
+            f64::INFINITY
+        } else {
+            num * (num / den).ln()
+        }
+    };
+    term(q, r) + term(1.0 - q, 1.0 - r)
+}
+
+/// Chernoff–KL upper bound on the upper tail of a binomial:
+/// `P[S ≥ (1+δ)·q·M] ≤ exp(−M · D_KL((1+δ)q ‖ q))` for `S ~ Bin(M, q)`.
+///
+/// Returns `1.0` when the bound is vacuous (e.g. `δ = 0`) and `0.0` when the
+/// threshold exceeds `M` deterministically. `delta` must be non-negative.
+pub fn binomial_upper_tail_bound(m: u64, q: f64, delta: f64) -> f64 {
+    assert!(delta >= 0.0, "delta must be non-negative, got {delta}");
+    assert!((0.0..=1.0).contains(&q), "q must be in [0,1], got {q}");
+    let shifted = (1.0 + delta) * q;
+    if shifted >= 1.0 {
+        // P[S ≥ M'] for M' > M is zero; at exactly 1.0 the KL form still applies.
+        if shifted > 1.0 {
+            return 0.0;
+        }
+    }
+    (-(m as f64) * kl_bernoulli(shifted.min(1.0), q)).exp().min(1.0)
+}
+
+/// Chernoff–KL upper bound on the lower tail of a binomial:
+/// `P[S ≤ (1−δ)·q·M] ≤ exp(−M · D_KL((1−δ)q ‖ q))` for `S ~ Bin(M, q)`.
+///
+/// `delta` must lie in `[0, 1]`.
+pub fn binomial_lower_tail_bound(m: u64, q: f64, delta: f64) -> f64 {
+    assert!(
+        (0.0..=1.0).contains(&delta),
+        "delta must be in [0,1], got {delta}"
+    );
+    assert!((0.0..=1.0).contains(&q), "q must be in [0,1], got {q}");
+    let shifted = (1.0 - delta) * q;
+    (-(m as f64) * kl_bernoulli(shifted, q)).exp().min(1.0)
+}
+
+/// The paper's mis-ranking bound (Theorem 3, eq. 9):
+///
+/// `ε ≤ exp(−N·D_KL((1+δ)v_g ‖ v_g)) + exp(−N·D_KL((1−δ)v_b ‖ v_b))`
+///
+/// where `v_g`/`v_b` are the per-connection probabilities that a good/bad
+/// link receives a vote, `N` is the number of connections in the epoch, and
+/// `δ ≤ (v_b − v_g)/(v_b + v_g)` is chosen at the midpoint so both events
+/// `G ≤ (1+δ)N·v_g` and `B ≥ (1−δ)N·v_b` refer to the same vote count.
+///
+/// Returns `None` when `v_b ≤ v_g` (the precondition of Lemma 1 fails and
+/// the bound is meaningless).
+pub fn misranking_probability_bound(n: u64, v_good: f64, v_bad: f64) -> Option<f64> {
+    if !(0.0..=1.0).contains(&v_good) || !(0.0..=1.0).contains(&v_bad) {
+        return None;
+    }
+    if v_bad <= v_good {
+        return None;
+    }
+    let delta = (v_bad - v_good) / (v_bad + v_good);
+    let upper = binomial_upper_tail_bound(n, v_good, delta);
+    let lower = binomial_lower_tail_bound(n, v_bad, delta);
+    Some((upper + lower).min(1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kl_is_zero_iff_equal() {
+        for q in [0.0, 0.1, 0.5, 0.9, 1.0] {
+            assert_eq!(kl_bernoulli(q, q), 0.0, "D(q‖q) must be 0 for q={q}");
+        }
+    }
+
+    #[test]
+    fn kl_is_positive_when_different() {
+        assert!(kl_bernoulli(0.3, 0.5) > 0.0);
+        assert!(kl_bernoulli(0.5, 0.3) > 0.0);
+    }
+
+    #[test]
+    fn kl_is_asymmetric() {
+        let d1 = kl_bernoulli(0.2, 0.6);
+        let d2 = kl_bernoulli(0.6, 0.2);
+        assert!((d1 - d2).abs() > 1e-3);
+    }
+
+    #[test]
+    fn kl_infinite_on_support_mismatch() {
+        assert!(kl_bernoulli(0.5, 0.0).is_infinite());
+        assert!(kl_bernoulli(0.5, 1.0).is_infinite());
+        // but fine when q itself is degenerate in the same direction
+        assert_eq!(kl_bernoulli(0.0, 0.0), 0.0);
+        assert_eq!(kl_bernoulli(1.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn kl_hand_computed_value() {
+        // D(0.75 ‖ 0.5) = 0.75 ln 1.5 + 0.25 ln 0.5
+        let expected = 0.75 * 1.5f64.ln() + 0.25 * 0.5f64.ln();
+        assert!((kl_bernoulli(0.75, 0.5) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn upper_tail_bound_decays_with_m() {
+        let b_small = binomial_upper_tail_bound(10, 0.1, 0.5);
+        let b_large = binomial_upper_tail_bound(1000, 0.1, 0.5);
+        assert!(b_large < b_small);
+        assert!(b_large < 1e-3);
+    }
+
+    #[test]
+    fn upper_tail_bound_vacuous_at_zero_delta() {
+        assert_eq!(binomial_upper_tail_bound(100, 0.3, 0.0), 1.0);
+    }
+
+    #[test]
+    fn upper_tail_bound_zero_when_impossible() {
+        // (1+δ)q > 1 means the threshold exceeds M: probability 0.
+        assert_eq!(binomial_upper_tail_bound(100, 0.8, 0.5), 0.0);
+    }
+
+    #[test]
+    fn lower_tail_bound_decays_with_m() {
+        let b_small = binomial_lower_tail_bound(10, 0.5, 0.5);
+        let b_large = binomial_lower_tail_bound(1000, 0.5, 0.5);
+        assert!(b_large < b_small);
+    }
+
+    #[test]
+    fn tail_bounds_dominate_monte_carlo() {
+        // Empirical check that the bound really is an upper bound.
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+        let (m, q, delta) = (200u64, 0.2f64, 0.4f64);
+        let trials = 20_000;
+        let mut upper_hits = 0u32;
+        let mut lower_hits = 0u32;
+        for _ in 0..trials {
+            let s: u64 = (0..m).filter(|_| rng.gen_bool(q)).count() as u64;
+            if s as f64 >= (1.0 + delta) * q * m as f64 {
+                upper_hits += 1;
+            }
+            if s as f64 <= (1.0 - delta) * q * m as f64 {
+                lower_hits += 1;
+            }
+        }
+        let upper_emp = f64::from(upper_hits) / f64::from(trials);
+        let lower_emp = f64::from(lower_hits) / f64::from(trials);
+        assert!(upper_emp <= binomial_upper_tail_bound(m, q, delta) + 0.01);
+        assert!(lower_emp <= binomial_lower_tail_bound(m, q, delta) + 0.01);
+    }
+
+    #[test]
+    fn misranking_bound_needs_gap() {
+        assert!(misranking_probability_bound(1000, 0.5, 0.5).is_none());
+        assert!(misranking_probability_bound(1000, 0.6, 0.5).is_none());
+        assert!(misranking_probability_bound(1000, 0.1, 0.5).is_some());
+    }
+
+    #[test]
+    fn misranking_bound_decays_exponentially_in_n() {
+        let e1 = misranking_probability_bound(100, 0.01, 0.05).unwrap();
+        let e2 = misranking_probability_bound(1_000, 0.01, 0.05).unwrap();
+        let e3 = misranking_probability_bound(10_000, 0.01, 0.05).unwrap();
+        assert!(e2 < e1);
+        assert!(e3 < e2);
+        assert!(e3 < 1e-6, "ε(10⁴) = {e3} should be tiny");
+    }
+}

@@ -1,0 +1,33 @@
+//! Statistical utilities shared by the `vigil` workspace.
+//!
+//! The 007 paper (Arzani et al., NSDI 2018) leans on a small set of
+//! statistical machinery:
+//!
+//! * **Empirical CDFs** — Figures 1 and 13 are CDF plots ([`Ecdf`]).
+//! * **Binomial large deviations** — the accuracy proof (Theorem 2/3 and
+//!   Lemma 1) bounds vote-count tail probabilities with the Chernoff–KL
+//!   bound `P[S ≥ (1+δ)qM] ≤ exp(−M·D_KL((1+δ)q‖q))` ([`divergence`]).
+//! * **Detection metrics** — every evaluation section reports per-flow
+//!   *accuracy* and Algorithm 1 *precision*/*recall* ([`metrics`]).
+//! * **Summary statistics** — figures report means with confidence
+//!   intervals over repeated trials ([`summary`]).
+//! * **Histograms** — Table 1 summarizes the ICMP-per-switch distribution
+//!   in coarse bins ([`histogram`]).
+//!
+//! Everything here is deliberately dependency-light and deterministic so the
+//! rest of the workspace can unit-test against hand-computed values.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod divergence;
+pub mod ecdf;
+pub mod histogram;
+pub mod metrics;
+pub mod summary;
+
+pub use divergence::{binomial_lower_tail_bound, binomial_upper_tail_bound, kl_bernoulli};
+pub use ecdf::Ecdf;
+pub use histogram::Histogram;
+pub use metrics::{BinaryConfusion, DetectionOutcome, RatioMetric};
+pub use summary::Summary;

@@ -1,0 +1,102 @@
+//! Router alias resolution (paper §4.2, "Router aliasing").
+//!
+//! Traceroute replies arrive from switch *interface* addresses; in an
+//! internet-scale measurement resolving interfaces to routers is a research
+//! problem, but "this problem is easily solved in a datacenter, as we know
+//! the topology, names, and IPs of all routers and interfaces. We can
+//! simply map the IPs from the traceroutes to the switch names."
+//!
+//! [`AliasMap`] is that mapping. The [`crate::ClosTopology`] constructor
+//! registers every switch's addresses (a loopback plus one address per
+//! interface, as real switches have) so the path discovery agent can
+//! resolve any ICMP source to a [`SwitchId`].
+
+use crate::ids::SwitchId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// Maps every known switch interface/loopback address to its switch.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct AliasMap {
+    by_ip: HashMap<Ipv4Addr, SwitchId>,
+}
+
+impl AliasMap {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers one address for a switch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address is already registered to a *different* switch —
+    /// duplicate interface addressing is a topology construction bug.
+    pub fn register(&mut self, ip: Ipv4Addr, switch: SwitchId) {
+        if let Some(prev) = self.by_ip.insert(ip, switch) {
+            assert_eq!(
+                prev, switch,
+                "address {ip} registered to two switches: {prev:?} and {switch:?}"
+            );
+        }
+    }
+
+    /// Resolves an address to its switch, if known.
+    pub fn resolve(&self, ip: Ipv4Addr) -> Option<SwitchId> {
+        self.by_ip.get(&ip).copied()
+    }
+
+    /// Number of registered addresses.
+    pub fn len(&self) -> usize {
+        self.by_ip.len()
+    }
+
+    /// True when no addresses are registered.
+    pub fn is_empty(&self) -> bool {
+        self.by_ip.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_resolve() {
+        let mut m = AliasMap::new();
+        let ip = Ipv4Addr::new(10, 220, 0, 3);
+        m.register(ip, SwitchId(3));
+        assert_eq!(m.resolve(ip), Some(SwitchId(3)));
+        assert_eq!(m.resolve(Ipv4Addr::new(10, 220, 0, 4)), None);
+    }
+
+    #[test]
+    fn re_registering_same_switch_is_idempotent() {
+        let mut m = AliasMap::new();
+        let ip = Ipv4Addr::new(10, 220, 0, 3);
+        m.register(ip, SwitchId(3));
+        m.register(ip, SwitchId(3));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered to two switches")]
+    fn conflicting_registration_panics() {
+        let mut m = AliasMap::new();
+        let ip = Ipv4Addr::new(10, 220, 0, 3);
+        m.register(ip, SwitchId(3));
+        m.register(ip, SwitchId(4));
+    }
+
+    #[test]
+    fn multiple_aliases_same_switch() {
+        // A switch has many interfaces; all resolve to the same identity.
+        let mut m = AliasMap::new();
+        m.register(Ipv4Addr::new(10, 220, 0, 3), SwitchId(3));
+        m.register(Ipv4Addr::new(10, 230, 0, 3), SwitchId(3));
+        assert_eq!(m.resolve(Ipv4Addr::new(10, 230, 0, 3)), Some(SwitchId(3)));
+        assert_eq!(m.len(), 2);
+    }
+}

@@ -1,0 +1,719 @@
+//! The Clos topology: switches, hosts, directional links, addressing, and
+//! ECMP routing.
+
+use crate::alias::AliasMap;
+use crate::ecmp;
+use crate::ids::{HostId, LinkId, Node, SwitchId, SwitchKind};
+use crate::params::{ClosParams, ParamError};
+use crate::route::{Path, RouteError};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+use vigil_packet::FiveTuple;
+
+/// Classification of a directional link — Figure 11 evaluates detection by
+/// exactly these location classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum LinkKind {
+    /// Host (server) to its ToR.
+    HostToTor,
+    /// ToR down to a host.
+    TorToHost,
+    /// ToR up to a tier-1 switch (level 1, up direction).
+    TorToT1,
+    /// Tier-1 down to a ToR (level 1, down direction).
+    T1ToTor,
+    /// Tier-1 up to a tier-2 switch (level 2, up direction).
+    T1ToT2,
+    /// Tier-2 down to a tier-1 (level 2, down direction).
+    T2ToT1,
+}
+
+impl LinkKind {
+    /// True for level-1 links (ToR↔T1) in either direction.
+    pub fn is_level1(self) -> bool {
+        matches!(self, LinkKind::TorToT1 | LinkKind::T1ToTor)
+    }
+
+    /// True for level-2 links (T1↔T2) in either direction.
+    pub fn is_level2(self) -> bool {
+        matches!(self, LinkKind::T1ToT2 | LinkKind::T2ToT1)
+    }
+
+    /// True for host↔ToR links in either direction.
+    pub fn is_host_link(self) -> bool {
+        matches!(self, LinkKind::HostToTor | LinkKind::TorToHost)
+    }
+}
+
+/// A directional link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Link {
+    /// Stable id (dense index).
+    pub id: LinkId,
+    /// Location class.
+    pub kind: LinkKind,
+    /// Transmitting endpoint.
+    pub from: Node,
+    /// Receiving endpoint.
+    pub to: Node,
+}
+
+/// The built topology: every entity table plus the ECMP seeds.
+///
+/// Construction is deterministic given `(params, seed)`; all ids are dense
+/// indices so per-entity state elsewhere in the workspace can live in flat
+/// vectors.
+#[derive(Debug, Clone)]
+pub struct ClosTopology {
+    params: ClosParams,
+    switch_kinds: Vec<SwitchKind>,
+    switch_ips: Vec<Ipv4Addr>,
+    host_ips: Vec<Ipv4Addr>,
+    links: Vec<Link>,
+    link_lookup: HashMap<(Node, Node), LinkId>,
+    alias: AliasMap,
+    host_by_ip: HashMap<Ipv4Addr, HostId>,
+    ecmp_seeds: Vec<u64>,
+}
+
+impl ClosTopology {
+    /// Builds the topology. `seed` drives the per-switch ECMP seeds (the
+    /// proprietary, reboot-varying hash initializers of §9.1).
+    pub fn new(params: ClosParams, seed: u64) -> Result<Self, ParamError> {
+        params.validate()?;
+        let npod = u32::from(params.npod);
+        let n0 = u32::from(params.n0);
+        let n1 = u32::from(params.n1);
+        let n2 = u32::from(params.n2);
+        let h = u32::from(params.hosts_per_tor);
+
+        // --- switches -----------------------------------------------------
+        let num_switches = params.num_switches();
+        let mut switch_kinds = Vec::with_capacity(num_switches as usize);
+        for pod in 0..npod {
+            for idx in 0..n0 {
+                switch_kinds.push(SwitchKind::Tor {
+                    pod: pod as u16,
+                    idx: idx as u16,
+                });
+            }
+        }
+        for pod in 0..npod {
+            for idx in 0..n1 {
+                switch_kinds.push(SwitchKind::T1 {
+                    pod: pod as u16,
+                    idx: idx as u16,
+                });
+            }
+        }
+        for idx in 0..n2 {
+            switch_kinds.push(SwitchKind::T2 { idx: idx as u16 });
+        }
+
+        // Addressing: hosts live in 10.pod.tor.(1+idx); switch loopbacks in
+        // 10.220+tier.x.y. Parameters are validated ≤ 200 so no octet
+        // overflows and the ranges never collide.
+        let mut switch_ips = Vec::with_capacity(switch_kinds.len());
+        let mut alias = AliasMap::new();
+        for (i, kind) in switch_kinds.iter().enumerate() {
+            let ip = match kind {
+                SwitchKind::Tor { pod, idx } => Ipv4Addr::new(10, 220, *pod as u8, *idx as u8),
+                SwitchKind::T1 { pod, idx } => Ipv4Addr::new(10, 221, *pod as u8, *idx as u8),
+                SwitchKind::T2 { idx } => Ipv4Addr::new(10, 222, 0, *idx as u8),
+            };
+            switch_ips.push(ip);
+            alias.register(ip, SwitchId(i as u32));
+        }
+
+        // --- hosts ---------------------------------------------------------
+        let num_hosts = params.num_hosts();
+        let mut host_ips = Vec::with_capacity(num_hosts as usize);
+        let mut host_by_ip = HashMap::with_capacity(num_hosts as usize);
+        for pod in 0..npod {
+            for tor in 0..n0 {
+                for idx in 0..h {
+                    let ip = Ipv4Addr::new(10, pod as u8, tor as u8, (idx + 1) as u8);
+                    let id = HostId(host_ips.len() as u32);
+                    host_ips.push(ip);
+                    host_by_ip.insert(ip, id);
+                }
+            }
+        }
+
+        // --- links ----------------------------------------------------------
+        let mut links = Vec::with_capacity(params.num_links() as usize);
+        let mut link_lookup = HashMap::with_capacity(params.num_links() as usize);
+        let push = |links: &mut Vec<Link>,
+                        lookup: &mut HashMap<(Node, Node), LinkId>,
+                        kind: LinkKind,
+                        from: Node,
+                        to: Node| {
+            let id = LinkId(links.len() as u32);
+            links.push(Link { id, kind, from, to });
+            let prev = lookup.insert((from, to), id);
+            debug_assert!(prev.is_none(), "duplicate link {from:?} -> {to:?}");
+        };
+
+        let tor_id = |pod: u32, idx: u32| SwitchId(pod * n0 + idx);
+        let t1_id = |pod: u32, idx: u32| SwitchId(npod * n0 + pod * n1 + idx);
+        let t2_id = |idx: u32| SwitchId(npod * (n0 + n1) + idx);
+        let host_id = |pod: u32, tor: u32, idx: u32| HostId((pod * n0 + tor) * h + idx);
+
+        for pod in 0..npod {
+            for tor in 0..n0 {
+                for idx in 0..h {
+                    let hid = Node::Host(host_id(pod, tor, idx));
+                    let tid = Node::Switch(tor_id(pod, tor));
+                    push(&mut links, &mut link_lookup, LinkKind::HostToTor, hid, tid);
+                    push(&mut links, &mut link_lookup, LinkKind::TorToHost, tid, hid);
+                }
+            }
+        }
+        for pod in 0..npod {
+            for tor in 0..n0 {
+                for t1 in 0..n1 {
+                    let a = Node::Switch(tor_id(pod, tor));
+                    let b = Node::Switch(t1_id(pod, t1));
+                    push(&mut links, &mut link_lookup, LinkKind::TorToT1, a, b);
+                    push(&mut links, &mut link_lookup, LinkKind::T1ToTor, b, a);
+                }
+            }
+        }
+        for pod in 0..npod {
+            for t1 in 0..n1 {
+                for t2 in 0..n2 {
+                    let a = Node::Switch(t1_id(pod, t1));
+                    let b = Node::Switch(t2_id(t2));
+                    push(&mut links, &mut link_lookup, LinkKind::T1ToT2, a, b);
+                    push(&mut links, &mut link_lookup, LinkKind::T2ToT1, b, a);
+                }
+            }
+        }
+
+        // --- ECMP seeds -------------------------------------------------
+        let ecmp_seeds = (0..switch_kinds.len() as u64)
+            .map(|i| splitmix(seed ^ splitmix(i)))
+            .collect();
+
+        Ok(Self {
+            params,
+            switch_kinds,
+            switch_ips,
+            host_ips,
+            links,
+            link_lookup,
+            alias,
+            host_by_ip,
+            ecmp_seeds,
+        })
+    }
+
+    /// The construction parameters.
+    pub fn params(&self) -> &ClosParams {
+        &self.params
+    }
+
+    /// Total number of directional links.
+    pub fn num_links(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Total number of hosts.
+    pub fn num_hosts(&self) -> usize {
+        self.host_ips.len()
+    }
+
+    /// Total number of switches.
+    pub fn num_switches(&self) -> usize {
+        self.switch_kinds.len()
+    }
+
+    /// All links, id order.
+    pub fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    /// Link metadata by id.
+    pub fn link(&self, id: LinkId) -> &Link {
+        &self.links[id.index()]
+    }
+
+    /// The directional link from `from` to `to`, if adjacent.
+    pub fn link_between(&self, from: Node, to: Node) -> Option<LinkId> {
+        self.link_lookup.get(&(from, to)).copied()
+    }
+
+    /// Switch kind by id.
+    pub fn switch_kind(&self, id: SwitchId) -> SwitchKind {
+        self.switch_kinds[id.0 as usize]
+    }
+
+    /// Switch loopback address (the source of its ICMP replies).
+    pub fn switch_ip(&self, id: SwitchId) -> Ipv4Addr {
+        self.switch_ips[id.0 as usize]
+    }
+
+    /// Host address.
+    pub fn host_ip(&self, id: HostId) -> Ipv4Addr {
+        self.host_ips[id.0 as usize]
+    }
+
+    /// The alias map (ICMP source → switch).
+    pub fn alias(&self) -> &AliasMap {
+        &self.alias
+    }
+
+    /// Resolves a host address back to its id.
+    pub fn host_by_ip(&self, ip: Ipv4Addr) -> Option<HostId> {
+        self.host_by_ip.get(&ip).copied()
+    }
+
+    /// The ToR switch a host hangs off.
+    pub fn host_tor(&self, host: HostId) -> SwitchId {
+        let h = u32::from(self.params.hosts_per_tor);
+        SwitchId(host.0 / h)
+    }
+
+    /// The pod a host lives in.
+    pub fn host_pod(&self, host: HostId) -> u16 {
+        match self.switch_kind(self.host_tor(host)) {
+            SwitchKind::Tor { pod, .. } => pod,
+            _ => unreachable!("host_tor always returns a ToR"),
+        }
+    }
+
+    /// ToR switch id from (pod, idx).
+    pub fn tor(&self, pod: u16, idx: u16) -> SwitchId {
+        debug_assert!(pod < self.params.npod && idx < self.params.n0);
+        SwitchId(u32::from(pod) * u32::from(self.params.n0) + u32::from(idx))
+    }
+
+    /// T1 switch id from (pod, idx).
+    pub fn t1(&self, pod: u16, idx: u16) -> SwitchId {
+        debug_assert!(pod < self.params.npod && idx < self.params.n1);
+        let base = u32::from(self.params.npod) * u32::from(self.params.n0);
+        SwitchId(base + u32::from(pod) * u32::from(self.params.n1) + u32::from(idx))
+    }
+
+    /// T2 switch id from idx.
+    pub fn t2(&self, idx: u16) -> SwitchId {
+        debug_assert!(idx < self.params.n2);
+        let base =
+            u32::from(self.params.npod) * (u32::from(self.params.n0) + u32::from(self.params.n1));
+        SwitchId(base + u32::from(idx))
+    }
+
+    /// The hosts under one ToR, in id order.
+    pub fn hosts_under(&self, tor: SwitchId) -> impl Iterator<Item = HostId> + '_ {
+        let h = u32::from(self.params.hosts_per_tor);
+        let start = tor.0 * h;
+        (start..start + h).map(HostId)
+    }
+
+    /// All host ids.
+    pub fn hosts(&self) -> impl Iterator<Item = HostId> {
+        (0..self.num_hosts() as u32).map(HostId)
+    }
+
+    /// Current ECMP seed of a switch.
+    pub fn ecmp_seed(&self, switch: SwitchId) -> u64 {
+        self.ecmp_seeds[switch.0 as usize]
+    }
+
+    /// Replaces a switch's ECMP seed — models the reboot/failure-induced
+    /// hash changes of §9.1 ("ECMP functions … have initialization 'seeds'
+    /// that change with every reboot of the switch").
+    pub fn reseed_switch(&mut self, switch: SwitchId, seed: u64) {
+        self.ecmp_seeds[switch.0 as usize] = seed;
+    }
+
+    /// Routes a five-tuple between two hosts with no link exclusions.
+    ///
+    /// Infallible except for `src == dst`, which is a caller bug in the
+    /// traffic generators and is reported as [`RouteError::SameHost`].
+    pub fn route(&self, tuple: &FiveTuple, src: HostId, dst: HostId) -> Result<Path, RouteError> {
+        self.route_filtered(tuple, src, dst, &|_| false)
+    }
+
+    /// Routes a five-tuple between two hosts, skipping next hops whose
+    /// links are `excluded` (administratively down / BGP-withdrawn). When a
+    /// switch has no live next hop the packet is blackholed and the partial
+    /// path is returned — 007's analysis engine explicitly consumes such
+    /// partial traceroutes (§4.2, "Traceroute itself may fail … it directly
+    /// pinpoints the faulty link").
+    pub fn route_filtered(
+        &self,
+        tuple: &FiveTuple,
+        src: HostId,
+        dst: HostId,
+        excluded: &dyn Fn(LinkId) -> bool,
+    ) -> Result<Path, RouteError> {
+        if src == dst {
+            return Err(RouteError::SameHost);
+        }
+        let src_tor = self.host_tor(src);
+        let dst_tor = self.host_tor(dst);
+        let src_pod = self.host_pod(src);
+        let dst_pod = self.host_pod(dst);
+
+        let mut nodes: Vec<Node> = vec![Node::Host(src)];
+        let mut links: Vec<LinkId> = Vec::with_capacity(6);
+
+        let step = |nodes: &mut Vec<Node>, links: &mut Vec<LinkId>, to: Node| -> Result<(), RouteError> {
+            let from = *nodes.last().expect("path starts non-empty");
+            let lid = self
+                .link_between(from, to)
+                .expect("consecutive route nodes are adjacent by construction");
+            if excluded(lid) {
+                return Err(RouteError::Blackhole {
+                    partial: Path::new(nodes.clone(), links.clone()),
+                });
+            }
+            nodes.push(to);
+            links.push(lid);
+            Ok(())
+        };
+
+        // Host to its ToR: the only uplink; excluded ⇒ blackhole at host.
+        step(&mut nodes, &mut links, Node::Switch(src_tor))?;
+
+        if src_tor == dst_tor {
+            step(&mut nodes, &mut links, Node::Host(dst))?;
+            return Ok(Path::new(nodes, links));
+        }
+
+        // ECMP choice at the source ToR: which T1 to ascend to.
+        let up_t1 = self.ecmp_choose(src_tor, tuple, |i| {
+            let t1 = self.t1(src_pod, i as u16);
+            self.link_between(Node::Switch(src_tor), Node::Switch(t1))
+                .expect("ToR connects to every pod T1")
+        }, u32::from(self.params.n1) as usize, excluded);
+        let up_t1 = match up_t1 {
+            Some(idx) => self.t1(src_pod, idx as u16),
+            None => {
+                return Err(RouteError::Blackhole {
+                    partial: Path::new(nodes, links),
+                })
+            }
+        };
+        step(&mut nodes, &mut links, Node::Switch(up_t1))?;
+
+        if src_pod == dst_pod {
+            // Intra-pod: T1 descends straight to the destination ToR.
+            step(&mut nodes, &mut links, Node::Switch(dst_tor))?;
+            step(&mut nodes, &mut links, Node::Host(dst))?;
+            return Ok(Path::new(nodes, links));
+        }
+
+        // ECMP choice at the T1: which T2 to ascend to.
+        let t2 = self.ecmp_choose(up_t1, tuple, |i| {
+            let t2 = self.t2(i as u16);
+            self.link_between(Node::Switch(up_t1), Node::Switch(t2))
+                .expect("every T1 connects to every T2")
+        }, u32::from(self.params.n2) as usize, excluded);
+        let t2 = match t2 {
+            Some(idx) => self.t2(idx as u16),
+            None => {
+                return Err(RouteError::Blackhole {
+                    partial: Path::new(nodes, links),
+                })
+            }
+        };
+        step(&mut nodes, &mut links, Node::Switch(t2))?;
+
+        // ECMP choice at the T2: which T1 of the destination pod to descend to.
+        let down_t1 = self.ecmp_choose(t2, tuple, |i| {
+            let t1 = self.t1(dst_pod, i as u16);
+            self.link_between(Node::Switch(t2), Node::Switch(t1))
+                .expect("every T2 connects to every pod T1")
+        }, u32::from(self.params.n1) as usize, excluded);
+        let down_t1 = match down_t1 {
+            Some(idx) => self.t1(dst_pod, idx as u16),
+            None => {
+                return Err(RouteError::Blackhole {
+                    partial: Path::new(nodes, links),
+                })
+            }
+        };
+        step(&mut nodes, &mut links, Node::Switch(down_t1))?;
+        step(&mut nodes, &mut links, Node::Switch(dst_tor))?;
+        step(&mut nodes, &mut links, Node::Host(dst))?;
+        Ok(Path::new(nodes, links))
+    }
+
+    /// ECMP selection over `n` candidates at `switch`, restricted to
+    /// candidates whose link is not excluded. Returns the chosen candidate
+    /// index, or `None` when every candidate is excluded.
+    ///
+    /// Matching real switches, the hash selects among the *live* candidate
+    /// set: when links die, BGP withdraws them and the ECMP group shrinks
+    /// (which is also why paths move after failures, §9.1).
+    fn ecmp_choose(
+        &self,
+        switch: SwitchId,
+        tuple: &FiveTuple,
+        link_of: impl Fn(usize) -> LinkId,
+        n: usize,
+        excluded: &dyn Fn(LinkId) -> bool,
+    ) -> Option<usize> {
+        let live: Vec<usize> = (0..n).filter(|&i| !excluded(link_of(i))).collect();
+        if live.is_empty() {
+            return None;
+        }
+        let pick = ecmp::select(self.ecmp_seed(switch), tuple, live.len());
+        Some(live[pick])
+    }
+}
+
+/// SplitMix64 step used to derive per-switch seeds.
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topo() -> ClosTopology {
+        ClosTopology::new(ClosParams::tiny(), 42).unwrap()
+    }
+
+    fn tuple(sp: u16, src: Ipv4Addr, dst: Ipv4Addr) -> FiveTuple {
+        FiveTuple::tcp(src, sp, dst, 443)
+    }
+
+    #[test]
+    fn counts_match_params() {
+        let t = topo();
+        let p = ClosParams::tiny();
+        assert_eq!(t.num_hosts() as u32, p.num_hosts());
+        assert_eq!(t.num_switches() as u32, p.num_switches());
+        assert_eq!(t.num_links() as u32, p.num_links());
+    }
+
+    #[test]
+    fn paper_sim_has_4160_links() {
+        let t = ClosTopology::new(ClosParams::paper_sim(), 0).unwrap();
+        assert_eq!(t.num_links(), 4160);
+    }
+
+    #[test]
+    fn switch_id_layout() {
+        let t = topo();
+        assert_eq!(t.switch_kind(t.tor(0, 0)), SwitchKind::Tor { pod: 0, idx: 0 });
+        assert_eq!(t.switch_kind(t.tor(1, 3)), SwitchKind::Tor { pod: 1, idx: 3 });
+        assert_eq!(t.switch_kind(t.t1(0, 2)), SwitchKind::T1 { pod: 0, idx: 2 });
+        assert_eq!(t.switch_kind(t.t2(3)), SwitchKind::T2 { idx: 3 });
+    }
+
+    #[test]
+    fn host_tor_and_pod() {
+        let t = topo();
+        // hosts 0..4 under pod0-tor0, hosts 4..8 under pod0-tor1, etc.
+        assert_eq!(t.host_tor(HostId(0)), t.tor(0, 0));
+        assert_eq!(t.host_tor(HostId(5)), t.tor(0, 1));
+        assert_eq!(t.host_pod(HostId(0)), 0);
+        let last = HostId(t.num_hosts() as u32 - 1);
+        assert_eq!(t.host_pod(last), 1);
+        assert_eq!(t.host_tor(last), t.tor(1, 3));
+    }
+
+    #[test]
+    fn hosts_under_tor() {
+        let t = topo();
+        let hosts: Vec<_> = t.hosts_under(t.tor(0, 1)).collect();
+        assert_eq!(hosts, vec![HostId(4), HostId(5), HostId(6), HostId(7)]);
+    }
+
+    #[test]
+    fn alias_resolves_every_switch() {
+        let t = topo();
+        for s in 0..t.num_switches() as u32 {
+            let id = SwitchId(s);
+            assert_eq!(t.alias().resolve(t.switch_ip(id)), Some(id));
+        }
+    }
+
+    #[test]
+    fn host_ips_unique_and_resolvable() {
+        let t = topo();
+        for h in t.hosts() {
+            assert_eq!(t.host_by_ip(t.host_ip(h)), Some(h));
+        }
+    }
+
+    #[test]
+    fn link_lookup_is_inverse_of_links() {
+        let t = topo();
+        for l in t.links() {
+            assert_eq!(t.link_between(l.from, l.to), Some(l.id));
+        }
+    }
+
+    #[test]
+    fn link_kinds_counted() {
+        let t = topo();
+        let p = ClosParams::tiny();
+        let count = |k: LinkKind| t.links().iter().filter(|l| l.kind == k).count() as u32;
+        let hosts = u32::from(p.npod) * u32::from(p.n0) * u32::from(p.hosts_per_tor);
+        assert_eq!(count(LinkKind::HostToTor), hosts);
+        assert_eq!(count(LinkKind::TorToHost), hosts);
+        let l1 = u32::from(p.npod) * u32::from(p.n0) * u32::from(p.n1);
+        assert_eq!(count(LinkKind::TorToT1), l1);
+        assert_eq!(count(LinkKind::T1ToTor), l1);
+        let l2 = u32::from(p.npod) * u32::from(p.n1) * u32::from(p.n2);
+        assert_eq!(count(LinkKind::T1ToT2), l2);
+        assert_eq!(count(LinkKind::T2ToT1), l2);
+    }
+
+    #[test]
+    fn route_same_tor_is_two_hops() {
+        let t = topo();
+        let (a, b) = (HostId(0), HostId(1));
+        let ft = tuple(50000, t.host_ip(a), t.host_ip(b));
+        let p = t.route(&ft, a, b).unwrap();
+        assert_eq!(p.hop_count(), 2);
+        assert_eq!(p.nodes.first(), Some(&Node::Host(a)));
+        assert_eq!(p.nodes.last(), Some(&Node::Host(b)));
+    }
+
+    #[test]
+    fn route_intra_pod_is_four_hops() {
+        let t = topo();
+        let (a, b) = (HostId(0), HostId(5)); // tor0 → tor1, same pod
+        let ft = tuple(50000, t.host_ip(a), t.host_ip(b));
+        let p = t.route(&ft, a, b).unwrap();
+        assert_eq!(p.hop_count(), 4);
+    }
+
+    #[test]
+    fn route_inter_pod_is_six_hops() {
+        let t = topo();
+        let a = HostId(0);
+        let b = HostId(t.num_hosts() as u32 - 1); // other pod
+        let ft = tuple(50000, t.host_ip(a), t.host_ip(b));
+        let p = t.route(&ft, a, b).unwrap();
+        assert_eq!(p.hop_count(), 6);
+        // up: host, tor, t1, t2, then down t1, tor, host
+        assert!(matches!(
+            t.switch_kind(p.nodes[3].switch().unwrap()),
+            SwitchKind::T2 { .. }
+        ));
+    }
+
+    #[test]
+    fn route_links_are_consistent_with_nodes() {
+        let t = topo();
+        let a = HostId(2);
+        let b = HostId(t.num_hosts() as u32 - 2);
+        let ft = tuple(51000, t.host_ip(a), t.host_ip(b));
+        let p = t.route(&ft, a, b).unwrap();
+        for (i, lid) in p.links.iter().enumerate() {
+            let l = t.link(*lid);
+            assert_eq!(l.from, p.nodes[i]);
+            assert_eq!(l.to, p.nodes[i + 1]);
+        }
+    }
+
+    #[test]
+    fn route_same_host_rejected() {
+        let t = topo();
+        let a = HostId(0);
+        let ft = tuple(50000, t.host_ip(a), t.host_ip(a));
+        assert_eq!(t.route(&ft, a, a).unwrap_err(), RouteError::SameHost);
+    }
+
+    #[test]
+    fn route_is_deterministic_per_tuple() {
+        let t = topo();
+        let a = HostId(0);
+        let b = HostId(t.num_hosts() as u32 - 1);
+        let ft = tuple(50000, t.host_ip(a), t.host_ip(b));
+        let p1 = t.route(&ft, a, b).unwrap();
+        let p2 = t.route(&ft, a, b).unwrap();
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn distinct_tuples_spread_over_paths() {
+        let t = topo();
+        let a = HostId(0);
+        let b = HostId(t.num_hosts() as u32 - 1);
+        let mut distinct = std::collections::HashSet::new();
+        for sp in 0..64u16 {
+            let ft = tuple(40000 + sp, t.host_ip(a), t.host_ip(b));
+            distinct.insert(t.route(&ft, a, b).unwrap().links);
+        }
+        // 3 ECMP choices (n1 × n2 × n1 = 3·4·3 = 36 possible paths); 64
+        // flows must hit well more than one.
+        assert!(distinct.len() > 5, "only {} distinct paths", distinct.len());
+    }
+
+    #[test]
+    fn exclusion_diverts_flow() {
+        let t = topo();
+        let a = HostId(0);
+        let b = HostId(t.num_hosts() as u32 - 1);
+        let ft = tuple(50000, t.host_ip(a), t.host_ip(b));
+        let p = t.route(&ft, a, b).unwrap();
+        // Exclude the chosen ToR→T1 link; the flow must take another T1.
+        let dead = p.links[1];
+        let q = t
+            .route_filtered(&ft, a, b, &|l| l == dead)
+            .unwrap();
+        assert_ne!(q.links[1], dead);
+        assert_eq!(q.hop_count(), 6);
+    }
+
+    #[test]
+    fn excluding_all_uplinks_blackholes() {
+        let t = topo();
+        let a = HostId(0);
+        let b = HostId(t.num_hosts() as u32 - 1);
+        let ft = tuple(50000, t.host_ip(a), t.host_ip(b));
+        let src_tor = t.host_tor(a);
+        let err = t
+            .route_filtered(&ft, a, b, &|l| {
+                t.link(l).kind == LinkKind::TorToT1 && t.link(l).from == Node::Switch(src_tor)
+            })
+            .unwrap_err();
+        match err {
+            RouteError::Blackhole { partial } => {
+                assert_eq!(partial.hop_count(), 1); // reached the ToR only
+                assert_eq!(partial.nodes.last(), Some(&Node::Switch(src_tor)));
+            }
+            other => panic!("expected blackhole, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reseeding_moves_flows() {
+        let mut t = topo();
+        let a = HostId(0);
+        let b = HostId(t.num_hosts() as u32 - 1);
+        // Find a tuple whose path moves when the source ToR is reseeded.
+        let src_tor = t.host_tor(a);
+        let moved = (0..64u16).any(|sp| {
+            let ft = tuple(40000 + sp, t.host_ip(a), t.host_ip(b));
+            let before = t.route(&ft, a, b).unwrap();
+            t.reseed_switch(src_tor, 0x1234_5678 + u64::from(sp));
+            let after = t.route(&ft, a, b).unwrap();
+            after != before
+        });
+        assert!(moved, "reseeding never moved any flow");
+    }
+
+    #[test]
+    fn single_pod_topology_routes() {
+        let t = ClosTopology::new(ClosParams::test_cluster(), 1).unwrap();
+        let a = HostId(0);
+        let b = HostId(t.num_hosts() as u32 - 1);
+        let ft = tuple(50000, t.host_ip(a), t.host_ip(b));
+        let p = t.route(&ft, a, b).unwrap();
+        assert_eq!(p.hop_count(), 4); // no T2 tier in a single pod
+    }
+}

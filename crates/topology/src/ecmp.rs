@@ -1,0 +1,135 @@
+//! ECMP next-hop selection.
+//!
+//! Switches hash the five-tuple together with a per-switch seed to pick one
+//! of several equal-cost next hops. Two properties matter to 007:
+//!
+//! * **Flow stickiness** (§4.2): all packets of one five-tuple — data *and*
+//!   crafted probes — hash identically at every switch, so a probe follows
+//!   the traced flow's path.
+//! * **Unpredictability** (§9.1): the seeds are proprietary and change on
+//!   switch reboot, so paths cannot be precomputed from headers; 007 must
+//!   measure them. The fabric models reboots by reseeding switches.
+//!
+//! The hash is a SplitMix64-style avalanche over the canonical 13-byte
+//! five-tuple encoding. It is *not* cryptographic — neither are the vendor
+//! functions — it just needs determinism and decent uniformity, which the
+//! tests check.
+
+use vigil_packet::FiveTuple;
+
+/// SplitMix64 finalizer: full-avalanche 64→64 mix.
+#[inline]
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Hashes a five-tuple under a per-switch seed.
+pub fn hash(seed: u64, tuple: &FiveTuple) -> u64 {
+    let bytes = tuple.to_bytes();
+    let mut acc = mix(seed);
+    // Two 64-bit lanes cover the 13 bytes (8 + 5, zero padded).
+    let lo = u64::from_le_bytes(bytes[0..8].try_into().expect("8 bytes"));
+    let mut hi_bytes = [0u8; 8];
+    hi_bytes[..5].copy_from_slice(&bytes[8..13]);
+    let hi = u64::from_le_bytes(hi_bytes);
+    acc = mix(acc ^ lo);
+    acc = mix(acc ^ hi);
+    acc
+}
+
+/// Picks one of `n` equal-cost next hops for the tuple under the seed.
+///
+/// # Panics
+///
+/// Panics if `n == 0` — a switch with zero candidate next hops is a routing
+/// bug the caller must handle (blackhole), not a hashing question.
+pub fn select(seed: u64, tuple: &FiveTuple, n: usize) -> usize {
+    assert!(n > 0, "ECMP selection requires at least one candidate");
+    (hash(seed, tuple) % n as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    fn tuple(sp: u16) -> FiveTuple {
+        FiveTuple::tcp(
+            Ipv4Addr::new(10, 0, 0, 1),
+            sp,
+            Ipv4Addr::new(10, 1, 0, 1),
+            443,
+        )
+    }
+
+    #[test]
+    fn deterministic() {
+        let t = tuple(50000);
+        assert_eq!(hash(7, &t), hash(7, &t));
+        assert_eq!(select(7, &t, 16), select(7, &t, 16));
+    }
+
+    #[test]
+    fn seed_sensitivity() {
+        // Reseeding a switch (reboot) must re-shuffle flows: over many
+        // tuples, the selections under two seeds must differ somewhere.
+        let differs = (0..64).any(|sp| select(1, &tuple(sp), 16) != select(2, &tuple(sp), 16));
+        assert!(differs);
+    }
+
+    #[test]
+    fn tuple_sensitivity() {
+        let differs = (0..64).any(|sp| select(1, &tuple(sp), 16) != select(1, &tuple(sp + 1), 16));
+        assert!(differs);
+    }
+
+    #[test]
+    fn reasonable_uniformity() {
+        // 16 bins, 16k flows: each bin should get 1000 ± a generous margin.
+        let n = 16usize;
+        let trials = 16_000u32;
+        let mut counts = vec![0u32; n];
+        for i in 0..trials {
+            let t = FiveTuple::tcp(
+                Ipv4Addr::new(10, 0, (i >> 8) as u8, i as u8),
+                40_000 + (i % 20_000) as u16,
+                Ipv4Addr::new(10, 9, (i >> 4) as u8, 1),
+                443,
+            );
+            counts[select(0xdead_beef, &t, n)] += 1;
+        }
+        let expected = trials / n as u32;
+        for (bin, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as i64 - expected as i64).abs() < (expected as i64) / 2,
+                "bin {bin} has {c}, expected ≈{expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn select_stays_in_range() {
+        for n in 1..=8 {
+            for sp in 0..32 {
+                assert!(select(42, &tuple(sp), n) < n);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one candidate")]
+    fn zero_candidates_panics() {
+        let _ = select(1, &tuple(1), 0);
+    }
+
+    #[test]
+    fn forward_and_reverse_tuples_hash_independently() {
+        // The reverse path (ACKs) generally differs from the forward path.
+        let t = tuple(50000);
+        let differs = (0..32).any(|s| hash(s, &t) != hash(s, &t.reversed()));
+        assert!(differs);
+    }
+}

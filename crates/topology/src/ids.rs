@@ -1,0 +1,149 @@
+//! Identifier types for topology entities.
+//!
+//! Plain newtype indices — cheap to copy, hash, and store in dense tables.
+//! All of them are stable for the lifetime of a [`crate::ClosTopology`].
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of a host (server) in the topology, dense in `0..num_hosts`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct HostId(pub u32);
+
+/// Index of a switch in the topology, dense in `0..num_switches`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SwitchId(pub u32);
+
+/// Index of a directional link, dense in `0..num_links`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct LinkId(pub u32);
+
+impl LinkId {
+    /// The raw index, convenient for dense per-link arrays.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// What tier a switch sits in, and where.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SwitchKind {
+    /// Top-of-rack switch `idx` in pod `pod`.
+    Tor {
+        /// Pod index.
+        pod: u16,
+        /// ToR index within the pod.
+        idx: u16,
+    },
+    /// Tier-1 switch `idx` in pod `pod`.
+    T1 {
+        /// Pod index.
+        pod: u16,
+        /// T1 index within the pod.
+        idx: u16,
+    },
+    /// Global tier-2 switch `idx` (tier-2 switches belong to no pod).
+    T2 {
+        /// T2 index.
+        idx: u16,
+    },
+}
+
+impl SwitchKind {
+    /// The pod this switch belongs to, if any (T2 switches are global).
+    pub fn pod(&self) -> Option<u16> {
+        match self {
+            SwitchKind::Tor { pod, .. } | SwitchKind::T1 { pod, .. } => Some(*pod),
+            SwitchKind::T2 { .. } => None,
+        }
+    }
+
+    /// Canonical operator-facing name, e.g. `pod0-tor3`, `pod1-t1-2`,
+    /// `t2-7` — the strings the alias map resolves to.
+    pub fn name(&self) -> String {
+        match self {
+            SwitchKind::Tor { pod, idx } => format!("pod{pod}-tor{idx}"),
+            SwitchKind::T1 { pod, idx } => format!("pod{pod}-t1-{idx}"),
+            SwitchKind::T2 { idx } => format!("t2-{idx}"),
+        }
+    }
+}
+
+impl fmt::Display for SwitchKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// A generic endpoint: host or switch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Node {
+    /// A server.
+    Host(HostId),
+    /// A switch.
+    Switch(SwitchId),
+}
+
+impl Node {
+    /// The switch id, if this node is a switch.
+    pub fn switch(self) -> Option<SwitchId> {
+        match self {
+            Node::Switch(s) => Some(s),
+            Node::Host(_) => None,
+        }
+    }
+
+    /// The host id, if this node is a host.
+    pub fn host(self) -> Option<HostId> {
+        match self {
+            Node::Host(h) => Some(h),
+            Node::Switch(_) => None,
+        }
+    }
+}
+
+impl From<HostId> for Node {
+    fn from(h: HostId) -> Self {
+        Node::Host(h)
+    }
+}
+
+impl From<SwitchId> for Node {
+    fn from(s: SwitchId) -> Self {
+        Node::Switch(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn switch_kind_names() {
+        assert_eq!(SwitchKind::Tor { pod: 0, idx: 3 }.name(), "pod0-tor3");
+        assert_eq!(SwitchKind::T1 { pod: 1, idx: 2 }.name(), "pod1-t1-2");
+        assert_eq!(SwitchKind::T2 { idx: 7 }.name(), "t2-7");
+    }
+
+    #[test]
+    fn switch_kind_pods() {
+        assert_eq!(SwitchKind::Tor { pod: 4, idx: 0 }.pod(), Some(4));
+        assert_eq!(SwitchKind::T1 { pod: 2, idx: 0 }.pod(), Some(2));
+        assert_eq!(SwitchKind::T2 { idx: 0 }.pod(), None);
+    }
+
+    #[test]
+    fn node_projections() {
+        let h = Node::Host(HostId(3));
+        let s = Node::Switch(SwitchId(5));
+        assert_eq!(h.host(), Some(HostId(3)));
+        assert_eq!(h.switch(), None);
+        assert_eq!(s.switch(), Some(SwitchId(5)));
+        assert_eq!(s.host(), None);
+    }
+
+    #[test]
+    fn link_id_index() {
+        assert_eq!(LinkId(9).index(), 9);
+    }
+}

@@ -1,0 +1,36 @@
+//! Clos datacenter topology for the `vigil` reproduction of 007 (NSDI 2018).
+//!
+//! The paper's Definition 1: a Clos topology has `npod` pods, each with `n0`
+//! top-of-rack (ToR) switches (with `H` hosts each) and `n1` tier-1
+//! switches; ToR↔T1 form a complete bipartite network inside each pod
+//! (*level 1 links*), and every pod's T1 switches connect to all `n2`
+//! global tier-2 switches (*level 2 links*).
+//!
+//! Everything 007 does is parameterized by this structure:
+//!
+//! * **ECMP routing** (§4.2): packets of one five-tuple follow one path,
+//!   chosen by per-switch hashes ([`ecmp`], [`route`]).
+//! * **Directional links** (Figure 11 distinguishes ToR→T1 from T1→ToR
+//!   failures), including host↔ToR links (§8.3: 48 % of blamed links are
+//!   server↔ToR).
+//! * **Router aliasing** (§4.2): mapping ICMP source IPs back to switch
+//!   identities from the known topology ([`alias`]).
+//! * **Theorem 1** (ICMP rate safety) and **Theorem 2/3** (voting accuracy)
+//!   bound calculators ([`bounds`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alias;
+pub mod bounds;
+pub mod clos;
+pub mod ecmp;
+pub mod ids;
+pub mod params;
+pub mod paths;
+pub mod route;
+
+pub use clos::{ClosTopology, Link, LinkKind};
+pub use ids::{HostId, LinkId, Node, SwitchId, SwitchKind};
+pub use params::ClosParams;
+pub use route::{Path, RouteError};

@@ -1,0 +1,213 @@
+//! Path enumeration and diversity metrics.
+//!
+//! "The accuracy of 007 is tied to the degree of path diversity and that
+//! multiple paths are available at each hop: the higher the degree of
+//! path diversity, the better 007 performs." (§9.1). This module
+//! enumerates the ECMP-reachable path set between host pairs (the formal
+//! `P` — "set of all possible paths" — of Algorithm 1) and computes the
+//! diversity figures the accuracy argument leans on.
+
+use crate::clos::ClosTopology;
+use crate::ids::{HostId, LinkId, Node};
+use crate::route::Path;
+
+impl ClosTopology {
+    /// Enumerates every ECMP-admissible path from `src` to `dst` —
+    /// all combinations of the equal-cost choices a five-tuple could
+    /// hash to. The actual path of any given tuple is one element.
+    ///
+    /// Sizes are bounded by the topology (`n1`, `n1·n2·n1` for intra-/
+    /// inter-pod), so this is enumeration, not search.
+    pub fn all_paths(&self, src: HostId, dst: HostId) -> Vec<Path> {
+        if src == dst {
+            return Vec::new();
+        }
+        let src_tor = self.host_tor(src);
+        let dst_tor = self.host_tor(dst);
+        let src_pod = self.host_pod(src);
+        let dst_pod = self.host_pod(dst);
+
+        let link = |a: Node, b: Node| -> LinkId {
+            self.link_between(a, b)
+                .expect("enumerated hops are adjacent by construction")
+        };
+
+        if src_tor == dst_tor {
+            return vec![Path::new(
+                vec![Node::Host(src), Node::Switch(src_tor), Node::Host(dst)],
+                vec![
+                    link(Node::Host(src), Node::Switch(src_tor)),
+                    link(Node::Switch(src_tor), Node::Host(dst)),
+                ],
+            )];
+        }
+
+        let mut out = Vec::new();
+        if src_pod == dst_pod {
+            for j in 0..self.params().n1 {
+                let t1 = self.t1(src_pod, j);
+                let nodes = vec![
+                    Node::Host(src),
+                    Node::Switch(src_tor),
+                    Node::Switch(t1),
+                    Node::Switch(dst_tor),
+                    Node::Host(dst),
+                ];
+                let links = nodes
+                    .windows(2)
+                    .map(|w| link(w[0], w[1]))
+                    .collect();
+                out.push(Path::new(nodes, links));
+            }
+            return out;
+        }
+
+        for j in 0..self.params().n1 {
+            for l in 0..self.params().n2 {
+                for m in 0..self.params().n1 {
+                    let up_t1 = self.t1(src_pod, j);
+                    let t2 = self.t2(l);
+                    let down_t1 = self.t1(dst_pod, m);
+                    let nodes = vec![
+                        Node::Host(src),
+                        Node::Switch(src_tor),
+                        Node::Switch(up_t1),
+                        Node::Switch(t2),
+                        Node::Switch(down_t1),
+                        Node::Switch(dst_tor),
+                        Node::Host(dst),
+                    ];
+                    let links = nodes.windows(2).map(|w| link(w[0], w[1])).collect();
+                    out.push(Path::new(nodes, links));
+                }
+            }
+        }
+        out
+    }
+
+    /// The number of ECMP-admissible paths between two hosts: 1 (same
+    /// rack), `n1` (same pod), or `n1²·n2` (cross-pod).
+    pub fn path_diversity(&self, src: HostId, dst: HostId) -> usize {
+        if src == dst {
+            return 0;
+        }
+        let same_tor = self.host_tor(src) == self.host_tor(dst);
+        if same_tor {
+            1
+        } else if self.host_pod(src) == self.host_pod(dst) {
+            usize::from(self.params().n1)
+        } else {
+            usize::from(self.params().n1).pow(2) * usize::from(self.params().n2)
+        }
+    }
+
+    /// The probability that a uniformly random admissible path between
+    /// `src` and `dst` traverses `link` — the quantity the §5.1 vote
+    /// adjustment estimates ("finding what fraction of these flows go
+    /// through k by assuming ECMP distributes flows uniformly at
+    /// random").
+    pub fn path_traversal_probability(&self, src: HostId, dst: HostId, link: LinkId) -> f64 {
+        let paths = self.all_paths(src, dst);
+        if paths.is_empty() {
+            return 0.0;
+        }
+        let hits = paths.iter().filter(|p| p.contains_link(link)).count();
+        hits as f64 / paths.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::ClosParams;
+    use std::collections::HashSet;
+    use vigil_packet::FiveTuple;
+
+    fn topo() -> ClosTopology {
+        ClosTopology::new(ClosParams::tiny(), 5).unwrap()
+    }
+
+    #[test]
+    fn diversity_counts_match_enumeration() {
+        let t = topo();
+        let same_rack = (HostId(0), HostId(1));
+        let same_pod = (HostId(0), HostId(5));
+        let cross_pod = (HostId(0), HostId(t.num_hosts() as u32 - 1));
+        for (a, b) in [same_rack, same_pod, cross_pod] {
+            assert_eq!(t.all_paths(a, b).len(), t.path_diversity(a, b));
+        }
+        // tiny(): n1 = 3, n2 = 4 ⇒ cross-pod diversity = 9 · 4 = 36.
+        assert_eq!(t.path_diversity(cross_pod.0, cross_pod.1), 36);
+        assert_eq!(t.path_diversity(same_pod.0, same_pod.1), 3);
+        assert_eq!(t.path_diversity(same_rack.0, same_rack.1), 1);
+        assert_eq!(t.path_diversity(HostId(0), HostId(0)), 0);
+    }
+
+    #[test]
+    fn enumerated_paths_are_distinct_and_valid() {
+        let t = topo();
+        let (a, b) = (HostId(0), HostId(t.num_hosts() as u32 - 1));
+        let paths = t.all_paths(a, b);
+        let mut seen = HashSet::new();
+        for p in &paths {
+            assert!(seen.insert(p.links.clone()), "duplicate path");
+            assert_eq!(p.hop_count(), 6);
+            for (i, l) in p.links.iter().enumerate() {
+                let link = t.link(*l);
+                assert_eq!(link.from, p.nodes[i]);
+                assert_eq!(link.to, p.nodes[i + 1]);
+            }
+        }
+    }
+
+    #[test]
+    fn routed_path_is_among_enumerated() {
+        let t = topo();
+        let (a, b) = (HostId(2), HostId(t.num_hosts() as u32 - 3));
+        let all: HashSet<Vec<LinkId>> = t
+            .all_paths(a, b)
+            .into_iter()
+            .map(|p| p.links)
+            .collect();
+        for sp in 0..32u16 {
+            let tuple = FiveTuple::tcp(t.host_ip(a), 40_000 + sp, t.host_ip(b), 443);
+            let routed = t.route(&tuple, a, b).unwrap();
+            assert!(all.contains(&routed.links), "routed path not in P");
+        }
+    }
+
+    #[test]
+    fn traversal_probability_structure() {
+        let t = topo();
+        let (a, b) = (HostId(0), HostId(t.num_hosts() as u32 - 1));
+        // The host uplink is on every path.
+        let up = t
+            .link_between(Node::Host(a), Node::Switch(t.host_tor(a)))
+            .unwrap();
+        assert_eq!(t.path_traversal_probability(a, b, up), 1.0);
+        // A specific ToR→T1 uplink is on 1/n1 of the paths.
+        let some_t1 = t.t1(t.host_pod(a), 0);
+        let l1 = t
+            .link_between(Node::Switch(t.host_tor(a)), Node::Switch(some_t1))
+            .unwrap();
+        let p = t.path_traversal_probability(a, b, l1);
+        assert!((p - 1.0 / 3.0).abs() < 1e-12, "got {p}");
+        // A link in an unrelated pod is on no path.
+        let foreign_tor = t.tor(t.host_pod(a), 3);
+        let foreign = t
+            .link_between(Node::Switch(foreign_tor), Node::Switch(some_t1))
+            .unwrap();
+        assert_eq!(t.path_traversal_probability(a, b, foreign), 0.0);
+    }
+
+    #[test]
+    fn single_pod_cluster_paths() {
+        let t = ClosTopology::new(ClosParams::test_cluster(), 1).unwrap();
+        let (a, b) = (HostId(0), HostId(t.num_hosts() as u32 - 1));
+        let paths = t.all_paths(a, b);
+        assert_eq!(paths.len(), usize::from(t.params().n1)); // 4
+        for p in paths {
+            assert_eq!(p.hop_count(), 4);
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! `vigil-sim` — run 007 fault-localization experiments from the command
+//! line.
+//!
+//! ```text
+//! vigil-sim list                          # available scenario presets
+//! vigil-sim run <preset> [options]        # run a preset
+//! vigil-sim run-config <config.json>      # run a JSON ExperimentConfig
+//! vigil-sim bounds                        # print the Theorem 1/2 numbers
+//!
+//! options:
+//!   --trials N     independent trials (fresh topology + fault draw)
+//!   --epochs N     epochs per trial
+//!   --seed N       master seed
+//!   --json         machine-readable report on stdout
+//! ```
+
+use std::process::ExitCode;
+use vigil::prelude::*;
+
+const PRESETS: &[(&str, &str)] = &[
+    ("single-failure", "one fabric link failing at 0.05–1% (fig. 3 point)"),
+    ("multi-failure", "six simultaneous failures (fig. 5b point)"),
+    ("skewed-traffic", "80% of flows into 25% of racks (fig. 8)"),
+    ("hot-tor", "one ToR sinks half the traffic, 5 failures (fig. 9)"),
+    ("skewed-rates", "one scorching link among mild ones (fig. 12)"),
+    ("test-cluster", "the paper's 10-ToR test cluster, 0.1% failure (fig. 13)"),
+];
+
+fn preset(name: &str) -> Option<ExperimentConfig> {
+    Some(match name {
+        "single-failure" => scenarios::fig03_optimal_case(1),
+        "multi-failure" => scenarios::fig05_multi(6),
+        "skewed-traffic" => scenarios::fig08_skew(1, Some(1e-3)),
+        "hot-tor" => scenarios::fig09_hot_tor(0.5, 5),
+        "skewed-rates" => scenarios::fig12_skewed_rates(6),
+        "test-cluster" => scenarios::fig13_cluster(1e-3),
+        _ => return None,
+    })
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") => {
+            println!("available presets:");
+            for (name, what) in PRESETS {
+                println!("  {name:<16} {what}");
+            }
+            ExitCode::SUCCESS
+        }
+        Some("bounds") => {
+            let p = ClosParams::paper_sim();
+            let ct = vigil_topology::bounds::theorem1_ct_bound(&p, 100.0);
+            println!("paper topology: {p:?}");
+            println!("Theorem 1: Ct = {ct:.2} traceroutes/s/host at Tmax = 100/s");
+            let t2 = vigil_topology::bounds::Theorem2 {
+                params: p,
+                k: 1,
+                p_bad: 5e-4,
+                p_good: 1e-7,
+                c_lower: 50,
+                c_upper: 100,
+            };
+            println!(
+                "Theorem 2 (k=1, p_bad=0.05%): α = {:.3}, noise ceiling = {:.2e}",
+                t2.alpha().unwrap_or(f64::NAN),
+                t2.noise_ceiling().unwrap_or(f64::NAN)
+            );
+            ExitCode::SUCCESS
+        }
+        Some("run") => {
+            let Some(name) = args.get(1) else {
+                eprintln!("usage: vigil-sim run <preset> [--trials N] [--epochs N] [--seed N] [--json]");
+                return ExitCode::FAILURE;
+            };
+            let Some(mut cfg) = preset(name) else {
+                eprintln!("unknown preset '{name}'; try `vigil-sim list`");
+                return ExitCode::FAILURE;
+            };
+            if let Err(e) = apply_flags(&mut cfg, &args[2..]) {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+            execute(cfg, args.iter().any(|a| a == "--json"))
+        }
+        Some("run-config") => {
+            let Some(path) = args.get(1) else {
+                eprintln!("usage: vigil-sim run-config <config.json> [--json]");
+                return ExitCode::FAILURE;
+            };
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("cannot read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let cfg: ExperimentConfig = match serde_json::from_str(&text) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("invalid config: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            execute(cfg, args.iter().any(|a| a == "--json"))
+        }
+        _ => {
+            eprintln!("usage: vigil-sim <list|bounds|run|run-config> …");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn apply_flags(cfg: &mut ExperimentConfig, flags: &[String]) -> Result<(), String> {
+    let mut it = flags.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--trials" | "--epochs" | "--seed" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| format!("{flag} needs a value"))?
+                    .parse::<u64>()
+                    .map_err(|e| format!("{flag}: {e}"))?;
+                match flag.as_str() {
+                    "--trials" => cfg.trials = v as usize,
+                    "--epochs" => cfg.epochs = v as usize,
+                    _ => cfg.seed = v,
+                }
+            }
+            "--json" => {}
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(())
+}
+
+fn execute(cfg: ExperimentConfig, json: bool) -> ExitCode {
+    if let Err(e) = cfg.params.validate() {
+        eprintln!("invalid topology parameters: {e}");
+        return ExitCode::FAILURE;
+    }
+    let report = run_experiment(&cfg);
+    if json {
+        match serde_json::to_string_pretty(&report) {
+            Ok(s) => println!("{s}"),
+            Err(e) => {
+                eprintln!("serialization failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        return ExitCode::SUCCESS;
+    }
+    println!("experiment: {}", report.name);
+    println!(
+        "topology: {:?} ({} trials × {} epochs)",
+        cfg.params, cfg.trials, cfg.epochs
+    );
+    let pct = |v: Option<f64>| v.map_or("-".into(), |x| format!("{:.1}%", x * 100.0));
+    println!("\n                         007      integer-opt");
+    println!(
+        "per-flow accuracy   {:>8}   {:>12}",
+        pct(report.vigil.pooled.accuracy.value()),
+        pct(report
+            .integer
+            .as_ref()
+            .and_then(|m| m.pooled.accuracy.value())),
+    );
+    println!(
+        "detection precision {:>8}   {:>12}",
+        pct(report.vigil.pooled.confusion.precision()),
+        pct(report
+            .integer
+            .as_ref()
+            .and_then(|m| m.pooled.confusion.precision())),
+    );
+    println!(
+        "detection recall    {:>8}   {:>12}",
+        pct(report.vigil.pooled.confusion.recall()),
+        pct(report
+            .integer
+            .as_ref()
+            .and_then(|m| m.pooled.confusion.recall())),
+    );
+    println!(
+        "\nlinks blamed per epoch: {:.2} ± {:.2}",
+        report.detected_per_epoch.mean(),
+        report.detected_per_epoch.ci95_half_width().unwrap_or(0.0)
+    );
+    println!(
+        "noise-marked flows: {} (incorrect: {})",
+        report.noise_marked, report.noise_marked_incorrectly
+    );
+    ExitCode::SUCCESS
+}
