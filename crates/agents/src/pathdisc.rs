@@ -51,7 +51,9 @@ pub struct OracleTracer {
 
 impl OracleTracer {
     /// Builds the oracle from the epoch's flow records.
-    pub fn from_flows<'a>(flows: impl IntoIterator<Item = &'a vigil_fabric::flowsim::FlowRecord>) -> Self {
+    pub fn from_flows<'a>(
+        flows: impl IntoIterator<Item = &'a vigil_fabric::flowsim::FlowRecord>,
+    ) -> Self {
         let paths = flows
             .into_iter()
             .map(|f| (f.tuple, f.path.clone()))
@@ -311,9 +313,24 @@ mod tests {
     #[test]
     fn pacer_budget_and_cache() {
         let mut pacer = HostPacer::with_budget(2);
-        let t1 = FiveTuple::tcp("10.0.0.1".parse().unwrap(), 1, "10.0.0.2".parse().unwrap(), 2);
-        let t2 = FiveTuple::tcp("10.0.0.1".parse().unwrap(), 3, "10.0.0.2".parse().unwrap(), 2);
-        let t3 = FiveTuple::tcp("10.0.0.1".parse().unwrap(), 4, "10.0.0.2".parse().unwrap(), 2);
+        let t1 = FiveTuple::tcp(
+            "10.0.0.1".parse().unwrap(),
+            1,
+            "10.0.0.2".parse().unwrap(),
+            2,
+        );
+        let t2 = FiveTuple::tcp(
+            "10.0.0.1".parse().unwrap(),
+            3,
+            "10.0.0.2".parse().unwrap(),
+            2,
+        );
+        let t3 = FiveTuple::tcp(
+            "10.0.0.1".parse().unwrap(),
+            4,
+            "10.0.0.2".parse().unwrap(),
+            2,
+        );
         assert!(pacer.admit(&t1));
         assert!(!pacer.admit(&t1), "once per flow per epoch");
         assert!(pacer.admit(&t2));

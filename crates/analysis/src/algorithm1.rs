@@ -137,9 +137,8 @@ pub fn detect(
     let mut detections = Vec::new();
 
     while detections.len() < config.max_detections {
-        let pick = tally.max_where(|l, _| {
-            !detected.contains(&l) && voters[l.index()] >= config.min_voters
-        });
+        let pick = tally
+            .max_where(|l, _| !detected.contains(&l) && voters[l.index()] >= config.min_voters);
         let Some((lmax, votes)) = pick else {
             break;
         };
@@ -198,9 +197,7 @@ mod tests {
         // 10 flows through link 5 (plus disjoint other links). The
         // pipeline hands Algorithm 1 *failure-class* evidence only (noise
         // flows are filtered upstream, §6 ordering).
-        let evidence: Vec<FlowEvidence> = (0..10)
-            .map(|i| ev(&[5, 20 + i, 40 + i]))
-            .collect();
+        let evidence: Vec<FlowEvidence> = (0..10).map(|i| ev(&[5, 20 + i, 40 + i])).collect();
         let out = detect(&evidence, 80, &cfg());
         assert_eq!(out.detections[0].link, LinkId(5));
         // With adjustment, explaining link 5 retracts every flow; no
@@ -213,8 +210,7 @@ mod tests {
         // A lone-drop flow alongside a real failure: with the default
         // voter quorum (min_voters = 2) the lone flow's links can never
         // be detected, however small the residual total gets.
-        let mut evidence: Vec<FlowEvidence> =
-            (0..10).map(|i| ev(&[5, 20 + i, 40 + i])).collect();
+        let mut evidence: Vec<FlowEvidence> = (0..10).map(|i| ev(&[5, 20 + i, 40 + i])).collect();
         evidence.push(ev(&[60, 61, 62]));
         let out = detect(&evidence, 80, &cfg());
         assert_eq!(out.detections[0].link, LinkId(5));
@@ -290,9 +286,9 @@ mod tests {
 
     #[test]
     fn max_detections_caps() {
-        let evidence: Vec<FlowEvidence> = (0..10).flat_map(|i| {
-            std::iter::repeat_with(move || ev(&[i])).take(5)
-        }).collect();
+        let evidence: Vec<FlowEvidence> = (0..10)
+            .flat_map(|i| std::iter::repeat_with(move || ev(&[i])).take(5))
+            .collect();
         let out = detect(
             &evidence,
             10,

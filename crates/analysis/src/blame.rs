@@ -29,8 +29,10 @@ mod tests {
     #[test]
     fn blames_highest_voted_on_path() {
         // Link 5 shared by many failed flows; link 9 only on one path.
-        let evidence: Vec<FlowEvidence> =
-            (0..8).map(|i| ev(&[5, 10 + i])).chain([ev(&[9, 5])]).collect();
+        let evidence: Vec<FlowEvidence> = (0..8)
+            .map(|i| ev(&[5, 10 + i]))
+            .chain([ev(&[9, 5])])
+            .collect();
         let tally = VoteTally::tally(&evidence, 20, VoteWeight::ReciprocalPathLength);
         assert_eq!(blame_flow(&tally, &ev(&[9, 5])), Some(LinkId(5)));
         assert_eq!(blame_flow(&tally, &ev(&[5, 10])), Some(LinkId(5)));

@@ -139,7 +139,10 @@ mod tests {
         assert!(h.score(LinkId(5)) > after_one, "persistent link heats up");
         h.absorb(&epoch_with(&[7]));
         h.absorb(&epoch_with(&[7]));
-        assert!(h.score(LinkId(5)) < after_one + 1e-9, "quiet link cools down");
+        assert!(
+            h.score(LinkId(5)) < after_one + 1e-9,
+            "quiet link cools down"
+        );
     }
 
     #[test]

@@ -132,9 +132,7 @@ pub fn detect_switches(
         let Some((idx, &v)) = votes
             .iter()
             .enumerate()
-            .filter(|(i, v)| {
-                **v > 1e-9 && !detected.iter().any(|d| d.switch.0 as usize == *i)
-            })
+            .filter(|(i, v)| **v > 1e-9 && !detected.iter().any(|d| d.switch.0 as usize == *i))
             .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite votes"))
         else {
             break;

@@ -155,7 +155,11 @@ impl VoteTally {
             .filter(|(_, v)| **v > 0.0)
             .map(|(i, v)| (LinkId(i as u32), *v))
             .collect();
-        v.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite votes").then(a.0.cmp(&b.0)));
+        v.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("finite votes")
+                .then(a.0.cmp(&b.0))
+        });
         v
     }
 
@@ -166,7 +170,11 @@ impl VoteTally {
             .iter()
             .map(|l| (*l, self.votes(*l)))
             .filter(|(_, v)| *v > 0.0)
-            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite votes").then(b.0.cmp(&a.0)))
+            .max_by(|a, b| {
+                a.1.partial_cmp(&b.1)
+                    .expect("finite votes")
+                    .then(b.0.cmp(&a.0))
+            })
     }
 }
 

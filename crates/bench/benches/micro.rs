@@ -77,13 +77,7 @@ fn synth_evidence(n: usize, num_links: u32, seed: u64) -> Vec<FlowEvidence> {
 fn bench_voting(c: &mut Criterion) {
     let evidence = synth_evidence(100_000, 4160, 1);
     c.bench_function("voting/tally_100k_flows_4160_links", |b| {
-        b.iter(|| {
-            VoteTally::tally(
-                black_box(&evidence),
-                4160,
-                VoteWeight::ReciprocalPathLength,
-            )
-        })
+        b.iter(|| VoteTally::tally(black_box(&evidence), 4160, VoteWeight::ReciprocalPathLength))
     });
 
     let small = synth_evidence(5_000, 4160, 2);
@@ -150,7 +144,12 @@ fn bench_epoch(c: &mut Criterion) {
     c.bench_function("epoch/end_to_end_tiny", |b| {
         b.iter(|| {
             let mut r = ChaCha8Rng::seed_from_u64(6);
-            vigil::run_epoch(black_box(&topo), black_box(&faults), black_box(&cfg), &mut r)
+            vigil::run_epoch(
+                black_box(&topo),
+                black_box(&faults),
+                black_box(&cfg),
+                &mut r,
+            )
         })
     });
 }

@@ -10,7 +10,9 @@
 //!    algorithm (DESIGN.md's robustness note).
 
 use vigil::prelude::*;
-use vigil_bench::{accuracy_pct, banner, precision_pct, print_table, recall_pct, write_json, Scale, SeriesRow};
+use vigil_bench::{
+    accuracy_pct, banner, precision_pct, print_table, recall_pct, write_json, Scale, SeriesRow,
+};
 
 fn run_with(alg1: Algorithm1Config, scale: &Scale, k: u32) -> ExperimentReport {
     let cfg = scale.apply(scenarios::ablation_base(k, alg1));

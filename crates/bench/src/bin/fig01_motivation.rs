@@ -57,7 +57,7 @@ fn main() {
         // The fault population drifts: some intervals quiet, most with a
         // few lossy links of varying severity (a day in a big fabric).
         let failures = *[0u32, 1, 1, 2, 2, 3, 4]
-            .get(rng.gen_range(0..7))
+            .get(rng.gen_range(0..7usize))
             .expect("non-empty");
         let plan = FaultPlan {
             failures,

@@ -9,10 +9,10 @@
 //! high. Had the top-k links been selected, recall would be ≈ 100 % — we
 //! print that variant too.
 
+use std::collections::BTreeSet;
 use vigil::prelude::*;
 use vigil_bench::{banner, precision_pct, print_table, recall_pct, write_json, Scale, SeriesRow};
 use vigil_stats::BinaryConfusion;
-use std::collections::BTreeSet;
 
 fn main() {
     banner(

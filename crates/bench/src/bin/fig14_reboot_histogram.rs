@@ -67,11 +67,7 @@ fn main() {
                 .expect("uplink");
             faults.fail_link(up, rng.gen_range(0.1..0.5));
             let run = vigil::run_epoch(&topo, &faults, &cfg, &mut rng);
-            if run
-                .detection
-                .detected_links()
-                .contains(&up)
-            {
+            if run.detection.detected_links().contains(&up) {
                 explained += 1;
             }
         }

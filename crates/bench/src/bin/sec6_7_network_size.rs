@@ -9,7 +9,9 @@
 //!   (e.g. 98.01 % at 30 failures).
 
 use vigil::prelude::*;
-use vigil_bench::{accuracy_pct, banner, precision_pct, print_table, recall_pct, write_json, Scale, SeriesRow};
+use vigil_bench::{
+    accuracy_pct, banner, precision_pct, print_table, recall_pct, write_json, Scale, SeriesRow,
+};
 
 fn main() {
     banner(

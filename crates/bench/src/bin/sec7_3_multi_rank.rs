@@ -11,8 +11,8 @@
 
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
-use vigil::prelude::*;
 use vigil::evaluate::evaluate_epoch;
+use vigil::prelude::*;
 use vigil_bench::{banner, write_json, Scale};
 
 fn main() {
@@ -79,12 +79,18 @@ fn main() {
 
     let pct = |n: u64| n as f64 / epochs.max(1) as f64 * 100.0;
     println!("\nepochs scored: {epochs}");
-    println!("higher-rate link is most voted: {:.1}%   (paper: 100%)", pct(hot_first));
+    println!(
+        "higher-rate link is most voted: {:.1}%   (paper: 100%)",
+        pct(hot_first)
+    );
     println!("second link rank distribution:");
     for (i, c) in second_rank_counts.iter().enumerate() {
         println!("  rank {}: {:>5.1}%", i + 1, pct(*c));
     }
-    println!("  beyond top-5: {:>5.1}%   (paper: 0%)", pct(second_beyond_5));
+    println!(
+        "  beyond top-5: {:>5.1}%   (paper: 0%)",
+        pct(second_beyond_5)
+    );
     println!(
         "both failures within top-3 (≤1 false positive): {:.1}%   (paper: 80%)",
         pct(both_in_top3)

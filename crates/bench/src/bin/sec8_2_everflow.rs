@@ -85,7 +85,11 @@ fn main() {
                 complete: d.complete,
             })
             .collect();
-        let tally = VoteTally::tally(&evidence, topo.num_links(), VoteWeight::ReciprocalPathLength);
+        let tally = VoteTally::tally(
+            &evidence,
+            topo.num_links(),
+            VoteWeight::ReciprocalPathLength,
+        );
 
         // Validation: restricted to the EverFlow-monitored hosts, like
         // the paper. Ground-truth noise drops are excluded as in §6.

@@ -75,8 +75,12 @@ fn main() {
             Cause::HostTorTransient => {
                 let host = vigil_topology::HostId(rng.gen_range(0..topo.num_hosts() as u32));
                 let tor = topo.host_tor(host);
-                let up = topo.link_between(Node::Host(host), Node::Switch(tor)).unwrap();
-                let down = topo.link_between(Node::Switch(tor), Node::Host(host)).unwrap();
+                let up = topo
+                    .link_between(Node::Host(host), Node::Switch(tor))
+                    .unwrap();
+                let down = topo
+                    .link_between(Node::Switch(tor), Node::Host(host))
+                    .unwrap();
                 faults.fail_link(up, rng.gen_range(0.05..0.4));
                 faults.fail_link(down, rng.gen_range(0.01..0.1));
                 vec![LinkKind::HostToTor, LinkKind::TorToHost]
@@ -169,6 +173,7 @@ fn main() {
     let day_epochs = if scale.fast { 40 } else { 150 };
     let mut day_detected = Summary::new();
     let mut day_tiers = [0u64; 6]; // HostToTor, TorToHost, TorToT1, T1ToTor, T1ToT2, T2ToT1
+
     // The recurring bad ToR of the paper's account ("38% were due to a
     // single ToR switch that was eventually taken out for repair").
     let bad_tor_host = vigil_topology::HostId(rng.gen_range(0..topo.num_hosts() as u32));
@@ -185,7 +190,9 @@ fn main() {
                 .hosts_under(tor)
                 .nth(rng.gen_range(0..usize::from(topo.params().hosts_per_tor)))
                 .expect("rack has hosts");
-            let up = topo.link_between(Node::Host(host), Node::Switch(tor)).unwrap();
+            let up = topo
+                .link_between(Node::Host(host), Node::Switch(tor))
+                .unwrap();
             faults.fail_link(up, rng.gen_range(0.02..0.2));
         } else if roll < 0.62 {
             // other server-ToR transients

@@ -58,10 +58,8 @@ fn main() {
         // Each host paces itself by Theorem 1 and spreads its traces over
         // the epoch (retransmissions arrive throughout the 30 s).
         for host in topo.hosts() {
-            let mut agent = HostAgent::new(
-                host,
-                HostPacer::from_theorem1(&topo, 100.0, epoch_seconds),
-            );
+            let mut agent =
+                HostAgent::new(host, HostPacer::from_theorem1(&topo, 100.0, epoch_seconds));
             let events: Vec<_> = monitor.events_for_host(host, &outcome.flows).collect();
             for event in events {
                 let offset: f64 = rng.gen_range(0.0..epoch_seconds * 0.95);
@@ -100,7 +98,10 @@ fn main() {
             h.fraction(i) * 100.0
         );
     }
-    println!("\nmax(T) = {}   (paper: 11; cap Tmax = 100)", acc.max_per_second());
+    println!(
+        "\nmax(T) = {}   (paper: 11; cap Tmax = 100)",
+        acc.max_per_second()
+    );
     assert!(
         f64::from(acc.max_per_second()) <= 100.0,
         "Theorem 1 violated: a switch exceeded Tmax"
@@ -109,7 +110,10 @@ fn main() {
 
     // Theorem 1's closed form for this topology, for reference.
     let ct = vigil_topology::bounds::theorem1_ct_bound(topo.params(), 100.0);
-    println!("theorem 1 bound: Ct = {ct:.2} traceroutes/s/host (budget {} per epoch)", (ct * epoch_seconds) as u64);
+    println!(
+        "theorem 1 bound: Ct = {ct:.2} traceroutes/s/host (budget {} per epoch)",
+        (ct * epoch_seconds) as u64
+    );
     write_json(
         "table1",
         &serde_json::json!({

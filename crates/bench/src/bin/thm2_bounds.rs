@@ -55,9 +55,7 @@ fn main() {
             let ceil = t.noise_ceiling().unwrap_or(f64::NAN);
             let e5 = t.epsilon(100_000).unwrap_or(f64::NAN);
             let e6 = t.epsilon(1_000_000).unwrap_or(f64::NAN);
-            println!(
-                "{k:>4} {pb:>10.0e} {alpha:>10.3} {ceil:>14.2e} {e5:>12.3e} {e6:>12.3e}"
-            );
+            println!("{k:>4} {pb:>10.0e} {alpha:>10.3} {ceil:>14.2e} {e5:>12.3e} {e6:>12.3e}");
         }
     }
 

@@ -153,7 +153,10 @@ pub fn accuracy_pct(m: &vigil::MethodReport) -> f64 {
 
 /// Pooled precision (%), NaN when undefined.
 pub fn precision_pct(m: &vigil::MethodReport) -> f64 {
-    m.pooled.confusion.precision().map_or(f64::NAN, |v| v * 100.0)
+    m.pooled
+        .confusion
+        .precision()
+        .map_or(f64::NAN, |v| v * 100.0)
 }
 
 /// Pooled recall (%), NaN when undefined.

@@ -70,7 +70,13 @@ pub struct EpochReport {
 
 /// Scores one epoch run.
 pub fn evaluate_epoch(run: &EpochRun) -> EpochReport {
-    let truth_failed: BTreeSet<LinkId> = run.outcome.ground_truth.failed_links.iter().copied().collect();
+    let truth_failed: BTreeSet<LinkId> = run
+        .outcome
+        .ground_truth
+        .failed_links
+        .iter()
+        .copied()
+        .collect();
     let flow_by_tuple = run.flow_by_tuple();
 
     let mut vigil = MethodMetrics::default();

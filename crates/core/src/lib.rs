@@ -51,7 +51,9 @@ pub use run::{run_epoch, run_epoch_threaded, Baselines, EpochRun, PacerBudget, R
 pub mod prelude {
     pub use crate::evaluate::{EpochReport, MethodMetrics};
     pub use crate::experiment::{run_experiment, ExperimentConfig, ExperimentReport, MethodReport};
-    pub use crate::run::{run_epoch, run_epoch_threaded, Baselines, EpochRun, PacerBudget, RunConfig};
+    pub use crate::run::{
+        run_epoch, run_epoch_threaded, Baselines, EpochRun, PacerBudget, RunConfig,
+    };
     pub use crate::scenarios;
     pub use vigil_analysis::{Algorithm1Config, ThresholdBase, VoteWeight};
     pub use vigil_fabric::faults::{FaultLocation, FaultPlan, RateRange};

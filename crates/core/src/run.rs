@@ -193,15 +193,13 @@ pub fn run_epoch_threaded<R: Rng + ?Sized>(
             scope.spawn(move || {
                 // Each worker traces only its own hosts' flows.
                 let mut tracer = OracleTracer::from_flows(
-                    outcome_ref
-                        .flows
-                        .iter()
-                        .filter(|f| chunk.contains(&f.src)),
+                    outcome_ref.flows.iter().filter(|f| chunk.contains(&f.src)),
                 );
                 for &host in chunk {
                     let mut agent = HostAgent::new(host, config_ref.pacer.pacer(topo_ref));
-                    let events: Vec<_> =
-                        monitor_ref.events_for_host(host, &outcome_ref.flows).collect();
+                    let events: Vec<_> = monitor_ref
+                        .events_for_host(host, &outcome_ref.flows)
+                        .collect();
                     for report in agent.run_epoch(events, &mut tracer) {
                         tx.send(report);
                     }

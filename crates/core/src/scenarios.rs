@@ -252,10 +252,7 @@ mod tests {
     #[test]
     fn fig13_targets_t1_tor() {
         let cfg = fig13_cluster(1e-3);
-        assert_eq!(
-            cfg.faults.location,
-            FaultLocation::Kind(LinkKind::T1ToTor)
-        );
+        assert_eq!(cfg.faults.location, FaultLocation::Kind(LinkKind::T1ToTor));
         assert_eq!(cfg.params, ClosParams::test_cluster());
     }
 }

@@ -29,7 +29,10 @@ impl TokenBucket {
     /// A bucket refilling at `rate` tokens/second holding at most `burst`
     /// tokens, starting full at time 0.
     pub fn new(rate: f64, burst: f64) -> Self {
-        assert!(rate >= 0.0 && burst > 0.0, "rate ≥ 0 and burst > 0 required");
+        assert!(
+            rate >= 0.0 && burst > 0.0,
+            "rate ≥ 0 and burst > 0 required"
+        );
         Self {
             rate,
             burst,

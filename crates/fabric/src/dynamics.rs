@@ -237,7 +237,10 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(3);
         // Epoch exactly covering the window.
         let faults = tl.materialize(8, RateRange::fixed(0.0), 10.0, 30.0, &mut rng);
-        assert!(faults.is_down(LinkId(3)), "mid-window the link is withdrawn");
+        assert!(
+            faults.is_down(LinkId(3)),
+            "mid-window the link is withdrawn"
+        );
         // Two 1 s bursts at 0.3 over 20 s ⇒ 0.03 time-weighted.
         assert!((faults.rate(LinkId(3)) - 0.03).abs() < 1e-12);
     }

@@ -128,7 +128,11 @@ impl FaultPlan {
             eligible.len()
         );
         eligible.shuffle(rng);
-        for (i, link) in eligible.into_iter().take(self.failures as usize).enumerate() {
+        for (i, link) in eligible
+            .into_iter()
+            .take(self.failures as usize)
+            .enumerate()
+        {
             let range = match (&self.first_failure_rate, i) {
                 (Some(first), 0) => *first,
                 _ => self.failure_rate,
@@ -272,7 +276,11 @@ mod tests {
             ..FaultPlan::paper_default(4)
         };
         let faults = plan.build(&topo, &mut rng);
-        let rates: Vec<f64> = faults.failed_set().iter().map(|l| faults.rate(*l)).collect();
+        let rates: Vec<f64> = faults
+            .failed_set()
+            .iter()
+            .map(|l| faults.rate(*l))
+            .collect();
         let hot = rates.iter().filter(|r| **r >= 0.1).count();
         let mild = rates.iter().filter(|r| **r < 1e-3).count();
         assert_eq!(hot, 1);

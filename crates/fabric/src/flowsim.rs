@@ -21,8 +21,8 @@ use crate::traffic::{FlowSpec, TrafficSpec};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
-use vigil_topology::{ClosTopology, HostId, LinkId, Path, RouteError};
 use vigil_packet::FiveTuple;
+use vigil_topology::{ClosTopology, HostId, LinkId, Path, RouteError};
 
 /// Dense flow index within one epoch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -164,9 +164,9 @@ pub fn simulate_flows<R: Rng + ?Sized>(
 
     for (i, spec) in specs.iter().enumerate() {
         let id = FlowId(i as u32);
-        let record = match topo.route_filtered(&spec.tuple, spec.src, spec.dst, &|l| {
-            faults.is_down(l)
-        }) {
+        let record = match topo
+            .route_filtered(&spec.tuple, spec.src, spec.dst, &|l| faults.is_down(l))
+        {
             Ok(path) => simulate_one_flow(id, spec, path, faults, config, rng, &mut drops_per_link),
             Err(RouteError::Blackhole { partial }) => {
                 // Administratively unreachable: SYN dies in the void. No
@@ -290,9 +290,7 @@ fn simulate_one_flow<R: Rng + ?Sized>(
             completed = false;
             break;
         }
-        pkt = pkt
-            .saturating_add(1)
-            .saturating_add(geometric_gap(rng));
+        pkt = pkt.saturating_add(1).saturating_add(geometric_gap(rng));
     }
 
     record.established = established;
@@ -378,7 +376,13 @@ mod tests {
         let topo = topo();
         let faults = LinkFaults::new(topo.num_links());
         let mut rng = ChaCha8Rng::seed_from_u64(1);
-        let out = simulate_epoch(&topo, &faults, &traffic(5, 50), &SimConfig::default(), &mut rng);
+        let out = simulate_epoch(
+            &topo,
+            &faults,
+            &traffic(5, 50),
+            &SimConfig::default(),
+            &mut rng,
+        );
         assert!(out.flows.iter().all(|f| f.retransmissions == 0));
         assert!(out.flows.iter().all(|f| f.established && f.completed));
         assert_eq!(out.ground_truth.drops_per_link.iter().sum::<u64>(), 0);
@@ -398,7 +402,13 @@ mod tests {
             .id;
         faults.fail_link(bad, 1.0);
         let mut rng = ChaCha8Rng::seed_from_u64(2);
-        let out = simulate_epoch(&topo, &faults, &traffic(20, 20), &SimConfig::default(), &mut rng);
+        let out = simulate_epoch(
+            &topo,
+            &faults,
+            &traffic(20, 20),
+            &SimConfig::default(),
+            &mut rng,
+        );
 
         let through: Vec<_> = out
             .flows
@@ -413,7 +423,10 @@ mod tests {
         // Every drop in the epoch should be on the blackhole (noise is 0).
         assert_eq!(
             out.ground_truth.drops_per_link[bad.index()],
-            out.flows.iter().map(|f| f.total_drops() as u64).sum::<u64>()
+            out.flows
+                .iter()
+                .map(|f| f.total_drops() as u64)
+                .sum::<u64>()
         );
     }
 
@@ -429,13 +442,15 @@ mod tests {
             .id;
         faults.fail_link(bad, 0.05); // 5 %: drops happen, retries succeed
         let mut rng = ChaCha8Rng::seed_from_u64(3);
-        let out = simulate_epoch(&topo, &faults, &traffic(20, 50), &SimConfig::default(), &mut rng);
+        let out = simulate_epoch(
+            &topo,
+            &faults,
+            &traffic(20, 50),
+            &SimConfig::default(),
+            &mut rng,
+        );
 
-        let affected: Vec<_> = out
-            .flows
-            .iter()
-            .filter(|f| f.retransmissions > 0)
-            .collect();
+        let affected: Vec<_> = out.flows.iter().filter(|f| f.retransmissions > 0).collect();
         assert!(!affected.is_empty());
         for f in &affected {
             assert!(f.path.contains_link(bad), "only the bad link drops here");
@@ -456,7 +471,13 @@ mod tests {
             .id;
         faults.set_admin_down(dead, true);
         let mut rng = ChaCha8Rng::seed_from_u64(4);
-        let out = simulate_epoch(&topo, &faults, &traffic(20, 20), &SimConfig::default(), &mut rng);
+        let out = simulate_epoch(
+            &topo,
+            &faults,
+            &traffic(20, 20),
+            &SimConfig::default(),
+            &mut rng,
+        );
         assert!(out.flows.iter().all(|f| !f.path.contains_link(dead)));
         assert!(out.flows.iter().all(|f| f.retransmissions == 0));
     }
@@ -474,7 +495,13 @@ mod tests {
             .unwrap();
         faults.set_admin_down(host_up, true);
         let mut rng = ChaCha8Rng::seed_from_u64(5);
-        let out = simulate_epoch(&topo, &faults, &traffic(3, 10), &SimConfig::default(), &mut rng);
+        let out = simulate_epoch(
+            &topo,
+            &faults,
+            &traffic(3, 10),
+            &SimConfig::default(),
+            &mut rng,
+        );
         let from_h0: Vec<_> = out
             .flows
             .iter()
@@ -497,7 +524,13 @@ mod tests {
             ..FaultPlan::paper_default(3)
         }
         .build(&topo, &mut rng);
-        let out = simulate_epoch(&topo, &faults, &traffic(10, 50), &SimConfig::default(), &mut rng);
+        let out = simulate_epoch(
+            &topo,
+            &faults,
+            &traffic(10, 50),
+            &SimConfig::default(),
+            &mut rng,
+        );
         // Sum of per-flow drops equals sum of per-link global drops.
         let per_flow: u64 = out.flows.iter().map(|f| f.total_drops() as u64).sum();
         let per_link: u64 = out.ground_truth.drops_per_link.iter().sum();
@@ -515,11 +548,23 @@ mod tests {
         let mut faults = LinkFaults::new(topo.num_links());
         let mut rng = ChaCha8Rng::seed_from_u64(7);
         faults.set_noise(RateRange { lo: 1e-5, hi: 1e-4 }, &mut rng); // exaggerated noise
-        let out = simulate_epoch(&topo, &faults, &traffic(30, 100), &SimConfig::default(), &mut rng);
+        let out = simulate_epoch(
+            &topo,
+            &faults,
+            &traffic(30, 100),
+            &SimConfig::default(),
+            &mut rng,
+        );
         let noisy_flows = out.flows_with_retransmissions().count();
         assert!(noisy_flows > 0, "exaggerated noise should hit someone");
         // No link should have a large tally from noise alone.
-        let max = out.ground_truth.drops_per_link.iter().max().copied().unwrap();
+        let max = out
+            .ground_truth
+            .drops_per_link
+            .iter()
+            .max()
+            .copied()
+            .unwrap();
         assert!(max <= 5, "noise produced a hot link ({max} drops)");
     }
 
@@ -529,8 +574,20 @@ mod tests {
         let mut rng1 = ChaCha8Rng::seed_from_u64(8);
         let mut rng2 = ChaCha8Rng::seed_from_u64(8);
         let faults = FaultPlan::paper_default(2).build(&topo, &mut ChaCha8Rng::seed_from_u64(9));
-        let a = simulate_epoch(&topo, &faults, &traffic(5, 20), &SimConfig::default(), &mut rng1);
-        let b = simulate_epoch(&topo, &faults, &traffic(5, 20), &SimConfig::default(), &mut rng2);
+        let a = simulate_epoch(
+            &topo,
+            &faults,
+            &traffic(5, 20),
+            &SimConfig::default(),
+            &mut rng1,
+        );
+        let b = simulate_epoch(
+            &topo,
+            &faults,
+            &traffic(5, 20),
+            &SimConfig::default(),
+            &mut rng2,
+        );
         assert_eq!(a.flows, b.flows);
     }
 
@@ -583,8 +640,12 @@ mod tests {
         let spec = (0..500u16)
             .find_map(|port| {
                 let dst = vigil_topology::HostId(topo.num_hosts() as u32 - 1);
-                let tuple =
-                    vigil_packet::FiveTuple::tcp(topo.host_ip(src), 40_000 + port, topo.host_ip(dst), 443);
+                let tuple = vigil_packet::FiveTuple::tcp(
+                    topo.host_ip(src),
+                    40_000 + port,
+                    topo.host_ip(dst),
+                    443,
+                );
                 let path = topo.route(&tuple, src, dst).unwrap();
                 path.contains_link(bad).then_some(crate::traffic::FlowSpec {
                     src,

@@ -418,10 +418,7 @@ mod tests {
         let out = sim.send_probe_train(src, &tuple);
         assert_ne!(out.oracle_path, before, "probes must take the new path");
         // §8.2-style validation would now flag the mismatch:
-        assert_ne!(
-            sim.data_path(&tuple, src, dst).unwrap().links,
-            before.links
-        );
+        assert_ne!(sim.data_path(&tuple, src, dst).unwrap().links, before.links);
     }
 
     #[test]

@@ -113,10 +113,8 @@ impl Recording {
                 443,
             );
             // Partial epochs carry proportionally fewer packets.
-            let overlap =
-                ((conn.start + conn.duration).min(to) - conn.start.max(from)).max(0.0);
-            let packets =
-                ((f64::from(conn.packets_per_epoch)) * overlap / 30.0).ceil() as u32;
+            let overlap = ((conn.start + conn.duration).min(to) - conn.start.max(from)).max(0.0);
+            let packets = ((f64::from(conn.packets_per_epoch)) * overlap / 30.0).ceil() as u32;
             if packets == 0 {
                 continue;
             }
@@ -151,10 +149,7 @@ mod tests {
     fn synthesis_is_ordered_and_bounded() {
         let rec = recording();
         assert!(rec.conns.len() > 1000, "6 h of traffic is many flows");
-        assert!(rec
-            .conns
-            .windows(2)
-            .all(|w| w[0].start <= w[1].start));
+        assert!(rec.conns.windows(2).all(|w| w[0].start <= w[1].start));
         assert!(rec.conns.iter().all(|c| c.start < rec.duration));
     }
 

@@ -165,7 +165,10 @@ impl Slb {
         if self.snat_flows.contains(vip_flow) {
             return Err(SlbError::Snat);
         }
-        if !self.pools.contains_key(&(vip_flow.dst_ip, vip_flow.dst_port)) {
+        if !self
+            .pools
+            .contains_key(&(vip_flow.dst_ip, vip_flow.dst_port))
+        {
             return Err(SlbError::UnknownVip);
         }
         self.assignments
@@ -218,7 +221,10 @@ mod tests {
         let flow = vip_flow(50_000);
         let a = slb.establish(HostId(0), flow, &mut rng).unwrap();
         assert_eq!(slb.query(&flow, &mut rng).unwrap(), a);
-        assert!(pool().backends.iter().any(|(h, d, p)| (*h, *d, *p) == (a.host, a.dip, a.port)));
+        assert!(pool()
+            .backends
+            .iter()
+            .any(|(h, d, p)| (*h, *d, *p) == (a.host, a.dip, a.port)));
     }
 
     #[test]
@@ -232,8 +238,14 @@ mod tests {
             Ipv4Addr::new(10, 255, 9, 9),
             443,
         );
-        assert_eq!(slb.establish(HostId(0), stray, &mut rng).unwrap_err(), SlbError::UnknownVip);
-        assert_eq!(slb.query(&stray, &mut rng).unwrap_err(), SlbError::UnknownVip);
+        assert_eq!(
+            slb.establish(HostId(0), stray, &mut rng).unwrap_err(),
+            SlbError::UnknownVip
+        );
+        assert_eq!(
+            slb.query(&stray, &mut rng).unwrap_err(),
+            SlbError::UnknownVip
+        );
     }
 
     #[test]
@@ -269,7 +281,10 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(5);
         let flow = vip_flow(50_003);
         let _ = slb.establish(HostId(0), flow, &mut rng).unwrap();
-        assert_eq!(slb.query(&flow, &mut rng).unwrap_err(), SlbError::QueryFailed);
+        assert_eq!(
+            slb.query(&flow, &mut rng).unwrap_err(),
+            SlbError::QueryFailed
+        );
     }
 
     #[test]

@@ -283,12 +283,7 @@ mod tests {
     #[test]
     fn feasibility_of_attribution() {
         // Ap ≥ c must hold for the attributed counts on every raw row.
-        let i = rows(&[
-            (&[1, 2, 3], 4),
-            (&[2, 4], 2),
-            (&[3, 4], 5),
-            (&[1], 1),
-        ]);
+        let i = rows(&[(&[1, 2, 3], 4), (&[2, 4], 2), (&[3, 4], 5), (&[1], 1)]);
         let sol = integer_program(&i, &SearchLimits::default());
         for (links, demand) in [
             (&[1u32, 2, 3][..], 4u64),

@@ -259,8 +259,7 @@ mod tests {
             let rows: Vec<FlowRow> = (0..rng.gen_range(1..10))
                 .map(|_| {
                     let len = rng.gen_range(1..4usize);
-                    let links: Vec<u32> =
-                        (0..len).map(|_| rng.gen_range(0..num_links)).collect();
+                    let links: Vec<u32> = (0..len).map(|_| rng.gen_range(0..num_links)).collect();
                     FlowRow { links, demand: 1 }
                 })
                 .collect();

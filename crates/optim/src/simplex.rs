@@ -235,8 +235,7 @@ impl Tableau {
         while row < self.a.len() {
             if self.basis[row] >= self.art_start {
                 // Find a non-artificial column to pivot in.
-                let col = (0..self.art_start)
-                    .find(|&j| self.a[row][j].abs() > 1e-7);
+                let col = (0..self.art_start).find(|&j| self.a[row][j].abs() > 1e-7);
                 match col {
                     Some(j) => self.pivot(row, j),
                     None => {

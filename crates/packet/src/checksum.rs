@@ -120,8 +120,16 @@ mod tests {
     #[test]
     fn pseudo_header_affects_tcp_checksum() {
         let seg = [0u8; 20];
-        let a = tcp_checksum("10.0.0.1".parse().unwrap(), "10.0.0.2".parse().unwrap(), &seg);
-        let b = tcp_checksum("10.0.0.1".parse().unwrap(), "10.0.0.3".parse().unwrap(), &seg);
+        let a = tcp_checksum(
+            "10.0.0.1".parse().unwrap(),
+            "10.0.0.2".parse().unwrap(),
+            &seg,
+        );
+        let b = tcp_checksum(
+            "10.0.0.1".parse().unwrap(),
+            "10.0.0.3".parse().unwrap(),
+            &seg,
+        );
         assert_ne!(a, b);
     }
 

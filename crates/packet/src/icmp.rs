@@ -47,6 +47,7 @@ impl IcmpTimeExceeded {
         buf[1] = CODE_TTL_IN_TRANSIT;
         buf[2..4].copy_from_slice(&[0, 0]); // checksum placeholder
         buf[4..8].copy_from_slice(&[0, 0, 0, 0]); // unused
+
         // Embed the original header. Note: the original is embedded as seen
         // at the expiring hop, i.e. with TTL 0 — but its *ident* is intact,
         // which is all 007 needs.
@@ -56,7 +57,8 @@ impl IcmpTimeExceeded {
         };
         embedded.ttl = 0;
         embedded.emit(&mut buf[ICMP_HEADER_LEN..]);
-        buf[ICMP_HEADER_LEN + ipv4::HEADER_LEN..ICMP_HEADER_LEN + ipv4::HEADER_LEN + EMBEDDED_PAYLOAD_LEN]
+        buf[ICMP_HEADER_LEN + ipv4::HEADER_LEN
+            ..ICMP_HEADER_LEN + ipv4::HEADER_LEN + EMBEDDED_PAYLOAD_LEN]
             .copy_from_slice(&self.original_payload);
         let len = self.buffer_len();
         let c = checksum::checksum(&buf[..len]);
@@ -156,7 +158,10 @@ mod tests {
         let mut buf = vec![0u8; msg.buffer_len()];
         msg.emit(&mut buf);
         buf[0] = 3; // destination unreachable
-        assert_eq!(IcmpTimeExceeded::parse(&buf).unwrap_err(), WireError::Malformed);
+        assert_eq!(
+            IcmpTimeExceeded::parse(&buf).unwrap_err(),
+            WireError::Malformed
+        );
     }
 
     #[test]
@@ -165,7 +170,10 @@ mod tests {
         let mut buf = vec![0u8; msg.buffer_len()];
         msg.emit(&mut buf);
         buf[5] ^= 0x01; // flip a bit in the unused field
-        assert_eq!(IcmpTimeExceeded::parse(&buf).unwrap_err(), WireError::Checksum);
+        assert_eq!(
+            IcmpTimeExceeded::parse(&buf).unwrap_err(),
+            WireError::Checksum
+        );
     }
 
     #[test]

@@ -110,13 +110,23 @@ impl<T: AsRef<[u8]>> Ipv4Packet<T> {
     /// Source address.
     pub fn src_addr(&self) -> Ipv4Addr {
         let d = self.buffer.as_ref();
-        Ipv4Addr::new(d[field::SRC][0], d[field::SRC][1], d[field::SRC][2], d[field::SRC][3])
+        Ipv4Addr::new(
+            d[field::SRC][0],
+            d[field::SRC][1],
+            d[field::SRC][2],
+            d[field::SRC][3],
+        )
     }
 
     /// Destination address.
     pub fn dst_addr(&self) -> Ipv4Addr {
         let d = self.buffer.as_ref();
-        Ipv4Addr::new(d[field::DST][0], d[field::DST][1], d[field::DST][2], d[field::DST][3])
+        Ipv4Addr::new(
+            d[field::DST][0],
+            d[field::DST][1],
+            d[field::DST][2],
+            d[field::DST][3],
+        )
     }
 
     /// True when the header checksum verifies.

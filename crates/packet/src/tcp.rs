@@ -104,13 +104,23 @@ impl<T: AsRef<[u8]>> TcpSegment<T> {
     /// Sequence number.
     pub fn seq(&self) -> u32 {
         let d = self.buffer.as_ref();
-        u32::from_be_bytes([d[field::SEQ][0], d[field::SEQ][1], d[field::SEQ][2], d[field::SEQ][3]])
+        u32::from_be_bytes([
+            d[field::SEQ][0],
+            d[field::SEQ][1],
+            d[field::SEQ][2],
+            d[field::SEQ][3],
+        ])
     }
 
     /// Acknowledgment number.
     pub fn ack(&self) -> u32 {
         let d = self.buffer.as_ref();
-        u32::from_be_bytes([d[field::ACK][0], d[field::ACK][1], d[field::ACK][2], d[field::ACK][3]])
+        u32::from_be_bytes([
+            d[field::ACK][0],
+            d[field::ACK][1],
+            d[field::ACK][2],
+            d[field::ACK][3],
+        ])
     }
 
     /// Flag bits.

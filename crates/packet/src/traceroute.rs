@@ -131,13 +131,10 @@ pub fn parse_time_exceeded(from: Ipv4Addr, icmp_bytes: &[u8]) -> Result<ProbeRep
 }
 
 /// Converts an already-parsed [`IcmpTimeExceeded`] into a [`ProbeReply`].
-pub fn reply_from_message(
-    from: Ipv4Addr,
-    msg: &IcmpTimeExceeded,
-) -> Result<ProbeReply, WireError> {
+pub fn reply_from_message(from: Ipv4Addr, msg: &IcmpTimeExceeded) -> Result<ProbeReply, WireError> {
     let hop = ProbeBuilder::decode_ident(msg.original.ident).ok_or(WireError::Malformed)?;
-    let protocol =
-        crate::five_tuple::Protocol::from_number(msg.original.protocol).ok_or(WireError::Malformed)?;
+    let protocol = crate::five_tuple::Protocol::from_number(msg.original.protocol)
+        .ok_or(WireError::Malformed)?;
     let (src_port, dst_port) = msg.original_ports();
     Ok(ProbeReply {
         responder: from,
@@ -213,7 +210,10 @@ mod tests {
     #[test]
     fn ident_roundtrip() {
         for ttl in 1..=MAX_PROBE_TTL {
-            assert_eq!(ProbeBuilder::decode_ident(ProbeBuilder::encode_ident(ttl)), Some(ttl));
+            assert_eq!(
+                ProbeBuilder::decode_ident(ProbeBuilder::encode_ident(ttl)),
+                Some(ttl)
+            );
         }
         assert_eq!(ProbeBuilder::decode_ident(0x0005), None); // no magic
         assert_eq!(ProbeBuilder::decode_ident(0xb700), None); // ttl 0

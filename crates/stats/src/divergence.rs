@@ -64,7 +64,9 @@ pub fn binomial_upper_tail_bound(m: u64, q: f64, delta: f64) -> f64 {
             return 0.0;
         }
     }
-    (-(m as f64) * kl_bernoulli(shifted.min(1.0), q)).exp().min(1.0)
+    (-(m as f64) * kl_bernoulli(shifted.min(1.0), q))
+        .exp()
+        .min(1.0)
 }
 
 /// Chernoff–KL upper bound on the lower tail of a binomial:

@@ -65,7 +65,10 @@ impl Ecdf {
     ///
     /// Panics if `q` is outside `[0, 1]`.
     pub fn quantile(&self, q: f64) -> Option<f64> {
-        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1], got {q}");
+        assert!(
+            (0.0..=1.0).contains(&q),
+            "quantile must be in [0,1], got {q}"
+        );
         if self.sorted.is_empty() {
             return None;
         }
@@ -152,10 +155,7 @@ mod tests {
     #[test]
     fn duplicates_collapse_in_steps() {
         let e = Ecdf::new(vec![2.0, 1.0, 2.0, 3.0]);
-        assert_eq!(
-            e.step_points(),
-            vec![(1.0, 0.25), (2.0, 0.75), (3.0, 1.0)]
-        );
+        assert_eq!(e.step_points(), vec![(1.0, 0.25), (2.0, 0.75), (3.0, 1.0)]);
     }
 
     #[test]

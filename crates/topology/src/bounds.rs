@@ -314,10 +314,7 @@ mod tests {
         // §6: "This shows these conditions are not necessary").
         assert!(!thm(1, 0.001, 0.0).pod_condition_holds());
         let big = Theorem2 {
-            params: ClosParams {
-                npod: 4,
-                ..paper()
-            },
+            params: ClosParams { npod: 4, ..paper() },
             k: 1,
             p_bad: 0.001,
             p_good: 0.0,

@@ -145,10 +145,10 @@ impl ClosTopology {
         let mut links = Vec::with_capacity(params.num_links() as usize);
         let mut link_lookup = HashMap::with_capacity(params.num_links() as usize);
         let push = |links: &mut Vec<Link>,
-                        lookup: &mut HashMap<(Node, Node), LinkId>,
-                        kind: LinkKind,
-                        from: Node,
-                        to: Node| {
+                    lookup: &mut HashMap<(Node, Node), LinkId>,
+                    kind: LinkKind,
+                    from: Node,
+                    to: Node| {
             let id = LinkId(links.len() as u32);
             links.push(Link { id, kind, from, to });
             let prev = lookup.insert((from, to), id);
@@ -360,20 +360,21 @@ impl ClosTopology {
         let mut nodes: Vec<Node> = vec![Node::Host(src)];
         let mut links: Vec<LinkId> = Vec::with_capacity(6);
 
-        let step = |nodes: &mut Vec<Node>, links: &mut Vec<LinkId>, to: Node| -> Result<(), RouteError> {
-            let from = *nodes.last().expect("path starts non-empty");
-            let lid = self
-                .link_between(from, to)
-                .expect("consecutive route nodes are adjacent by construction");
-            if excluded(lid) {
-                return Err(RouteError::Blackhole {
-                    partial: Path::new(nodes.clone(), links.clone()),
-                });
-            }
-            nodes.push(to);
-            links.push(lid);
-            Ok(())
-        };
+        let step =
+            |nodes: &mut Vec<Node>, links: &mut Vec<LinkId>, to: Node| -> Result<(), RouteError> {
+                let from = *nodes.last().expect("path starts non-empty");
+                let lid = self
+                    .link_between(from, to)
+                    .expect("consecutive route nodes are adjacent by construction");
+                if excluded(lid) {
+                    return Err(RouteError::Blackhole {
+                        partial: Path::new(nodes.clone(), links.clone()),
+                    });
+                }
+                nodes.push(to);
+                links.push(lid);
+                Ok(())
+            };
 
         // Host to its ToR: the only uplink; excluded ⇒ blackhole at host.
         step(&mut nodes, &mut links, Node::Switch(src_tor))?;
@@ -384,11 +385,17 @@ impl ClosTopology {
         }
 
         // ECMP choice at the source ToR: which T1 to ascend to.
-        let up_t1 = self.ecmp_choose(src_tor, tuple, |i| {
-            let t1 = self.t1(src_pod, i as u16);
-            self.link_between(Node::Switch(src_tor), Node::Switch(t1))
-                .expect("ToR connects to every pod T1")
-        }, u32::from(self.params.n1) as usize, excluded);
+        let up_t1 = self.ecmp_choose(
+            src_tor,
+            tuple,
+            |i| {
+                let t1 = self.t1(src_pod, i as u16);
+                self.link_between(Node::Switch(src_tor), Node::Switch(t1))
+                    .expect("ToR connects to every pod T1")
+            },
+            u32::from(self.params.n1) as usize,
+            excluded,
+        );
         let up_t1 = match up_t1 {
             Some(idx) => self.t1(src_pod, idx as u16),
             None => {
@@ -407,11 +414,17 @@ impl ClosTopology {
         }
 
         // ECMP choice at the T1: which T2 to ascend to.
-        let t2 = self.ecmp_choose(up_t1, tuple, |i| {
-            let t2 = self.t2(i as u16);
-            self.link_between(Node::Switch(up_t1), Node::Switch(t2))
-                .expect("every T1 connects to every T2")
-        }, u32::from(self.params.n2) as usize, excluded);
+        let t2 = self.ecmp_choose(
+            up_t1,
+            tuple,
+            |i| {
+                let t2 = self.t2(i as u16);
+                self.link_between(Node::Switch(up_t1), Node::Switch(t2))
+                    .expect("every T1 connects to every T2")
+            },
+            u32::from(self.params.n2) as usize,
+            excluded,
+        );
         let t2 = match t2 {
             Some(idx) => self.t2(idx as u16),
             None => {
@@ -423,11 +436,17 @@ impl ClosTopology {
         step(&mut nodes, &mut links, Node::Switch(t2))?;
 
         // ECMP choice at the T2: which T1 of the destination pod to descend to.
-        let down_t1 = self.ecmp_choose(t2, tuple, |i| {
-            let t1 = self.t1(dst_pod, i as u16);
-            self.link_between(Node::Switch(t2), Node::Switch(t1))
-                .expect("every T2 connects to every pod T1")
-        }, u32::from(self.params.n1) as usize, excluded);
+        let down_t1 = self.ecmp_choose(
+            t2,
+            tuple,
+            |i| {
+                let t1 = self.t1(dst_pod, i as u16);
+                self.link_between(Node::Switch(t2), Node::Switch(t1))
+                    .expect("every T2 connects to every pod T1")
+            },
+            u32::from(self.params.n1) as usize,
+            excluded,
+        );
         let down_t1 = match down_t1 {
             Some(idx) => self.t1(dst_pod, idx as u16),
             None => {
@@ -504,8 +523,14 @@ mod tests {
     #[test]
     fn switch_id_layout() {
         let t = topo();
-        assert_eq!(t.switch_kind(t.tor(0, 0)), SwitchKind::Tor { pod: 0, idx: 0 });
-        assert_eq!(t.switch_kind(t.tor(1, 3)), SwitchKind::Tor { pod: 1, idx: 3 });
+        assert_eq!(
+            t.switch_kind(t.tor(0, 0)),
+            SwitchKind::Tor { pod: 0, idx: 0 }
+        );
+        assert_eq!(
+            t.switch_kind(t.tor(1, 3)),
+            SwitchKind::Tor { pod: 1, idx: 3 }
+        );
         assert_eq!(t.switch_kind(t.t1(0, 2)), SwitchKind::T1 { pod: 0, idx: 2 });
         assert_eq!(t.switch_kind(t.t2(3)), SwitchKind::T2 { idx: 3 });
     }
@@ -662,9 +687,7 @@ mod tests {
         let p = t.route(&ft, a, b).unwrap();
         // Exclude the chosen ToR→T1 link; the flow must take another T1.
         let dead = p.links[1];
-        let q = t
-            .route_filtered(&ft, a, b, &|l| l == dead)
-            .unwrap();
+        let q = t.route_filtered(&ft, a, b, &|l| l == dead).unwrap();
         assert_ne!(q.links[1], dead);
         assert_eq!(q.hop_count(), 6);
     }

@@ -37,7 +37,10 @@ impl fmt::Display for ParamError {
         match self {
             ParamError::ZeroCount(which) => write!(f, "{which} must be at least 1"),
             ParamError::MissingTier2 => {
-                write!(f, "n2 must be at least 1 when npod > 1 (pods need tier-2 to interconnect)")
+                write!(
+                    f,
+                    "n2 must be at least 1 when npod > 1 (pods need tier-2 to interconnect)"
+                )
             }
             ParamError::TooLarge(which) => write!(f, "{which} exceeds the addressing limit of 200"),
         }

@@ -53,10 +53,7 @@ impl ClosTopology {
                     Node::Switch(dst_tor),
                     Node::Host(dst),
                 ];
-                let links = nodes
-                    .windows(2)
-                    .map(|w| link(w[0], w[1]))
-                    .collect();
+                let links = nodes.windows(2).map(|w| link(w[0], w[1])).collect();
                 out.push(Path::new(nodes, links));
             }
             return out;
@@ -164,11 +161,7 @@ mod tests {
     fn routed_path_is_among_enumerated() {
         let t = topo();
         let (a, b) = (HostId(2), HostId(t.num_hosts() as u32 - 3));
-        let all: HashSet<Vec<LinkId>> = t
-            .all_paths(a, b)
-            .into_iter()
-            .map(|p| p.links)
-            .collect();
+        let all: HashSet<Vec<LinkId>> = t.all_paths(a, b).into_iter().map(|p| p.links).collect();
         for sp in 0..32u16 {
             let tuple = FiveTuple::tcp(t.host_ip(a), 40_000 + sp, t.host_ip(b), 443);
             let routed = t.route(&tuple, a, b).unwrap();

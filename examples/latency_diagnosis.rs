@@ -47,12 +47,8 @@ fn main() {
             if topo.host_tor(src) == topo.host_tor(dst) {
                 continue;
             }
-            let tuple = FiveTuple::tcp(
-                topo.host_ip(src),
-                41_000 + j as u16,
-                topo.host_ip(dst),
-                443,
-            );
+            let tuple =
+                FiveTuple::tcp(topo.host_ip(src), 41_000 + j as u16, topo.host_ip(dst), 443);
             let path = topo.route(&tuple, src, dst).expect("routable");
             let mut srtt = SrttEstimator::new();
             for _ack in 0..30 {
@@ -84,10 +80,18 @@ fn main() {
     let evidence = high_latency_evidence(&flows, threshold);
     println!("{} flows flagged as high-latency\n", evidence.len());
 
-    let tally = VoteTally::tally(&evidence, topo.num_links(), VoteWeight::ReciprocalPathLength);
+    let tally = VoteTally::tally(
+        &evidence,
+        topo.num_links(),
+        VoteWeight::ReciprocalPathLength,
+    );
     println!("latency-vote ranking:");
     for (link, votes) in tally.ranking().into_iter().take(5) {
-        let marker = if link == congested { "  <-- the congested link" } else { "" };
+        let marker = if link == congested {
+            "  <-- the congested link"
+        } else {
+            ""
+        };
         println!(
             "  {:>6.2} votes  link {:?} ({:?}){}",
             votes,
@@ -99,5 +103,8 @@ fn main() {
 
     let top = tally.ranking().first().map(|(l, _)| *l);
     assert_eq!(top, Some(congested), "the congested link must rank first");
-    println!("\n==> queue buildup localized to link {:?} — correct!", congested);
+    println!(
+        "\n==> queue buildup localized to link {:?} — correct!",
+        congested
+    );
 }

@@ -7,8 +7,8 @@
 
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use vigil::prelude::*;
 use vigil::evaluate::evaluate_epoch;
+use vigil::prelude::*;
 
 fn main() {
     // A 2-pod Clos: 4 ToRs/pod, 3 T1s/pod, 4 T2s, 4 hosts per rack.
@@ -50,8 +50,18 @@ fn main() {
 
     println!("\ntop of the vote ranking (the paper's 'heat map'):");
     for (link, votes) in run.detection.raw_tally.ranking().into_iter().take(5) {
-        let marker = if link == bad { "  <-- injected failure" } else { "" };
-        println!("  {:>6.2} votes  link {:?} ({:?}){}", votes, link, topo.link(link).kind, marker);
+        let marker = if link == bad {
+            "  <-- injected failure"
+        } else {
+            ""
+        };
+        println!(
+            "  {:>6.2} votes  link {:?} ({:?}){}",
+            votes,
+            link,
+            topo.link(link).kind,
+            marker
+        );
     }
 
     println!("\nAlgorithm 1 detections:");

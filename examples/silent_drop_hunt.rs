@@ -78,7 +78,10 @@ fn main() {
         last_discovered, culprit
     );
     assert_eq!(culprit, silent);
-    println!("\n==> silent drop localized to link {:?} — correct!", culprit);
+    println!(
+        "\n==> silent drop localized to link {:?} — correct!",
+        culprit
+    );
 
     // And the ICMP control-plane stayed within the operator's cap:
     println!(

@@ -21,7 +21,10 @@ fn main() {
     println!(
         "test cluster: {} hosts, {} switch links",
         topo.num_hosts(),
-        topo.links().iter().filter(|l| !l.kind.is_host_link()).count()
+        topo.links()
+            .iter()
+            .filter(|l| !l.kind.is_host_link())
+            .count()
     );
 
     // One recording, replayed from every host with a different phase —
@@ -47,7 +50,10 @@ fn main() {
     println!("induced: link {:?} at 0.5% drop rate\n", bad);
 
     let cfg = RunConfig::default();
-    println!("{:>6} {:>8} {:>10} {:>12} {:>16}", "epoch", "flows", "retx", "bad votes", "bad rank");
+    println!(
+        "{:>6} {:>8} {:>10} {:>12} {:>16}",
+        "epoch", "flows", "retx", "bad votes", "bad rank"
+    );
     for epoch in 0..6u64 {
         let mut specs: Vec<FlowSpec> = Vec::new();
         for (i, host) in topo.hosts().enumerate() {
@@ -66,7 +72,10 @@ fn main() {
             );
             let events: Vec<_> = monitor.events_for_host(host, &outcome.flows).collect();
             for r in agent.run_epoch(events, &mut tracer) {
-                evidence.push(vigil_analysis::FlowEvidence::new(r.links, r.retransmissions));
+                evidence.push(vigil_analysis::FlowEvidence::new(
+                    r.links,
+                    r.retransmissions,
+                ));
             }
         }
         let tally = vigil_analysis::VoteTally::tally(

@@ -58,12 +58,7 @@ fn main() {
     let mut mounts = Vec::new();
     for host in topo.hosts().filter(|h| topo.host_pod(*h) == 0) {
         for i in 0..8u16 {
-            let vip_flow = vigil_packet::FiveTuple::tcp(
-                topo.host_ip(host),
-                40_000 + i,
-                vip,
-                443,
-            );
+            let vip_flow = vigil_packet::FiveTuple::tcp(topo.host_ip(host), 40_000 + i, vip, 443);
             let assignment = slb
                 .establish(host, vip_flow, &mut rng)
                 .expect("VIP configured");
@@ -76,12 +71,14 @@ fn main() {
             });
         }
     }
-    println!("{} VHD mount connections established through the SLB", mounts.len());
+    println!(
+        "{} VHD mount connections established through the SLB",
+        mounts.len()
+    );
 
     // --- One epoch of storage traffic over the faulty fabric ------------
     let sim = SimConfig::default();
-    let outcome =
-        vigil_fabric::flowsim::simulate_flows(&topo, &faults, &mounts, &sim, &mut rng);
+    let outcome = vigil_fabric::flowsim::simulate_flows(&topo, &faults, &mounts, &sim, &mut rng);
 
     // VM reboot rule of thumb: a mount that failed to deliver its writes
     // (incomplete flow) panics the guest.
@@ -112,11 +109,8 @@ fn main() {
             complete: r.complete,
         })
         .collect();
-    let detection = vigil_analysis::detect(
-        &evidence,
-        topo.num_links(),
-        &Algorithm1Config::default(),
-    );
+    let detection =
+        vigil_analysis::detect(&evidence, topo.num_links(), &Algorithm1Config::default());
 
     println!("\n007's verdict:");
     for d in &detection.detections {
@@ -126,14 +120,22 @@ fn main() {
             LinkKind::TorToT1 | LinkKind::T1ToTor => "ToR<->T1",
             LinkKind::T1ToT2 | LinkKind::T2ToT1 => "T1<->T2",
         };
-        let marker = if d.link == uplink { "  <-- the injected transient" } else { "" };
-        println!("  link {:?} [{}] {:.2} votes{}", d.link, class, d.votes, marker);
+        let marker = if d.link == uplink {
+            "  <-- the injected transient"
+        } else {
+            ""
+        };
+        println!(
+            "  link {:?} [{}] {:.2} votes{}",
+            d.link, class, d.votes, marker
+        );
     }
 
     // Per-reboot attribution, like the §8.3 investigation.
     let mut explained = 0;
     for reboot in &reboots {
-        let ev = vigil_analysis::FlowEvidence::new(reboot.path.links.clone(), reboot.retransmissions);
+        let ev =
+            vigil_analysis::FlowEvidence::new(reboot.path.links.clone(), reboot.retransmissions);
         if let Some(blamed) = vigil_analysis::blame_flow(&detection.raw_tally, &ev) {
             if blamed == uplink {
                 explained += 1;

@@ -18,12 +18,24 @@ use std::process::ExitCode;
 use vigil::prelude::*;
 
 const PRESETS: &[(&str, &str)] = &[
-    ("single-failure", "one fabric link failing at 0.05–1% (fig. 3 point)"),
+    (
+        "single-failure",
+        "one fabric link failing at 0.05–1% (fig. 3 point)",
+    ),
     ("multi-failure", "six simultaneous failures (fig. 5b point)"),
     ("skewed-traffic", "80% of flows into 25% of racks (fig. 8)"),
-    ("hot-tor", "one ToR sinks half the traffic, 5 failures (fig. 9)"),
-    ("skewed-rates", "one scorching link among mild ones (fig. 12)"),
-    ("test-cluster", "the paper's 10-ToR test cluster, 0.1% failure (fig. 13)"),
+    (
+        "hot-tor",
+        "one ToR sinks half the traffic, 5 failures (fig. 9)",
+    ),
+    (
+        "skewed-rates",
+        "one scorching link among mild ones (fig. 12)",
+    ),
+    (
+        "test-cluster",
+        "the paper's 10-ToR test cluster, 0.1% failure (fig. 13)",
+    ),
 ];
 
 fn preset(name: &str) -> Option<ExperimentConfig> {
@@ -70,7 +82,9 @@ fn main() -> ExitCode {
         }
         Some("run") => {
             let Some(name) = args.get(1) else {
-                eprintln!("usage: vigil-sim run <preset> [--trials N] [--epochs N] [--seed N] [--json]");
+                eprintln!(
+                    "usage: vigil-sim run <preset> [--trials N] [--epochs N] [--seed N] [--json]"
+                );
                 return ExitCode::FAILURE;
             };
             let Some(mut cfg) = preset(name) else {

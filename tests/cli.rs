@@ -1,0 +1,78 @@
+//! End-to-end tests of the `vigil-sim` CLI front door: preset listing,
+//! the JSON config path (`run-config`), and machine-readable reports.
+
+use std::process::Command;
+use vigil::prelude::*;
+
+fn vigil_sim() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_vigil-sim"))
+}
+
+#[test]
+fn list_prints_every_preset() {
+    let out = vigil_sim().arg("list").output().expect("spawn vigil-sim");
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    for preset in [
+        "single-failure",
+        "multi-failure",
+        "skewed-traffic",
+        "hot-tor",
+        "skewed-rates",
+        "test-cluster",
+    ] {
+        assert!(text.contains(preset), "missing preset {preset} in:\n{text}");
+    }
+}
+
+#[test]
+fn unknown_inputs_fail_cleanly() {
+    let out = vigil_sim()
+        .args(["run", "no-such-preset"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let out = vigil_sim().output().unwrap();
+    assert!(!out.status.success());
+    let out = vigil_sim()
+        .args(["run-config", "/nonexistent/config.json"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn run_config_round_trips_a_serialized_config() {
+    // A tiny-but-real experiment, serialized exactly the way a user would
+    // write a config file.
+    let cfg = ExperimentConfig {
+        name: "cli-round-trip".into(),
+        params: ClosParams::tiny(),
+        faults: FaultPlan::paper_default(1),
+        epochs: 1,
+        trials: 1,
+        seed: 11,
+        ..ExperimentConfig::default()
+    };
+    let json = serde_json::to_string_pretty(&cfg).unwrap();
+    let path = std::env::temp_dir().join(format!("vigil-sim-cli-{}.json", std::process::id()));
+    std::fs::write(&path, &json).unwrap();
+
+    let out = vigil_sim()
+        .arg("run-config")
+        .arg(&path)
+        .arg("--json")
+        .output()
+        .expect("spawn vigil-sim");
+    std::fs::remove_file(&path).ok();
+    let stderr = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(out.status.success(), "vigil-sim failed: {stderr}");
+
+    let report: serde_json::Value =
+        serde_json::from_str(std::str::from_utf8(&out.stdout).unwrap()).expect("valid JSON report");
+    assert_eq!(
+        report.get("name").and_then(serde_json::Value::as_str),
+        Some("cli-round-trip")
+    );
+    assert!(report.get("vigil").is_some(), "report missing 007 metrics");
+}

@@ -99,7 +99,10 @@ fn maintenance_window_reroutes_without_drop_storm() {
     };
     let run = vigil::run_epoch(&topo, &faults, &cfg, &mut rng);
     assert!(
-        run.outcome.flows.iter().all(|f| !f.path.contains_link(link)),
+        run.outcome
+            .flows
+            .iter()
+            .all(|f| !f.path.contains_link(link)),
         "withdrawn link must carry no flows"
     );
 }
@@ -130,8 +133,7 @@ fn vip_traffic_traced_through_slb_gate() {
     let mut vip_of: std::collections::HashMap<_, _> = Default::default();
     for host in topo.hosts().filter(|h| topo.host_pod(*h) == 0).take(8) {
         for i in 0..4u16 {
-            let vip_flow =
-                vigil_packet::FiveTuple::tcp(topo.host_ip(host), 45_000 + i, vip, 443);
+            let vip_flow = vigil_packet::FiveTuple::tcp(topo.host_ip(host), 45_000 + i, vip, 443);
             let a = slb.establish(host, vip_flow, &mut rng).unwrap();
             let dip_flow = vip_flow.with_destination(a.dip, a.port);
             vip_of.insert(dip_flow, vip_flow);
@@ -204,7 +206,11 @@ fn vip_traffic_traced_through_slb_gate() {
         topo.num_links(),
         vigil_analysis::VoteWeight::ReciprocalPathLength,
     );
-    assert_eq!(tally.ranking()[0].0, bad, "votes must rank the lossy link first");
+    assert_eq!(
+        tally.ranking()[0].0,
+        bad,
+        "votes must rank the lossy link first"
+    );
 }
 
 #[test]
@@ -236,6 +242,10 @@ fn snat_flows_never_trace() {
         .handle_event(&mut agent, &event, &mut tracer, &mut rng)
         .is_none());
     assert_eq!(gate.stats().skipped_snat, 1);
-    assert_eq!(agent.traceroutes_used(), 0, "no budget burned on SNAT flows");
+    assert_eq!(
+        agent.traceroutes_used(),
+        0,
+        "no budget burned on SNAT flows"
+    );
     let _: u32 = rng.gen(); // rng still usable (gate borrows ended)
 }

@@ -130,12 +130,8 @@ fn flowsim_and_netsim_agree_on_paths() {
     for i in 0..10u16 {
         let src = HostId(u32::from(i % 4));
         let dst = HostId(topo.num_hosts() as u32 - 1 - u32::from(i % 3));
-        let tuple = vigil_packet::FiveTuple::tcp(
-            topo.host_ip(src),
-            47_000 + i,
-            topo.host_ip(dst),
-            443,
-        );
+        let tuple =
+            vigil_packet::FiveTuple::tcp(topo.host_ip(src), 47_000 + i, topo.host_ip(dst), 443);
         let flow_path = topo.route(&tuple, src, dst).unwrap();
         let mut tracer = ProbeTracer::new(&mut sim);
         let discovered = tracer.trace(src, &tuple).expect("clean fabric traces");

@@ -1,0 +1,251 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! crate.
+//!
+//! Provides the macro/trait surface the workspace's `benches/micro.rs`
+//! uses — [`criterion_group!`], [`criterion_main!`], `Criterion`,
+//! `Bencher::{iter, iter_batched}`, `BatchSize` — backed by a simple
+//! wall-clock harness: warm up briefly, time a calibrated batch, report
+//! mean ns/iteration. No statistics, plots, or comparisons; run under
+//! `cargo bench` when you want numbers, and treat them as indicative.
+//!
+//! `CRITERION_TARGET_MS` (default 200) bounds measurement time per
+//! benchmark. Full measurement happens only under `cargo bench` (cargo
+//! passes `--bench`); under `cargo test` each benchmark runs exactly
+//! once as a smoke check, like upstream. An optional positional filter
+//! substring-selects benchmarks.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup cost; only a hint here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Re-run setup every iteration.
+    PerIteration,
+}
+
+/// The benchmark driver handed to every registered function.
+#[derive(Debug)]
+pub struct Criterion {
+    filter: Option<String>,
+    target: Duration,
+    smoke: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'))
+            .filter(|a| !a.is_empty());
+        // `cargo bench` passes `--bench`; `cargo test` runs the same
+        // harness=false target with no flag. Like upstream criterion,
+        // only do full measurement under `cargo bench` — everything else
+        // runs each benchmark exactly once as a smoke check.
+        let smoke = !std::env::args().any(|a| a == "--bench");
+        let target_ms = std::env::var("CRITERION_TARGET_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(200u64);
+        Self {
+            filter,
+            target: Duration::from_millis(target_ms),
+            smoke,
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs (or skips, when filtered out) one named benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut bencher = Bencher {
+            target: self.target,
+            smoke: self.smoke,
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        if self.smoke {
+            println!("{id:<48} ok (smoke)");
+        } else if bencher.iters > 0 {
+            let ns = bencher.elapsed.as_nanos() as f64 / bencher.iters as f64;
+            println!("{id:<48} {:>14.1} ns/iter ({} iters)", ns, bencher.iters);
+        } else {
+            println!("{id:<48} (no measurement)");
+        }
+        self
+    }
+}
+
+/// Timing context for one benchmark.
+#[derive(Debug)]
+pub struct Bencher {
+    target: Duration,
+    smoke: bool,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.smoke {
+            black_box(routine());
+            return;
+        }
+        // Warm-up and calibration: find an iteration count that fills the
+        // time budget without running unbounded.
+        let warmup_start = Instant::now();
+        black_box(routine());
+        let once = warmup_start.elapsed().max(Duration::from_nanos(20));
+        let budget = self.target.max(once);
+        let planned = (budget.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        let start = Instant::now();
+        for _ in 0..planned {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+        self.iters = planned;
+    }
+
+    /// Times `routine` over inputs produced by `setup`, excluding setup
+    /// time from the measurement.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        if self.smoke {
+            black_box(routine(setup()));
+            return;
+        }
+        let warmup_input = setup();
+        let warmup_start = Instant::now();
+        black_box(routine(warmup_input));
+        let once = warmup_start.elapsed().max(Duration::from_nanos(20));
+        let budget = self.target.max(once);
+        let planned = (budget.as_nanos() / once.as_nanos()).clamp(1, 100_000) as u64;
+        let mut measured = Duration::ZERO;
+        for _ in 0..planned {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            measured += start.elapsed();
+        }
+        self.elapsed = measured;
+        self.iters = planned;
+    }
+}
+
+/// Registers benchmark functions under a group name, like criterion's.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        /// Benchmark group runner generated by `criterion_group!`.
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running the given groups, like criterion's.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_measures_something() {
+        let mut c = Criterion {
+            filter: None,
+            target: Duration::from_millis(5),
+            smoke: false,
+        };
+        let mut ran = 0u64;
+        c.bench_function("smoke/iter", |b| b.iter(|| ran += 1));
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_iteration() {
+        let mut c = Criterion {
+            filter: None,
+            target: Duration::from_millis(5),
+            smoke: false,
+        };
+        let mut setups = 0u64;
+        c.bench_function("smoke/batched", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    vec![1u8; 16]
+                },
+                |v| v.len(),
+                BatchSize::SmallInput,
+            )
+        });
+        assert!(setups > 1);
+    }
+
+    #[test]
+    fn smoke_mode_runs_each_routine_once() {
+        let mut c = Criterion {
+            filter: None,
+            target: Duration::from_millis(5),
+            smoke: true,
+        };
+        let mut runs = 0u64;
+        c.bench_function("smoke/once", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 1);
+        let mut setups = 0u64;
+        c.bench_function("smoke/once-batched", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                },
+                |()| (),
+                BatchSize::SmallInput,
+            )
+        });
+        assert_eq!(setups, 1);
+    }
+
+    #[test]
+    fn filter_skips_benchmarks() {
+        let mut c = Criterion {
+            filter: Some("nomatch".into()),
+            target: Duration::from_millis(5),
+            smoke: false,
+        };
+        let mut ran = false;
+        c.bench_function("other/name", |b| {
+            ran = true;
+            b.iter(|| ())
+        });
+        assert!(!ran);
+    }
+}

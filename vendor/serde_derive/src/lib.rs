@@ -1,0 +1,490 @@
+//! Offline stand-in for the [`serde_derive`](https://crates.io/crates/serde_derive)
+//! proc-macro crate.
+//!
+//! `syn`/`quote` are not available in this build environment, so the item
+//! grammar is parsed directly from the [`proc_macro::TokenStream`]. The
+//! supported grammar is exactly what this workspace's types use:
+//!
+//! * non-generic structs with named fields (honoring `#[serde(default)]`,
+//!   and treating missing `Option<_>` fields as `None`);
+//! * tuple structs (newtypes serialize transparently, wider ones as
+//!   arrays) and unit structs;
+//! * non-generic enums with unit, tuple, and struct variants, externally
+//!   tagged like serde, with explicit discriminants (`Tcp = 6`) accepted
+//!   and ignored.
+//!
+//! Generics or lifetimes on the deriving item produce a compile error
+//! naming this file, rather than silently wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the vendored `serde::Serialize` (value-model) for a struct or
+/// enum.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive: generated invalid Serialize impl")
+}
+
+/// Derives the vendored `serde::Deserialize` (value-model) for a struct or
+/// enum.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive: generated invalid Deserialize impl")
+}
+
+// ---------------------------------------------------------------------------
+// Item model
+// ---------------------------------------------------------------------------
+
+struct Field {
+    name: String,
+    is_option: bool,
+    has_default: bool,
+}
+
+enum Fields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Item {
+    name: String,
+    kind: ItemKind,
+}
+
+enum ItemKind {
+    Struct(Fields),
+    Enum(Vec<(String, Fields)>),
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn ident_of(tok: &TokenTree) -> Option<String> {
+    match tok {
+        TokenTree::Ident(id) => Some(id.to_string()),
+        _ => None,
+    }
+}
+
+fn is_punct(tok: &TokenTree, c: char) -> bool {
+    matches!(tok, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+/// Advances past `#[...]` attributes; returns whether `#[serde(default)]`
+/// was among them.
+fn skip_attrs(toks: &[TokenTree], i: &mut usize) -> bool {
+    let mut has_default = false;
+    while *i + 1 < toks.len() && is_punct(&toks[*i], '#') {
+        if let TokenTree::Group(g) = &toks[*i + 1] {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            if inner.first().and_then(ident_of).as_deref() == Some("serde") {
+                if let Some(TokenTree::Group(args)) = inner.get(1) {
+                    for arg in args.stream() {
+                        match ident_of(&arg).as_deref() {
+                            Some("default") => has_default = true,
+                            Some(other) => panic!(
+                                "serde_derive (vendored): unsupported #[serde({other})] attribute"
+                            ),
+                            None => {}
+                        }
+                    }
+                }
+            }
+        }
+        *i += 2;
+    }
+    has_default
+}
+
+fn skip_visibility(toks: &[TokenTree], i: &mut usize) {
+    if toks.get(*i).and_then(ident_of).as_deref() == Some("pub") {
+        *i += 1;
+        if let Some(TokenTree::Group(g)) = toks.get(*i) {
+            if g.delimiter() == Delimiter::Parenthesis {
+                *i += 1;
+            }
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs(&toks, &mut i);
+    skip_visibility(&toks, &mut i);
+    let kind = toks
+        .get(i)
+        .and_then(ident_of)
+        .unwrap_or_else(|| panic!("serde_derive: expected `struct` or `enum`"));
+    i += 1;
+    let name = toks
+        .get(i)
+        .and_then(ident_of)
+        .unwrap_or_else(|| panic!("serde_derive: expected item name"));
+    i += 1;
+    if toks.get(i).is_some_and(|t| is_punct(t, '<')) {
+        panic!("serde_derive (vendored): generic items are not supported (type {name})");
+    }
+    let kind = match kind.as_str() {
+        "struct" => ItemKind::Struct(parse_struct_body(&toks, i)),
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::Enum(parse_variants(&g.stream().into_iter().collect::<Vec<_>>()))
+            }
+            _ => panic!("serde_derive: expected enum body"),
+        },
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    };
+    Item { name, kind }
+}
+
+fn parse_struct_body(toks: &[TokenTree], i: usize) -> Fields {
+    match toks.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Fields::Named(
+            parse_named_fields(&g.stream().into_iter().collect::<Vec<_>>()),
+        ),
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Fields::Tuple(
+            count_tuple_fields(&g.stream().into_iter().collect::<Vec<_>>()),
+        ),
+        Some(t) if is_punct(t, ';') => Fields::Unit,
+        None => Fields::Unit,
+        _ => panic!("serde_derive: unrecognized struct body"),
+    }
+}
+
+/// Counts depth-0 comma-separated elements of a tuple-struct body.
+fn count_tuple_fields(toks: &[TokenTree]) -> usize {
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut count = 1;
+    let mut saw_element = false;
+    for tok in toks {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    count += 1;
+                    saw_element = false;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        saw_element = true;
+    }
+    if !saw_element {
+        count -= 1; // trailing comma
+    }
+    count
+}
+
+fn parse_named_fields(toks: &[TokenTree]) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let has_default = skip_attrs(toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        skip_visibility(toks, &mut i);
+        let name = toks
+            .get(i)
+            .and_then(ident_of)
+            .unwrap_or_else(|| panic!("serde_derive: expected field name"));
+        i += 1;
+        assert!(
+            toks.get(i).is_some_and(|t| is_punct(t, ':')),
+            "serde_derive: expected `:` after field `{name}`"
+        );
+        i += 1;
+        let is_option = toks.get(i).and_then(ident_of).as_deref() == Some("Option");
+        // Consume the type: everything up to a comma at angle-depth 0.
+        let mut depth = 0i32;
+        while i < toks.len() {
+            if let TokenTree::Punct(p) = &toks[i] {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => break,
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        if i < toks.len() {
+            i += 1; // the comma
+        }
+        fields.push(Field {
+            name,
+            is_option,
+            has_default,
+        });
+    }
+    fields
+}
+
+fn parse_variants(toks: &[TokenTree]) -> Vec<(String, Fields)> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attrs(toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = toks
+            .get(i)
+            .and_then(ident_of)
+            .unwrap_or_else(|| panic!("serde_derive: expected variant name"));
+        i += 1;
+        let fields = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_tuple_fields(
+                    &g.stream().into_iter().collect::<Vec<_>>(),
+                ))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(
+                    &g.stream().into_iter().collect::<Vec<_>>(),
+                ))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an explicit discriminant (`= 6`).
+        if toks.get(i).is_some_and(|t| is_punct(t, '=')) {
+            while i < toks.len() && !is_punct(&toks[i], ',') {
+                i += 1;
+            }
+        }
+        if toks.get(i).is_some_and(|t| is_punct(t, ',')) {
+            i += 1;
+        }
+        variants.push((name, fields));
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Codegen: Serialize
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::Struct(Fields::Unit) => "::serde::Value::Null".to_string(),
+        ItemKind::Struct(Fields::Tuple(1)) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        ItemKind::Struct(Fields::Tuple(n)) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(vec![{}])", elems.join(", "))
+        }
+        ItemKind::Struct(Fields::Named(fields)) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{0}\"), ::serde::Serialize::to_value(&self.{0}))",
+                        f.name
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Map(vec![{}])", entries.join(", "))
+        }
+        ItemKind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(vname, fields)| serialize_variant_arm(name, vname, fields))
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn serialize_variant_arm(name: &str, vname: &str, fields: &Fields) -> String {
+    let tag = format!("::std::string::String::from(\"{vname}\")");
+    match fields {
+        Fields::Unit => format!("{name}::{vname} => ::serde::Value::Str({tag}),"),
+        Fields::Tuple(n) => {
+            let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+            let payload = if *n == 1 {
+                "::serde::Serialize::to_value(__f0)".to_string()
+            } else {
+                let elems: Vec<String> = binders
+                    .iter()
+                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                    .collect();
+                format!("::serde::Value::Seq(vec![{}])", elems.join(", "))
+            };
+            format!(
+                "{name}::{vname}({binders}) => ::serde::Value::Map(vec![({tag}, {payload})]),",
+                binders = binders.join(", ")
+            )
+        }
+        Fields::Named(fs) => {
+            let binders: Vec<String> = fs.iter().map(|f| f.name.clone()).collect();
+            let entries: Vec<String> = fs
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{0}\"), ::serde::Serialize::to_value({0}))",
+                        f.name
+                    )
+                })
+                .collect();
+            format!(
+                "{name}::{vname} {{ {binders} }} => ::serde::Value::Map(vec![({tag}, \
+                 ::serde::Value::Map(vec![{entries}]))]),",
+                binders = binders.join(", "),
+                entries = entries.join(", ")
+            )
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Codegen: Deserialize
+// ---------------------------------------------------------------------------
+
+/// The expression deserializing named fields out of map entries `__m` into
+/// a struct/variant literal body `{ field: ..., }`.
+fn named_fields_body(context: &str, fields: &[Field]) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            let missing = if f.has_default {
+                "::core::default::Default::default()".to_string()
+            } else if f.is_option {
+                "::core::option::Option::None".to_string()
+            } else {
+                format!(
+                    "return ::core::result::Result::Err(::serde::Error::custom(\
+                     \"{context}: missing field `{0}`\"))",
+                    f.name
+                )
+            };
+            format!(
+                "{0}: match ::serde::__field(__m, \"{0}\") {{\
+                     ::core::option::Option::Some(__x) => ::serde::Deserialize::from_value(__x)?,\
+                     ::core::option::Option::None => {missing},\
+                 }},",
+                f.name
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// The expression deserializing a tuple payload of arity `n` from `__inner`
+/// into constructor `ctor`.
+fn tuple_body(context: &str, ctor: &str, n: usize, inner: &str) -> String {
+    if n == 1 {
+        return format!(
+            "::core::result::Result::Ok({ctor}(::serde::Deserialize::from_value({inner})?))"
+        );
+    }
+    let elems: Vec<String> = (0..n)
+        .map(|i| format!("::serde::Deserialize::from_value(&__s[{i}])?"))
+        .collect();
+    format!(
+        "{{ let __s = {inner}.as_seq().ok_or_else(|| ::serde::Error::unexpected(\
+         \"array for {context}\", {inner}))?;\
+         if __s.len() != {n} {{\
+             return ::core::result::Result::Err(::serde::Error::custom(\
+             \"{context}: expected array of {n} elements\"));\
+         }}\
+         ::core::result::Result::Ok({ctor}({elems})) }}",
+        elems = elems.join(", ")
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::Struct(Fields::Unit) => format!("::core::result::Result::Ok({name})"),
+        ItemKind::Struct(Fields::Tuple(n)) => tuple_body(name, name, *n, "__v"),
+        ItemKind::Struct(Fields::Named(fields)) => {
+            format!(
+                "{{ let __m = __v.as_map().ok_or_else(|| ::serde::Error::unexpected(\
+                 \"object for struct {name}\", __v))?;\
+                 ::core::result::Result::Ok({name} {{ {fields} }}) }}",
+                fields = named_fields_body(name, fields)
+            )
+        }
+        ItemKind::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, f)| matches!(f, Fields::Unit))
+                .map(|(vname, _)| {
+                    format!("\"{vname}\" => ::core::result::Result::Ok({name}::{vname}),")
+                })
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|(vname, fields)| {
+                    let context = format!("{name}::{vname}");
+                    let ctor = format!("{name}::{vname}");
+                    match fields {
+                        Fields::Unit => None,
+                        Fields::Tuple(n) => Some(format!(
+                            "\"{vname}\" => {},",
+                            tuple_body(&context, &ctor, *n, "__inner")
+                        )),
+                        Fields::Named(fs) => Some(format!(
+                            "\"{vname}\" => {{ let __m = __inner.as_map().ok_or_else(|| \
+                             ::serde::Error::unexpected(\"object for {context}\", __inner))?;\
+                             ::core::result::Result::Ok({ctor} {{ {fields} }}) }},",
+                            fields = named_fields_body(&context, fs)
+                        )),
+                    }
+                })
+                .collect();
+            format!(
+                "match __v {{\
+                     ::serde::Value::Str(__tag) => match __tag.as_str() {{\
+                         {unit_arms}\
+                         __other => ::core::result::Result::Err(::serde::Error::custom(\
+                             format!(\"{name}: unknown unit variant `{{__other}}`\"))),\
+                     }},\
+                     ::serde::Value::Map(__entries) if __entries.len() == 1 => {{\
+                         let (__tag, __inner) = &__entries[0];\
+                         match __tag.as_str() {{\
+                             {data_arms}\
+                             __other => ::core::result::Result::Err(::serde::Error::custom(\
+                                 format!(\"{name}: unknown variant `{{__other}}`\"))),\
+                         }}\
+                     }},\
+                     __other => ::core::result::Result::Err(::serde::Error::unexpected(\
+                         \"variant string or single-entry object for enum {name}\", __other)),\
+                 }}",
+                unit_arms = unit_arms.join(" "),
+                data_arms = data_arms.join(" ")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
