@@ -5,9 +5,16 @@
 //! centralized analysis agent"). This module is that arrow: a crossbeam
 //! MPMC channel pair, so host agents can run on their own threads and the
 //! collector drains everything that arrived in the epoch.
+//!
+//! [`report_channel`] is unbounded — fine for simulation, where the
+//! collector drains every epoch. A production deployment wants
+//! [`report_channel_bounded`]: a slow (or wedged) analysis agent then
+//! exerts backpressure instead of growing the queue without limit, and
+//! hosts that refuse to block can [`ReportSender::try_send`] and shed
+//! reports — "monitoring must never hurt the application".
 
 use crate::host_agent::TraceReport;
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TrySendError};
 
 /// Sending half given to each host agent (clone freely; one per host
 /// thread).
@@ -20,8 +27,21 @@ impl ReportSender {
     /// Submits one report to the analysis agent. Returns `false` when the
     /// collector is gone (shutdown) — hosts just drop reports then,
     /// matching the "monitoring must never hurt the application" stance.
+    /// On a bounded hub this blocks while the queue is full
+    /// (backpressure).
     pub fn send(&self, report: TraceReport) -> bool {
         self.tx.send(report).is_ok()
+    }
+
+    /// Non-blocking submit for hosts that must never stall: on a full
+    /// bounded hub the report is shed and `false` comes back (the flow
+    /// will retransmit again next epoch; losing one report costs a vote,
+    /// not correctness). Also `false` after collector shutdown.
+    pub fn try_send(&self, report: TraceReport) -> bool {
+        match self.tx.try_send(report) {
+            Ok(()) => true,
+            Err(TrySendError::Full(_) | TrySendError::Disconnected(_)) => false,
+        }
     }
 }
 
@@ -59,6 +79,20 @@ impl ReportCollector {
 /// Creates the hub: one sender prototype + the collector.
 pub fn report_channel() -> (ReportSender, ReportCollector) {
     let (tx, rx) = unbounded();
+    (ReportSender { tx }, ReportCollector { rx })
+}
+
+/// Creates a hub holding at most `capacity` undelivered reports, so a
+/// slow analysis agent cannot grow memory without limit: `send` blocks
+/// (backpressure) and `try_send` sheds once the queue is full.
+///
+/// # Panics
+///
+/// Panics when `capacity` is 0 — a rendezvous hub would deadlock the
+/// epoch-batch drain pattern the collector uses.
+pub fn report_channel_bounded(capacity: usize) -> (ReportSender, ReportCollector) {
+    assert!(capacity > 0, "hub capacity must be at least 1");
+    let (tx, rx) = bounded(capacity);
     (ReportSender { tx }, ReportCollector { rx })
 }
 
@@ -122,5 +156,43 @@ mod tests {
         let (tx, collector) = report_channel();
         drop(collector);
         assert!(!tx.send(report(1, 1)));
+    }
+
+    #[test]
+    fn bounded_hub_sheds_on_try_send_when_full() {
+        let (tx, collector) = report_channel_bounded(2);
+        assert!(tx.try_send(report(1, 1)));
+        assert!(tx.try_send(report(2, 1)));
+        // Queue full: a host that must not block sheds the report.
+        assert!(!tx.try_send(report(3, 1)));
+        let drained = collector.drain();
+        assert_eq!(drained.len(), 2);
+        // Capacity freed: sends land again.
+        assert!(tx.try_send(report(3, 1)));
+        assert_eq!(collector.drain().len(), 1);
+    }
+
+    #[test]
+    fn bounded_hub_send_applies_backpressure() {
+        let (tx, collector) = report_channel_bounded(1);
+        assert!(tx.send(report(1, 1)));
+        let producer = std::thread::spawn(move || {
+            // Queue is full: this blocks until the collector drains,
+            // then succeeds — backpressure, not loss.
+            assert!(tx.send(report(2, 1)));
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let first = collector.collect_n(1);
+        assert_eq!(first.len(), 1);
+        producer.join().unwrap();
+        let second = collector.collect_n(1);
+        assert_eq!(second.len(), 1);
+        assert_eq!(second[0].host, HostId(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn bounded_hub_rejects_zero_capacity() {
+        let _ = report_channel_bounded(0);
     }
 }

@@ -11,12 +11,23 @@
 
 use vigil::prelude::*;
 use vigil_bench::{
-    accuracy_pct, banner, precision_pct, print_table, recall_pct, write_json, Scale, SeriesRow,
+    accuracy_pct, banner, precision_pct, print_engine, recall_pct, sweep_table, Scale, SeriesRow,
 };
 
-fn run_with(alg1: Algorithm1Config, scale: &Scale, k: u32) -> ExperimentReport {
-    let cfg = scale.apply(scenarios::ablation_base(k, alg1));
-    run_experiment(&cfg)
+const K: u32 = 6;
+
+/// One ablation sweep: each knob variant is a sweep point of the engine's
+/// flat grid.
+fn ablation_spec<'a, X>(
+    id: &'a str,
+    knob: &'a str,
+    scale: Scale,
+    values: Vec<X>,
+    alg1: impl Fn(&X) -> Algorithm1Config + Sync + 'a,
+) -> SweepSpec<'a, X> {
+    SweepSpec::new(id, knob, values, move |x| {
+        scale.apply(scenarios::ablation_base(K, alg1(x)))
+    })
 }
 
 fn main() {
@@ -26,144 +37,132 @@ fn main() {
         "§5.1 design choices",
     );
     let scale = Scale::resolve(4, 2);
-    let k = 6;
+    let engine = SweepEngine::from_env();
+    print_engine(&engine);
 
-    println!("\n1) vote weight (k = {k}):\n");
-    let mut rows = Vec::new();
-    for (i, (weight, label)) in [
+    println!("\n1) vote weight (k = {K}):\n");
+    let weights = [
         (VoteWeight::ReciprocalPathLength, "1/h (paper)"),
         (VoteWeight::Unit, "1"),
         (VoteWeight::ReciprocalSquared, "1/h^2"),
-    ]
-    .into_iter()
-    .enumerate()
-    {
-        let report = run_with(
-            Algorithm1Config {
-                weight,
-                ..Algorithm1Config::default()
-            },
-            &scale,
-            k,
-        );
+    ];
+    for (i, (_, label)) in weights.iter().enumerate() {
         println!("   [{i}] weight = {label}");
-        rows.push(SeriesRow {
-            x: i as f64,
-            values: vec![
-                ("acc %".into(), accuracy_pct(&report.vigil)),
-                ("prec %".into(), precision_pct(&report.vigil)),
-                ("rec %".into(), recall_pct(&report.vigil)),
-            ],
-        });
     }
-    print_table("weight [idx]", &rows);
-    write_json("ablation_weight", &rows);
+    let spec = ablation_spec(
+        "ablation_weight",
+        "weight [idx]",
+        scale,
+        (0..weights.len()).collect(),
+        |&i| Algorithm1Config {
+            weight: weights[i].0,
+            ..Algorithm1Config::default()
+        },
+    );
+    sweep_table(&engine, &spec, |&i, report| SeriesRow {
+        x: i as f64,
+        values: vec![
+            ("acc %".into(), accuracy_pct(&report.vigil)),
+            ("prec %".into(), precision_pct(&report.vigil)),
+            ("rec %".into(), recall_pct(&report.vigil)),
+        ],
+    });
 
-    println!("\n2) vote adjustment (k = {k}):\n");
-    let mut rows = Vec::new();
+    println!("\n2) vote adjustment (k = {K}):\n");
     for (i, adjust) in [(0, true), (1, false)] {
-        let report = run_with(
-            Algorithm1Config {
-                adjust,
-                ..Algorithm1Config::default()
-            },
-            &scale,
-            k,
-        );
         println!("   [{i}] adjust = {adjust}");
-        rows.push(SeriesRow {
-            x: f64::from(i),
-            values: vec![
-                ("prec %".into(), precision_pct(&report.vigil)),
-                ("rec %".into(), recall_pct(&report.vigil)),
-                (
-                    "false pos".into(),
-                    report.vigil.pooled.confusion.false_positives as f64,
-                ),
-            ],
-        });
     }
-    print_table("adjust [idx]", &rows);
+    let spec = ablation_spec(
+        "ablation_adjust",
+        "adjust [idx]",
+        scale,
+        vec![true, false],
+        |&adjust| Algorithm1Config {
+            adjust,
+            ..Algorithm1Config::default()
+        },
+    );
+    sweep_table(&engine, &spec, |&adjust, report| SeriesRow {
+        x: if adjust { 0.0 } else { 1.0 },
+        values: vec![
+            ("prec %".into(), precision_pct(&report.vigil)),
+            ("rec %".into(), recall_pct(&report.vigil)),
+            (
+                "false pos".into(),
+                report.vigil.pooled.confusion.false_positives as f64,
+            ),
+        ],
+    });
     println!("   paper: adjustment cuts false positives ~5%.");
-    write_json("ablation_adjust", &rows);
 
-    println!("\n3) detection threshold sweep (k = {k}):\n");
-    let mut rows = Vec::new();
-    for &frac in &[0.001, 0.005, 0.01, 0.02, 0.05] {
-        let report = run_with(
-            Algorithm1Config {
-                threshold_frac: frac,
-                ..Algorithm1Config::default()
-            },
-            &scale,
-            k,
-        );
-        rows.push(SeriesRow {
-            x: frac * 100.0,
-            values: vec![
-                ("prec %".into(), precision_pct(&report.vigil)),
-                ("rec %".into(), recall_pct(&report.vigil)),
-            ],
-        });
-    }
-    print_table("threshold (%)", &rows);
+    println!("\n3) detection threshold sweep (k = {K}):\n");
+    let spec = ablation_spec(
+        "ablation_threshold",
+        "threshold (%)",
+        scale,
+        vec![0.001, 0.005, 0.01, 0.02, 0.05],
+        |&frac| Algorithm1Config {
+            threshold_frac: frac,
+            ..Algorithm1Config::default()
+        },
+    );
+    sweep_table(&engine, &spec, |&frac, report| SeriesRow {
+        x: frac * 100.0,
+        values: vec![
+            ("prec %".into(), precision_pct(&report.vigil)),
+            ("rec %".into(), recall_pct(&report.vigil)),
+        ],
+    });
     println!("   paper: 1% balances precision/recall; higher trades recall for precision.");
-    write_json("ablation_threshold", &rows);
 
-    println!("\n4) threshold base (k = {k}):\n");
-    let mut rows = Vec::new();
-    for (i, (base, label)) in [
+    println!("\n4) threshold base (k = {K}):\n");
+    let bases = [
         (ThresholdBase::Initial, "initial (fixed bar)"),
         (ThresholdBase::Current, "current (adaptive bar)"),
-    ]
-    .into_iter()
-    .enumerate()
-    {
-        let report = run_with(
-            Algorithm1Config {
-                threshold_base: base,
-                ..Algorithm1Config::default()
-            },
-            &scale,
-            k,
-        );
+    ];
+    for (i, (_, label)) in bases.iter().enumerate() {
         println!("   [{i}] base = {label}");
-        rows.push(SeriesRow {
-            x: i as f64,
-            values: vec![
-                ("prec %".into(), precision_pct(&report.vigil)),
-                ("rec %".into(), recall_pct(&report.vigil)),
-            ],
-        });
     }
-    print_table("base [idx]", &rows);
-    write_json("ablation_base", &rows);
+    let spec = ablation_spec(
+        "ablation_base",
+        "base [idx]",
+        scale,
+        (0..bases.len()).collect(),
+        |&i| Algorithm1Config {
+            threshold_base: bases[i].0,
+            ..Algorithm1Config::default()
+        },
+    );
+    sweep_table(&engine, &spec, |&i, report| SeriesRow {
+        x: i as f64,
+        values: vec![
+            ("prec %".into(), precision_pct(&report.vigil)),
+            ("rec %".into(), recall_pct(&report.vigil)),
+        ],
+    });
 
-    println!("\n5) voter quorum (k = {k}):\n");
-    let mut rows = Vec::new();
-    for min_voters in [1u32, 2, 3] {
-        let report = run_with(
-            Algorithm1Config {
-                min_voters,
-                ..Algorithm1Config::default()
-            },
-            &scale,
-            k,
-        );
-        rows.push(SeriesRow {
-            x: f64::from(min_voters),
-            values: vec![
-                ("prec %".into(), precision_pct(&report.vigil)),
-                ("rec %".into(), recall_pct(&report.vigil)),
-                (
-                    "false pos".into(),
-                    report.vigil.pooled.confusion.false_positives as f64,
-                ),
-            ],
-        });
-    }
-    print_table("min voters", &rows);
+    println!("\n5) voter quorum (k = {K}):\n");
+    let spec = ablation_spec(
+        "ablation_quorum",
+        "min voters",
+        scale,
+        vec![1u32, 2, 3],
+        |&min_voters| Algorithm1Config {
+            min_voters,
+            ..Algorithm1Config::default()
+        },
+    );
+    sweep_table(&engine, &spec, |&min_voters, report| SeriesRow {
+        x: f64::from(min_voters),
+        values: vec![
+            ("prec %".into(), precision_pct(&report.vigil)),
+            ("rec %".into(), recall_pct(&report.vigil)),
+            (
+                "false pos".into(),
+                report.vigil.pooled.confusion.false_positives as f64,
+            ),
+        ],
+    });
     println!("   quorum 1 reproduces the unguarded algorithm (lone drops mint");
     println!("   detections); 3 starts costing recall on faint links.");
-    write_json("ablation_quorum", &rows);
 }

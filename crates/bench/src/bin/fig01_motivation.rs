@@ -10,14 +10,23 @@
 //!
 //! The production day is reproduced as a sequence of intervals with an
 //! evolving fault population (0–3 lossy links, re-drawn per interval)
-//! over background noise.
+//! over background noise. Intervals are independent — each is one
+//! sweep-engine task with its own index-derived RNG stream.
 
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+use rand::Rng;
 use vigil::prelude::*;
-use vigil_bench::{banner, write_json, Scale};
+use vigil::sweep::task_rng;
+use vigil_bench::{banner, print_engine, write_json, Scale};
 use vigil_fabric::flowsim::simulate_epoch;
 use vigil_stats::Ecdf;
+
+/// What one simulated interval contributes to the CDFs.
+struct Interval {
+    total_drops: u64,
+    dropping_flows: u64,
+    shares: Vec<f64>,
+    max_share: Option<f64>,
+}
 
 fn main() {
     banner(
@@ -26,6 +35,8 @@ fn main() {
         "§2 Figure 1: ≥3 flows see drops when ≥10 drop (95%); max flow share ≤34% (80%)",
     );
     let scale = Scale::resolve(1, 1);
+    let engine = SweepEngine::from_env();
+    print_engine(&engine);
     let intervals = if scale.fast { 60 } else { 240 };
 
     let params = if scale.fast {
@@ -46,14 +57,9 @@ fn main() {
         ..TrafficSpec::paper_default()
     };
     let sim = SimConfig::default();
-    let mut rng = ChaCha8Rng::seed_from_u64(0x01);
 
-    // Per-interval: (total drops, flows with ≥1 drop, per-flow shares).
-    let mut flows_with_drops: Vec<(u64, u64)> = Vec::new();
-    let mut shares: Vec<f64> = Vec::new();
-    let mut max_shares: Vec<f64> = Vec::new();
-
-    for _interval in 0..intervals {
+    let results = engine.run_tasks(intervals, |interval| {
+        let mut rng = task_rng(0x01, interval);
         // The fault population drifts: some intervals quiet, most with a
         // few lossy links of varying severity (a day in a big fabric).
         let failures = *[0u32, 1, 1, 2, 2, 3, 4]
@@ -69,7 +75,8 @@ fn main() {
 
         let total: u64 = out.ground_truth.drops_per_link.iter().sum();
         let dropping = out.flows.iter().filter(|f| f.total_drops() > 0).count() as u64;
-        flows_with_drops.push((total, dropping));
+        let mut shares = Vec::new();
+        let mut max_share = None;
         if total >= 10 {
             let mut interval_max: f64 = 0.0;
             for f in &out.flows {
@@ -80,9 +87,22 @@ fn main() {
                     interval_max = interval_max.max(share);
                 }
             }
-            max_shares.push(interval_max);
+            max_share = Some(interval_max);
         }
-    }
+        Interval {
+            total_drops: total,
+            dropping_flows: dropping,
+            shares,
+            max_share,
+        }
+    });
+
+    let flows_with_drops: Vec<(u64, u64)> = results
+        .iter()
+        .map(|r| (r.total_drops, r.dropping_flows))
+        .collect();
+    let shares: Vec<f64> = results.iter().flat_map(|r| r.shares.clone()).collect();
+    let max_shares: Vec<f64> = results.iter().filter_map(|r| r.max_share).collect();
 
     println!("\n(a) flows with ≥1 drop per interval, conditioned on total drops:\n");
     println!(
@@ -131,7 +151,7 @@ fn main() {
     }
 
     println!("\n(b) per-flow share of an interval's drops (intervals with ≥10 drops):\n");
-    let share_ecdf = Ecdf::new(shares.clone());
+    let share_ecdf = Ecdf::new(shares);
     for p in [0.25, 0.50, 0.75, 0.80, 0.90, 0.95] {
         if let Some(v) = share_ecdf.quantile(p) {
             println!("  P{:>2.0} share = {:>5.1}%", p * 100.0, v * 100.0);

@@ -5,7 +5,7 @@
 //! outperforms the integer optimization in most cases.
 
 use vigil::prelude::*;
-use vigil_bench::{accuracy_pct, banner, print_table, write_json, Scale, SeriesRow};
+use vigil_bench::{accuracy_pct, banner, print_engine, sweep_table, Scale, SeriesRow};
 
 fn main() {
     banner(
@@ -14,12 +14,15 @@ fn main() {
         "§6.1 Figure 3: 007 ≥ 96% average accuracy, above the integer optimization",
     );
     let scale = Scale::resolve(5, 2);
-    let mut rows = Vec::new();
-    for k in [2u32, 6, 10, 14] {
-        let cfg = scale.apply(scenarios::fig03_optimal_case(k));
-        let report = run_experiment(&cfg);
+    let engine = SweepEngine::from_env();
+    print_engine(&engine);
+
+    let spec = SweepSpec::new("fig03", "#failed links", vec![2u32, 6, 10, 14], move |&k| {
+        scale.apply(scenarios::fig03_optimal_case(k))
+    });
+    sweep_table(&engine, &spec, |&k, report| {
         let integer = report.integer.as_ref().expect("integer baseline enabled");
-        rows.push(SeriesRow {
+        SeriesRow {
             x: f64::from(k),
             values: vec![
                 ("007 acc %".into(), accuracy_pct(&report.vigil)),
@@ -33,10 +36,8 @@ fn main() {
                     report.noise_marked_incorrectly as f64,
                 ),
             ],
-        });
-    }
-    print_table("#failed links", &rows);
+        }
+    });
     println!("\npaper: 007 accuracy > 96% at every k; integer optimization at or below");
     println!("007; zero incorrect noise marks.");
-    write_json("fig03", &rows);
 }

@@ -6,7 +6,7 @@
 //! even at low drop rates; the binary program trails badly under noise.
 
 use vigil::prelude::*;
-use vigil_bench::{banner, precision_pct, print_table, recall_pct, write_json, Scale, SeriesRow};
+use vigil_bench::{banner, precision_pct, print_engine, recall_pct, sweep_table, Scale, SeriesRow};
 
 fn main() {
     banner(
@@ -15,13 +15,16 @@ fn main() {
         "§6.1 Figure 4: high precision & recall for 007; binary optimization inferior",
     );
     let scale = Scale::resolve(5, 2);
-    let mut rows = Vec::new();
-    for k in [2u32, 6, 10, 14] {
-        let cfg = scale.apply(scenarios::fig04_detection(k));
-        let report = run_experiment(&cfg);
+    let engine = SweepEngine::from_env();
+    print_engine(&engine);
+
+    let spec = SweepSpec::new("fig04", "#failed links", vec![2u32, 6, 10, 14], move |&k| {
+        scale.apply(scenarios::fig04_detection(k))
+    });
+    sweep_table(&engine, &spec, |&k, report| {
         let integer = report.integer.as_ref().expect("integer enabled");
         let binary = report.binary.as_ref().expect("binary enabled");
-        rows.push(SeriesRow {
+        SeriesRow {
             x: f64::from(k),
             values: vec![
                 ("007 prec %".into(), precision_pct(&report.vigil)),
@@ -31,10 +34,8 @@ fn main() {
                 ("bin prec %".into(), precision_pct(binary)),
                 ("bin rec %".into(), recall_pct(binary)),
             ],
-        });
-    }
-    print_table("#failed links", &rows);
+        }
+    });
     println!("\npaper: 007 precision/recall near 100% across k; optimizations flag more");
     println!("spurious links (their minimal covers are underdetermined under noise).");
-    write_json("fig04", &rows);
 }

@@ -7,7 +7,7 @@
 //! where the theorem is silent.
 
 use vigil::prelude::*;
-use vigil_bench::{accuracy_pct, banner, print_table, write_json, Scale, SeriesRow};
+use vigil_bench::{accuracy_pct, banner, print_engine, sweep_table, Scale, SeriesRow};
 
 fn main() {
     banner(
@@ -16,41 +16,45 @@ fn main() {
         "§6.2 Figure 5: high accuracy down to ~0.01% drop rates",
     );
     let scale = Scale::resolve(5, 2);
+    let engine = SweepEngine::from_env();
+    print_engine(&engine);
 
     println!("\n(a) single failure, drop-rate sweep (inset points marked *):\n");
-    let mut rows_a = Vec::new();
-    for &rate in &[1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2] {
-        let cfg = scale.apply(scenarios::fig05_single(rate));
-        let report = run_experiment(&cfg);
+    let spec_a = SweepSpec::new(
+        "fig05a",
+        "drop rate (%)",
+        vec![1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2],
+        move |&rate| scale.apply(scenarios::fig05_single(rate)),
+    );
+    sweep_table(&engine, &spec_a, |&rate, report| {
         let integer = report.integer.as_ref().expect("integer enabled");
-        rows_a.push(SeriesRow {
+        SeriesRow {
             x: rate * 100.0, // percent, like the figure's axis
             values: vec![
                 ("007 acc %".into(), accuracy_pct(&report.vigil)),
                 ("int-opt acc %".into(), accuracy_pct(integer)),
             ],
-        });
-    }
-    print_table("drop rate (%)", &rows_a);
+        }
+    });
 
     println!("\n(b) multiple failures (rates uniform 0.01–1%):\n");
-    let mut rows_b = Vec::new();
-    for k in [2u32, 6, 10, 14] {
-        let cfg = scale.apply(scenarios::fig05_multi(k));
-        let report = run_experiment(&cfg);
+    let spec_b = SweepSpec::new(
+        "fig05b",
+        "#failed links",
+        vec![2u32, 6, 10, 14],
+        move |&k| scale.apply(scenarios::fig05_multi(k)),
+    );
+    sweep_table(&engine, &spec_b, |&k, report| {
         let integer = report.integer.as_ref().expect("integer enabled");
-        rows_b.push(SeriesRow {
+        SeriesRow {
             x: f64::from(k),
             values: vec![
                 ("007 acc %".into(), accuracy_pct(&report.vigil)),
                 ("int-opt acc %".into(), accuracy_pct(integer)),
             ],
-        });
-    }
-    print_table("#failed links", &rows_b);
+        }
+    });
 
     println!("\npaper: 007 ≈ optimization accuracy on (a); on (b) 007 stays high while");
     println!("the optimization's confidence intervals blow up with many failures.");
-    write_json("fig05a", &rows_a);
-    write_json("fig05b", &rows_b);
 }

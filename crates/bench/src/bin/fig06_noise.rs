@@ -7,7 +7,7 @@
 //! confidence intervals balloon instead.
 
 use vigil::prelude::*;
-use vigil_bench::{accuracy_pct, banner, print_table, write_json, Scale, SeriesRow};
+use vigil_bench::{accuracy_pct, banner, print_engine, sweep_table, Scale, SeriesRow};
 
 fn main() {
     banner(
@@ -16,17 +16,24 @@ fn main() {
         "§6.3 Figure 6: 007 insensitive to noise; optimization high-variance",
     );
     let scale = Scale::resolve(5, 2);
+    let engine = SweepEngine::from_env();
+    print_engine(&engine);
+
     for (label, failures) in [("(a) single failure", 1u32), ("(b) five failures", 5)] {
         println!("\n{label}:\n");
-        let mut rows = Vec::new();
         // Sweep from a tenth of the paper's baseline noise to 50× it,
         // staying within the Theorem 2 ceiling (≈1e-4 for this fabric) —
         // beyond that 007 makes no claim.
-        for &noise in &[1e-7, 1e-6, 5e-6, 1e-5, 5e-5] {
-            let cfg = scale.apply(scenarios::fig06_noise(noise, failures));
-            let report = run_experiment(&cfg);
+        let id = format!("fig06_{failures}");
+        let spec = SweepSpec::new(
+            &id,
+            "noise (max rate)",
+            vec![1e-7, 1e-6, 5e-6, 1e-5, 5e-5],
+            move |&noise| scale.apply(scenarios::fig06_noise(noise, failures)),
+        );
+        sweep_table(&engine, &spec, |&noise, report| {
             let integer = report.integer.as_ref().expect("integer enabled");
-            rows.push(SeriesRow {
+            SeriesRow {
                 x: noise,
                 values: vec![
                     ("007 acc %".into(), accuracy_pct(&report.vigil)),
@@ -36,10 +43,8 @@ fn main() {
                         integer.accuracy.ci95_half_width().unwrap_or(f64::NAN) * 100.0,
                     ),
                 ],
-            });
-        }
-        print_table("noise (max rate)", &rows);
-        write_json(&format!("fig06_{}", failures), &rows);
+            }
+        });
     }
     println!("\npaper: 007's accuracy flat in noise; the optimization's intervals widen.");
 }

@@ -7,7 +7,7 @@
 //! accuracy at low drop rates.
 
 use vigil::prelude::*;
-use vigil_bench::{accuracy_pct, banner, print_table, write_json, Scale, SeriesRow};
+use vigil_bench::{accuracy_pct, banner, print_engine, sweep_table, Scale, SeriesRow};
 
 fn main() {
     banner(
@@ -16,30 +16,37 @@ fn main() {
         "§6.4 Figure 7: 007 robust to fewer connections; optimization degrades",
     );
     let scale = Scale::resolve(5, 2);
+    let engine = SweepEngine::from_env();
+    print_engine(&engine);
 
     println!("\n(a) single failure:\n");
-    let mut rows_a = Vec::new();
-    for &rate in &[2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2] {
-        let cfg = scale.apply(scenarios::fig07_connections(1, Some(rate)));
-        let report = run_experiment(&cfg);
+    let spec_a = SweepSpec::new(
+        "fig07a",
+        "drop rate (%)",
+        vec![2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2],
+        move |&rate| scale.apply(scenarios::fig07_connections(1, Some(rate))),
+    );
+    sweep_table(&engine, &spec_a, |&rate, report| {
         let integer = report.integer.as_ref().expect("integer enabled");
-        rows_a.push(SeriesRow {
+        SeriesRow {
             x: rate * 100.0,
             values: vec![
                 ("007 acc %".into(), accuracy_pct(&report.vigil)),
                 ("int-opt acc %".into(), accuracy_pct(integer)),
             ],
-        });
-    }
-    print_table("drop rate (%)", &rows_a);
+        }
+    });
 
     println!("\n(b) multiple failures:\n");
-    let mut rows_b = Vec::new();
-    for k in [2u32, 6, 10, 14] {
-        let cfg = scale.apply(scenarios::fig07_connections(k, None));
-        let report = run_experiment(&cfg);
+    let spec_b = SweepSpec::new(
+        "fig07b",
+        "#failed links",
+        vec![2u32, 6, 10, 14],
+        move |&k| scale.apply(scenarios::fig07_connections(k, None)),
+    );
+    sweep_table(&engine, &spec_b, |&k, report| {
         let integer = report.integer.as_ref().expect("integer enabled");
-        rows_b.push(SeriesRow {
+        SeriesRow {
             x: f64::from(k),
             values: vec![
                 ("007 acc %".into(), accuracy_pct(&report.vigil)),
@@ -49,10 +56,7 @@ fn main() {
                     integer.accuracy.ci95_half_width().unwrap_or(f64::NAN) * 100.0,
                 ),
             ],
-        });
-    }
-    print_table("#failed links", &rows_b);
+        }
+    });
     println!("\npaper: 007 maintains high detection probability regardless of k.");
-    write_json("fig07a", &rows_a);
-    write_json("fig07b", &rows_b);
 }

@@ -8,7 +8,7 @@
 //! failures 007 holds ≥ 98 % while the optimization collapses.
 
 use vigil::prelude::*;
-use vigil_bench::{accuracy_pct, banner, print_table, write_json, Scale, SeriesRow};
+use vigil_bench::{accuracy_pct, banner, print_engine, sweep_table, Scale, SeriesRow};
 
 fn main() {
     banner(
@@ -17,39 +17,43 @@ fn main() {
         "§6.5 Figure 8: 007 ≥ 85% beyond 0.1% drop rate; optimization suffers",
     );
     let scale = Scale::resolve(5, 2);
+    let engine = SweepEngine::from_env();
+    print_engine(&engine);
 
     println!("\n(a) single failure:\n");
-    let mut rows_a = Vec::new();
-    for &rate in &[2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2] {
-        let cfg = scale.apply(scenarios::fig08_skew(1, Some(rate)));
-        let report = run_experiment(&cfg);
+    let spec_a = SweepSpec::new(
+        "fig08a",
+        "drop rate (%)",
+        vec![2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2],
+        move |&rate| scale.apply(scenarios::fig08_skew(1, Some(rate))),
+    );
+    sweep_table(&engine, &spec_a, |&rate, report| {
         let integer = report.integer.as_ref().expect("integer enabled");
-        rows_a.push(SeriesRow {
+        SeriesRow {
             x: rate * 100.0,
             values: vec![
                 ("007 acc %".into(), accuracy_pct(&report.vigil)),
                 ("int-opt acc %".into(), accuracy_pct(integer)),
             ],
-        });
-    }
-    print_table("drop rate (%)", &rows_a);
+        }
+    });
 
     println!("\n(b) multiple failures:\n");
-    let mut rows_b = Vec::new();
-    for k in [2u32, 6, 10, 14] {
-        let cfg = scale.apply(scenarios::fig08_skew(k, None));
-        let report = run_experiment(&cfg);
+    let spec_b = SweepSpec::new(
+        "fig08b",
+        "#failed links",
+        vec![2u32, 6, 10, 14],
+        move |&k| scale.apply(scenarios::fig08_skew(k, None)),
+    );
+    sweep_table(&engine, &spec_b, |&k, report| {
         let integer = report.integer.as_ref().expect("integer enabled");
-        rows_b.push(SeriesRow {
+        SeriesRow {
             x: f64::from(k),
             values: vec![
                 ("007 acc %".into(), accuracy_pct(&report.vigil)),
                 ("int-opt acc %".into(), accuracy_pct(integer)),
             ],
-        });
-    }
-    print_table("#failed links", &rows_b);
+        }
+    });
     println!("\npaper: 007 ≥ 98% on (b); optimization consistently low under skew.");
-    write_json("fig08a", &rows_a);
-    write_json("fig08b", &rows_b);
 }

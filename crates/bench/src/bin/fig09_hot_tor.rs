@@ -6,7 +6,7 @@
 //! accuracy in the presence of a large number of failures (≥ 10)."
 
 use vigil::prelude::*;
-use vigil_bench::{accuracy_pct, banner, print_table, write_json, Scale, SeriesRow};
+use vigil_bench::{accuracy_pct, banner, print_engine, print_table, write_json, Scale, SeriesRow};
 
 fn main() {
     banner(
@@ -15,17 +15,35 @@ fn main() {
         "§6.5 Figure 9: fine to 50% skew; >50% skew + ≥10 failures degrades",
     );
     let scale = Scale::resolve(5, 2);
+    let engine = SweepEngine::from_env();
+    print_engine(&engine);
+
+    // One flat sweep over the (failures × skew) grid, so every cell's
+    // trials shard across the same worker pool.
+    let failures = [1u32, 5, 10, 15];
+    let skews = [0.1, 0.3, 0.5, 0.7];
+    let grid: Vec<(u32, f64)> = failures
+        .iter()
+        .flat_map(|&k| skews.iter().map(move |&s| (k, s)))
+        .collect();
+    let spec = SweepSpec::new("fig09", "#failures", grid, move |&(k, skew)| {
+        scale.apply(scenarios::fig09_hot_tor(skew, k))
+    });
+    let reports = engine.run_sweep(&spec);
+
     let mut rows = Vec::new();
-    for k in [1u32, 5, 10, 15] {
-        let mut values = Vec::new();
-        for &skew in &[0.1, 0.3, 0.5, 0.7] {
-            let cfg = scale.apply(scenarios::fig09_hot_tor(skew, k));
-            let report = run_experiment(&cfg);
-            values.push((
-                format!("{}% skew acc %", (skew * 100.0) as u32),
-                accuracy_pct(&report.vigil),
-            ));
-        }
+    for (i, &k) in failures.iter().enumerate() {
+        let values = skews
+            .iter()
+            .enumerate()
+            .map(|(j, &skew)| {
+                let report = &reports[i * skews.len() + j];
+                (
+                    format!("{}% skew acc %", (skew * 100.0) as u32),
+                    accuracy_pct(&report.vigil),
+                )
+            })
+            .collect();
         rows.push(SeriesRow {
             x: f64::from(k),
             values,

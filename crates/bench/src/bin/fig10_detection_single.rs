@@ -6,7 +6,7 @@
 //! require a fully specified set of equations to provide a best guess".
 
 use vigil::prelude::*;
-use vigil_bench::{banner, precision_pct, print_table, recall_pct, write_json, Scale, SeriesRow};
+use vigil_bench::{banner, precision_pct, print_engine, recall_pct, sweep_table, Scale, SeriesRow};
 
 fn main() {
     banner(
@@ -15,13 +15,19 @@ fn main() {
         "§6.6 Figure 10: 007 above both optimizations across the sweep",
     );
     let scale = Scale::resolve(5, 2);
-    let mut rows = Vec::new();
-    for &rate in &[1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2] {
-        let cfg = scale.apply(scenarios::fig10_detection_single(rate));
-        let report = run_experiment(&cfg);
+    let engine = SweepEngine::from_env();
+    print_engine(&engine);
+
+    let spec = SweepSpec::new(
+        "fig10",
+        "drop rate (%)",
+        vec![1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2],
+        move |&rate| scale.apply(scenarios::fig10_detection_single(rate)),
+    );
+    sweep_table(&engine, &spec, |&rate, report| {
         let integer = report.integer.as_ref().expect("integer enabled");
         let binary = report.binary.as_ref().expect("binary enabled");
-        rows.push(SeriesRow {
+        SeriesRow {
             x: rate * 100.0,
             values: vec![
                 ("007 prec %".into(), precision_pct(&report.vigil)),
@@ -31,10 +37,8 @@ fn main() {
                 ("bin prec %".into(), precision_pct(binary)),
                 ("bin rec %".into(), recall_pct(binary)),
             ],
-        });
-    }
-    print_table("drop rate (%)", &rows);
+        }
+    });
     println!("\npaper: all methods' recall rises with the drop rate; 007's precision");
     println!("stays near 100% while the programs over-blame under noise.");
-    write_json("fig10", &rows);
 }

@@ -7,7 +7,7 @@
 //! later).
 
 use vigil::prelude::*;
-use vigil_bench::{banner, precision_pct, print_table, recall_pct, write_json, Scale, SeriesRow};
+use vigil_bench::{banner, precision_pct, print_engine, recall_pct, sweep_table, Scale, SeriesRow};
 
 fn main() {
     banner(
@@ -16,6 +16,9 @@ fn main() {
         "§6.6 Figure 11: all location classes detectable",
     );
     let scale = Scale::resolve(5, 2);
+    let engine = SweepEngine::from_env();
+    print_engine(&engine);
+
     let kinds = [
         (LinkKind::TorToT1, "ToR-T1"),
         (LinkKind::T1ToT2, "T1-T2"),
@@ -24,20 +27,20 @@ fn main() {
     ];
     for (kind, label) in kinds {
         println!("\nfailure location: {label}\n");
-        let mut rows = Vec::new();
-        for &rate in &[2.5e-4, 1e-3, 5e-3, 1e-2] {
-            let cfg = scale.apply(scenarios::fig11_location(kind, rate));
-            let report = run_experiment(&cfg);
-            rows.push(SeriesRow {
-                x: rate * 100.0,
-                values: vec![
-                    ("007 prec %".into(), precision_pct(&report.vigil)),
-                    ("007 rec %".into(), recall_pct(&report.vigil)),
-                ],
-            });
-        }
-        print_table("drop rate (%)", &rows);
-        write_json(&format!("fig11_{label}"), &rows);
+        let id = format!("fig11_{label}");
+        let spec = SweepSpec::new(
+            &id,
+            "drop rate (%)",
+            vec![2.5e-4, 1e-3, 5e-3, 1e-2],
+            move |&rate| scale.apply(scenarios::fig11_location(kind, rate)),
+        );
+        sweep_table(&engine, &spec, |&rate, report| SeriesRow {
+            x: rate * 100.0,
+            values: vec![
+                ("007 prec %".into(), precision_pct(&report.vigil)),
+                ("007 rec %".into(), recall_pct(&report.vigil)),
+            ],
+        });
     }
     println!("\npaper: detection works at every tier; recall ramps with drop rate in");
     println!("each class, with level-2 (T1-T2/T2-T1) slightly later than level-1.");

@@ -11,7 +11,7 @@
 
 use std::collections::BTreeSet;
 use vigil::prelude::*;
-use vigil_bench::{banner, precision_pct, print_table, recall_pct, write_json, Scale, SeriesRow};
+use vigil_bench::{banner, precision_pct, print_engine, recall_pct, sweep_table, Scale, SeriesRow};
 use vigil_stats::BinaryConfusion;
 
 fn main() {
@@ -21,11 +21,13 @@ fn main() {
         "§6.6 Figure 12: precision high; recall decays with k (threshold effect)",
     );
     let scale = Scale::resolve(5, 2);
-    let mut rows = Vec::new();
-    for k in [2u32, 6, 10, 14] {
-        let cfg = scale.apply(scenarios::fig12_skewed_rates(k));
-        let report = run_experiment(&cfg);
+    let engine = SweepEngine::from_env();
+    print_engine(&engine);
 
+    let spec = SweepSpec::new("fig12", "#failed links", vec![2u32, 6, 10, 14], move |&k| {
+        scale.apply(scenarios::fig12_skewed_rates(k))
+    });
+    sweep_table(&engine, &spec, |&k, report| {
         // The paper's counterfactual: "if the top k links had been
         // selected 007's recall would have been close to 100%".
         let mut topk_conf = BinaryConfusion::default();
@@ -41,7 +43,7 @@ fn main() {
         }
 
         let integer = report.integer.as_ref().expect("integer enabled");
-        rows.push(SeriesRow {
+        SeriesRow {
             x: f64::from(k),
             values: vec![
                 ("007 prec %".into(), precision_pct(&report.vigil)),
@@ -53,10 +55,8 @@ fn main() {
                 ("int prec %".into(), precision_pct(integer)),
                 ("int rec %".into(), recall_pct(integer)),
             ],
-        });
-    }
-    print_table("#failed links", &rows);
+        }
+    });
     println!("\npaper: 007 precision ~100%; recall decays with k because the hot link's");
     println!("vote mass raises the 1% threshold above the mild links' tallies.");
-    write_json("fig12", &rows);
 }

@@ -11,7 +11,7 @@
 //!   as many links as 007 at 1 % / 0.1 % / 0.05 %.
 
 use vigil::prelude::*;
-use vigil_bench::{banner, write_json, Scale};
+use vigil_bench::{banner, print_engine, write_json, Scale};
 use vigil_stats::Ecdf;
 
 fn main() {
@@ -21,12 +21,18 @@ fn main() {
         "§7.3 Figure 13: top-1 at 1%/0.1%; top-2 always at 0.05%; int-opt flags 1.18–1.5x links",
     );
     let scale = Scale::resolve(8, 3);
+    let engine = SweepEngine::from_env();
+    print_engine(&engine);
 
-    for &rate in &[1e-2, 5e-3, 1e-3, 5e-4] {
+    let rates = vec![1e-2, 5e-3, 1e-3, 5e-4];
+    let spec = SweepSpec::new("fig13", "induced drop rate", rates, move |&rate| {
         let mut cfg = scale.apply(scenarios::fig13_cluster(rate));
         cfg.params = ClosParams::test_cluster(); // never shrink the cluster
-        let report = run_experiment(&cfg);
+        cfg
+    });
+    let reports = engine.run_sweep(&spec);
 
+    for (&rate, report) in spec.values.iter().zip(&reports) {
         let gaps = Ecdf::new(report.vote_gaps.clone());
         let top1 = report.vote_gaps.iter().filter(|g| **g > 0.0).count() as f64
             / report.vote_gaps.len().max(1) as f64;

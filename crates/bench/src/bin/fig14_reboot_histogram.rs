@@ -5,11 +5,12 @@
 //! in business hours), runs 007 on each incident's epoch, and prints the
 //! per-hour totals alongside how many 007 explains — the paper's point
 //! being that the "unexplained" column collapses once 007 is deployed.
+//! Hours are independent: each is one sweep-engine task.
 
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+use rand::Rng;
 use vigil::prelude::*;
-use vigil_bench::{banner, write_json, Scale};
+use vigil::sweep::task_rng;
+use vigil_bench::{banner, print_engine, write_json, Scale};
 use vigil_fabric::faults::LinkFaults;
 use vigil_topology::Node;
 
@@ -20,10 +21,11 @@ fn main() {
         "Appendix A Figure 14: ~10 unexplained reboots/hour before 007",
     );
     let scale = Scale::resolve(1, 1);
+    let engine = SweepEngine::from_env();
+    print_engine(&engine);
     let per_hour_base = if scale.fast { 3.0 } else { 10.0 };
 
     let topo = ClosTopology::new(ClosParams::tiny(), 14).expect("valid");
-    let mut rng = ChaCha8Rng::seed_from_u64(0x14);
     let cfg = RunConfig {
         traffic: TrafficSpec {
             conns_per_host: ConnCount::Fixed(20),
@@ -37,20 +39,18 @@ fn main() {
         ..RunConfig::default()
     };
 
-    let mut rows = Vec::new();
-    println!("\n{:>6} {:>10} {:>12}", "hour", "reboots", "explained");
-    let mut total = 0u64;
-    let mut total_explained = 0u64;
-    for hour in 0..24u32 {
+    let rows: Vec<(u32, u64, u64)> = engine.run_tasks(24, |hour_idx| {
+        let hour = hour_idx as u32;
+        let mut rng = task_rng(0x14, hour_idx);
         // Diurnal modulation: deployments (and their fallout) peak during
         // the working day.
-        let diurnal = 1.0 + 0.5 * (std::f64::consts::PI * (hour as f64 - 3.0) / 12.0).sin();
+        let diurnal = 1.0 + 0.5 * (std::f64::consts::PI * (f64::from(hour) - 3.0) / 12.0).sin();
         let lambda = per_hour_base * diurnal;
         // Poisson sampling via thinning of a fine grid.
         let mut reboots = 0u64;
         let grid = 200;
         for _ in 0..grid {
-            if rng.gen_bool((lambda / grid as f64).min(1.0)) {
+            if rng.gen_bool((lambda / f64::from(grid)).min(1.0)) {
                 reboots += 1;
             }
         }
@@ -71,10 +71,16 @@ fn main() {
                 explained += 1;
             }
         }
+        (hour, reboots, explained)
+    });
+
+    println!("\n{:>6} {:>10} {:>12}", "hour", "reboots", "explained");
+    let mut total = 0u64;
+    let mut total_explained = 0u64;
+    for &(hour, reboots, explained) in &rows {
         println!("{:>6} {:>10} {:>12}", hour, reboots, explained);
         total += reboots;
         total_explained += explained;
-        rows.push((hour, reboots, explained));
     }
     println!(
         "\nday total: {} network-related reboots, {} explained by 007 ({:.1}%)",

@@ -10,7 +10,7 @@
 
 use vigil::prelude::*;
 use vigil_bench::{
-    accuracy_pct, banner, precision_pct, print_table, recall_pct, write_json, Scale, SeriesRow,
+    accuracy_pct, banner, precision_pct, print_engine, recall_pct, sweep_table, Scale, SeriesRow,
 };
 
 fn main() {
@@ -20,17 +20,25 @@ fn main() {
         "§6.7: 007 98/92/91/90% vs opt 94/72/79/77%; recall ≥98% to 6 pods",
     );
     let scale = Scale::resolve(3, 1);
+    let engine = SweepEngine::from_env();
+    print_engine(&engine);
 
     println!("\nsingle failure, accuracy by pod count:\n");
-    let mut rows = Vec::new();
     let max_pods = if scale.fast { 3 } else { 4 };
-    for pods in 1..=max_pods {
-        let mut cfg = scale.apply(scenarios::sec6_7_network_size(pods, 1));
-        // scale.apply may have shrunk params for fast mode; re-apply pods.
-        cfg.params.npod = pods;
-        let report = run_experiment(&cfg);
+    let spec = SweepSpec::new(
+        "sec6_7_pods",
+        "pods",
+        (1..=max_pods).collect(),
+        move |&pods| {
+            let mut cfg = scale.apply(scenarios::sec6_7_network_size(pods, 1));
+            // scale.apply may have shrunk params for fast mode; re-apply pods.
+            cfg.params.npod = pods;
+            cfg
+        },
+    );
+    sweep_table(&engine, &spec, |&pods, report| {
         let integer = report.integer.as_ref().expect("integer enabled");
-        rows.push(SeriesRow {
+        SeriesRow {
             x: f64::from(pods),
             values: vec![
                 ("007 acc %".into(), accuracy_pct(&report.vigil)),
@@ -38,27 +46,24 @@ fn main() {
                 ("007 prec %".into(), precision_pct(&report.vigil)),
                 ("007 rec %".into(), recall_pct(&report.vigil)),
             ],
-        });
-    }
-    print_table("pods", &rows);
-    write_json("sec6_7_pods", &rows);
+        }
+    });
 
     println!("\nmany simultaneous failures (per-flow accuracy):\n");
-    let mut rows30 = Vec::new();
-    for k in [30u32, 50] {
+    let spec30 = SweepSpec::new("sec6_7_30", "#failed links", vec![30u32, 50], move |&k| {
         let mut cfg = scale.apply(scenarios::sec6_7_network_size(2, k));
         cfg.faults.failure_rate = RateRange { lo: 5e-4, hi: 1e-2 };
-        let report = run_experiment(&cfg);
+        cfg
+    });
+    sweep_table(&engine, &spec30, |&k, report| {
         let integer = report.integer.as_ref().expect("integer enabled");
-        rows30.push(SeriesRow {
+        SeriesRow {
             x: f64::from(k),
             values: vec![
                 ("007 acc %".into(), accuracy_pct(&report.vigil)),
                 ("int-opt acc %".into(), accuracy_pct(integer)),
             ],
-        });
-    }
-    print_table("#failed links", &rows30);
+        }
+    });
     println!("\npaper: 98.01% accuracy in an example with 30 failed links.");
-    write_json("sec6_7_30", &rows30);
 }

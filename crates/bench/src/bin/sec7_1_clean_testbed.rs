@@ -11,16 +11,52 @@
 //! mangles a fraction of everything it forwards. 007's ordinary link
 //! votes concentrate on the ToR's links; the switch-level voting
 //! extension names the switch; "rebooting" (repairing) it silences the
-//! votes.
+//! votes. Epochs are independent observation windows — each runs as one
+//! sweep-engine task.
 
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use vigil::prelude::*;
+use vigil::sweep::task_rng;
 use vigil_analysis::switch_votes::SwitchTally;
-use vigil_bench::{banner, write_json, Scale};
+use vigil_bench::{banner, print_engine, write_json, Scale};
 use vigil_fabric::faults::LinkFaults;
 use vigil_stats::Summary;
 use vigil_topology::Node;
+
+/// Votes arriving at the sick ToR in one epoch, for a given fault table.
+fn observe_epochs(
+    engine: &SweepEngine,
+    epochs: usize,
+    seed: u64,
+    topo: &ClosTopology,
+    faults: &LinkFaults,
+    cfg: &RunConfig,
+    sick_tor: vigil_topology::SwitchId,
+) -> (Summary, usize) {
+    let observations = engine.run_tasks(epochs, |epoch| {
+        let mut rng = task_rng(seed, epoch);
+        let run = vigil::run_epoch(topo, faults, cfg, &mut rng);
+        // Link-level: total votes on links arriving at the sick ToR.
+        let arriving: f64 = topo
+            .links()
+            .iter()
+            .filter(|l| l.to == Node::Switch(sick_tor))
+            .map(|l| run.detection.raw_tally.votes(l.id))
+            .sum();
+        // Switch-level extension: does the sick ToR top the switch tally?
+        let tally = SwitchTally::tally(topo, &run.evidence);
+        let topped = tally.ranking().first().map(|(s, _)| *s) == Some(sick_tor);
+        (arriving, topped)
+    });
+    let mut votes = Summary::new();
+    let mut top_hits = 0usize;
+    for (arriving, topped) in observations {
+        votes.record(arriving);
+        top_hits += usize::from(topped);
+    }
+    (votes, top_hits)
+}
 
 fn main() {
     banner(
@@ -29,6 +65,8 @@ fn main() {
         "§7.1: links at one ToR averaged 22.5±3.65 votes; 0 after reboot",
     );
     let scale = Scale::resolve(1, 1);
+    let engine = SweepEngine::from_env();
+    print_engine(&engine);
     let epochs = if scale.fast { 5 } else { 20 };
 
     let topo = ClosTopology::new(ClosParams::test_cluster(), 71).expect("valid");
@@ -58,24 +96,8 @@ fn main() {
         ..RunConfig::default()
     };
 
-    let mut sick_votes = Summary::new();
-    let mut switch_top_hits = 0usize;
-    for _ in 0..epochs {
-        let run = vigil::run_epoch(&topo, &faults, &cfg, &mut rng);
-        // Link-level: total votes on links arriving at the sick ToR.
-        let arriving: f64 = topo
-            .links()
-            .iter()
-            .filter(|l| l.to == Node::Switch(sick_tor))
-            .map(|l| run.detection.raw_tally.votes(l.id))
-            .sum();
-        sick_votes.record(arriving);
-        // Switch-level extension: does the sick ToR top the switch tally?
-        let tally = SwitchTally::tally(&topo, &run.evidence);
-        if tally.ranking().first().map(|(s, _)| *s) == Some(sick_tor) {
-            switch_top_hits += 1;
-        }
-    }
+    let (sick_votes, switch_top_hits) =
+        observe_epochs(&engine, epochs, 0xA1_71, &topo, &faults, &cfg, sick_tor);
 
     println!(
         "\nvotes on links arriving at the sick ToR: {:.1} ± {:.1} per epoch   (paper: 22.5 ± 3.65)",
@@ -92,17 +114,7 @@ fn main() {
     for l in links_to_repair {
         faults.repair_link(l, RateRange::PAPER_NOISE, &mut rng);
     }
-    let mut post = Summary::new();
-    for _ in 0..epochs {
-        let run = vigil::run_epoch(&topo, &faults, &cfg, &mut rng);
-        let arriving: f64 = topo
-            .links()
-            .iter()
-            .filter(|l| l.to == Node::Switch(sick_tor))
-            .map(|l| run.detection.raw_tally.votes(l.id))
-            .sum();
-        post.record(arriving);
-    }
+    let (post, _) = observe_epochs(&engine, epochs, 0xB0_71, &topo, &faults, &cfg, sick_tor);
     println!(
         "after 'rebooting' the ToR: {:.2} ± {:.2} votes per epoch   (paper: 0)",
         post.mean(),

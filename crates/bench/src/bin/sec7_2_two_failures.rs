@@ -3,13 +3,14 @@
 //!
 //! Paper result: over flows that cross at least one of the two failed
 //! links, 007 attributes the drops to the correct link (the one with the
-//! higher drop rate) 90.47 % of the time.
+//! higher drop rate) 90.47 % of the time. Trials are independent — each
+//! is one sweep-engine task.
 
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+use rand::Rng;
 use vigil::prelude::*;
+use vigil::sweep::task_rng;
 use vigil_analysis::blame_flow;
-use vigil_bench::{banner, write_json, Scale};
+use vigil_bench::{banner, print_engine, write_json, Scale};
 
 fn main() {
     banner(
@@ -18,15 +19,17 @@ fn main() {
         "§7.2: 90.47% of flows through a failed link blamed on the correct link",
     );
     let scale = Scale::resolve(10, 3);
+    let engine = SweepEngine::from_env();
+    print_engine(&engine);
     let base = scenarios::sec7_2_two_failures();
 
-    let mut scored = 0u64;
-    let mut correct = 0u64;
-    for trial in 0..scale.trials {
-        let mut rng = ChaCha8Rng::seed_from_u64(0x72 + trial as u64);
+    let per_trial = engine.run_tasks(scale.trials, |trial| {
+        let mut rng = task_rng(0x72, trial);
         let topo = ClosTopology::new(base.params, rng.gen()).expect("valid");
         let faults = base.faults.build(&topo, &mut rng);
 
+        let mut scored = 0u64;
+        let mut correct = 0u64;
         for _epoch in 0..scale.epochs {
             let run = vigil::run_epoch(&topo, &faults, &base.run, &mut rng);
             let flow_idx = run.flow_by_tuple();
@@ -53,7 +56,10 @@ fn main() {
                 }
             }
         }
-    }
+        (scored, correct)
+    });
+    let scored: u64 = per_trial.iter().map(|(s, _)| s).sum();
+    let correct: u64 = per_trial.iter().map(|(_, c)| c).sum();
 
     let acc = correct as f64 / scored.max(1) as f64;
     println!(

@@ -8,12 +8,27 @@
 //! * allowing one false positive (taking the top 3), both failures are
 //!   found 80 % of the time;
 //! * per-connection blame is right 98 % of the time.
+//!
+//! Trials are independent — each is one sweep-engine task; the rank
+//! tallies below are associative sums over trials.
 
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+use rand::Rng;
 use vigil::evaluate::evaluate_epoch;
 use vigil::prelude::*;
-use vigil_bench::{banner, write_json, Scale};
+use vigil::sweep::task_rng;
+use vigil_bench::{banner, print_engine, write_json, Scale};
+
+/// Rank-position counts from one trial (summed across trials).
+#[derive(Default)]
+struct RankCounts {
+    epochs: u64,
+    hot_first: u64,
+    second_rank: [u64; 5], // rank 1..=5
+    second_beyond_5: u64,
+    both_in_top3: u64,
+    acc_hits: u64,
+    acc_total: u64,
+}
 
 fn main() {
     banner(
@@ -22,18 +37,12 @@ fn main() {
         "§7.3: hot link #1 100%; 2nd link rank 2 (47%) / 3 (32%), top-5 always; top-3 finds both 80%",
     );
     let scale = Scale::resolve(20, 2);
+    let engine = SweepEngine::from_env();
+    print_engine(&engine);
     let base = scenarios::sec7_3_two_failures();
 
-    let mut epochs = 0u64;
-    let mut hot_first = 0u64;
-    let mut second_rank_counts = [0u64; 5]; // rank 1..=5
-    let mut second_beyond_5 = 0u64;
-    let mut both_in_top3 = 0u64;
-    let mut acc_hits = 0u64;
-    let mut acc_total = 0u64;
-
-    for trial in 0..scale.trials {
-        let mut rng = ChaCha8Rng::seed_from_u64(0x73 + trial as u64);
+    let per_trial = engine.run_tasks(scale.trials, |trial| {
+        let mut rng = task_rng(0x73, trial);
         let topo = ClosTopology::new(base.params, rng.gen()).expect("valid");
         let faults = base.faults.build(&topo, &mut rng);
         // Identify the hot (0.2%) vs mild (0.1%) link from the fault table.
@@ -46,6 +55,7 @@ fn main() {
         });
         let (hot, mild) = (failed[0], failed[1]);
 
+        let mut counts = RankCounts::default();
         for _epoch in 0..scale.epochs {
             let run = vigil::run_epoch(&topo, &faults, &base.run, &mut rng);
             let ranking: Vec<_> = run
@@ -58,54 +68,68 @@ fn main() {
             if ranking.is_empty() {
                 continue;
             }
-            epochs += 1;
+            counts.epochs += 1;
             if ranking.first() == Some(&hot) {
-                hot_first += 1;
+                counts.hot_first += 1;
             }
             match ranking.iter().position(|l| *l == mild) {
-                Some(pos) if pos < 5 => second_rank_counts[pos] += 1,
-                Some(_) => second_beyond_5 += 1,
-                None => second_beyond_5 += 1,
+                Some(pos) if pos < 5 => counts.second_rank[pos] += 1,
+                Some(_) => counts.second_beyond_5 += 1,
+                None => counts.second_beyond_5 += 1,
             }
             let top3: Vec<_> = ranking.iter().take(3).collect();
             if top3.contains(&&hot) && top3.contains(&&mild) {
-                both_in_top3 += 1;
+                counts.both_in_top3 += 1;
             }
             let er = evaluate_epoch(&run);
-            acc_hits += er.vigil.accuracy.hits;
-            acc_total += er.vigil.accuracy.total;
+            counts.acc_hits += er.vigil.accuracy.hits;
+            counts.acc_total += er.vigil.accuracy.total;
         }
+        counts
+    });
+
+    let mut total = RankCounts::default();
+    for c in per_trial {
+        total.epochs += c.epochs;
+        total.hot_first += c.hot_first;
+        for (slot, n) in total.second_rank.iter_mut().zip(c.second_rank) {
+            *slot += n;
+        }
+        total.second_beyond_5 += c.second_beyond_5;
+        total.both_in_top3 += c.both_in_top3;
+        total.acc_hits += c.acc_hits;
+        total.acc_total += c.acc_total;
     }
 
-    let pct = |n: u64| n as f64 / epochs.max(1) as f64 * 100.0;
-    println!("\nepochs scored: {epochs}");
+    let pct = |n: u64| n as f64 / total.epochs.max(1) as f64 * 100.0;
+    println!("\nepochs scored: {}", total.epochs);
     println!(
         "higher-rate link is most voted: {:.1}%   (paper: 100%)",
-        pct(hot_first)
+        pct(total.hot_first)
     );
     println!("second link rank distribution:");
-    for (i, c) in second_rank_counts.iter().enumerate() {
+    for (i, c) in total.second_rank.iter().enumerate() {
         println!("  rank {}: {:>5.1}%", i + 1, pct(*c));
     }
     println!(
         "  beyond top-5: {:>5.1}%   (paper: 0%)",
-        pct(second_beyond_5)
+        pct(total.second_beyond_5)
     );
     println!(
         "both failures within top-3 (≤1 false positive): {:.1}%   (paper: 80%)",
-        pct(both_in_top3)
+        pct(total.both_in_top3)
     );
     println!(
         "per-connection blame accuracy: {:.1}%   (paper: 98%)",
-        acc_hits as f64 / acc_total.max(1) as f64 * 100.0
+        total.acc_hits as f64 / total.acc_total.max(1) as f64 * 100.0
     );
     write_json(
         "sec7_3",
         &serde_json::json!({
-            "epochs": epochs,
-            "hot_first_pct": pct(hot_first),
-            "second_rank_counts": second_rank_counts,
-            "both_top3_pct": pct(both_in_top3),
+            "epochs": total.epochs,
+            "hot_first_pct": pct(total.hot_first),
+            "second_rank_counts": total.second_rank.to_vec(),
+            "both_top3_pct": pct(total.both_in_top3),
         }),
     );
 }

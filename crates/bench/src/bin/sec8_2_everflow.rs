@@ -14,14 +14,17 @@
 //!
 //! Our emulator's ground truth plays EverFlow's role; 007's side runs the
 //! real probe-train machinery (crafted packets, ICMP parsing, alias
-//! resolution) for every retransmitting flow in the fabric.
+//! resolution) for every retransmitting flow in the fabric. Each
+//! validation round is an independent observation window — one
+//! sweep-engine task with its own packet emulator.
 
 use rand::{seq::SliceRandom, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use vigil::prelude::*;
+use vigil::sweep::task_rng;
 use vigil_agents::{ProbeTracer, Tracer};
 use vigil_analysis::{blame_flow, FlowEvidence, VoteTally, VoteWeight};
-use vigil_bench::{banner, write_json, Scale};
+use vigil_bench::{banner, print_engine, write_json, Scale};
 use vigil_fabric::flowsim::simulate_epoch;
 use vigil_fabric::netsim::{NetSim, NetSimConfig};
 
@@ -32,6 +35,8 @@ fn main() {
         "§8.2: '007 was accurate in every single case'; paths match exactly",
     );
     let scale = Scale::resolve(1, 1);
+    let engine = SweepEngine::from_env();
+    print_engine(&engine);
     let rounds = if scale.fast { 6 } else { 30 };
 
     let params = ClosParams::tiny();
@@ -43,7 +48,6 @@ fn main() {
         ..FaultPlan::paper_default(2)
     };
     let faults = plan.build(&topo, &mut rng);
-    let mut sim = NetSim::new(topo.clone(), faults.clone(), NetSimConfig::default(), 88);
 
     // EverFlow is enabled for 9 random hosts; 007 monitors everyone.
     let mut monitored: Vec<_> = topo.hosts().collect();
@@ -55,12 +59,23 @@ fn main() {
         ..TrafficSpec::paper_default()
     };
 
-    let mut traced = 0u64;
-    let mut path_matches = 0u64;
-    let mut blame_matches = 0u64;
-    let mut blame_scored = 0u64;
+    let per_round = engine.run_tasks(rounds, |round| {
+        // Distinct master from the 0x82 setup rng: task_rng(m, 0) == m's
+        // stream, which would replay the fault/monitored-host draws.
+        let mut rng = task_rng(0xA0_82, round);
+        // Every round gets its own packet emulator — rounds are
+        // independent capture windows.
+        let mut sim = NetSim::new(
+            topo.clone(),
+            faults.clone(),
+            NetSimConfig::default(),
+            88 + round as u64,
+        );
+        let mut traced = 0u64;
+        let mut path_matches = 0u64;
+        let mut blame_matches = 0u64;
+        let mut blame_scored = 0u64;
 
-    for _round in 0..rounds {
         // One epoch of fleet-wide traffic (the fabric's ground truth is
         // EverFlow's capture for the monitored hosts).
         let outcome = simulate_epoch(&topo, &faults, &traffic, &SimConfig::default(), &mut rng);
@@ -114,8 +129,13 @@ fn main() {
                 }
             }
         }
-        sim.advance(30.0);
-    }
+        (traced, path_matches, blame_matches, blame_scored)
+    });
+
+    let traced: u64 = per_round.iter().map(|r| r.0).sum();
+    let path_matches: u64 = per_round.iter().map(|r| r.1).sum();
+    let blame_matches: u64 = per_round.iter().map(|r| r.2).sum();
+    let blame_scored: u64 = per_round.iter().map(|r| r.3).sum();
 
     println!("\nmonitored-host flows traced: {traced}");
     println!(

@@ -13,12 +13,14 @@
 //! T2↔T1.
 //!
 //! The reproduction replays the same incident mix and checks 007 finds a
-//! cause of the right class for each reboot.
+//! cause of the right class for each reboot. Incidents (and the routine
+//! day's epochs) are independent — each is one sweep-engine task.
 
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use vigil::prelude::*;
-use vigil_bench::{banner, write_json, Scale};
+use vigil::sweep::task_rng;
+use vigil_bench::{banner, print_engine, write_json, Scale};
 use vigil_fabric::faults::LinkFaults;
 use vigil_stats::Summary;
 use vigil_topology::Node;
@@ -31,6 +33,13 @@ enum Cause {
     LinkFlap,
 }
 
+/// One replayed incident's outcome.
+struct Incident {
+    detected: f64,
+    /// `(kind_matches_cause, tier)` of the top blamed link, when found.
+    blamed: Option<(bool, usize)>,
+}
+
 fn main() {
     banner(
         "sec8_3",
@@ -38,10 +47,11 @@ fn main() {
         "§8.3: 262 host-ToR transients, 2 bad ToRs, 15 config updates, 2 flaps; 0.45±0.12 links/epoch",
     );
     let scale = Scale::resolve(1, 1);
+    let engine = SweepEngine::from_env();
+    print_engine(&engine);
     let incidents: usize = if scale.fast { 60 } else { 281 };
 
     let topo = ClosTopology::new(ClosParams::tiny(), 83).expect("valid");
-    let mut rng = ChaCha8Rng::seed_from_u64(0x83);
     let cfg = RunConfig {
         traffic: TrafficSpec {
             conns_per_host: ConnCount::Fixed(25),
@@ -55,12 +65,8 @@ fn main() {
         ..RunConfig::default()
     };
 
-    let mut explained = 0usize;
-    let mut class_hits = 0usize;
-    let mut per_epoch_detected = Summary::new();
-    let mut tier_counts = [0u64; 3]; // host↔ToR, level-1, level-2
-
-    for incident in 0..incidents {
+    let replayed = engine.run_tasks(incidents, |incident| {
+        let mut rng = task_rng(0x83, incident);
         // The paper's empirical cause mix: 262/2/15/2 out of 281.
         let cause = match incident * 281 / incidents {
             0..=261 => Cause::HostTorTransient,
@@ -125,13 +131,8 @@ fn main() {
         };
 
         let run = vigil::run_epoch(&topo, &faults, &cfg, &mut rng);
-        per_epoch_detected.record(run.detection.detections.len() as f64);
-        if let Some(top) = run.detection.detections.first() {
-            explained += 1;
+        let blamed = run.detection.detections.first().map(|top| {
             let kind = topo.link(top.link).kind;
-            if expected_kinds.contains(&kind) {
-                class_hits += 1;
-            }
             let tier = if kind.is_host_link() {
                 0
             } else if kind.is_level1() {
@@ -139,6 +140,23 @@ fn main() {
             } else {
                 2
             };
+            (expected_kinds.contains(&kind), tier)
+        });
+        Incident {
+            detected: run.detection.detections.len() as f64,
+            blamed,
+        }
+    });
+
+    let mut explained = 0usize;
+    let mut class_hits = 0usize;
+    let mut per_epoch_detected = Summary::new();
+    let mut tier_counts = [0u64; 3]; // host↔ToR, level-1, level-2
+    for incident in &replayed {
+        per_epoch_detected.record(incident.detected);
+        if let Some((class_hit, tier)) = incident.blamed {
+            explained += 1;
+            class_hits += usize::from(class_hit);
             tier_counts[tier] += 1;
         }
     }
@@ -171,13 +189,16 @@ fn main() {
     // observed blame mix: 48% server-ToR — 38% from one recurrently bad
     // ToR — 24% T1-ToR, 6% T2-T1).
     let day_epochs = if scale.fast { 40 } else { 150 };
-    let mut day_detected = Summary::new();
-    let mut day_tiers = [0u64; 6]; // HostToTor, TorToHost, TorToT1, T1ToTor, T1ToT2, T2ToT1
 
     // The recurring bad ToR of the paper's account ("38% were due to a
     // single ToR switch that was eventually taken out for repair").
-    let bad_tor_host = vigil_topology::HostId(rng.gen_range(0..topo.num_hosts() as u32));
-    for _ in 0..day_epochs {
+    let mut setup_rng = ChaCha8Rng::seed_from_u64(0xDA_83);
+    let bad_tor_host = vigil_topology::HostId(setup_rng.gen_range(0..topo.num_hosts() as u32));
+
+    let day = engine.run_tasks(day_epochs, |epoch| {
+        // Distinct master from the 0xDA_83 setup rng: task_rng(m, 0) == m's
+        // stream, which would replay the bad-ToR selection draw.
+        let mut rng = task_rng(0xA0_DA_83, epoch);
         let mut faults = LinkFaults::new(topo.num_links());
         faults.set_noise(RateRange::PAPER_NOISE, &mut rng);
         let roll: f64 = rng.gen();
@@ -221,7 +242,7 @@ fn main() {
             faults.fail_link(l2[rng.gen_range(0..l2.len())], rng.gen_range(0.005..0.05));
         }
         let run = vigil::run_epoch(&topo, &faults, &cfg, &mut rng);
-        day_detected.record(run.detection.detections.len() as f64);
+        let mut tiers = [0u64; 6]; // HostToTor, TorToHost, TorToT1, T1ToTor, T1ToT2, T2ToT1
         for d in &run.detection.detections {
             let idx = match topo.link(d.link).kind {
                 LinkKind::HostToTor => 0,
@@ -231,7 +252,17 @@ fn main() {
                 LinkKind::T1ToT2 => 4,
                 LinkKind::T2ToT1 => 5,
             };
-            day_tiers[idx] += 1;
+            tiers[idx] += 1;
+        }
+        (run.detection.detections.len() as f64, tiers)
+    });
+
+    let mut day_detected = Summary::new();
+    let mut day_tiers = [0u64; 6];
+    for (detected, tiers) in day {
+        day_detected.record(detected);
+        for (slot, n) in day_tiers.iter_mut().zip(tiers) {
+            *slot += n;
         }
     }
     println!("\none simulated day of routine epochs ({day_epochs} epochs):");
@@ -259,7 +290,7 @@ fn main() {
             "explained": explained,
             "class_hits": class_hits,
             "detected_mean": per_epoch_detected.mean(),
-            "tier_counts": tier_counts,
+            "tier_counts": tier_counts.to_vec(),
         }),
     );
 }

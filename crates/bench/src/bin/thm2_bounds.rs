@@ -7,11 +7,15 @@
 //!   mis-ranking probability `ε ≤ 2e^{−O(N)}`.
 //! * Lemma 2: the vote-probability bounds `v_b ≥ r_b/(n0·n1·npod)` and
 //!   the `v_g` ceiling — verified empirically by counting votes.
+//!
+//! The Monte-Carlo epochs are independent — each runs as one
+//! sweep-engine task.
 
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use vigil::prelude::*;
-use vigil_bench::{banner, write_json, Scale};
+use vigil::sweep::task_rng;
+use vigil_bench::{banner, print_engine, write_json, Scale};
 use vigil_fabric::faults::LinkFaults;
 use vigil_topology::bounds::{theorem1_ct_bound, theorem2_k_max, Theorem2};
 
@@ -22,6 +26,8 @@ fn main() {
         "§4.1, §5.2, Appendix C",
     );
     let scale = Scale::resolve(1, 1);
+    let engine = SweepEngine::from_env();
+    print_engine(&engine);
     let params = ClosParams::paper_sim();
 
     println!("\nTheorem 1 (paper topology n0=20 n1=16 n2=20 npod=2 H=20):");
@@ -98,13 +104,14 @@ fn main() {
         ..RunConfig::default()
     };
     let epochs = if scale.fast { 4 } else { 16 };
-    let mut bad_votes = 0u64;
-    let mut connections = 0u64;
-    let mut max_good_votes = 0u64;
-    for _ in 0..epochs {
+
+    let samples = engine.run_tasks(epochs, |epoch| {
+        // Distinct master from the 0x7772 setup rng: task_rng(m, 0) == m's
+        // stream, which would correlate epoch 0 with the fault draw.
+        let mut rng = task_rng(0xA0_7772, epoch);
         let run = vigil::run_epoch(&topo, &faults, &cfg, &mut rng);
-        connections += run.outcome.flows.len() as u64;
-        bad_votes += run
+        let connections = run.outcome.flows.len() as u64;
+        let bad_votes = run
             .evidence
             .iter()
             .filter(|e| e.links.contains(&bad))
@@ -117,8 +124,11 @@ fn main() {
             .into_iter()
             .find(|(l, _)| *l != bad)
             .map_or(0.0, |(_, v)| v);
-        max_good_votes += top_good.ceil() as u64;
-    }
+        (connections, bad_votes, top_good.ceil() as u64)
+    });
+    let connections: u64 = samples.iter().map(|s| s.0).sum();
+    let bad_votes: u64 = samples.iter().map(|s| s.1).sum();
+    let max_good_votes: u64 = samples.iter().map(|s| s.2).sum();
 
     let t = Theorem2 {
         params: mc_params,

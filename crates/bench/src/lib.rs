@@ -14,7 +14,16 @@
 //!
 //! * `VIGIL_TRIALS` — independent trials per point (default per bin);
 //! * `VIGIL_EPOCHS` — epochs per trial;
-//! * `VIGIL_FAST=1` — shrink everything for a quick smoke run.
+//! * `VIGIL_FAST=1` — shrink everything for a quick smoke run;
+//! * `VIGIL_THREADS` — worker threads for the sweep engine (default:
+//!   all available hardware parallelism). Results are bit-identical at
+//!   any thread count.
+//!
+//! Every binary routes its trial execution through
+//! [`vigil::SweepEngine`] — declarative sweeps via [`sweep_table`] /
+//! [`vigil::SweepSpec`], bespoke replays via
+//! [`vigil::SweepEngine::run_tasks`] — so the whole figure suite is
+//! parallel by default.
 
 #![forbid(unsafe_code)]
 
@@ -177,6 +186,37 @@ pub fn run_point(
     let integer = report.integer.clone();
     let binary = report.binary.clone();
     (report, integer, binary)
+}
+
+/// Prints the engine's execution banner line (thread count), so every
+/// figure run records how it was sharded.
+pub fn print_engine(engine: &SweepEngine) {
+    println!("sweep engine: {} worker thread(s)", engine.threads());
+}
+
+/// Runs a declarative sweep, turns each point's report into a
+/// [`SeriesRow`], prints the fixed-width table, and writes
+/// `results/<spec.id>.json`. Returns the rows.
+///
+/// This is the whole body of a typical figure binary: the hand-rolled
+/// "for knob value → run trials → aggregate → print/write" loops live
+/// in [`vigil::SweepEngine`] now, sharded over `VIGIL_THREADS` workers
+/// with bit-identical output at any width.
+pub fn sweep_table<X>(
+    engine: &SweepEngine,
+    spec: &SweepSpec<'_, X>,
+    row: impl Fn(&X, &vigil::ExperimentReport) -> SeriesRow,
+) -> Vec<SeriesRow> {
+    let reports = engine.run_sweep(spec);
+    let rows: Vec<SeriesRow> = spec
+        .values
+        .iter()
+        .zip(&reports)
+        .map(|(x, report)| row(x, report))
+        .collect();
+    print_table(spec.knob, &rows);
+    write_json(spec.id, &rows);
+    rows
 }
 
 #[cfg(test)]

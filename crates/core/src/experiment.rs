@@ -5,10 +5,19 @@
 //! produces one such point: `trials` independent topologies/fault draws ×
 //! `epochs` epochs each, aggregated into per-method accuracy, precision
 //! and recall with confidence intervals.
+//!
+//! Trials are independent by construction — each draws its own topology
+//! seed and fault plan from a per-trial [`ChaCha8Rng`] derived from the
+//! master seed — so the runner is factored into [`run_trial`] (one
+//! trial's partial report) plus associative merges ([`MethodReport::merge`],
+//! [`ExperimentReport::merge_trial`]). The [`crate::sweep::SweepEngine`]
+//! shards trials across worker threads and merges in trial order, which
+//! makes its output bit-identical to this module's serial path at any
+//! thread count.
 
 use crate::evaluate::{evaluate_epoch, EpochReport};
 use crate::run::{run_epoch, RunConfig};
-use rand::{Rng, SeedableRng};
+use rand::Rng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 use vigil_fabric::faults::FaultPlan;
@@ -49,6 +58,15 @@ impl Default for ExperimentConfig {
     }
 }
 
+impl ExperimentConfig {
+    /// The per-trial RNG: seeded from the master seed and the trial index
+    /// only, so trials can run in any order (or on any thread) and still
+    /// draw identical topologies, faults, and traffic.
+    pub fn trial_rng(&self, trial: usize) -> ChaCha8Rng {
+        crate::sweep::task_rng(self.seed, trial)
+    }
+}
+
 /// Aggregated metrics for one method.
 #[derive(Debug, Clone, Default, Serialize)]
 pub struct MethodReport {
@@ -75,6 +93,30 @@ impl MethodReport {
         }
         self.pooled.merge(outcome);
     }
+
+    /// Merges another method report (associative; across trials or
+    /// shards).
+    pub fn merge(&mut self, other: &MethodReport) {
+        self.accuracy.merge(&other.accuracy);
+        self.precision.merge(&other.precision);
+        self.recall.merge(&other.recall);
+        self.pooled.merge(&other.pooled);
+    }
+}
+
+/// Wall-clock accounting for one experiment run. Excluded from the
+/// serialized report (`#[serde(skip)]`): timing varies run to run, while
+/// the rest of the report is a pure function of the config — keeping it
+/// out of the JSON is what lets a 4-thread run be byte-identical to a
+/// 1-thread run.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct ExperimentTiming {
+    /// Wall-clock milliseconds per trial, in trial order.
+    pub per_trial_ms: Vec<f64>,
+    /// End-to-end wall-clock milliseconds for the whole experiment.
+    pub total_ms: f64,
+    /// Worker threads the run was sharded over.
+    pub threads: usize,
 }
 
 /// The result of one experiment point.
@@ -98,82 +140,182 @@ pub struct ExperimentReport {
     pub vote_gaps: Vec<f64>,
     /// Per-epoch reports, in (trial-major) order, for custom analyses.
     pub epochs: Vec<EpochReport>,
+    /// Wall-clock accounting (not serialized; see [`ExperimentTiming`]).
+    #[serde(skip)]
+    pub timing: ExperimentTiming,
 }
 
 impl ExperimentReport {
+    /// An empty report for `config`, ready to absorb trials.
+    pub fn empty(config: &ExperimentConfig) -> Self {
+        Self {
+            name: config.name.clone(),
+            vigil: MethodReport::default(),
+            integer: config.run.baselines.integer.then(MethodReport::default),
+            binary: config.run.baselines.binary.then(MethodReport::default),
+            noise_marked: 0,
+            noise_marked_incorrectly: 0,
+            detected_per_epoch: Summary::new(),
+            vote_gaps: Vec::new(),
+            epochs: Vec::new(),
+            timing: ExperimentTiming::default(),
+        }
+    }
+
     /// Convenience: pooled accuracy over everything (flows weighted
     /// equally), `None` when nothing was scored.
     pub fn pooled_accuracy(&self) -> Option<f64> {
         self.vigil.pooled.accuracy.value()
     }
-}
 
-/// Runs the experiment.
-pub fn run_experiment(config: &ExperimentConfig) -> ExperimentReport {
-    let mut report = ExperimentReport {
-        name: config.name.clone(),
-        vigil: MethodReport::default(),
-        integer: config.run.baselines.integer.then(MethodReport::default),
-        binary: config.run.baselines.binary.then(MethodReport::default),
-        noise_marked: 0,
-        noise_marked_incorrectly: 0,
-        detected_per_epoch: Summary::new(),
-        vote_gaps: Vec::new(),
-        epochs: Vec::new(),
-    };
-
-    for trial in 0..config.trials {
-        let mut rng = ChaCha8Rng::seed_from_u64(
-            config.seed ^ (trial as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-        );
-        let topo = ClosTopology::new(config.params, rng.gen())
-            .expect("experiment parameters validated upstream");
-        let faults = config.faults.build(&topo, &mut rng);
-
-        // Per-trial accumulators (figures average per-run values).
-        let mut vigil_acc = RatioMetric::default();
-        let mut vigil_out = DetectionOutcome::default();
-        let mut int_acc = RatioMetric::default();
-        let mut int_out = DetectionOutcome::default();
-        let mut bin_acc = RatioMetric::default();
-        let mut bin_out = DetectionOutcome::default();
-
-        for _epoch in 0..config.epochs {
-            let run = run_epoch(&topo, &faults, &config.run, &mut rng);
-            let er = evaluate_epoch(&run);
-
-            vigil_acc.merge(er.vigil.accuracy);
-            vigil_out.accuracy.merge(er.vigil.accuracy);
-            vigil_out.confusion.merge(er.vigil.confusion);
-            if let Some(m) = &er.integer {
-                int_acc.merge(m.accuracy);
-                int_out.accuracy.merge(m.accuracy);
-                int_out.confusion.merge(m.confusion);
-            }
-            if let Some(m) = &er.binary {
-                bin_acc.merge(m.accuracy);
-                bin_out.accuracy.merge(m.accuracy);
-                bin_out.confusion.merge(m.confusion);
-            }
-            report.noise_marked += er.noise_marked;
-            report.noise_marked_incorrectly += er.noise_marked_incorrectly;
-            report.detected_per_epoch.record(er.detected.len() as f64);
-            if let Some(g) = er.vote_gap {
-                report.vote_gaps.push(g);
-            }
-            report.epochs.push(er);
+    /// Folds one trial's partial report in. Merging trials 0..n in index
+    /// order reproduces the serial runner exactly, whichever threads
+    /// computed the partials.
+    pub fn merge_trial(&mut self, trial: TrialReport) {
+        self.vigil.merge(&trial.vigil);
+        if let (Some(mine), Some(theirs)) = (self.integer.as_mut(), trial.integer.as_ref()) {
+            mine.merge(theirs);
         }
-
-        report.vigil.absorb_trial(vigil_acc, &vigil_out);
-        if let Some(m) = report.integer.as_mut() {
-            m.absorb_trial(int_acc, &int_out);
+        if let (Some(mine), Some(theirs)) = (self.binary.as_mut(), trial.binary.as_ref()) {
+            mine.merge(theirs);
         }
-        if let Some(m) = report.binary.as_mut() {
-            m.absorb_trial(bin_acc, &bin_out);
-        }
+        self.noise_marked += trial.noise_marked;
+        self.noise_marked_incorrectly += trial.noise_marked_incorrectly;
+        self.detected_per_epoch.merge(&trial.detected_per_epoch);
+        self.vote_gaps.extend(trial.vote_gaps);
+        self.epochs.extend(trial.epochs);
+        self.timing.per_trial_ms.push(trial.wall_ms);
     }
 
-    report
+    /// Merges a whole sibling report (associative). Both sides must come
+    /// from the same config shape (same baselines enabled); trial-derived
+    /// vectors concatenate in call order.
+    pub fn merge(&mut self, other: &ExperimentReport) {
+        self.vigil.merge(&other.vigil);
+        if let (Some(mine), Some(theirs)) = (self.integer.as_mut(), other.integer.as_ref()) {
+            mine.merge(theirs);
+        }
+        if let (Some(mine), Some(theirs)) = (self.binary.as_mut(), other.binary.as_ref()) {
+            mine.merge(theirs);
+        }
+        self.noise_marked += other.noise_marked;
+        self.noise_marked_incorrectly += other.noise_marked_incorrectly;
+        self.detected_per_epoch.merge(&other.detected_per_epoch);
+        self.vote_gaps.extend(other.vote_gaps.iter().copied());
+        self.epochs.extend(other.epochs.iter().cloned());
+        self.timing
+            .per_trial_ms
+            .extend(other.timing.per_trial_ms.iter().copied());
+        self.timing.total_ms += other.timing.total_ms;
+    }
+}
+
+/// One trial's contribution to an [`ExperimentReport`] — the unit the
+/// sweep engine computes on worker threads and merges in trial order.
+#[derive(Debug, Clone)]
+pub struct TrialReport {
+    /// Trial index within the experiment.
+    pub trial: usize,
+    /// 007's per-trial metrics (≤ 1 recorded value per summary).
+    pub vigil: MethodReport,
+    /// Integer program partials, when enabled.
+    pub integer: Option<MethodReport>,
+    /// Binary program partials, when enabled.
+    pub binary: Option<MethodReport>,
+    /// Flows noise-marked in this trial.
+    pub noise_marked: u64,
+    /// Noise marks violating ground truth in this trial.
+    pub noise_marked_incorrectly: u64,
+    /// Detected-links-per-epoch observations of this trial.
+    pub detected_per_epoch: Summary,
+    /// Vote gaps of this trial's single-failure epochs.
+    pub vote_gaps: Vec<f64>,
+    /// This trial's epoch reports, in epoch order.
+    pub epochs: Vec<EpochReport>,
+    /// Wall-clock milliseconds this trial took.
+    pub wall_ms: f64,
+}
+
+/// Runs one independent trial of `config`: a fresh topology and fault
+/// draw from [`ExperimentConfig::trial_rng`], then `config.epochs` epochs.
+pub fn run_trial(config: &ExperimentConfig, trial: usize) -> TrialReport {
+    let started = std::time::Instant::now();
+    let mut rng = config.trial_rng(trial);
+    let topo = ClosTopology::new(config.params, rng.gen())
+        .expect("experiment parameters validated upstream");
+    let faults = config.faults.build(&topo, &mut rng);
+
+    // Per-trial accumulators (figures average per-run values).
+    let mut vigil_acc = RatioMetric::default();
+    let mut vigil_out = DetectionOutcome::default();
+    let mut int_acc = RatioMetric::default();
+    let mut int_out = DetectionOutcome::default();
+    let mut bin_acc = RatioMetric::default();
+    let mut bin_out = DetectionOutcome::default();
+
+    let mut noise_marked = 0u64;
+    let mut noise_marked_incorrectly = 0u64;
+    let mut detected_per_epoch = Summary::new();
+    let mut vote_gaps = Vec::new();
+    let mut epochs = Vec::with_capacity(config.epochs);
+
+    for _epoch in 0..config.epochs {
+        let run = run_epoch(&topo, &faults, &config.run, &mut rng);
+        let er = evaluate_epoch(&run);
+
+        vigil_acc.merge(er.vigil.accuracy);
+        vigil_out.accuracy.merge(er.vigil.accuracy);
+        vigil_out.confusion.merge(er.vigil.confusion);
+        if let Some(m) = &er.integer {
+            int_acc.merge(m.accuracy);
+            int_out.accuracy.merge(m.accuracy);
+            int_out.confusion.merge(m.confusion);
+        }
+        if let Some(m) = &er.binary {
+            bin_acc.merge(m.accuracy);
+            bin_out.accuracy.merge(m.accuracy);
+            bin_out.confusion.merge(m.confusion);
+        }
+        noise_marked += er.noise_marked;
+        noise_marked_incorrectly += er.noise_marked_incorrectly;
+        detected_per_epoch.record(er.detected.len() as f64);
+        if let Some(g) = er.vote_gap {
+            vote_gaps.push(g);
+        }
+        epochs.push(er);
+    }
+
+    let mut vigil = MethodReport::default();
+    vigil.absorb_trial(vigil_acc, &vigil_out);
+    let integer = config.run.baselines.integer.then(|| {
+        let mut m = MethodReport::default();
+        m.absorb_trial(int_acc, &int_out);
+        m
+    });
+    let binary = config.run.baselines.binary.then(|| {
+        let mut m = MethodReport::default();
+        m.absorb_trial(bin_acc, &bin_out);
+        m
+    });
+
+    TrialReport {
+        trial,
+        vigil,
+        integer,
+        binary,
+        noise_marked,
+        noise_marked_incorrectly,
+        detected_per_epoch,
+        vote_gaps,
+        epochs,
+        wall_ms: started.elapsed().as_secs_f64() * 1e3,
+    }
+}
+
+/// Runs the experiment on the current thread. [`crate::sweep::SweepEngine`]
+/// runs the same trials across workers with a bit-identical result.
+pub fn run_experiment(config: &ExperimentConfig) -> ExperimentReport {
+    crate::sweep::SweepEngine::serial().run_experiment(config)
 }
 
 #[cfg(test)]
@@ -232,5 +374,72 @@ mod tests {
         // Vote gaps are continuous; collision means something is ignoring
         // the seed.
         assert_ne!(a.vote_gaps, b.vote_gaps);
+    }
+
+    #[test]
+    fn trial_merge_matches_runner() {
+        let cfg = small_config();
+        let mut manual = ExperimentReport::empty(&cfg);
+        for trial in 0..cfg.trials {
+            manual.merge_trial(run_trial(&cfg, trial));
+        }
+        let auto = run_experiment(&cfg);
+        assert_eq!(manual.vote_gaps, auto.vote_gaps);
+        assert_eq!(manual.vigil.pooled.accuracy, auto.vigil.pooled.accuracy);
+        assert_eq!(
+            manual.detected_per_epoch.mean(),
+            auto.detected_per_epoch.mean()
+        );
+    }
+
+    #[test]
+    fn report_merge_is_associative_on_counts() {
+        let cfg = small_config();
+        let trials: Vec<TrialReport> = (0..3).map(|t| run_trial(&cfg, t)).collect();
+
+        // (a ⊕ b) ⊕ c
+        let mut left = ExperimentReport::empty(&cfg);
+        left.merge_trial(trials[0].clone());
+        left.merge_trial(trials[1].clone());
+        let mut c_only = ExperimentReport::empty(&cfg);
+        c_only.merge_trial(trials[2].clone());
+        left.merge(&c_only);
+
+        // a ⊕ (b ⊕ c)
+        let mut right = ExperimentReport::empty(&cfg);
+        right.merge_trial(trials[0].clone());
+        let mut bc = ExperimentReport::empty(&cfg);
+        bc.merge_trial(trials[1].clone());
+        bc.merge_trial(trials[2].clone());
+        right.merge(&bc);
+
+        assert_eq!(left.vigil.pooled.accuracy, right.vigil.pooled.accuracy);
+        assert_eq!(left.noise_marked, right.noise_marked);
+        assert_eq!(left.vote_gaps, right.vote_gaps);
+        assert_eq!(left.epochs.len(), right.epochs.len());
+        assert_eq!(
+            left.detected_per_epoch.count(),
+            right.detected_per_epoch.count()
+        );
+    }
+
+    #[test]
+    fn per_trial_timing_recorded() {
+        let report = run_experiment(&small_config());
+        assert_eq!(report.timing.per_trial_ms.len(), 2);
+        assert!(report.timing.per_trial_ms.iter().all(|ms| *ms > 0.0));
+        assert!(report.timing.total_ms > 0.0);
+        assert_eq!(report.timing.threads, 1);
+    }
+
+    #[test]
+    fn timing_is_not_serialized() {
+        let report = run_experiment(&small_config());
+        let json = serde_json::to_string(&report).unwrap();
+        assert!(
+            !json.contains("per_trial_ms"),
+            "timing must stay out of the JSON"
+        );
+        assert!(json.contains("vote_gaps"));
     }
 }

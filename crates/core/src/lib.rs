@@ -42,10 +42,15 @@ pub mod evaluate;
 pub mod experiment;
 pub mod run;
 pub mod scenarios;
+pub mod sweep;
 
 pub use evaluate::{EpochReport, MethodMetrics};
-pub use experiment::{run_experiment, ExperimentConfig, ExperimentReport, MethodReport};
+pub use experiment::{
+    run_experiment, run_trial, ExperimentConfig, ExperimentReport, ExperimentTiming, MethodReport,
+    TrialReport,
+};
 pub use run::{run_epoch, run_epoch_threaded, Baselines, EpochRun, PacerBudget, RunConfig};
+pub use sweep::{SweepEngine, SweepSpec};
 
 /// Convenient glob-import for examples and benches.
 pub mod prelude {
@@ -55,6 +60,7 @@ pub mod prelude {
         run_epoch, run_epoch_threaded, Baselines, EpochRun, PacerBudget, RunConfig,
     };
     pub use crate::scenarios;
+    pub use crate::sweep::{SweepEngine, SweepSpec};
     pub use vigil_analysis::{Algorithm1Config, ThresholdBase, VoteWeight};
     pub use vigil_fabric::faults::{FaultLocation, FaultPlan, RateRange};
     pub use vigil_fabric::traffic::{ConnCount, DestSpec, PacketCount, TrafficSpec};

@@ -1,0 +1,318 @@
+//! The parallel sweep engine: shard independent trials across worker
+//! threads, merge in deterministic order.
+//!
+//! 007 itself is embarrassingly parallel — a fleet of independent host
+//! agents feeding one analysis agent (the paper's Figure 2) — and so is
+//! its evaluation: every §6 figure is a sweep over one knob, each point
+//! averaged over independent trials. [`SweepEngine`] exploits that shape:
+//!
+//! * [`SweepEngine::run_tasks`] is the primitive — a deterministic
+//!   parallel index map. Workers claim task indices from a shared atomic
+//!   counter (dynamic load balancing), results fan into the main thread
+//!   over a crossbeam channel and are re-ordered by index, so the output
+//!   is always `[f(0), f(1), …, f(n-1)]` regardless of scheduling.
+//! * [`SweepEngine::run_experiment`] shards one config's trials. Each
+//!   trial re-seeds from the master seed and its index alone
+//!   ([`ExperimentConfig::trial_rng`]), and partial reports merge in
+//!   trial order, so the report is **bit-identical** at any thread
+//!   count — `threads = 4` reproduces `threads = 1` byte for byte.
+//! * [`SweepEngine::run_sweep`] runs a declarative [`SweepSpec`] — knob
+//!   name, values, config mutator — flattening every point's trials into
+//!   one task grid so a slow point cannot leave workers idle.
+//!
+//! Thread count resolution: `VIGIL_THREADS` env var, else
+//! [`std::thread::available_parallelism`], else 1 — see
+//! [`SweepEngine::from_env`].
+
+use crate::experiment::{run_trial, ExperimentConfig, ExperimentReport};
+use crossbeam::channel;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Per-task RNG for custom replays driven through
+/// [`SweepEngine::run_tasks`]: mixes the task index into the master seed
+/// (golden-ratio multiply, the same derivation as
+/// [`ExperimentConfig::trial_rng`]) so tasks draw independent streams in
+/// any execution order.
+pub fn task_rng(master_seed: u64, index: usize) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(master_seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Hardware parallelism, with a serial fallback when it cannot be
+/// determined.
+pub fn available_threads() -> NonZeroUsize {
+    std::thread::available_parallelism().unwrap_or(NonZeroUsize::MIN)
+}
+
+/// The `VIGIL_THREADS` override, when set. `0` is clamped to 1.
+///
+/// # Panics
+///
+/// Panics when the variable is set but not an integer, to fail loudly
+/// rather than silently running at the wrong width.
+pub fn env_threads() -> Option<NonZeroUsize> {
+    let raw = std::env::var("VIGIL_THREADS").ok()?;
+    let n: usize = raw
+        .parse()
+        .expect("VIGIL_THREADS must be a non-negative integer");
+    Some(NonZeroUsize::new(n).unwrap_or(NonZeroUsize::MIN))
+}
+
+/// A declarative parameter sweep: one knob, its values, and how each
+/// value becomes an [`ExperimentConfig`].
+///
+/// `id` doubles as the output-path stem (`results/<id>.json`) for the
+/// figure binaries; `knob` labels the x-axis column in printed tables.
+pub struct SweepSpec<'a, X> {
+    /// Output identifier (e.g. `"fig05a"`).
+    pub id: &'a str,
+    /// The swept knob's display name (e.g. `"drop rate (%)"`).
+    pub knob: &'a str,
+    /// The knob values, one experiment point each.
+    pub values: Vec<X>,
+    /// Maps a knob value to the experiment to run at that point.
+    #[allow(clippy::type_complexity)]
+    pub config: Box<dyn Fn(&X) -> ExperimentConfig + Sync + 'a>,
+}
+
+impl<'a, X> SweepSpec<'a, X> {
+    /// Builds a spec from the knob values and the config mutator.
+    pub fn new(
+        id: &'a str,
+        knob: &'a str,
+        values: Vec<X>,
+        config: impl Fn(&X) -> ExperimentConfig + Sync + 'a,
+    ) -> Self {
+        Self {
+            id,
+            knob,
+            values,
+            config: Box::new(config),
+        }
+    }
+}
+
+/// The multi-threaded trial executor shared by the CLI and all figure
+/// binaries.
+#[derive(Debug, Clone)]
+pub struct SweepEngine {
+    threads: NonZeroUsize,
+}
+
+impl Default for SweepEngine {
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+impl SweepEngine {
+    /// An engine with exactly `threads` workers (0 is clamped to 1).
+    pub fn new(threads: usize) -> Self {
+        Self {
+            threads: NonZeroUsize::new(threads).unwrap_or(NonZeroUsize::MIN),
+        }
+    }
+
+    /// A single-threaded engine (the deterministic reference).
+    pub fn serial() -> Self {
+        Self::new(1)
+    }
+
+    /// Resolves the thread count from the environment: `VIGIL_THREADS`
+    /// when set, otherwise all available hardware parallelism.
+    pub fn from_env() -> Self {
+        Self {
+            threads: env_threads().unwrap_or_else(available_threads),
+        }
+    }
+
+    /// Worker threads this engine runs.
+    pub fn threads(&self) -> usize {
+        self.threads.get()
+    }
+
+    /// Deterministic parallel index map: returns
+    /// `[task(0), task(1), …, task(n-1)]`, computed on up to
+    /// [`Self::threads`] workers. Task order in the output never depends
+    /// on scheduling; a panicking task propagates the panic.
+    pub fn run_tasks<T, F>(&self, n: usize, task: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let workers = self.threads.get().min(n);
+        if workers <= 1 {
+            return (0..n).map(task).collect();
+        }
+
+        let next = AtomicUsize::new(0);
+        let (tx, rx) = channel::unbounded::<(usize, T)>();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let next = &next;
+                let task = &task;
+                scope.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    // A send only fails when the collector is gone, i.e.
+                    // the scope is already unwinding; stop quietly then.
+                    if tx.send((i, task(i))).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+        });
+
+        // All workers joined at scope exit: every result is queued.
+        let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        while let Ok((i, value)) = rx.try_recv() {
+            slots[i] = Some(value);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every task index completed"))
+            .collect()
+    }
+
+    /// Runs `config.trials` independent trials across the workers and
+    /// merges them in trial order. Bit-identical to the serial runner at
+    /// any thread count.
+    pub fn run_experiment(&self, config: &ExperimentConfig) -> ExperimentReport {
+        let started = std::time::Instant::now();
+        let mut report = ExperimentReport::empty(config);
+        for trial in self.run_tasks(config.trials, |t| run_trial(config, t)) {
+            report.merge_trial(trial);
+        }
+        report.timing.total_ms = started.elapsed().as_secs_f64() * 1e3;
+        report.timing.threads = self.threads();
+        report
+    }
+
+    /// Runs a declarative sweep: every `(point, trial)` pair becomes one
+    /// task in a flattened grid, so parallelism spans the whole figure
+    /// rather than one point at a time. Returns one report per knob
+    /// value, in `spec.values` order, each bit-identical to running
+    /// [`Self::run_experiment`] on that point alone.
+    pub fn run_sweep<X>(&self, spec: &SweepSpec<'_, X>) -> Vec<ExperimentReport> {
+        let started = std::time::Instant::now();
+        let configs: Vec<ExperimentConfig> = spec.values.iter().map(|x| (spec.config)(x)).collect();
+
+        // Flat grid: point p owns flat indices offsets[p]..offsets[p+1].
+        let mut offsets = Vec::with_capacity(configs.len() + 1);
+        let mut total = 0usize;
+        for cfg in &configs {
+            offsets.push(total);
+            total += cfg.trials;
+        }
+        offsets.push(total);
+
+        let locate = |flat: usize| -> (usize, usize) {
+            let point = offsets.partition_point(|&o| o <= flat) - 1;
+            (point, flat - offsets[point])
+        };
+
+        let trials = self.run_tasks(total, |flat| {
+            let (point, trial) = locate(flat);
+            (point, run_trial(&configs[point], trial))
+        });
+
+        let mut reports: Vec<ExperimentReport> =
+            configs.iter().map(ExperimentReport::empty).collect();
+        // `run_tasks` returns flat-index order = point-major, trials
+        // ascending — exactly the serial merge order per point.
+        for (point, trial) in trials {
+            reports[point].merge_trial(trial);
+        }
+        let total_ms = started.elapsed().as_secs_f64() * 1e3;
+        for report in &mut reports {
+            report.timing.total_ms = total_ms;
+            report.timing.threads = self.threads();
+        }
+        reports
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run::RunConfig;
+    use vigil_fabric::faults::{FaultPlan, RateRange};
+    use vigil_fabric::traffic::{ConnCount, TrafficSpec};
+    use vigil_topology::ClosParams;
+
+    fn tiny_config(trials: usize) -> ExperimentConfig {
+        ExperimentConfig {
+            name: "sweep-test".into(),
+            params: ClosParams::tiny(),
+            faults: FaultPlan {
+                failure_rate: RateRange::fixed(0.05),
+                ..FaultPlan::paper_default(1)
+            },
+            run: RunConfig {
+                traffic: TrafficSpec {
+                    conns_per_host: ConnCount::Fixed(20),
+                    ..TrafficSpec::paper_default()
+                },
+                ..RunConfig::default()
+            },
+            epochs: 1,
+            trials,
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn run_tasks_preserves_index_order() {
+        let engine = SweepEngine::new(4);
+        let out = engine.run_tasks(100, |i| i * 3);
+        assert_eq!(out, (0..100).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_tasks_handles_fewer_tasks_than_threads() {
+        let engine = SweepEngine::new(8);
+        assert_eq!(engine.run_tasks(2, |i| i), vec![0, 1]);
+        assert!(engine.run_tasks(0, |i| i).is_empty());
+    }
+
+    #[test]
+    fn thread_count_is_clamped_to_one() {
+        assert_eq!(SweepEngine::new(0).threads(), 1);
+        assert_eq!(SweepEngine::serial().threads(), 1);
+    }
+
+    #[test]
+    fn parallel_experiment_matches_serial_bit_for_bit() {
+        let cfg = tiny_config(4);
+        let serial = SweepEngine::serial().run_experiment(&cfg);
+        let parallel = SweepEngine::new(4).run_experiment(&cfg);
+        assert_eq!(
+            serde_json::to_string(&serial).unwrap(),
+            serde_json::to_string(&parallel).unwrap()
+        );
+        assert_eq!(parallel.timing.per_trial_ms.len(), 4);
+        assert_eq!(parallel.timing.threads, 4);
+    }
+
+    #[test]
+    fn sweep_points_match_individual_experiments() {
+        let spec = SweepSpec::new("test", "trials", vec![1usize, 2, 3], |&t| tiny_config(t));
+        let engine = SweepEngine::new(3);
+        let reports = engine.run_sweep(&spec);
+        assert_eq!(reports.len(), 3);
+        for (i, &trials) in spec.values.iter().enumerate() {
+            let lone = SweepEngine::serial().run_experiment(&tiny_config(trials));
+            assert_eq!(
+                serde_json::to_string(&reports[i]).unwrap(),
+                serde_json::to_string(&lone).unwrap(),
+                "sweep point {i} diverged from its standalone run"
+            );
+        }
+    }
+}

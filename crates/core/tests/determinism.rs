@@ -1,0 +1,77 @@
+//! Determinism regression: sharding trials across threads must never
+//! change the science. `threads = 1` and `threads = 4` runs of the same
+//! config produce identical `ExperimentReport`s (full serde_json
+//! equality), and the engine reproduces the plain serial runner.
+
+use vigil::prelude::*;
+use vigil_fabric::faults::{FaultPlan, RateRange};
+use vigil_fabric::traffic::{ConnCount, TrafficSpec};
+
+fn config() -> ExperimentConfig {
+    ExperimentConfig {
+        name: "determinism-regression".into(),
+        params: ClosParams::tiny(),
+        faults: FaultPlan {
+            failure_rate: RateRange::fixed(0.02),
+            ..FaultPlan::paper_default(2)
+        },
+        run: RunConfig {
+            traffic: TrafficSpec {
+                conns_per_host: ConnCount::Fixed(25),
+                ..TrafficSpec::paper_default()
+            },
+            ..RunConfig::default()
+        },
+        epochs: 2,
+        trials: 5,
+        seed: 0xD37E_2026,
+    }
+}
+
+#[test]
+fn one_thread_and_four_threads_agree_exactly() {
+    let cfg = config();
+    let one = SweepEngine::new(1).run_experiment(&cfg);
+    let four = SweepEngine::new(4).run_experiment(&cfg);
+    assert_eq!(
+        serde_json::to_string_pretty(&one).unwrap(),
+        serde_json::to_string_pretty(&four).unwrap(),
+        "thread count leaked into the report"
+    );
+}
+
+#[test]
+fn engine_reproduces_serial_runner() {
+    let cfg = config();
+    let reference = run_experiment(&cfg);
+    let engine = SweepEngine::new(3).run_experiment(&cfg);
+    assert_eq!(
+        serde_json::to_string(&reference).unwrap(),
+        serde_json::to_string(&engine).unwrap()
+    );
+}
+
+#[test]
+fn sweep_grid_is_deterministic_across_thread_counts() {
+    let spec = || {
+        SweepSpec::new("det", "#failures", vec![1u32, 2, 3], |&k| {
+            ExperimentConfig {
+                faults: FaultPlan {
+                    failure_rate: RateRange::fixed(0.02),
+                    ..FaultPlan::paper_default(k)
+                },
+                trials: 2,
+                ..config()
+            }
+        })
+    };
+    let one = SweepEngine::new(1).run_sweep(&spec());
+    let four = SweepEngine::new(4).run_sweep(&spec());
+    assert_eq!(one.len(), four.len());
+    for (a, b) in one.iter().zip(&four) {
+        assert_eq!(
+            serde_json::to_string(a).unwrap(),
+            serde_json::to_string(b).unwrap()
+        );
+    }
+}

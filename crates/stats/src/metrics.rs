@@ -203,6 +203,74 @@ mod tests {
     }
 
     #[test]
+    fn ratio_merge_associative_with_identity() {
+        let a = RatioMetric::new(1, 4);
+        let b = RatioMetric::new(2, 3);
+        let c = RatioMetric::new(5, 9);
+
+        let mut left = a; // (a ⊕ b) ⊕ c
+        left.merge(b);
+        left.merge(c);
+        let mut bc = b; // a ⊕ (b ⊕ c)
+        bc.merge(c);
+        let mut right = a;
+        right.merge(bc);
+        assert_eq!(left, right);
+
+        // The default (empty) metric is the identity on both sides.
+        let mut with_empty = a;
+        with_empty.merge(RatioMetric::default());
+        assert_eq!(with_empty, a);
+        let mut empty = RatioMetric::default();
+        empty.merge(a);
+        assert_eq!(empty, a);
+    }
+
+    #[test]
+    fn confusion_merge_associative_with_identity() {
+        let m = |tp, fp, fneg| BinaryConfusion {
+            true_positives: tp,
+            false_positives: fp,
+            false_negatives: fneg,
+        };
+        let (a, b, c) = (m(3, 1, 0), m(0, 2, 5), m(7, 0, 1));
+
+        let mut left = a;
+        left.merge(b);
+        left.merge(c);
+        let mut bc = b;
+        bc.merge(c);
+        let mut right = a;
+        right.merge(bc);
+        assert_eq!(left, right);
+
+        let mut with_empty = a;
+        with_empty.merge(BinaryConfusion::default());
+        assert_eq!(with_empty, a);
+    }
+
+    #[test]
+    fn outcome_merge_empty_is_identity() {
+        let a = DetectionOutcome {
+            accuracy: RatioMetric::new(3, 7),
+            confusion: BinaryConfusion {
+                true_positives: 1,
+                false_positives: 2,
+                false_negatives: 3,
+            },
+        };
+        let mut merged = a;
+        merged.merge(&DetectionOutcome::default());
+        assert_eq!(merged.accuracy, a.accuracy);
+        assert_eq!(merged.confusion, a.confusion);
+
+        let mut empty = DetectionOutcome::default();
+        empty.merge(&a);
+        assert_eq!(empty.accuracy, a.accuracy);
+        assert_eq!(empty.confusion, a.confusion);
+    }
+
+    #[test]
     fn outcome_merge_accumulates() {
         let mut a = DetectionOutcome {
             accuracy: RatioMetric::new(9, 10),

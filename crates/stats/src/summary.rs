@@ -194,6 +194,47 @@ mod tests {
     }
 
     #[test]
+    fn merge_is_associative() {
+        // The parallel sweep engine relies on ⊕ being associative: any
+        // sharding of the trial stream must agree with the serial fold.
+        let xs: Vec<f64> = (0..90).map(|i| (i as f64 * 0.7).cos() * 5.0).collect();
+        let a: Summary = xs[..30].iter().copied().collect();
+        let b: Summary = xs[30..60].iter().copied().collect();
+        let c: Summary = xs[60..].iter().copied().collect();
+
+        let mut left = a; // (a ⊕ b) ⊕ c
+        left.merge(&b);
+        left.merge(&c);
+
+        let mut bc = b; // a ⊕ (b ⊕ c)
+        bc.merge(&c);
+        let mut right = a;
+        right.merge(&bc);
+
+        assert_eq!(left.count(), right.count());
+        assert!((left.mean() - right.mean()).abs() < 1e-9);
+        assert!((left.sample_variance().unwrap() - right.sample_variance().unwrap()).abs() < 1e-9);
+        assert_eq!(left.min(), right.min());
+        assert_eq!(left.max(), right.max());
+    }
+
+    #[test]
+    fn merged_ci95_matches_single_pass() {
+        let xs: Vec<f64> = (0..200).map(|i| ((i * 37) % 101) as f64 / 10.0).collect();
+        let single: Summary = xs.iter().copied().collect();
+        let mut merged: Summary = xs[..71].iter().copied().collect();
+        let rest: Summary = xs[71..].iter().copied().collect();
+        merged.merge(&rest);
+        let (lo_s, hi_s) = single.ci95().unwrap();
+        let (lo_m, hi_m) = merged.ci95().unwrap();
+        assert!((lo_s - lo_m).abs() < 1e-9, "CI lower bound drifted");
+        assert!((hi_s - hi_m).abs() < 1e-9, "CI upper bound drifted");
+        assert!(
+            (single.ci95_half_width().unwrap() - merged.ci95_half_width().unwrap()).abs() < 1e-9
+        );
+    }
+
+    #[test]
     fn merge_with_empty_is_identity() {
         let mut s: Summary = [1.0, 2.0].into_iter().collect();
         let before = (s.count(), s.mean());

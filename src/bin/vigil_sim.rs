@@ -11,6 +11,9 @@
 //!   --trials N     independent trials (fresh topology + fault draw)
 //!   --epochs N     epochs per trial
 //!   --seed N       master seed
+//!   --threads N    worker threads for the sweep engine (default:
+//!                  VIGIL_THREADS, else all available cores; results
+//!                  are bit-identical at any thread count)
 //!   --json         machine-readable report on stdout
 //! ```
 
@@ -83,7 +86,8 @@ fn main() -> ExitCode {
         Some("run") => {
             let Some(name) = args.get(1) else {
                 eprintln!(
-                    "usage: vigil-sim run <preset> [--trials N] [--epochs N] [--seed N] [--json]"
+                    "usage: vigil-sim run <preset> [--trials N] [--epochs N] [--seed N] \
+                     [--threads N] [--json]"
                 );
                 return ExitCode::FAILURE;
             };
@@ -91,15 +95,18 @@ fn main() -> ExitCode {
                 eprintln!("unknown preset '{name}'; try `vigil-sim list`");
                 return ExitCode::FAILURE;
             };
-            if let Err(e) = apply_flags(&mut cfg, &args[2..]) {
-                eprintln!("{e}");
-                return ExitCode::FAILURE;
-            }
-            execute(cfg, args.iter().any(|a| a == "--json"))
+            let engine = match apply_flags(&mut cfg, &args[2..]) {
+                Ok(engine) => engine,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            execute(cfg, engine, args.iter().any(|a| a == "--json"))
         }
         Some("run-config") => {
             let Some(path) = args.get(1) else {
-                eprintln!("usage: vigil-sim run-config <config.json> [--json]");
+                eprintln!("usage: vigil-sim run-config <config.json> [--threads N] [--json]");
                 return ExitCode::FAILURE;
             };
             let text = match std::fs::read_to_string(path) {
@@ -109,14 +116,21 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
-            let cfg: ExperimentConfig = match serde_json::from_str(&text) {
+            let mut cfg: ExperimentConfig = match serde_json::from_str(&text) {
                 Ok(c) => c,
                 Err(e) => {
                     eprintln!("invalid config: {e}");
                     return ExitCode::FAILURE;
                 }
             };
-            execute(cfg, args.iter().any(|a| a == "--json"))
+            let engine = match apply_flags(&mut cfg, &args[2..]) {
+                Ok(engine) => engine,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            execute(cfg, engine, args.iter().any(|a| a == "--json"))
         }
         _ => {
             eprintln!("usage: vigil-sim <list|bounds|run|run-config> …");
@@ -125,11 +139,14 @@ fn main() -> ExitCode {
     }
 }
 
-fn apply_flags(cfg: &mut ExperimentConfig, flags: &[String]) -> Result<(), String> {
+/// Applies CLI flags to the config; returns the sweep engine to run it
+/// on (`--threads N`, defaulting to `VIGIL_THREADS` / all cores).
+fn apply_flags(cfg: &mut ExperimentConfig, flags: &[String]) -> Result<SweepEngine, String> {
+    let mut engine = SweepEngine::from_env();
     let mut it = flags.iter();
     while let Some(flag) = it.next() {
         match flag.as_str() {
-            "--trials" | "--epochs" | "--seed" => {
+            "--trials" | "--epochs" | "--seed" | "--threads" => {
                 let v = it
                     .next()
                     .ok_or_else(|| format!("{flag} needs a value"))?
@@ -138,6 +155,7 @@ fn apply_flags(cfg: &mut ExperimentConfig, flags: &[String]) -> Result<(), Strin
                 match flag.as_str() {
                     "--trials" => cfg.trials = v as usize,
                     "--epochs" => cfg.epochs = v as usize,
+                    "--threads" => engine = SweepEngine::new(v as usize),
                     _ => cfg.seed = v,
                 }
             }
@@ -145,15 +163,15 @@ fn apply_flags(cfg: &mut ExperimentConfig, flags: &[String]) -> Result<(), Strin
             other => return Err(format!("unknown flag {other}")),
         }
     }
-    Ok(())
+    Ok(engine)
 }
 
-fn execute(cfg: ExperimentConfig, json: bool) -> ExitCode {
+fn execute(cfg: ExperimentConfig, engine: SweepEngine, json: bool) -> ExitCode {
     if let Err(e) = cfg.params.validate() {
         eprintln!("invalid topology parameters: {e}");
         return ExitCode::FAILURE;
     }
-    let report = run_experiment(&cfg);
+    let report = engine.run_experiment(&cfg);
     if json {
         match serde_json::to_string_pretty(&report) {
             Ok(s) => println!("{s}"),
@@ -166,8 +184,8 @@ fn execute(cfg: ExperimentConfig, json: bool) -> ExitCode {
     }
     println!("experiment: {}", report.name);
     println!(
-        "topology: {:?} ({} trials × {} epochs)",
-        cfg.params, cfg.trials, cfg.epochs
+        "topology: {:?} ({} trials × {} epochs, {} thread(s), {:.0} ms)",
+        cfg.params, cfg.trials, cfg.epochs, report.timing.threads, report.timing.total_ms
     );
     let pct = |v: Option<f64>| v.map_or("-".into(), |x| format!("{:.1}%", x * 100.0));
     println!("\n                         007      integer-opt");

@@ -76,3 +76,42 @@ fn run_config_round_trips_a_serialized_config() {
     );
     assert!(report.get("vigil").is_some(), "report missing 007 metrics");
 }
+
+#[test]
+fn threads_flag_is_accepted_and_output_is_thread_invariant() {
+    // `--threads N` routes through the sweep engine; the JSON report must
+    // be byte-identical at any width.
+    let run = |threads: &str| {
+        let out = vigil_sim()
+            .args([
+                "run",
+                "single-failure",
+                "--trials",
+                "3",
+                "--epochs",
+                "1",
+                "--threads",
+                threads,
+                "--json",
+            ])
+            // The flag must win over any ambient env setting.
+            .env("VIGIL_THREADS", "1")
+            .output()
+            .expect("spawn vigil-sim");
+        assert!(
+            out.status.success(),
+            "vigil-sim --threads {threads} failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8(out.stdout).unwrap()
+    };
+    let one = run("1");
+    let four = run("4");
+    assert_eq!(one, four, "thread count changed the report JSON");
+
+    let bad = vigil_sim()
+        .args(["run", "single-failure", "--threads", "zero"])
+        .output()
+        .unwrap();
+    assert!(!bad.status.success(), "non-numeric --threads must fail");
+}

@@ -4,9 +4,13 @@
 //! Provides the macro/trait surface the workspace's `benches/micro.rs`
 //! uses — [`criterion_group!`], [`criterion_main!`], `Criterion`,
 //! `Bencher::{iter, iter_batched}`, `BatchSize` — backed by a simple
-//! wall-clock harness: warm up briefly, time a calibrated batch, report
-//! mean ns/iteration. No statistics, plots, or comparisons; run under
-//! `cargo bench` when you want numbers, and treat them as indicative.
+//! wall-clock harness: warm up briefly, time a calibrated number of
+//! iterations split into batches, and report mean ns/iteration with the
+//! sample standard deviation across batches plus the iteration count.
+//! Finished measurements are kept on the [`Criterion`] driver
+//! ([`Criterion::results`]) so benches can post-process them, and are
+//! written as machine-readable JSON to the path named by the
+//! `CRITERION_JSON` environment variable when the driver drops.
 //!
 //! `CRITERION_TARGET_MS` (default 200) bounds measurement time per
 //! benchmark. Full measurement happens only under `cargo bench` (cargo
@@ -31,12 +35,27 @@ pub enum BatchSize {
     PerIteration,
 }
 
+/// One finished benchmark measurement.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Benchmark id as passed to `bench_function`.
+    pub id: String,
+    /// Mean wall-clock nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Sample standard deviation of the per-batch ns/iteration estimates
+    /// (0.0 when fewer than two batches were measured).
+    pub std_dev_ns: f64,
+    /// Total timed iterations.
+    pub iters: u64,
+}
+
 /// The benchmark driver handed to every registered function.
 #[derive(Debug)]
 pub struct Criterion {
     filter: Option<String>,
     target: Duration,
     smoke: bool,
+    results: Vec<BenchResult>,
 }
 
 impl Default for Criterion {
@@ -58,6 +77,7 @@ impl Default for Criterion {
             filter,
             target: Duration::from_millis(target_ms),
             smoke,
+            results: Vec::new(),
         }
     }
 }
@@ -78,17 +98,61 @@ impl Criterion {
             smoke: self.smoke,
             iters: 0,
             elapsed: Duration::ZERO,
+            samples: Vec::new(),
         };
         f(&mut bencher);
-        if self.smoke {
-            println!("{id:<48} ok (smoke)");
-        } else if bencher.iters > 0 {
-            let ns = bencher.elapsed.as_nanos() as f64 / bencher.iters as f64;
-            println!("{id:<48} {:>14.1} ns/iter ({} iters)", ns, bencher.iters);
+        if bencher.iters > 0 {
+            let result = bencher.result(id);
+            if self.smoke {
+                println!("{id:<48} ok (smoke, {:.0} ns)", result.mean_ns);
+            } else {
+                println!(
+                    "{id:<48} {:>14.1} ns/iter ± {:>10.1} ({} iters)",
+                    result.mean_ns, result.std_dev_ns, result.iters
+                );
+            }
+            self.results.push(result);
         } else {
             println!("{id:<48} (no measurement)");
         }
         self
+    }
+
+    /// Every measurement finished so far, in execution order.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Writes the collected measurements as a JSON array to `path`.
+    /// Called automatically on drop for the path in `CRITERION_JSON`.
+    pub fn write_json(&self, path: &str) -> std::io::Result<()> {
+        let mut out = String::from("[\n");
+        for (i, r) in self.results.iter().enumerate() {
+            let id = r.id.replace('\\', "\\\\").replace('"', "\\\"");
+            out.push_str(&format!(
+                "  {{\"id\": \"{id}\", \"mean_ns\": {:.3}, \"std_dev_ns\": {:.3}, \"iters\": {}}}{}\n",
+                r.mean_ns,
+                r.std_dev_ns,
+                r.iters,
+                if i + 1 < self.results.len() { "," } else { "" }
+            ));
+        }
+        out.push(']');
+        std::fs::write(path, out)
+    }
+}
+
+impl Drop for Criterion {
+    fn drop(&mut self) {
+        let Ok(path) = std::env::var("CRITERION_JSON") else {
+            return;
+        };
+        if path.is_empty() || self.results.is_empty() {
+            return;
+        }
+        if let Err(e) = self.write_json(&path) {
+            eprintln!("criterion: cannot write CRITERION_JSON={path}: {e}");
+        }
     }
 }
 
@@ -99,13 +163,43 @@ pub struct Bencher {
     smoke: bool,
     iters: u64,
     elapsed: Duration,
+    /// Per-batch ns/iteration estimates (the variance sample set).
+    samples: Vec<f64>,
 }
 
 impl Bencher {
+    /// Number of measurement batches a full run is split into; each batch
+    /// contributes one sample to the std-dev estimate.
+    const BATCHES: u64 = 10;
+
+    fn result(&self, id: &str) -> BenchResult {
+        let mean_ns = if self.iters > 0 {
+            self.elapsed.as_nanos() as f64 / self.iters as f64
+        } else {
+            0.0
+        };
+        let std_dev_ns = if self.samples.len() >= 2 {
+            let n = self.samples.len() as f64;
+            let m = self.samples.iter().sum::<f64>() / n;
+            (self.samples.iter().map(|s| (s - m) * (s - m)).sum::<f64>() / (n - 1.0)).sqrt()
+        } else {
+            0.0
+        };
+        BenchResult {
+            id: id.to_string(),
+            mean_ns,
+            std_dev_ns,
+            iters: self.iters,
+        }
+    }
+
     /// Times repeated calls of `routine`.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
         if self.smoke {
+            let start = Instant::now();
             black_box(routine());
+            self.elapsed = start.elapsed();
+            self.iters = 1;
             return;
         }
         // Warm-up and calibration: find an iteration count that fills the
@@ -115,12 +209,21 @@ impl Bencher {
         let once = warmup_start.elapsed().max(Duration::from_nanos(20));
         let budget = self.target.max(once);
         let planned = (budget.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
-        let start = Instant::now();
-        for _ in 0..planned {
-            black_box(routine());
+        // Split into batches so the spread across batches estimates the
+        // measurement variance.
+        let batches = planned.min(Self::BATCHES);
+        let per_batch = planned / batches;
+        for _ in 0..batches {
+            let start = Instant::now();
+            for _ in 0..per_batch {
+                black_box(routine());
+            }
+            let batch = start.elapsed();
+            self.samples
+                .push(batch.as_nanos() as f64 / per_batch as f64);
+            self.elapsed += batch;
+            self.iters += per_batch;
         }
-        self.elapsed = start.elapsed();
-        self.iters = planned;
     }
 
     /// Times `routine` over inputs produced by `setup`, excluding setup
@@ -131,7 +234,11 @@ impl Bencher {
         F: FnMut(I) -> O,
     {
         if self.smoke {
-            black_box(routine(setup()));
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.elapsed = start.elapsed();
+            self.iters = 1;
             return;
         }
         let warmup_input = setup();
@@ -140,15 +247,30 @@ impl Bencher {
         let once = warmup_start.elapsed().max(Duration::from_nanos(20));
         let budget = self.target.max(once);
         let planned = (budget.as_nanos() / once.as_nanos()).clamp(1, 100_000) as u64;
-        let mut measured = Duration::ZERO;
+        let per_batch = planned.div_ceil(Self::BATCHES).max(1);
+        let mut batch_elapsed = Duration::ZERO;
+        let mut batch_iters = 0u64;
         for _ in 0..planned {
             let input = setup();
             let start = Instant::now();
             black_box(routine(input));
-            measured += start.elapsed();
+            batch_elapsed += start.elapsed();
+            batch_iters += 1;
+            if batch_iters == per_batch {
+                self.samples
+                    .push(batch_elapsed.as_nanos() as f64 / batch_iters as f64);
+                self.elapsed += batch_elapsed;
+                self.iters += batch_iters;
+                batch_elapsed = Duration::ZERO;
+                batch_iters = 0;
+            }
         }
-        self.elapsed = measured;
-        self.iters = planned;
+        if batch_iters > 0 {
+            self.samples
+                .push(batch_elapsed.as_nanos() as f64 / batch_iters as f64);
+            self.elapsed += batch_elapsed;
+            self.iters += batch_iters;
+        }
     }
 }
 
@@ -178,25 +300,44 @@ macro_rules! criterion_main {
 mod tests {
     use super::*;
 
-    #[test]
-    fn iter_measures_something() {
-        let mut c = Criterion {
+    fn test_criterion(smoke: bool) -> Criterion {
+        Criterion {
             filter: None,
             target: Duration::from_millis(5),
-            smoke: false,
-        };
+            smoke,
+            results: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn iter_measures_something() {
+        let mut c = test_criterion(false);
         let mut ran = 0u64;
         c.bench_function("smoke/iter", |b| b.iter(|| ran += 1));
         assert!(ran > 0);
+        let r = &c.results()[0];
+        assert_eq!(r.id, "smoke/iter");
+        assert!(r.mean_ns > 0.0);
+        assert!(r.iters > 0);
+    }
+
+    #[test]
+    fn variance_reported_across_batches() {
+        let mut c = test_criterion(false);
+        c.bench_function("smoke/variance", |b| {
+            b.iter(|| std::hint::black_box((0..100).sum::<u64>()))
+        });
+        let r = &c.results()[0];
+        // A fast routine fills the budget with all 10 batches; the spread
+        // across batches is a finite, non-negative std-dev.
+        assert!(r.std_dev_ns >= 0.0);
+        assert!(r.std_dev_ns.is_finite());
+        assert!(r.iters >= 10);
     }
 
     #[test]
     fn iter_batched_runs_setup_per_iteration() {
-        let mut c = Criterion {
-            filter: None,
-            target: Duration::from_millis(5),
-            smoke: false,
-        };
+        let mut c = test_criterion(false);
         let mut setups = 0u64;
         c.bench_function("smoke/batched", |b| {
             b.iter_batched(
@@ -209,18 +350,16 @@ mod tests {
             )
         });
         assert!(setups > 1);
+        assert!(c.results()[0].iters > 1);
     }
 
     #[test]
     fn smoke_mode_runs_each_routine_once() {
-        let mut c = Criterion {
-            filter: None,
-            target: Duration::from_millis(5),
-            smoke: true,
-        };
+        let mut c = test_criterion(true);
         let mut runs = 0u64;
         c.bench_function("smoke/once", |b| b.iter(|| runs += 1));
         assert_eq!(runs, 1);
+        assert_eq!(c.results()[0].iters, 1);
         let mut setups = 0u64;
         c.bench_function("smoke/once-batched", |b| {
             b.iter_batched(
@@ -240,6 +379,7 @@ mod tests {
             filter: Some("nomatch".into()),
             target: Duration::from_millis(5),
             smoke: false,
+            results: Vec::new(),
         };
         let mut ran = false;
         c.bench_function("other/name", |b| {
@@ -247,5 +387,20 @@ mod tests {
             b.iter(|| ())
         });
         assert!(!ran);
+        assert!(c.results().is_empty());
+    }
+
+    #[test]
+    fn json_emission_shape() {
+        let path = std::env::temp_dir().join(format!("criterion_json_{}.json", std::process::id()));
+        let mut c = test_criterion(false);
+        c.bench_function("json/one", |b| b.iter(|| ()));
+        c.write_json(path.to_str().unwrap()).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert!(text.trim_start().starts_with('['));
+        assert!(text.contains("\"id\": \"json/one\""));
+        assert!(text.contains("\"std_dev_ns\""));
+        assert!(text.contains("\"iters\""));
     }
 }

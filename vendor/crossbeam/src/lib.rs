@@ -1,11 +1,13 @@
 //! Offline stand-in for the [`crossbeam`](https://crates.io/crates/crossbeam)
 //! crate.
 //!
-//! Only the `channel::{unbounded, Sender, Receiver}` surface this
+//! Only the `channel::{unbounded, bounded, Sender, Receiver}` surface this
 //! workspace uses is provided, implemented over [`std::sync::mpsc`]. The
 //! semantics the callers rely on hold: senders are cloneable and `Send`,
 //! `send` fails once the receiver is dropped, `recv` returns `Err` once
-//! every sender is gone, and `try_recv` never blocks.
+//! every sender is gone, `try_recv` never blocks, and on a bounded channel
+//! `send` blocks while the queue is full (backpressure) while `try_send`
+//! returns [`channel::TrySendError::Full`] instead.
 
 #![forbid(unsafe_code)]
 
@@ -14,33 +16,60 @@ pub mod channel {
 
     use std::sync::mpsc;
 
-    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError, TrySendError};
 
-    /// The sending half of an unbounded channel. Clone freely; one per
-    /// producer thread.
+    /// The transport behind a [`Sender`]: an unbounded async channel or a
+    /// bounded (rendezvous-capable) sync channel.
+    #[derive(Debug)]
+    enum SenderKind<T> {
+        Unbounded(mpsc::Sender<T>),
+        Bounded(mpsc::SyncSender<T>),
+    }
+
+    /// The sending half of a channel. Clone freely; one per producer
+    /// thread.
     #[derive(Debug)]
     pub struct Sender<T> {
-        inner: mpsc::Sender<T>,
+        inner: SenderKind<T>,
     }
 
     // Manual impl: `#[derive(Clone)]` would add a `T: Clone` bound the
-    // underlying `mpsc::Sender` does not need.
+    // underlying mpsc senders do not need.
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Self {
-            Self {
-                inner: self.inner.clone(),
-            }
+            let inner = match &self.inner {
+                SenderKind::Unbounded(tx) => SenderKind::Unbounded(tx.clone()),
+                SenderKind::Bounded(tx) => SenderKind::Bounded(tx.clone()),
+            };
+            Self { inner }
         }
     }
 
     impl<T> Sender<T> {
-        /// Sends `value`, failing only when the receiver is gone.
+        /// Sends `value`, failing only when the receiver is gone. On a
+        /// bounded channel this blocks while the queue is full — the
+        /// backpressure a slow consumer exerts on its producers.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-            self.inner.send(value)
+            match &self.inner {
+                SenderKind::Unbounded(tx) => tx.send(value),
+                SenderKind::Bounded(tx) => tx.send(value),
+            }
+        }
+
+        /// Non-blocking send: `Err(TrySendError::Full)` when a bounded
+        /// queue is at capacity (an unbounded channel is never full),
+        /// `Err(TrySendError::Disconnected)` when the receiver is gone.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            match &self.inner {
+                SenderKind::Unbounded(tx) => {
+                    tx.send(value).map_err(|e| TrySendError::Disconnected(e.0))
+                }
+                SenderKind::Bounded(tx) => tx.try_send(value),
+            }
         }
     }
 
-    /// The receiving half of an unbounded channel.
+    /// The receiving half of a channel.
     #[derive(Debug)]
     pub struct Receiver<T> {
         inner: mpsc::Receiver<T>,
@@ -66,7 +95,25 @@ pub mod channel {
     /// Creates an unbounded MPSC channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         let (tx, rx) = mpsc::channel();
-        (Sender { inner: tx }, Receiver { inner: rx })
+        (
+            Sender {
+                inner: SenderKind::Unbounded(tx),
+            },
+            Receiver { inner: rx },
+        )
+    }
+
+    /// Creates a bounded MPSC channel holding at most `capacity` queued
+    /// values. `capacity = 0` is a rendezvous channel (every `send` waits
+    /// for a matching `recv`), like upstream crossbeam.
+    pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(capacity);
+        (
+            Sender {
+                inner: SenderKind::Bounded(tx),
+            },
+            Receiver { inner: rx },
+        )
     }
 
     #[cfg(test)]
@@ -104,6 +151,39 @@ pub mod channel {
             assert!(matches!(rx.try_recv(), Err(TryRecvError::Empty)));
             tx.send(9).unwrap();
             assert_eq!(rx.try_recv().unwrap(), 9);
+        }
+
+        #[test]
+        fn bounded_try_send_reports_full() {
+            let (tx, rx) = bounded::<u8>(2);
+            tx.try_send(1).unwrap();
+            tx.try_send(2).unwrap();
+            assert!(matches!(tx.try_send(3), Err(TrySendError::Full(3))));
+            assert_eq!(rx.recv().unwrap(), 1);
+            tx.try_send(3).unwrap();
+            let rest: Vec<u8> = [rx.recv().unwrap(), rx.recv().unwrap()].into();
+            assert_eq!(rest, vec![2, 3]);
+        }
+
+        #[test]
+        fn bounded_send_blocks_until_drained() {
+            let (tx, rx) = bounded::<u8>(1);
+            tx.send(1).unwrap();
+            let producer = std::thread::spawn(move || {
+                // Queue is full: this blocks until the receiver drains.
+                tx.send(2).unwrap();
+            });
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            assert_eq!(rx.recv().unwrap(), 1);
+            assert_eq!(rx.recv().unwrap(), 2);
+            producer.join().unwrap();
+        }
+
+        #[test]
+        fn bounded_try_send_after_receiver_drop_disconnects() {
+            let (tx, rx) = bounded::<u8>(4);
+            drop(rx);
+            assert!(matches!(tx.try_send(1), Err(TrySendError::Disconnected(1))));
         }
     }
 }

@@ -5,8 +5,10 @@
 //! grammar is parsed directly from the [`proc_macro::TokenStream`]. The
 //! supported grammar is exactly what this workspace's types use:
 //!
-//! * non-generic structs with named fields (honoring `#[serde(default)]`,
-//!   and treating missing `Option<_>` fields as `None`);
+//! * non-generic structs with named fields (honoring `#[serde(default)]`
+//!   and `#[serde(skip)]`, and treating missing `Option<_>` fields as
+//!   `None`; a skipped field is omitted on serialize and rebuilt with
+//!   `Default::default()` on deserialize);
 //! * tuple structs (newtypes serialize transparently, wider ones as
 //!   arrays) and unit structs;
 //! * non-generic enums with unit, tuple, and struct variants, externally
@@ -46,6 +48,7 @@ struct Field {
     name: String,
     is_option: bool,
     has_default: bool,
+    skip: bool,
 }
 
 enum Fields {
@@ -79,10 +82,17 @@ fn is_punct(tok: &TokenTree, c: char) -> bool {
     matches!(tok, TokenTree::Punct(p) if p.as_char() == c)
 }
 
-/// Advances past `#[...]` attributes; returns whether `#[serde(default)]`
-/// was among them.
-fn skip_attrs(toks: &[TokenTree], i: &mut usize) -> bool {
-    let mut has_default = false;
+/// The `#[serde(...)]` switches this stand-in understands.
+#[derive(Default, Clone, Copy)]
+struct SerdeAttrs {
+    has_default: bool,
+    skip: bool,
+}
+
+/// Advances past `#[...]` attributes; returns which `#[serde(...)]`
+/// switches were among them.
+fn skip_attrs(toks: &[TokenTree], i: &mut usize) -> SerdeAttrs {
+    let mut attrs = SerdeAttrs::default();
     while *i + 1 < toks.len() && is_punct(&toks[*i], '#') {
         if let TokenTree::Group(g) = &toks[*i + 1] {
             let inner: Vec<TokenTree> = g.stream().into_iter().collect();
@@ -90,7 +100,8 @@ fn skip_attrs(toks: &[TokenTree], i: &mut usize) -> bool {
                 if let Some(TokenTree::Group(args)) = inner.get(1) {
                     for arg in args.stream() {
                         match ident_of(&arg).as_deref() {
-                            Some("default") => has_default = true,
+                            Some("default") => attrs.has_default = true,
+                            Some("skip") => attrs.skip = true,
                             Some(other) => panic!(
                                 "serde_derive (vendored): unsupported #[serde({other})] attribute"
                             ),
@@ -102,7 +113,7 @@ fn skip_attrs(toks: &[TokenTree], i: &mut usize) -> bool {
         }
         *i += 2;
     }
-    has_default
+    attrs
 }
 
 fn skip_visibility(toks: &[TokenTree], i: &mut usize) {
@@ -194,7 +205,7 @@ fn parse_named_fields(toks: &[TokenTree]) -> Vec<Field> {
     let mut fields = Vec::new();
     let mut i = 0;
     while i < toks.len() {
-        let has_default = skip_attrs(toks, &mut i);
+        let attrs = skip_attrs(toks, &mut i);
         if i >= toks.len() {
             break;
         }
@@ -229,7 +240,8 @@ fn parse_named_fields(toks: &[TokenTree]) -> Vec<Field> {
         fields.push(Field {
             name,
             is_option,
-            has_default,
+            has_default: attrs.has_default,
+            skip: attrs.skip,
         });
     }
     fields
@@ -295,6 +307,7 @@ fn gen_serialize(item: &Item) -> String {
         ItemKind::Struct(Fields::Named(fields)) => {
             let entries: Vec<String> = fields
                 .iter()
+                .filter(|f| !f.skip)
                 .map(|f| {
                     format!(
                         "(::std::string::String::from(\"{0}\"), ::serde::Serialize::to_value(&self.{0}))",
@@ -340,6 +353,11 @@ fn serialize_variant_arm(name: &str, vname: &str, fields: &Fields) -> String {
             )
         }
         Fields::Named(fs) => {
+            assert!(
+                fs.iter().all(|f| !f.skip),
+                "serde_derive (vendored): #[serde(skip)] is only supported on struct fields, \
+                 not enum variant fields ({name}::{vname})"
+            );
             let binders: Vec<String> = fs.iter().map(|f| f.name.clone()).collect();
             let entries: Vec<String> = fs
                 .iter()
@@ -370,6 +388,10 @@ fn named_fields_body(context: &str, fields: &[Field]) -> String {
     fields
         .iter()
         .map(|f| {
+            if f.skip {
+                // Skipped fields never consult the input document.
+                return format!("{}: ::core::default::Default::default(),", f.name);
+            }
             let missing = if f.has_default {
                 "::core::default::Default::default()".to_string()
             } else if f.is_option {
