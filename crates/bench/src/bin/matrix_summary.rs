@@ -1,0 +1,66 @@
+//! Scenario-matrix summary: run the full fault × topology × traffic grid
+//! and emit the conformance verdict as `results/matrix.json`.
+//!
+//! The paper evaluates ~22 hand-picked scenarios; the matrix sweeps the
+//! composed space (blackholes, gray drops, flaps, maintenance, SLB
+//! outages, degraded/oversubscribed fabrics, skewed traffic) and checks
+//! each case against its accuracy envelope. Scale follows the standard
+//! knobs: `VIGIL_TRIALS` / `VIGIL_EPOCHS` / `VIGIL_FAST=1`; sharding
+//! follows `VIGIL_THREADS` with byte-identical output at any width.
+
+use vigil::prelude::*;
+use vigil_bench::{banner, print_engine, write_json, Scale};
+
+fn main() {
+    banner(
+        "matrix",
+        "scenario-matrix conformance (fault × topology × traffic grid)",
+        "beyond §6–§8: the composed scenario space, envelope-checked",
+    );
+    // Defaults chosen so VIGIL_FAST lands on the same 2-trial smoke scale
+    // the conformance test and `vigil-sim matrix` use (envelopes are
+    // calibrated down to 2 × 1, not below).
+    let scale = Scale::resolve(6, 2);
+    let engine = SweepEngine::from_env();
+    print_engine(&engine);
+
+    let cases = scenarios::standard_matrix();
+    let mut runner = MatrixRunner::new(engine);
+    runner.trials = scale.trials;
+    runner.epochs = scale.epochs;
+    println!(
+        "{} case(s) × {} trial(s) × {} epoch(s)\n",
+        cases.len(),
+        runner.trials,
+        runner.epochs
+    );
+
+    let report = runner.run(&cases);
+    let pct = |v: Option<f64>| v.map_or(f64::NAN, |x| x * 100.0);
+    println!(
+        "{:<28} {:>8} {:>8} {:>10}  verdict",
+        "case", "acc %", "rec %", "blamed/ep"
+    );
+    for c in &report.cases {
+        println!(
+            "{:<28} {:>8.1} {:>8.1} {:>10.2}  {}",
+            c.name,
+            pct(c.metrics.accuracy),
+            pct(c.metrics.recall),
+            c.metrics.blamed_per_epoch,
+            if c.pass { "pass" } else { "FAIL" }
+        );
+    }
+    let failures = report.failures();
+    println!(
+        "\nconformance: {}/{} case(s) pass",
+        report.cases.len() - failures.len(),
+        report.cases.len()
+    );
+    write_json("matrix", &report);
+    assert!(
+        failures.is_empty(),
+        "cases outside their envelopes: {:?}",
+        failures.iter().map(|c| c.name.as_str()).collect::<Vec<_>>()
+    );
+}

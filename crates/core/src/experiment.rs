@@ -81,7 +81,11 @@ pub struct MethodReport {
 }
 
 impl MethodReport {
-    fn absorb_trial(&mut self, acc: RatioMetric, outcome: &DetectionOutcome) {
+    /// Folds one trial's accumulated accuracy/outcome in — the bridge
+    /// between per-epoch metrics and the per-trial summaries the figures
+    /// average. Public so alternative trial drivers (the scenario
+    /// [`crate::matrix`]) can build [`TrialReport`]s the same way.
+    pub fn absorb_trial(&mut self, acc: RatioMetric, outcome: &DetectionOutcome) {
         if let Some(a) = acc.value() {
             self.accuracy.record(a);
         }
@@ -148,11 +152,18 @@ pub struct ExperimentReport {
 impl ExperimentReport {
     /// An empty report for `config`, ready to absorb trials.
     pub fn empty(config: &ExperimentConfig) -> Self {
+        Self::empty_named(&config.name, &config.run.baselines)
+    }
+
+    /// An empty report from just a name and the enabled baselines — the
+    /// shape [`merge_trial`](Self::merge_trial) needs; the scenario
+    /// matrix builds reports without a full [`ExperimentConfig`].
+    pub fn empty_named(name: &str, baselines: &crate::run::Baselines) -> Self {
         Self {
-            name: config.name.clone(),
+            name: name.into(),
             vigil: MethodReport::default(),
-            integer: config.run.baselines.integer.then(MethodReport::default),
-            binary: config.run.baselines.binary.then(MethodReport::default),
+            integer: baselines.integer.then(MethodReport::default),
+            binary: baselines.binary.then(MethodReport::default),
             noise_marked: 0,
             noise_marked_incorrectly: 0,
             detected_per_epoch: Summary::new(),
@@ -244,7 +255,43 @@ pub fn run_trial(config: &ExperimentConfig, trial: usize) -> TrialReport {
     let topo = ClosTopology::new(config.params, rng.gen())
         .expect("experiment parameters validated upstream");
     let faults = config.faults.build(&topo, &mut rng);
+    run_trial_with(
+        &config.run,
+        &topo,
+        config.epochs,
+        trial,
+        started,
+        |_| std::borrow::Cow::Borrowed(&faults),
+        &mut rng,
+    )
+}
 
+/// The generalized trial loop: `epochs` epochs against the fault table
+/// `faults_for(epoch)` returns, accumulated exactly like [`run_trial`]
+/// (which delegates here with a constant table). The scenario matrix uses
+/// this to run time-varying fault scripts — flaps, maintenance windows —
+/// through the same reporting machinery.
+///
+/// `started` anchors the trial's wall-clock measurement — pass the
+/// instant taken *before* topology/fault construction so `wall_ms`
+/// covers the whole trial, not just its epochs.
+///
+/// `faults_for` returns the epoch's table as a [`std::borrow::Cow`]
+/// so the common static case ([`run_trial`]) borrows one table for
+/// every epoch while timeline drivers materialize fresh ones.
+///
+/// The caller owns the RNG position: `faults_for` must not draw (or the
+/// trial's traffic stream would depend on epoch count).
+#[allow(clippy::too_many_arguments)]
+pub fn run_trial_with<'f>(
+    run_config: &RunConfig,
+    topo: &ClosTopology,
+    epochs: usize,
+    trial: usize,
+    started: std::time::Instant,
+    mut faults_for: impl FnMut(usize) -> std::borrow::Cow<'f, vigil_fabric::LinkFaults>,
+    rng: &mut ChaCha8Rng,
+) -> TrialReport {
     // Per-trial accumulators (figures average per-run values).
     let mut vigil_acc = RatioMetric::default();
     let mut vigil_out = DetectionOutcome::default();
@@ -257,10 +304,11 @@ pub fn run_trial(config: &ExperimentConfig, trial: usize) -> TrialReport {
     let mut noise_marked_incorrectly = 0u64;
     let mut detected_per_epoch = Summary::new();
     let mut vote_gaps = Vec::new();
-    let mut epochs = Vec::with_capacity(config.epochs);
+    let mut epochs_out = Vec::with_capacity(epochs);
 
-    for _epoch in 0..config.epochs {
-        let run = run_epoch(&topo, &faults, &config.run, &mut rng);
+    for epoch in 0..epochs {
+        let faults = faults_for(epoch);
+        let run = run_epoch(topo, faults.as_ref(), run_config, rng);
         let er = evaluate_epoch(&run);
 
         vigil_acc.merge(er.vigil.accuracy);
@@ -282,17 +330,17 @@ pub fn run_trial(config: &ExperimentConfig, trial: usize) -> TrialReport {
         if let Some(g) = er.vote_gap {
             vote_gaps.push(g);
         }
-        epochs.push(er);
+        epochs_out.push(er);
     }
 
     let mut vigil = MethodReport::default();
     vigil.absorb_trial(vigil_acc, &vigil_out);
-    let integer = config.run.baselines.integer.then(|| {
+    let integer = run_config.baselines.integer.then(|| {
         let mut m = MethodReport::default();
         m.absorb_trial(int_acc, &int_out);
         m
     });
-    let binary = config.run.baselines.binary.then(|| {
+    let binary = run_config.baselines.binary.then(|| {
         let mut m = MethodReport::default();
         m.absorb_trial(bin_acc, &bin_out);
         m
@@ -307,7 +355,7 @@ pub fn run_trial(config: &ExperimentConfig, trial: usize) -> TrialReport {
         noise_marked_incorrectly,
         detected_per_epoch,
         vote_gaps,
-        epochs,
+        epochs: epochs_out,
         wall_ms: started.elapsed().as_secs_f64() * 1e3,
     }
 }

@@ -40,15 +40,17 @@
 
 pub mod evaluate;
 pub mod experiment;
+pub mod matrix;
 pub mod run;
 pub mod scenarios;
 pub mod sweep;
 
 pub use evaluate::{EpochReport, MethodMetrics};
 pub use experiment::{
-    run_experiment, run_trial, ExperimentConfig, ExperimentReport, ExperimentTiming, MethodReport,
-    TrialReport,
+    run_experiment, run_trial, run_trial_with, ExperimentConfig, ExperimentReport,
+    ExperimentTiming, MethodReport, TrialReport,
 };
+pub use matrix::{CaseOutcome, Envelope, MatrixReport, MatrixRunner, ScenarioCase};
 pub use run::{run_epoch, run_epoch_threaded, Baselines, EpochRun, PacerBudget, RunConfig};
 pub use sweep::{SweepEngine, SweepSpec};
 
@@ -56,13 +58,16 @@ pub use sweep::{SweepEngine, SweepSpec};
 pub mod prelude {
     pub use crate::evaluate::{EpochReport, MethodMetrics};
     pub use crate::experiment::{run_experiment, ExperimentConfig, ExperimentReport, MethodReport};
+    pub use crate::matrix::{Envelope, MatrixReport, MatrixRunner, ScenarioCase};
     pub use crate::run::{
         run_epoch, run_epoch_threaded, Baselines, EpochRun, PacerBudget, RunConfig,
     };
     pub use crate::scenarios;
     pub use crate::sweep::{SweepEngine, SweepSpec};
     pub use vigil_analysis::{Algorithm1Config, ThresholdBase, VoteWeight};
+    pub use vigil_fabric::compose::{CompositeFaultPlan, FaultKind};
     pub use vigil_fabric::faults::{FaultLocation, FaultPlan, RateRange};
+    pub use vigil_fabric::slb::SlbModel;
     pub use vigil_fabric::traffic::{ConnCount, DestSpec, PacketCount, TrafficSpec};
     pub use vigil_fabric::SimConfig;
     pub use vigil_topology::{ClosParams, ClosTopology, LinkId, LinkKind};

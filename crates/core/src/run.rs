@@ -17,6 +17,7 @@ use vigil_analysis::{
 };
 use vigil_fabric::faults::LinkFaults;
 use vigil_fabric::flowsim::{simulate_epoch, EpochOutcome, SimConfig};
+use vigil_fabric::slb::SlbModel;
 use vigil_fabric::traffic::TrafficSpec;
 use vigil_optim::{
     binary_program, integer_program, BinarySolution, CoverInstance, FlowRow, IntegerSolution,
@@ -97,6 +98,10 @@ pub struct RunConfig {
     pub pacer: PacerBudget,
     /// Baselines to evaluate.
     pub baselines: Baselines,
+    /// SLB-gate fault model (§4.2): flows whose VIP→DIP query fails (or
+    /// that are SNATed) go untraced. Disabled by default.
+    #[serde(default)]
+    pub slb: SlbModel,
 }
 
 impl Default for RunConfig {
@@ -107,6 +112,7 @@ impl Default for RunConfig {
             alg1: Algorithm1Config::default(),
             pacer: PacerBudget::default(),
             baselines: Baselines::default(),
+            slb: SlbModel::default(),
         }
     }
 }
@@ -155,13 +161,19 @@ pub fn run_epoch<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> EpochRun {
     let outcome = simulate_epoch(topo, faults, &config.traffic, &config.sim, rng);
+    // Salt drawn only when the SLB model is active, so default configs
+    // consume exactly the pre-SLB-model RNG stream.
+    let gate_salt = config.slb.enabled().then(|| rng.gen::<u64>());
     let monitor = TcpMonitor::new();
     let mut tracer = OracleTracer::from_flows(&outcome.flows);
 
     let mut reports = Vec::new();
     for host in topo.hosts() {
         let mut agent = HostAgent::new(host, config.pacer.pacer(topo));
-        let events: Vec<_> = monitor.events_for_host(host, &outcome.flows).collect();
+        let events: Vec<_> = monitor
+            .events_for_host(host, &outcome.flows)
+            .filter(|e| gate_salt.map_or(true, |salt| !config.slb.skips(&e.tuple, salt)))
+            .collect();
         reports.extend(agent.run_epoch(events, &mut tracer));
     }
     analyze(topo, outcome, reports, config)
@@ -179,6 +191,9 @@ pub fn run_epoch_threaded<R: Rng + ?Sized>(
 ) -> EpochRun {
     assert!(workers > 0, "need at least one worker");
     let outcome = simulate_epoch(topo, faults, &config.traffic, &config.sim, rng);
+    // Same draw position as the sequential runner, so both paths stay
+    // bit-identical; gate decisions are per-tuple, not per-schedule.
+    let gate_salt = config.slb.enabled().then(|| rng.gen::<u64>());
     let monitor = TcpMonitor::new();
     let (sender, collector) = vigil_agents::report_channel();
 
@@ -199,6 +214,9 @@ pub fn run_epoch_threaded<R: Rng + ?Sized>(
                     let mut agent = HostAgent::new(host, config_ref.pacer.pacer(topo_ref));
                     let events: Vec<_> = monitor_ref
                         .events_for_host(host, &outcome_ref.flows)
+                        .filter(|e| {
+                            gate_salt.map_or(true, |salt| !config_ref.slb.skips(&e.tuple, salt))
+                        })
                         .collect();
                     for report in agent.run_epoch(events, &mut tracer) {
                         tx.send(report);
@@ -376,6 +394,29 @@ mod tests {
         assert_eq!(
             seq.detection.detected_links(),
             thr.detection.detected_links()
+        );
+    }
+
+    #[test]
+    fn slb_gate_skips_traces_identically_across_runners() {
+        let (topo, faults, _) = setup(2, 23);
+        let mut gated = config();
+        gated.slb = SlbModel::query_failures(0.5);
+
+        let mut rng1 = ChaCha8Rng::seed_from_u64(23);
+        let mut rng2 = ChaCha8Rng::seed_from_u64(23);
+        let seq = run_epoch(&topo, &faults, &gated, &mut rng1);
+        let thr = run_epoch_threaded(&topo, &faults, &gated, 4, &mut rng2);
+        assert_eq!(seq.reports, thr.reports, "gate must be order-independent");
+
+        // Same epoch without the gate: strictly more traces.
+        let mut rng3 = ChaCha8Rng::seed_from_u64(23);
+        let ungated = run_epoch(&topo, &faults, &config(), &mut rng3);
+        assert!(
+            seq.reports.len() < ungated.reports.len(),
+            "a 50% query-failure rate must suppress traces ({} vs {})",
+            seq.reports.len(),
+            ungated.reports.len()
         );
     }
 

@@ -52,6 +52,29 @@ fn engine_reproduces_serial_runner() {
 }
 
 #[test]
+fn matrix_runner_is_deterministic_across_thread_counts() {
+    // A sampled sub-grid spanning static, timeline, SLB-gated, and
+    // degraded cases: threads 1 and 4 must produce identical JSON
+    // (CaseMetrics include every float the conformance check reads).
+    let sample = |pat: &str| {
+        let cases = vigil::matrix::filter_cases(scenarios::standard_matrix(), pat);
+        assert!(!cases.is_empty(), "no case matches {pat}");
+        cases
+    };
+    let mut cases = Vec::new();
+    for pat in ["drop/k1", "flap/k1", "slb/q25", "degraded/drop-k2"] {
+        cases.extend(sample(pat));
+    }
+    let run = |threads: usize| {
+        let mut runner = MatrixRunner::new(SweepEngine::new(threads));
+        runner.trials = 2;
+        runner.epochs = 2;
+        serde_json::to_string_pretty(&runner.run(&cases)).unwrap()
+    };
+    assert_eq!(run(1), run(4), "thread count leaked into the matrix report");
+}
+
+#[test]
 fn sweep_grid_is_deterministic_across_thread_counts() {
     let spec = || {
         SweepSpec::new("det", "#failures", vec![1u32, 2, 3], |&k| {

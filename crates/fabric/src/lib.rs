@@ -24,6 +24,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod compose;
 pub mod control_plane;
 pub mod dynamics;
 pub mod faults;
@@ -33,10 +34,11 @@ pub mod replay;
 pub mod slb;
 pub mod traffic;
 
+pub use compose::{CompiledFaults, CompositeFaultPlan, FaultKind};
 pub use dynamics::{Episode, FaultTimeline};
 pub use faults::{FaultPlan, LinkFaults};
 pub use flowsim::{simulate_epoch, EpochOutcome, FlowId, FlowRecord, GroundTruth, SimConfig};
 pub use netsim::{NetSim, NetSimConfig, TracerouteOutcome};
 pub use replay::{RecordedConn, Recording};
-pub use slb::{Slb, SlbError, VipPool};
+pub use slb::{Slb, SlbError, SlbModel, VipPool};
 pub use traffic::{ConnCount, DestSpec, FlowSpec, PacketCount, TrafficSpec};

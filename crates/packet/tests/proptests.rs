@@ -1,0 +1,236 @@
+//! Property suites for the wire formats: serialize → parse round-trips
+//! over the whole field space, and the checksum invariants 007's probe
+//! machinery leans on (valid IPv4 header checksums survive payload
+//! mutation; TCP checksums — which cover the payload — must not).
+
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+use vigil_packet::icmp::{IcmpTimeExceeded, EMBEDDED_PAYLOAD_LEN};
+use vigil_packet::ipv4::{Ipv4Packet, Ipv4Repr};
+use vigil_packet::tcp::{TcpFlags, TcpRepr, TcpSegment};
+use vigil_packet::WireError;
+
+fn arb_addr() -> impl Strategy<Value = Ipv4Addr> {
+    any::<[u8; 4]>().prop_map(|o| Ipv4Addr::new(o[0], o[1], o[2], o[3]))
+}
+
+fn arb_ipv4(payload_len: usize) -> impl Strategy<Value = Ipv4Repr> {
+    (arb_addr(), arb_addr(), any::<u8>(), 1u8..=64, any::<u16>()).prop_map(
+        move |(src_addr, dst_addr, protocol, ttl, ident)| Ipv4Repr {
+            src_addr,
+            dst_addr,
+            protocol,
+            ttl,
+            ident,
+            payload_len,
+        },
+    )
+}
+
+fn arb_tcp() -> impl Strategy<Value = TcpRepr> {
+    (
+        1u16..65535,
+        1u16..65535,
+        any::<u32>(),
+        any::<u32>(),
+        0u8..32,
+        any::<u16>(),
+    )
+        .prop_map(|(src_port, dst_port, seq, ack, flags, window)| TcpRepr {
+            src_port,
+            dst_port,
+            seq,
+            ack,
+            flags: TcpFlags(flags),
+            window,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn ipv4_emit_parse_round_trips(
+        payload in proptest::collection::vec(any::<u8>(), 0..32),
+        seed_fields in (arb_addr(), arb_addr(), any::<u8>(), 1u8..=64, any::<u16>()),
+    ) {
+        let (src_addr, dst_addr, protocol, ttl, ident) = seed_fields;
+        let repr = Ipv4Repr {
+            src_addr, dst_addr, protocol, ttl, ident,
+            payload_len: payload.len(),
+        };
+        let mut buf = vec![0u8; repr.buffer_len()];
+        repr.emit(&mut buf);
+        buf[vigil_packet::ipv4::HEADER_LEN..].copy_from_slice(&payload);
+
+        let pkt = Ipv4Packet::new_checked(&buf[..]).expect("emitted packet parses");
+        prop_assert!(pkt.verify_checksum());
+        let round = Ipv4Repr::parse(&pkt).expect("valid checksum");
+        prop_assert_eq!(round, repr);
+        prop_assert_eq!(pkt.payload(), &payload[..]);
+    }
+
+    #[test]
+    fn ipv4_header_checksum_invariant_under_payload_mutation(
+        repr in arb_ipv4(16),
+        corrupt_at in 0usize..16,
+        xor in 1u8..=255,
+    ) {
+        let mut buf = vec![0u8; repr.buffer_len()];
+        repr.emit(&mut buf);
+        // The IPv4 header checksum covers the header alone (RFC 791):
+        // flipping any payload byte must leave it verifiable and the
+        // parsed repr unchanged.
+        buf[vigil_packet::ipv4::HEADER_LEN + corrupt_at] ^= xor;
+        let pkt = Ipv4Packet::new_checked(&buf[..]).expect("still parses");
+        prop_assert!(pkt.verify_checksum(), "payload mutation broke the header checksum");
+        prop_assert_eq!(Ipv4Repr::parse(&pkt).expect("still valid"), repr);
+    }
+
+    #[test]
+    fn ipv4_header_corruption_is_caught(
+        repr in arb_ipv4(8),
+        corrupt_at in 2usize..20,
+        xor in 1u8..=255,
+    ) {
+        let mut buf = vec![0u8; repr.buffer_len()];
+        repr.emit(&mut buf);
+        // Corrupting any header byte past the version/IHL byte must be
+        // caught: either the checksum fails or the structural check does.
+        // (Skip the total-length field, whose corruption can also
+        // legitimately report Truncated.)
+        prop_assume!(!(2..4).contains(&corrupt_at));
+        buf[corrupt_at] ^= xor;
+        match Ipv4Packet::new_checked(&buf[..]) {
+            Err(_) => {}
+            Ok(pkt) => prop_assert!(
+                !pkt.verify_checksum(),
+                "corrupted header byte {} went unnoticed",
+                corrupt_at
+            ),
+        }
+    }
+
+    #[test]
+    fn tcp_emit_parse_round_trips(
+        repr in arb_tcp(),
+        src in arb_addr(),
+        dst in arb_addr(),
+        payload in proptest::collection::vec(any::<u8>(), 0..24),
+    ) {
+        let mut buf = vec![0u8; vigil_packet::tcp::HEADER_LEN + payload.len()];
+        repr.emit(&mut buf);
+        buf[vigil_packet::tcp::HEADER_LEN..].copy_from_slice(&payload);
+        let mut seg = TcpSegment::new_unchecked(&mut buf[..]);
+        seg.fill_checksum(src, dst);
+
+        let seg = TcpSegment::new_checked(&buf[..]).expect("emitted segment parses");
+        prop_assert!(seg.verify_checksum(src, dst));
+        prop_assert_eq!(TcpRepr::parse(&seg), repr);
+    }
+
+    #[test]
+    fn tcp_checksum_covers_the_payload(
+        repr in arb_tcp(),
+        src in arb_addr(),
+        dst in arb_addr(),
+        payload in proptest::collection::vec(any::<u8>(), 1..24),
+        xor in 1u8..=255,
+        corrupt_frac in 0u32..1000,
+    ) {
+        let mut buf = vec![0u8; vigil_packet::tcp::HEADER_LEN + payload.len()];
+        repr.emit(&mut buf);
+        buf[vigil_packet::tcp::HEADER_LEN..].copy_from_slice(&payload);
+        let mut seg = TcpSegment::new_unchecked(&mut buf[..]);
+        seg.fill_checksum(src, dst);
+
+        // Unlike IPv4's header checksum, TCP's covers the payload
+        // (RFC 793 pseudo-header sum): any payload mutation must fail
+        // verification. (An xor that only flips one byte can never cancel
+        // in the one's-complement sum.)
+        let at = vigil_packet::tcp::HEADER_LEN
+            + (corrupt_frac as usize * payload.len() / 1000).min(payload.len() - 1);
+        buf[at] ^= xor;
+        let seg = TcpSegment::new_checked(&buf[..]).expect("still parses");
+        prop_assert!(
+            !seg.verify_checksum(src, dst),
+            "payload mutation at {} went unnoticed",
+            at
+        );
+    }
+
+    #[test]
+    fn deliberately_bad_probe_checksums_verify_false(
+        repr in arb_tcp(),
+        src in arb_addr(),
+        dst in arb_addr(),
+    ) {
+        // 007's probes carry deliberately bad TCP checksums so the
+        // receiver drops them silently (§4.2).
+        let mut buf = vec![0u8; vigil_packet::tcp::HEADER_LEN];
+        repr.emit(&mut buf);
+        let mut seg = TcpSegment::new_unchecked(&mut buf[..]);
+        seg.fill_bad_checksum(src, dst);
+        let seg = TcpSegment::new_checked(&buf[..]).expect("parses");
+        prop_assert!(!seg.verify_checksum(src, dst));
+        // The header fields still round-trip — the receiver's RST path
+        // and our monitor both read them.
+        prop_assert_eq!(TcpRepr::parse(&seg), repr);
+    }
+
+    #[test]
+    fn icmp_time_exceeded_round_trips(
+        original in arb_ipv4(EMBEDDED_PAYLOAD_LEN),
+        payload_bytes in any::<[u8; EMBEDDED_PAYLOAD_LEN]>(),
+    ) {
+        let msg = IcmpTimeExceeded {
+            original: Ipv4Repr { ttl: 0, ..original },
+            original_payload: payload_bytes,
+        };
+        let mut buf = vec![0u8; msg.buffer_len()];
+        msg.emit(&mut buf);
+        let round = IcmpTimeExceeded::parse(&buf).expect("emitted message parses");
+        prop_assert_eq!(&round, &msg);
+        // The §4.2 disambiguation fields survive the trip.
+        prop_assert_eq!(round.original.ident, original.ident);
+        let (sp, dp) = round.original_ports();
+        prop_assert_eq!(sp, u16::from_be_bytes([payload_bytes[0], payload_bytes[1]]));
+        prop_assert_eq!(dp, u16::from_be_bytes([payload_bytes[2], payload_bytes[3]]));
+    }
+
+    #[test]
+    fn icmp_corruption_is_caught(
+        original in arb_ipv4(EMBEDDED_PAYLOAD_LEN),
+        payload_bytes in any::<[u8; EMBEDDED_PAYLOAD_LEN]>(),
+        corrupt_at in 4usize..36,
+        xor in 1u8..=255,
+    ) {
+        let msg = IcmpTimeExceeded {
+            original: Ipv4Repr { ttl: 0, ..original },
+            original_payload: payload_bytes,
+        };
+        let mut buf = vec![0u8; msg.buffer_len()];
+        msg.emit(&mut buf);
+        buf[corrupt_at] ^= xor;
+        // Any single-byte corruption in the checksummed region must fail
+        // one of the layered checks (ICMP checksum, embedded header).
+        prop_assert!(
+            IcmpTimeExceeded::parse(&buf).is_err(),
+            "corruption at byte {} went unnoticed",
+            corrupt_at
+        );
+    }
+}
+
+#[test]
+fn wire_error_display_is_stable() {
+    // Anchor the error surface the suites above match on.
+    for (err, needle) in [
+        (WireError::Truncated, "truncat"),
+        (WireError::Malformed, "malform"),
+        (WireError::Checksum, "checksum"),
+    ] {
+        let text = format!("{err}").to_lowercase();
+        assert!(text.contains(needle), "{err:?} → {text}");
+    }
+}

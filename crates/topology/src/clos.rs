@@ -485,12 +485,10 @@ impl ClosTopology {
     }
 }
 
-/// SplitMix64 step used to derive per-switch seeds.
-fn splitmix(mut z: u64) -> u64 {
-    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    z ^ (z >> 31)
+/// SplitMix64 step used to derive per-switch seeds (sequence-increment
+/// variant of the shared [`crate::splitmix64`] finalizer).
+fn splitmix(z: u64) -> u64 {
+    crate::splitmix64(z.wrapping_add(0x9e37_79b9_7f4a_7c15))
 }
 
 #[cfg(test)]

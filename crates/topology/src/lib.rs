@@ -24,6 +24,7 @@
 pub mod alias;
 pub mod bounds;
 pub mod clos;
+pub mod degrade;
 pub mod ecmp;
 pub mod ids;
 pub mod params;
@@ -31,6 +32,17 @@ pub mod paths;
 pub mod route;
 
 pub use clos::{ClosTopology, Link, LinkKind};
+pub use degrade::DegradeSpec;
+
+/// The SplitMix64 finalizer — the workspace's one canonical bit mixer
+/// for deterministic, seed-stable hashing (ECMP switch seeds, degraded
+/// spine selection, the SLB gate's per-tuple decisions). Mix inputs in
+/// with XOR/golden-ratio multiplies, then finalize.
+pub fn splitmix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
 pub use ids::{HostId, LinkId, Node, SwitchId, SwitchKind};
 pub use params::ClosParams;
 pub use route::{Path, RouteError};

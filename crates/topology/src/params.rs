@@ -97,6 +97,32 @@ impl ClosParams {
         }
     }
 
+    /// An oversubscribed variant of `self`: the edge (ToRs and hosts) is
+    /// unchanged while both spine layers shrink by `factor` (min 1 switch
+    /// each). A `factor` of 2 doubles the ToR→T1 oversubscription ratio —
+    /// the scenario-matrix topology axis uses this to stress 007 where
+    /// path diversity (and thus vote dilution, Theorem 2's `α`) differs
+    /// from the paper's symmetric fabric.
+    pub fn with_oversubscription(self, factor: u16) -> Self {
+        assert!(factor >= 1, "oversubscription factor must be at least 1");
+        Self {
+            n1: (self.n1 / factor).max(1),
+            n2: if self.n2 == 0 {
+                0
+            } else {
+                (self.n2 / factor).max(1)
+            },
+            ..self
+        }
+    }
+
+    /// Spine links per pod-direction: the T1↔T2 bipartite degree product
+    /// (`n1·n2`), 0 for single-tier fabrics. [`crate::degrade::DegradeSpec`]
+    /// withdraws a fraction of these pairs to model a degraded fabric.
+    pub fn spine_pairs_per_pod(&self) -> u32 {
+        u32::from(self.n1) * u32::from(self.n2)
+    }
+
     /// Validates the parameters.
     pub fn validate(&self) -> Result<(), ParamError> {
         if self.npod == 0 {

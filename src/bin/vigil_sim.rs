@@ -6,6 +6,7 @@
 //! vigil-sim run <preset> [options]        # run a preset
 //! vigil-sim run-config <config.json>      # run a JSON ExperimentConfig
 //! vigil-sim bounds                        # print the Theorem 1/2 numbers
+//! vigil-sim matrix [--filter pat] [--list]  # the scenario-matrix grid
 //!
 //! options:
 //!   --trials N     independent trials (fresh topology + fault draw)
@@ -15,6 +16,14 @@
 //!                  VIGIL_THREADS, else all available cores; results
 //!                  are bit-identical at any thread count)
 //!   --json         machine-readable report on stdout
+//!
+//! `matrix` runs every named scenario (fault × topology × traffic) and
+//! asserts each case's accuracy envelope: exit code 1 when any case
+//! falls outside it. `--filter pat` keeps cases whose name contains
+//! `pat` (seeds are name-derived, so filtering never changes a case's
+//! numbers); `--list` prints the grid without running. The JSON verdict
+//! lands in `results/matrix.json` and is byte-identical at any thread
+//! count.
 //! ```
 
 use std::process::ExitCode;
@@ -132,10 +141,155 @@ fn main() -> ExitCode {
             };
             execute(cfg, engine, args.iter().any(|a| a == "--json"))
         }
+        Some("matrix") => run_matrix(&args[1..]),
         _ => {
-            eprintln!("usage: vigil-sim <list|bounds|run|run-config> …");
+            eprintln!("usage: vigil-sim <list|bounds|run|run-config|matrix> …");
             ExitCode::FAILURE
         }
+    }
+}
+
+/// The `matrix` subcommand: run the scenario grid, assert envelopes,
+/// write `results/matrix.json`.
+fn run_matrix(flags: &[String]) -> ExitCode {
+    let mut engine = SweepEngine::from_env();
+    let mut runner_trials: Option<usize> = None;
+    let mut runner_epochs: Option<usize> = None;
+    let mut seed: Option<u64> = None;
+    let mut filter = String::new();
+    let mut list_only = false;
+    let mut json = false;
+
+    let mut it = flags.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--filter" => {
+                let Some(v) = it.next() else {
+                    eprintln!("--filter needs a pattern");
+                    return ExitCode::FAILURE;
+                };
+                filter = v.clone();
+            }
+            "--list" => list_only = true,
+            "--json" => json = true,
+            "--trials" | "--epochs" | "--seed" | "--threads" => {
+                let v = match it.next().map(|v| v.parse::<u64>()) {
+                    Some(Ok(v)) => v,
+                    _ => {
+                        eprintln!("{flag} needs an integer value");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                match flag.as_str() {
+                    "--trials" => runner_trials = Some(v as usize),
+                    "--epochs" => runner_epochs = Some(v as usize),
+                    "--threads" => engine = SweepEngine::new(v as usize),
+                    _ => seed = Some(v),
+                }
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let cases = vigil::matrix::filter_cases(scenarios::standard_matrix(), &filter);
+    if cases.is_empty() {
+        eprintln!("no scenario matches filter '{filter}'");
+        return ExitCode::FAILURE;
+    }
+    if list_only {
+        println!("{} scenario(s):", cases.len());
+        for c in &cases {
+            println!(
+                "  {:<28} topology={:<16} traffic={:<12} faults={}",
+                c.name,
+                c.topology,
+                c.traffic,
+                c.fault_labels().join("+")
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let mut runner = MatrixRunner::new(engine.clone());
+    // VIGIL_FAST shrinks the conformance run like the figure binaries.
+    if std::env::var("VIGIL_FAST").is_ok_and(|v| v == "1") {
+        runner.trials = 2;
+        runner.epochs = 1;
+    }
+    if let Some(t) = runner_trials {
+        runner.trials = t;
+    }
+    if let Some(e) = runner_epochs {
+        runner.epochs = e;
+    }
+    if let Some(s) = seed {
+        runner.seed = s;
+    }
+
+    println!(
+        "scenario matrix: {} case(s) × {} trial(s) × {} epoch(s), {} worker thread(s)",
+        cases.len(),
+        runner.trials,
+        runner.epochs,
+        engine.threads()
+    );
+    let report = runner.run(&cases);
+
+    if json {
+        match serde_json::to_string_pretty(&report) {
+            Ok(s) => println!("{s}"),
+            Err(e) => {
+                eprintln!("serialization failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        let pct = |v: Option<f64>| v.map_or("-".into(), |x| format!("{:.1}", x * 100.0));
+        println!(
+            "\n{:<28} {:>7} {:>7} {:>7} {:>9}  verdict",
+            "case", "acc%", "rec%", "prec%", "blamed/ep"
+        );
+        for c in &report.cases {
+            println!(
+                "{:<28} {:>7} {:>7} {:>7} {:>9.2}  {}",
+                c.name,
+                pct(c.metrics.accuracy),
+                pct(c.metrics.recall),
+                pct(c.metrics.precision),
+                c.metrics.blamed_per_epoch,
+                if c.pass { "pass" } else { "FAIL" }
+            );
+            for v in &c.violations {
+                println!("{:>30} ! {v}", "");
+            }
+        }
+    }
+
+    // Best-effort JSON drop, like the figure binaries.
+    if std::fs::create_dir_all("results").is_ok() {
+        if let Ok(s) = serde_json::to_string_pretty(&report) {
+            if std::fs::write("results/matrix.json", s).is_ok() {
+                println!("\n(wrote results/matrix.json)");
+            }
+        }
+    }
+
+    let failures = report.failures();
+    if failures.is_empty() {
+        println!(
+            "\nconformance: all {} case(s) inside their envelopes",
+            report.cases.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("\nconformance: {} case(s) FAILED:", failures.len());
+        for c in failures {
+            eprintln!("  {}: {}", c.name, c.violations.join("; "));
+        }
+        ExitCode::FAILURE
     }
 }
 

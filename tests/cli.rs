@@ -78,6 +78,99 @@ fn run_config_round_trips_a_serialized_config() {
 }
 
 #[test]
+fn matrix_list_enumerates_the_grid_and_filter_narrows_it() {
+    let out = vigil_sim()
+        .args(["matrix", "--list"])
+        .output()
+        .expect("spawn vigil-sim");
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    let named_lines = text.lines().filter(|l| l.contains("topology=")).count();
+    assert!(
+        named_lines >= 24,
+        "matrix --list shows only {named_lines} scenarios:\n{text}"
+    );
+    for probe in ["blackhole", "gray", "flap", "maintenance", "slb"] {
+        assert!(text.contains(probe), "missing fault axis {probe}:\n{text}");
+    }
+
+    let out = vigil_sim()
+        .args(["matrix", "--list", "--filter", "blackhole"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    let shown = text.lines().filter(|l| l.contains("topology=")).count();
+    assert!(shown >= 1 && shown < named_lines, "filter did not narrow");
+    assert!(!text.contains("gray/k1"), "filtered case leaked:\n{text}");
+
+    // A filter matching nothing is an error.
+    let out = vigil_sim()
+        .args(["matrix", "--filter", "no-such-scenario"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn matrix_run_with_filter_reports_conformance_and_is_thread_invariant() {
+    let run = |threads: &str| {
+        let out = vigil_sim()
+            .args([
+                "matrix",
+                "--filter",
+                "drop/k1",
+                "--trials",
+                "1",
+                "--epochs",
+                "1",
+                "--threads",
+                threads,
+                "--json",
+            ])
+            .env("VIGIL_THREADS", "1")
+            .env_remove("VIGIL_FAST")
+            .output()
+            .expect("spawn vigil-sim");
+        assert!(
+            out.status.success(),
+            "matrix --threads {threads} failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8(out.stdout).unwrap()
+    };
+    let one = run("1");
+    let four = run("4");
+    // The banner names the worker count; everything from the JSON on must
+    // be byte-identical.
+    let json_of = |s: &str| {
+        let start = s.find('{').expect("json in stdout");
+        let end = s.rfind('}').expect("json in stdout");
+        s[start..=end].to_string()
+    };
+    assert_eq!(
+        json_of(&one),
+        json_of(&four),
+        "thread count changed the matrix JSON"
+    );
+
+    // The JSON verdict is machine-readable and case-complete.
+    let report: serde_json::Value = serde_json::from_str(&json_of(&one)).unwrap();
+    let cases = report
+        .get("cases")
+        .and_then(serde_json::Value::as_seq)
+        .expect("cases array");
+    assert!(!cases.is_empty());
+    for case in cases {
+        assert_eq!(
+            case.get("pass").and_then(serde_json::Value::as_bool),
+            Some(true),
+            "case failed conformance: {case:?}"
+        );
+    }
+}
+
+#[test]
 fn threads_flag_is_accepted_and_output_is_thread_invariant() {
     // `--threads N` routes through the sweep engine; the JSON report must
     // be byte-identical at any width.

@@ -7,11 +7,17 @@
 //! [`any`] for the primitive types the tests draw, and
 //! [`collection::vec`]. Differences from upstream:
 //!
-//! * no shrinking — a failing case reports its inputs' seed and message
-//!   but is not minimized;
+//! * shrinking is greedy binary search rather than upstream's value
+//!   trees: a failing case is minimized by repeatedly taking the first
+//!   simpler candidate ([`Strategy::shrink`]) that still fails — integers
+//!   and floats bisect toward their range's lower bound, vectors halve
+//!   and then shrink element-wise, tuples shrink per component.
+//!   `prop_map`ped strategies do not shrink (the mapping is not
+//!   invertible), so a failure there reports its original inputs;
 //! * the RNG is seeded deterministically from the test's module path and
 //!   name (override with the `PROPTEST_SEED` environment variable), so
-//!   failures reproduce exactly across runs and machines.
+//!   failures (and their shrink sequences) reproduce exactly across runs
+//!   and machines.
 
 #![forbid(unsafe_code)]
 
@@ -136,13 +142,66 @@ pub trait Strategy {
     /// Draws one value.
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
 
+    /// Simpler candidates for `value`, most aggressive first (empty when
+    /// the strategy cannot shrink). The runner takes the first candidate
+    /// that still fails and repeats — binary-search minimization.
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
+
     /// Derives a strategy applying `f` to every generated value.
+    ///
+    /// Mapped strategies do not shrink: `f` has no inverse, so a simpler
+    /// output cannot be traced back to inputs.
     fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
     where
         Self: Sized,
     {
         Map { inner: self, f }
     }
+}
+
+/// Ties a case closure's parameter type to a strategy's `Value` so the
+/// `proptest!` expansion type-checks without nameable strategy types.
+#[doc(hidden)]
+pub fn bind_case<S: Strategy, F: Fn(S::Value) -> TestCaseResult>(_strategy: &S, case: F) -> F {
+    case
+}
+
+/// Greedy shrink loop: repeatedly replace the failing value with the
+/// first [`Strategy::shrink`] candidate that still fails (rejections
+/// count as passes). Returns the minimized value, its failure message,
+/// and the number of accepted shrink steps. Bounded by a candidate
+/// budget so pathological strategies terminate.
+pub fn minimize_failure<S: Strategy>(
+    strategy: &S,
+    initial: S::Value,
+    initial_msg: String,
+    run: impl Fn(S::Value) -> TestCaseResult,
+) -> (S::Value, String, u32)
+where
+    S::Value: Clone,
+{
+    let mut current = initial;
+    let mut msg = initial_msg;
+    let mut steps = 0u32;
+    let mut attempts = 0u32;
+    'outer: loop {
+        for candidate in strategy.shrink(&current) {
+            attempts += 1;
+            if attempts > 1_000 {
+                break 'outer;
+            }
+            if let Err(TestCaseError::Fail(m)) = run(candidate.clone()) {
+                current = candidate;
+                msg = m;
+                steps += 1;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    (current, msg, steps)
 }
 
 /// Strategy returned by [`Strategy::prop_map`].
@@ -172,6 +231,20 @@ impl<T: Clone> Strategy for Just<T> {
     }
 }
 
+/// Integer shrink candidates in offset space: from `delta = value − lo`,
+/// propose `0` (the lower bound), `delta/2` (bisect), and `delta − 1`
+/// (the final linear step that lets bisection land exactly on the
+/// minimal failing value).
+fn shrink_offsets(delta: u64) -> Vec<u64> {
+    let mut out = Vec::new();
+    for cand in [0, delta / 2, delta.saturating_sub(1)] {
+        if cand != delta && !out.contains(&cand) {
+            out.push(cand);
+        }
+    }
+    out
+}
+
 macro_rules! impl_range_strategy {
     ($($t:ty),*) => {$(
         impl Strategy for Range<$t> {
@@ -181,6 +254,14 @@ macro_rules! impl_range_strategy {
                 assert!(self.start < self.end, "empty range strategy");
                 let width = (self.end as u64).wrapping_sub(self.start as u64);
                 self.start.wrapping_add(rng.below(width) as $t)
+            }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                let delta = (*value as u64).wrapping_sub(self.start as u64);
+                shrink_offsets(delta)
+                    .into_iter()
+                    .map(|d| self.start.wrapping_add(d as $t))
+                    .collect()
             }
         }
 
@@ -196,11 +277,31 @@ macro_rules! impl_range_strategy {
                 }
                 lo.wrapping_add(rng.below(width) as $t)
             }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                let lo = *self.start();
+                let delta = (*value as u64).wrapping_sub(lo as u64);
+                shrink_offsets(delta)
+                    .into_iter()
+                    .map(|d| lo.wrapping_add(d as $t))
+                    .collect()
+            }
         }
     )*};
 }
 
 impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Float shrink candidates: the lower bound, then the midpoint toward it.
+fn shrink_f64(lo: f64, value: f64) -> Vec<f64> {
+    let mut out = Vec::new();
+    for cand in [lo, lo + (value - lo) / 2.0] {
+        if cand.is_finite() && cand != value && !out.contains(&cand) {
+            out.push(cand);
+        }
+    }
+    out
+}
 
 impl Strategy for Range<f64> {
     type Value = f64;
@@ -209,6 +310,10 @@ impl Strategy for Range<f64> {
         assert!(self.start < self.end, "empty range strategy");
         let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
         self.start + u * (self.end - self.start)
+    }
+
+    fn shrink(&self, value: &f64) -> Vec<f64> {
+        shrink_f64(self.start, *value)
     }
 }
 
@@ -221,15 +326,34 @@ impl Strategy for RangeInclusive<f64> {
         let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
         lo + u * (hi - lo)
     }
+
+    fn shrink(&self, value: &f64) -> Vec<f64> {
+        shrink_f64(*self.start(), *value)
+    }
 }
 
 macro_rules! impl_tuple_strategy {
     ($(($($name:ident . $idx:tt),+))*) => {$(
-        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+)
+        where
+            $($name::Value: Clone,)+
+        {
             type Value = ($($name::Value,)+);
 
             fn generate(&self, rng: &mut TestRng) -> Self::Value {
                 ($(self.$idx.generate(rng),)+)
+            }
+
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&value.$idx) {
+                        let mut next = value.clone();
+                        next.$idx = cand;
+                        out.push(next);
+                    }
+                )+
+                out
             }
         }
     )*};
@@ -250,6 +374,11 @@ impl_tuple_strategy! {
 pub trait Arbitrary: Sized {
     /// Draws an unconstrained value.
     fn arbitrary(rng: &mut TestRng) -> Self;
+
+    /// Simpler candidates for `value` (default: none).
+    fn shrink_value(_value: &Self) -> Vec<Self> {
+        Vec::new()
+    }
 }
 
 macro_rules! impl_arbitrary_int {
@@ -257,6 +386,20 @@ macro_rules! impl_arbitrary_int {
         impl Arbitrary for $t {
             fn arbitrary(rng: &mut TestRng) -> Self {
                 rng.next_u64() as $t
+            }
+
+            fn shrink_value(value: &Self) -> Vec<Self> {
+                let v = *value;
+                if v == 0 {
+                    return Vec::new();
+                }
+                // Toward zero: zero, bisect, final unit step.
+                let mut out = vec![0 as $t, v / 2];
+                #[allow(unused_comparisons)]
+                out.push(if v > 0 { v - 1 } else { v + 1 });
+                out.retain(|c| *c != v);
+                out.dedup();
+                out
             }
         }
     )*};
@@ -267,6 +410,14 @@ impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 impl Arbitrary for bool {
     fn arbitrary(rng: &mut TestRng) -> Self {
         rng.next_u64() & 1 == 1
+    }
+
+    fn shrink_value(value: &Self) -> Vec<Self> {
+        if *value {
+            vec![false]
+        } else {
+            Vec::new()
+        }
     }
 }
 
@@ -287,6 +438,10 @@ impl<A: Arbitrary> Strategy for Any<A> {
 
     fn generate(&self, rng: &mut TestRng) -> A {
         A::arbitrary(rng)
+    }
+
+    fn shrink(&self, value: &A) -> Vec<A> {
+        A::shrink_value(value)
     }
 }
 
@@ -354,13 +509,41 @@ pub mod collection {
         }
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
 
         fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
             let span = (self.size.hi_inclusive - self.size.lo + 1) as u64;
             let len = self.size.lo + rng.below(span) as usize;
             (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+
+        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let mut out = Vec::new();
+            let len = value.len();
+            // Structural shrinks first (never below the size floor):
+            // halve, then drop the last element.
+            if len > self.size.lo {
+                let half = (len / 2).max(self.size.lo);
+                if half < len {
+                    out.push(value[..half].to_vec());
+                }
+                if len - 1 > half {
+                    out.push(value[..len - 1].to_vec());
+                }
+            }
+            // Then element-wise bisection.
+            for i in 0..len {
+                for cand in self.element.shrink(&value[i]) {
+                    let mut next = value.clone();
+                    next[i] = cand;
+                    out.push(next);
+                }
+            }
+            out
         }
     }
 }
@@ -465,15 +648,21 @@ macro_rules! __proptest_fns {
             let mut __rng = $crate::TestRng::from_seed(__seed);
             let __reject_budget =
                 __config.cases.saturating_mul(__config.max_global_rejects_factor).max(256);
+            // All per-case inputs form one tuple strategy, so the shrink
+            // loop can simplify any argument while holding the rest.
+            let __strats = ($($strategy,)+);
+            let __run = $crate::bind_case(&__strats, |__vals| {
+                let ($($arg,)+) = __vals;
+                (move || {
+                    $body
+                    ::core::result::Result::Ok(())
+                })()
+            });
             let mut __passed: u32 = 0;
             let mut __rejected: u32 = 0;
             while __passed < __config.cases {
-                $(let $arg = $crate::Strategy::generate(&($strategy), &mut __rng);)+
-                let __outcome: $crate::TestCaseResult = (move || {
-                    $body
-                    ::core::result::Result::Ok(())
-                })();
-                match __outcome {
+                let __vals = $crate::Strategy::generate(&__strats, &mut __rng);
+                match __run(::core::clone::Clone::clone(&__vals)) {
                     ::core::result::Result::Ok(()) => __passed += 1,
                     ::core::result::Result::Err($crate::TestCaseError::Reject(_)) => {
                         __rejected += 1;
@@ -484,10 +673,13 @@ macro_rules! __proptest_fns {
                         );
                     }
                     ::core::result::Result::Err($crate::TestCaseError::Fail(__msg)) => {
+                        let (__min, __min_msg, __steps) =
+                            $crate::minimize_failure(&__strats, __vals, __msg, &__run);
                         panic!(
                             "proptest {__test_id} failed on case {} \
-                             (set PROPTEST_SEED={__seed} to reproduce):\n{__msg}",
-                            __passed + 1,
+                             (set PROPTEST_SEED={__seed} to reproduce):\n{__min_msg}\n\
+                             minimized input: {:?} ({} shrink step(s))",
+                            __passed + 1, __min, __steps,
                         );
                     }
                 }
@@ -546,6 +738,84 @@ mod tests {
             #![proptest_config(ProptestConfig::with_cases(8))]
             fn inner(x in 0u32..10) {
                 prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        inner();
+    }
+
+    #[test]
+    fn range_shrink_bisects_toward_lo() {
+        let s = 5u32..100;
+        assert!(s.shrink(&5).is_empty(), "lower bound cannot shrink");
+        assert_eq!(s.shrink(&85), vec![5, 45, 84]);
+        let inc = 10u16..=20;
+        assert_eq!(inc.shrink(&20), vec![10, 15, 19]);
+        let f = 1.0f64..9.0;
+        assert_eq!(f.shrink(&5.0), vec![1.0, 3.0]);
+        assert!(f.shrink(&1.0).is_empty());
+    }
+
+    #[test]
+    fn minimize_failure_finds_the_exact_boundary() {
+        // Property: fails iff x ≥ 37. Greedy binary search from any seed
+        // value must land exactly on 37.
+        let strat = (0u32..1000,);
+        let run = |v: (u32,)| {
+            if v.0 >= 37 {
+                Err(crate::TestCaseError::Fail(format!("{} ≥ 37", v.0)))
+            } else {
+                Ok(())
+            }
+        };
+        let (min, msg, steps) = crate::minimize_failure(&strat, (912,), "912 ≥ 37".into(), run);
+        assert_eq!(min.0, 37, "after {steps} steps: {msg}");
+        assert!(steps > 0);
+        assert!(msg.contains("37"));
+    }
+
+    #[test]
+    fn rejections_do_not_count_as_shrink_progress() {
+        let strat = (0u32..100,);
+        let run = |v: (u32,)| {
+            if v.0 < 10 {
+                Err(crate::TestCaseError::Reject("too small".into()))
+            } else if v.0 >= 20 {
+                Err(crate::TestCaseError::Fail(format!("{}", v.0)))
+            } else {
+                Ok(())
+            }
+        };
+        let (min, _, _) = crate::minimize_failure(&strat, (90,), "90".into(), run);
+        // 0..9 reject (must not be accepted as failing), 10..19 pass, 20 is
+        // the true boundary.
+        assert_eq!(min.0, 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "minimized input: (10,)")]
+    fn seeded_failure_minimizes_to_the_boundary() {
+        // The ROADMAP open item: a failing case must report a *minimized*
+        // input, not just the seed. Property fails iff x ≥ 10; whatever
+        // the (deterministic, module-path-seeded) failing draw was, the
+        // report must name exactly 10.
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(8))]
+            fn inner(x in 0u32..1000) {
+                prop_assert!(x < 10, "x too big: {}", x);
+            }
+        }
+        inner();
+    }
+
+    #[test]
+    #[should_panic(expected = "minimized input: ([0, 0, 0],)")]
+    fn seeded_vec_failure_minimizes_structurally_and_elementwise() {
+        // Fails iff the vec has ≥ 3 elements: halving walks the length to
+        // exactly 3, element bisection drives every survivor to 0.
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(8))]
+            fn inner(v in crate::collection::vec(0u32..100, 1..10)) {
+                prop_assert!(v.len() < 3, "vec too long: {:?}", v);
             }
         }
         inner();

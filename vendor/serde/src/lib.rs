@@ -78,6 +78,24 @@ impl Value {
         }
     }
 
+    /// Returns the boolean when `self` is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as `f64` when `self` is any number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::I64(n) => Some(*n as f64),
+            Value::U64(n) => Some(*n as f64),
+            Value::F64(n) => Some(*n),
+            _ => None,
+        }
+    }
+
     /// Looks up a key in an object value.
     pub fn get(&self, key: &str) -> Option<&Value> {
         self.as_map()
@@ -564,5 +582,15 @@ mod tests {
     fn errors_name_the_shape() {
         let err = u32::from_value(&Value::Str("x".into())).unwrap_err();
         assert!(err.to_string().contains("integer"));
+    }
+
+    #[test]
+    fn value_scalar_accessors() {
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::Str("x".into()).as_bool(), None);
+        assert_eq!(Value::I64(-3).as_f64(), Some(-3.0));
+        assert_eq!(Value::U64(7).as_f64(), Some(7.0));
+        assert_eq!(Value::F64(0.5).as_f64(), Some(0.5));
+        assert_eq!(Value::Null.as_f64(), None);
     }
 }
