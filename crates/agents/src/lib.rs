@@ -30,6 +30,8 @@ pub mod slb_gate;
 
 pub use host_agent::{HostAgent, TraceReport};
 pub use hub::{report_channel, ReportCollector, ReportSender};
-pub use monitor::{RetransmissionEvent, TcpMonitor};
-pub use pathdisc::{DiscoveredPath, HostPacer, OracleTracer, ProbeTracer, Tracer};
+pub use monitor::{HostEventBuckets, RetransmissionEvent, TcpMonitor};
+pub use pathdisc::{
+    DiscoveredPath, FlowIndex, FlowTableTracer, HostPacer, OracleTracer, ProbeTracer, Tracer,
+};
 pub use slb_gate::{GateSkip, GateStats, SlbGate};

@@ -66,7 +66,80 @@ impl Tracer for OracleTracer {
     fn trace(&mut self, _src: HostId, tuple: &FiveTuple) -> Option<DiscoveredPath> {
         self.paths.get(tuple).map(|p| DiscoveredPath {
             links: p.links.clone(),
-            complete: matches!(p.nodes.last(), Some(Node::Host(_))) && p.hop_count() >= 2,
+            complete: path_is_complete(p),
+        })
+    }
+}
+
+/// The oracle's completeness rule: the path reaches a host and has at
+/// least the two host links (src→ToR, ToR→dst).
+fn path_is_complete(p: &Path) -> bool {
+    matches!(p.nodes.last(), Some(Node::Host(_))) && p.hop_count() >= 2
+}
+
+/// A tuple → flow-record index over one epoch's flow table, built once
+/// and shared by every consumer (the tracer, the evaluator, the §7
+/// experiment binaries). Replaces the per-epoch `HashMap<FiveTuple,
+/// Path>` rebuild the [`OracleTracer`] used to pay — the map now stores
+/// a 4-byte index instead of a cloned path, and it is built exactly once
+/// per epoch instead of once per consumer.
+#[derive(Debug, Clone, Default)]
+pub struct FlowIndex {
+    map: HashMap<FiveTuple, u32>,
+}
+
+impl FlowIndex {
+    /// Builds the index over the epoch's flow records (later records win
+    /// on duplicate tuples, matching `HashMap::collect` semantics).
+    pub fn from_flows(flows: &[vigil_fabric::flowsim::FlowRecord]) -> Self {
+        let mut map = HashMap::with_capacity(flows.len());
+        for (i, f) in flows.iter().enumerate() {
+            map.insert(f.tuple, i as u32);
+        }
+        Self { map }
+    }
+
+    /// The flow-record index of `tuple`, if the epoch saw it.
+    pub fn get(&self, tuple: &FiveTuple) -> Option<usize> {
+        self.map.get(tuple).map(|i| *i as usize)
+    }
+
+    /// Number of indexed flows.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// Flow-mode tracer backed by the epoch's flow table plus the shared
+/// [`FlowIndex`] — the same oracle semantics as [`OracleTracer`] without
+/// cloning every path into a private map. Constructing one is free, so
+/// each worker thread of the sharded runner wraps the same table and
+/// index.
+#[derive(Debug, Clone)]
+pub struct FlowTableTracer<'a> {
+    flows: &'a [vigil_fabric::flowsim::FlowRecord],
+    index: &'a FlowIndex,
+}
+
+impl<'a> FlowTableTracer<'a> {
+    /// A tracer view over `flows` through `index` (built from the same
+    /// table).
+    pub fn new(flows: &'a [vigil_fabric::flowsim::FlowRecord], index: &'a FlowIndex) -> Self {
+        Self { flows, index }
+    }
+}
+
+impl Tracer for FlowTableTracer<'_> {
+    fn trace(&mut self, _src: HostId, tuple: &FiveTuple) -> Option<DiscoveredPath> {
+        let p = &self.flows[self.index.get(tuple)?].path;
+        Some(DiscoveredPath {
+            links: p.links.clone(),
+            complete: path_is_complete(p),
         })
     }
 }

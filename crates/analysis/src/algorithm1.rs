@@ -26,8 +26,7 @@
 use crate::evidence::FlowEvidence;
 use crate::voting::{VoteTally, VoteWeight};
 use serde::{Deserialize, Serialize};
-use std::collections::HashSet;
-use vigil_topology::LinkId;
+use vigil_topology::{LinkId, LinkSet};
 
 /// Which total the `threshold_frac` multiplies.
 ///
@@ -133,12 +132,14 @@ pub fn detect(
     }
 
     let mut explained = vec![false; evidence.len()];
-    let mut detected: HashSet<LinkId> = HashSet::new();
+    // Dense bitset over the link id space — the exclusion set B of the
+    // paper's pseudocode, probed once per link per pick.
+    let mut detected = LinkSet::new(num_links);
     let mut detections = Vec::new();
 
     while detections.len() < config.max_detections {
-        let pick = tally
-            .max_where(|l, _| !detected.contains(&l) && voters[l.index()] >= config.min_voters);
+        let pick =
+            tally.max_where(|l, _| !detected.contains(l) && voters[l.index()] >= config.min_voters);
         let Some((lmax, votes)) = pick else {
             break;
         };

@@ -38,8 +38,7 @@
 
 use crate::evidence::FlowEvidence;
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, HashSet};
-use vigil_topology::LinkId;
+use vigil_topology::{LinkId, LinkSet};
 
 /// The classification of one flow's drops.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -54,30 +53,38 @@ pub enum DropClass {
 /// first-pass detection. Noise-class flows are withheld from the final
 /// Algorithm 1 vote pool (the paper's §6 ordering: noise first, then
 /// detection on the rest).
-pub fn classify_flows(evidence: &[FlowEvidence], detected: &[LinkId]) -> Vec<DropClass> {
-    let bad: HashSet<LinkId> = detected.iter().copied().collect();
+///
+/// `num_links` sizes the dense per-link voter table (link ids are dense
+/// `0..num_links` indices — the same argument [`crate::detect`] takes).
+pub fn classify_flows(
+    evidence: &[FlowEvidence],
+    detected: &[LinkId],
+    num_links: usize,
+) -> Vec<DropClass> {
+    let mut bad = LinkSet::new(num_links);
+    for l in detected {
+        bad.insert(*l);
+    }
     let crosses_bad: Vec<bool> = evidence
         .iter()
-        .map(|e| e.links.iter().any(|l| bad.contains(l)))
+        .map(|e| e.links.iter().any(|l| bad.contains(*l)))
         .collect();
-    // Voter counts over *unexplained* flows only.
-    let mut voters: HashMap<LinkId, u32> = HashMap::new();
+    // Voter counts over *unexplained* flows only — dense, keyed by
+    // `LinkId::index()`, iterated in id order wherever order matters.
+    let mut voters = vec![0u32; num_links];
     for (e, crosses) in evidence.iter().zip(&crosses_bad) {
         if *crosses {
             continue;
         }
         for l in &e.links {
-            *voters.entry(*l).or_insert(0) += 1;
+            voters[l.index()] += 1;
         }
     }
     evidence
         .iter()
         .zip(&crosses_bad)
         .map(|(e, crosses)| {
-            let sole_voter = e
-                .links
-                .iter()
-                .all(|l| voters.get(l).copied().unwrap_or(0) <= 1);
+            let sole_voter = e.links.iter().all(|l| voters[l.index()] <= 1);
             if e.retransmissions == 1 && !crosses && sole_voter {
                 DropClass::Noise
             } else {
@@ -97,13 +104,13 @@ mod tests {
 
     #[test]
     fn lone_isolated_drop_is_noise() {
-        let classes = classify_flows(&[ev(&[1, 2], 1)], &[]);
+        let classes = classify_flows(&[ev(&[1, 2], 1)], &[], 64);
         assert_eq!(classes, vec![DropClass::Noise]);
     }
 
     #[test]
     fn lone_drop_on_detected_link_is_failure() {
-        let classes = classify_flows(&[ev(&[1, 9], 1)], &[LinkId(9)]);
+        let classes = classify_flows(&[ev(&[1, 9], 1)], &[LinkId(9)], 64);
         assert_eq!(classes, vec![DropClass::Failure]);
     }
 
@@ -113,7 +120,7 @@ mod tests {
         // unexplained flow: link 9 may have dropped both, so no noise
         // mark for either.
         let evidence = vec![ev(&[1, 9], 1), ev(&[9, 7], 5)];
-        let classes = classify_flows(&evidence, &[]);
+        let classes = classify_flows(&evidence, &[], 64);
         assert_eq!(classes, vec![DropClass::Failure, DropClass::Failure]);
     }
 
@@ -123,20 +130,20 @@ mod tests {
         // lone flow sharing healthy link 3 with it is genuinely a lone
         // voter among the unexplained and may be marked noise.
         let evidence = vec![ev(&[3, 4], 1), ev(&[3, 2], 9)];
-        let classes = classify_flows(&evidence, &[LinkId(2)]);
+        let classes = classify_flows(&evidence, &[LinkId(2)], 64);
         assert_eq!(classes, vec![DropClass::Noise, DropClass::Failure]);
     }
 
     #[test]
     fn multiple_retransmissions_are_failure() {
-        let classes = classify_flows(&[ev(&[1, 2], 3)], &[]);
+        let classes = classify_flows(&[ev(&[1, 2], 3)], &[], 64);
         assert_eq!(classes, vec![DropClass::Failure]);
     }
 
     #[test]
     fn mixed_epoch() {
         let evidence = vec![ev(&[1, 9], 5), ev(&[2, 3], 1), ev(&[4, 9], 1)];
-        let classes = classify_flows(&evidence, &[]);
+        let classes = classify_flows(&evidence, &[], 64);
         assert_eq!(
             classes,
             vec![DropClass::Failure, DropClass::Noise, DropClass::Failure]
@@ -148,12 +155,12 @@ mod tests {
         // Two lone-retransmission flows sharing link 5: either could be a
         // victim of the same >1-drop link, so neither may be noise-marked.
         let evidence = vec![ev(&[5, 1], 1), ev(&[5, 2], 1)];
-        let classes = classify_flows(&evidence, &[]);
+        let classes = classify_flows(&evidence, &[], 64);
         assert_eq!(classes, vec![DropClass::Failure, DropClass::Failure]);
     }
 
     #[test]
     fn empty_inputs() {
-        assert!(classify_flows(&[], &[LinkId(1)]).is_empty());
+        assert!(classify_flows(&[], &[LinkId(1)], 64).is_empty());
     }
 }

@@ -13,8 +13,7 @@
 
 use crate::evidence::FlowEvidence;
 use serde::{Deserialize, Serialize};
-use std::collections::HashSet;
-use vigil_topology::LinkId;
+use vigil_topology::{LinkId, LinkSet};
 
 /// Vote value assigned to each link of a retransmitting flow's path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
@@ -117,8 +116,10 @@ impl VoteTally {
 
     /// The most-voted link, skipping `exclude`; ties break to the lowest
     /// id. Returns `None` when every (non-excluded) link has zero votes.
-    pub fn max_excluding(&self, exclude: &HashSet<LinkId>) -> Option<(LinkId, f64)> {
-        self.max_where(|l, _| !exclude.contains(&l))
+    /// The exclusion set is the dense [`LinkSet`] bitset — link ids are
+    /// dense indices, so membership is a word probe, not a hash.
+    pub fn max_excluding(&self, exclude: &LinkSet) -> Option<(LinkId, f64)> {
+        self.max_where(|l, _| !exclude.contains(l))
     }
 
     /// The most-voted link among those the predicate admits; ties break
@@ -255,7 +256,7 @@ mod tests {
             4,
             VoteWeight::ReciprocalPathLength,
         );
-        let mut ex = HashSet::new();
+        let mut ex = LinkSet::new(4);
         assert_eq!(t.max_excluding(&ex).unwrap().0, LinkId(2));
         ex.insert(LinkId(2));
         assert_eq!(t.max_excluding(&ex).unwrap().0, LinkId(1));

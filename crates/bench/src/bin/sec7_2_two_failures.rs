@@ -32,9 +32,11 @@ fn main() {
         let mut correct = 0u64;
         for _epoch in 0..scale.epochs {
             let run = vigil::run_epoch(&topo, &faults, &base.run, &mut rng);
-            let flow_idx = run.flow_by_tuple();
+            let flow_idx = run.flow_index();
             for (i, ev) in run.evidence.iter().enumerate() {
-                let flow = &run.outcome.flows[flow_idx[&run.reports[i].tuple]];
+                let flow = &run.outcome.flows[flow_idx
+                    .get(&run.reports[i].tuple)
+                    .expect("reported tuples come from the epoch's flow table")];
                 // Paper: "we only know the ground truth when the flow goes
                 // through at least one of the two failed links".
                 let crosses = flow

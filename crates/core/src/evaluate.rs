@@ -70,14 +70,11 @@ pub struct EpochReport {
 
 /// Scores one epoch run.
 pub fn evaluate_epoch(run: &EpochRun) -> EpochReport {
-    let truth_failed: BTreeSet<LinkId> = run
-        .outcome
-        .ground_truth
-        .failed_links
-        .iter()
-        .copied()
-        .collect();
-    let flow_by_tuple = run.flow_by_tuple();
+    // The injected-failure set is already a `BTreeSet` on the ground
+    // truth — borrow it instead of rebuilding an identical copy.
+    let truth_failed = &run.outcome.ground_truth.failed_links;
+    // Shared per-epoch index, built once by the runner.
+    let flow_index = run.flow_index();
 
     let mut vigil = MethodMetrics::default();
     let mut integer = run.integer.as_ref().map(|_| MethodMetrics::default());
@@ -87,7 +84,7 @@ pub fn evaluate_epoch(run: &EpochRun) -> EpochReport {
 
     for (i, evidence) in run.evidence.iter().enumerate() {
         let report = &run.reports[i];
-        let Some(&flow_idx) = flow_by_tuple.get(&report.tuple) else {
+        let Some(flow_idx) = flow_index.get(&report.tuple) else {
             continue;
         };
         let flow = &run.outcome.flows[flow_idx];
@@ -133,14 +130,14 @@ pub fn evaluate_epoch(run: &EpochRun) -> EpochReport {
 
     // Detection confusions.
     let detected: BTreeSet<LinkId> = run.detection.detected_links().into_iter().collect();
-    vigil.confusion = BinaryConfusion::from_sets(&detected, &truth_failed);
+    vigil.confusion = BinaryConfusion::from_sets(&detected, truth_failed);
     if let (Some(m), Some(sol)) = (integer.as_mut(), run.integer.as_ref()) {
         let set: BTreeSet<LinkId> = sol.counts.keys().map(|l| LinkId(*l)).collect();
-        m.confusion = BinaryConfusion::from_sets(&set, &truth_failed);
+        m.confusion = BinaryConfusion::from_sets(&set, truth_failed);
     }
     if let (Some(m), Some(sol)) = (binary.as_mut(), run.binary.as_ref()) {
         let set: BTreeSet<LinkId> = sol.links.iter().map(|l| LinkId(*l)).collect();
-        m.confusion = BinaryConfusion::from_sets(&set, &truth_failed);
+        m.confusion = BinaryConfusion::from_sets(&set, truth_failed);
     }
 
     // Figure 13's gap, defined for single-failure epochs.

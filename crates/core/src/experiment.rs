@@ -16,7 +16,7 @@
 //! thread count.
 
 use crate::evaluate::{evaluate_epoch, EpochReport};
-use crate::run::{run_epoch, RunConfig};
+use crate::run::{run_epoch_with, RunConfig};
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
@@ -305,10 +305,15 @@ pub fn run_trial_with<'f>(
     let mut detected_per_epoch = Summary::new();
     let mut vote_gaps = Vec::new();
     let mut epochs_out = Vec::with_capacity(epochs);
+    // One scratch for the whole trial: the simulator's routing buffers
+    // and interned-path arena persist across epochs (same topology, so
+    // link ids stay valid), keeping the per-flow hot path allocation-free
+    // without changing a single output byte.
+    let mut scratch = vigil_fabric::EpochScratch::new();
 
     for epoch in 0..epochs {
         let faults = faults_for(epoch);
-        let run = run_epoch(topo, faults.as_ref(), run_config, rng);
+        let run = run_epoch_with(topo, faults.as_ref(), run_config, rng, &mut scratch);
         let er = evaluate_epoch(&run);
 
         vigil_acc.merge(er.vigil.accuracy);

@@ -51,7 +51,9 @@ pub use experiment::{
     ExperimentTiming, MethodReport, TrialReport,
 };
 pub use matrix::{CaseOutcome, Envelope, MatrixReport, MatrixRunner, ScenarioCase};
-pub use run::{run_epoch, run_epoch_threaded, Baselines, EpochRun, PacerBudget, RunConfig};
+pub use run::{
+    run_epoch, run_epoch_threaded, run_epoch_with, Baselines, EpochRun, PacerBudget, RunConfig,
+};
 pub use sweep::{SweepEngine, SweepSpec};
 
 /// Convenient glob-import for examples and benches.
@@ -60,7 +62,7 @@ pub mod prelude {
     pub use crate::experiment::{run_experiment, ExperimentConfig, ExperimentReport, MethodReport};
     pub use crate::matrix::{Envelope, MatrixReport, MatrixRunner, ScenarioCase};
     pub use crate::run::{
-        run_epoch, run_epoch_threaded, Baselines, EpochRun, PacerBudget, RunConfig,
+        run_epoch, run_epoch_threaded, run_epoch_with, Baselines, EpochRun, PacerBudget, RunConfig,
     };
     pub use crate::scenarios;
     pub use crate::sweep::{SweepEngine, SweepSpec};

@@ -10,20 +10,18 @@
 
 use rand::Rng;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
-use vigil_agents::{HostAgent, HostPacer, OracleTracer, TcpMonitor, TraceReport};
+use vigil_agents::{FlowIndex, FlowTableTracer, HostAgent, HostPacer, TcpMonitor, TraceReport};
 use vigil_analysis::{
     classify_flows, detect, Algorithm1Config, Algorithm1Output, DropClass, FlowEvidence,
 };
 use vigil_fabric::faults::LinkFaults;
-use vigil_fabric::flowsim::{simulate_epoch, EpochOutcome, SimConfig};
+use vigil_fabric::flowsim::{simulate_epoch_with, EpochOutcome, EpochScratch, SimConfig};
 use vigil_fabric::slb::SlbModel;
 use vigil_fabric::traffic::TrafficSpec;
 use vigil_optim::{
     binary_program, integer_program, BinarySolution, CoverInstance, FlowRow, IntegerSolution,
     SearchLimits,
 };
-use vigil_packet::FiveTuple;
 use vigil_topology::ClosTopology;
 
 /// How each host's traceroute budget is set.
@@ -122,6 +120,10 @@ impl Default for RunConfig {
 pub struct EpochRun {
     /// The fabric's records and ground truth.
     pub outcome: EpochOutcome,
+    /// Shared tuple → flow-record index over `outcome.flows`, built once
+    /// per epoch and reused by the tracer, the evaluator, and the
+    /// experiment binaries (no consumer rebuilds its own map).
+    pub flow_index: FlowIndex,
     /// Host agents' trace reports (post pacing/caching).
     pub reports: Vec<TraceReport>,
     /// The same reports as analysis evidence (parallel to `reports`).
@@ -142,14 +144,9 @@ pub struct EpochRun {
 }
 
 impl EpochRun {
-    /// Maps a tuple to its flow record index.
-    pub fn flow_by_tuple(&self) -> HashMap<FiveTuple, usize> {
-        self.outcome
-            .flows
-            .iter()
-            .enumerate()
-            .map(|(i, f)| (f.tuple, i))
-            .collect()
+    /// The shared tuple → flow-record index (built once during the run).
+    pub fn flow_index(&self) -> &FlowIndex {
+        &self.flow_index
     }
 }
 
@@ -160,23 +157,50 @@ pub fn run_epoch<R: Rng + ?Sized>(
     config: &RunConfig,
     rng: &mut R,
 ) -> EpochRun {
-    let outcome = simulate_epoch(topo, faults, &config.traffic, &config.sim, rng);
+    run_epoch_with(topo, faults, config, rng, &mut EpochScratch::new())
+}
+
+/// [`run_epoch`] with caller-owned simulator scratch: the trial loop
+/// passes one [`EpochScratch`] through all its epochs so the per-flow
+/// hot path (routing, path storage, drop sampling) reuses its buffers
+/// instead of reallocating. Output is byte-identical to [`run_epoch`] —
+/// same RNG stream, same reports, same detections.
+pub fn run_epoch_with<R: Rng + ?Sized>(
+    topo: &ClosTopology,
+    faults: &LinkFaults,
+    config: &RunConfig,
+    rng: &mut R,
+    scratch: &mut EpochScratch,
+) -> EpochRun {
+    let outcome = simulate_epoch_with(topo, faults, &config.traffic, &config.sim, rng, scratch);
     // Salt drawn only when the SLB model is active, so default configs
     // consume exactly the pre-SLB-model RNG stream.
     let gate_salt = config.slb.enabled().then(|| rng.gen::<u64>());
     let monitor = TcpMonitor::new();
-    let mut tracer = OracleTracer::from_flows(&outcome.flows);
+    // One bucketing pass groups events by host (the old per-host rescan
+    // was O(hosts × flows)); one index build serves every tracer lookup.
+    let buckets = monitor.bucket_events(&outcome.flows, topo.num_hosts());
+    let flow_index = FlowIndex::from_flows(&outcome.flows);
+    let mut tracer = FlowTableTracer::new(&outcome.flows, &flow_index);
 
     let mut reports = Vec::new();
     for host in topo.hosts() {
+        let events = buckets.for_host(host);
+        if events.is_empty() {
+            continue;
+        }
         let mut agent = HostAgent::new(host, config.pacer.pacer(topo));
-        let events: Vec<_> = monitor
-            .events_for_host(host, &outcome.flows)
-            .filter(|e| gate_salt.map_or(true, |salt| !config.slb.skips(&e.tuple, salt)))
-            .collect();
-        reports.extend(agent.run_epoch(events, &mut tracer));
+        reports.extend(
+            agent.run_epoch(
+                events
+                    .iter()
+                    .filter(|e| gate_salt.map_or(true, |salt| !config.slb.skips(&e.tuple, salt)))
+                    .copied(),
+                &mut tracer,
+            ),
+        );
     }
-    analyze(topo, outcome, reports, config)
+    analyze(topo, outcome, flow_index, reports, config)
 }
 
 /// Runs one epoch with host agents sharded over worker threads, reports
@@ -190,11 +214,25 @@ pub fn run_epoch_threaded<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> EpochRun {
     assert!(workers > 0, "need at least one worker");
-    let outcome = simulate_epoch(topo, faults, &config.traffic, &config.sim, rng);
+    let mut scratch = EpochScratch::new();
+    let outcome = simulate_epoch_with(
+        topo,
+        faults,
+        &config.traffic,
+        &config.sim,
+        rng,
+        &mut scratch,
+    );
     // Same draw position as the sequential runner, so both paths stay
     // bit-identical; gate decisions are per-tuple, not per-schedule.
     let gate_salt = config.slb.enabled().then(|| rng.gen::<u64>());
     let monitor = TcpMonitor::new();
+    // Shared epoch structures, built once before the fan-out: the event
+    // buckets (worker setup used to rescan all flows per chunk — the
+    // O(flows × chunk) `contains` filter) and the flow index every
+    // worker's tracer reads through.
+    let buckets = monitor.bucket_events(&outcome.flows, topo.num_hosts());
+    let flow_index = FlowIndex::from_flows(&outcome.flows);
     let (sender, collector) = vigil_agents::report_channel();
 
     let hosts: Vec<_> = topo.hosts().collect();
@@ -203,22 +241,23 @@ pub fn run_epoch_threaded<R: Rng + ?Sized>(
             let tx = sender.clone();
             let outcome_ref = &outcome;
             let topo_ref = topo;
-            let monitor_ref = &monitor;
+            let buckets_ref = &buckets;
+            let index_ref = &flow_index;
             let config_ref = config;
             scope.spawn(move || {
-                // Each worker traces only its own hosts' flows.
-                let mut tracer = OracleTracer::from_flows(
-                    outcome_ref.flows.iter().filter(|f| chunk.contains(&f.src)),
-                );
+                // Tracer views are free to construct: all workers share
+                // the one flow table and index.
+                let mut tracer = FlowTableTracer::new(&outcome_ref.flows, index_ref);
                 for &host in chunk {
+                    let events = buckets_ref.for_host(host);
+                    if events.is_empty() {
+                        continue;
+                    }
                     let mut agent = HostAgent::new(host, config_ref.pacer.pacer(topo_ref));
-                    let events: Vec<_> = monitor_ref
-                        .events_for_host(host, &outcome_ref.flows)
-                        .filter(|e| {
-                            gate_salt.map_or(true, |salt| !config_ref.slb.skips(&e.tuple, salt))
-                        })
-                        .collect();
-                    for report in agent.run_epoch(events, &mut tracer) {
+                    let admitted = events.iter().filter(|e| {
+                        gate_salt.map_or(true, |salt| !config_ref.slb.skips(&e.tuple, salt))
+                    });
+                    for report in agent.run_epoch(admitted.copied(), &mut tracer) {
                         tx.send(report);
                     }
                 }
@@ -228,7 +267,7 @@ pub fn run_epoch_threaded<R: Rng + ?Sized>(
     });
     // All workers have joined (scope end), so every report is queued.
     let reports = collector.drain();
-    analyze(topo, outcome, reports, config)
+    analyze(topo, outcome, flow_index, reports, config)
 }
 
 /// The centralized analysis agent: votes, Algorithm 1, classification,
@@ -236,6 +275,7 @@ pub fn run_epoch_threaded<R: Rng + ?Sized>(
 fn analyze(
     topo: &ClosTopology,
     outcome: EpochOutcome,
+    flow_index: FlowIndex,
     mut reports: Vec<TraceReport>,
     config: &RunConfig,
 ) -> EpochRun {
@@ -264,7 +304,7 @@ fn analyze(
             ..config.alg1
         },
     );
-    let classes = classify_flows(&evidence, &conservative.detected_links());
+    let classes = classify_flows(&evidence, &conservative.detected_links(), topo.num_links());
     let failure_evidence: Vec<FlowEvidence> = evidence
         .iter()
         .zip(&classes)
@@ -311,6 +351,7 @@ fn analyze(
 
     EpochRun {
         outcome,
+        flow_index,
         reports,
         evidence,
         detection,

@@ -52,6 +52,60 @@ fn engine_reproduces_serial_runner() {
 }
 
 #[test]
+fn scratch_reuse_across_epochs_is_invisible() {
+    // The allocation-free hot path threads one `EpochScratch` (routing
+    // buffers + interned-path arena) through every epoch of a trial.
+    // Reuse must be unobservable: a chain of scratch-sharing epochs has
+    // to produce byte-identical reports to fresh-scratch epochs on the
+    // same RNG stream, and the experiment JSON must stay identical at
+    // threads 1 vs 4 (both run the scratch-reusing trial loop).
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use vigil_fabric::EpochScratch;
+
+    let cfg = config();
+    let topo = ClosTopology::new(ClosParams::tiny(), 7).unwrap();
+    let mut fault_rng = ChaCha8Rng::seed_from_u64(7);
+    let faults = cfg.faults.build(&topo, &mut fault_rng);
+
+    let mut fresh_rng = ChaCha8Rng::seed_from_u64(41);
+    let mut shared_rng = ChaCha8Rng::seed_from_u64(41);
+    let mut scratch = EpochScratch::new();
+    for epoch in 0..3 {
+        let fresh = run_epoch(&topo, &faults, &cfg.run, &mut fresh_rng);
+        let shared = run_epoch_with(&topo, &faults, &cfg.run, &mut shared_rng, &mut scratch);
+        assert_eq!(
+            fresh.reports, shared.reports,
+            "epoch {epoch}: scratch reuse changed the reports"
+        );
+        assert_eq!(
+            fresh.outcome.flows, shared.outcome.flows,
+            "epoch {epoch}: scratch reuse changed the simulated flows"
+        );
+        assert_eq!(
+            fresh.detection.detected_links(),
+            shared.detection.detected_links(),
+            "epoch {epoch}: scratch reuse changed the detections"
+        );
+    }
+    assert!(
+        scratch.interned_paths() > 0,
+        "three epochs must intern paths"
+    );
+
+    // And through the engine: both thread counts run the reusing loop.
+    let mut cfg = config();
+    cfg.epochs = 3;
+    let one = SweepEngine::new(1).run_experiment(&cfg);
+    let four = SweepEngine::new(4).run_experiment(&cfg);
+    assert_eq!(
+        serde_json::to_string_pretty(&one).unwrap(),
+        serde_json::to_string_pretty(&four).unwrap(),
+        "scratch reuse perturbed thread-count determinism"
+    );
+}
+
+#[test]
 fn matrix_runner_is_deterministic_across_thread_counts() {
     // A sampled sub-grid spanning static, timeline, SLB-gated, and
     // degraded cases: threads 1 and 4 must produce identical JSON

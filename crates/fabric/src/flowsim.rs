@@ -22,7 +22,9 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use vigil_packet::FiveTuple;
-use vigil_topology::{ClosTopology, HostId, LinkId, Path, RouteError};
+use vigil_topology::{
+    ClosTopology, HostId, LinkId, Path, PathArena, RouteError, RouteScratch, Routed,
+};
 
 /// Dense flow index within one epoch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -138,6 +140,42 @@ impl EpochOutcome {
     }
 }
 
+/// Reusable per-epoch buffers for the simulator's hot path: routing
+/// scratch, the path-interning arena, and the per-flow rate/drop
+/// accumulators that used to be allocated fresh for every flow. One
+/// scratch serves a whole trial — the trial loop clears nothing between
+/// epochs (the arena keeps its interned paths; the flat buffers are
+/// cleared per flow), and every epoch's output is byte-identical to the
+/// scratch-free path.
+#[derive(Debug, Clone, Default)]
+pub struct EpochScratch {
+    route: RouteScratch,
+    arena: PathArena,
+    rates: Vec<f64>,
+    local_drops: Vec<u32>,
+    drop_pairs: Vec<(LinkId, u32)>,
+}
+
+impl EpochScratch {
+    /// Fresh, empty scratch (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Distinct paths interned so far — the Clos path-diversity bound in
+    /// action (diagnostics / tests).
+    pub fn interned_paths(&self) -> usize {
+        self.arena.len()
+    }
+
+    /// Resets the interned-path arena. Required at a topology boundary
+    /// (link ids are only meaningful within one topology); the trial
+    /// runners use a fresh scratch per trial instead.
+    pub fn clear(&mut self) {
+        self.arena.clear();
+    }
+}
+
 /// Simulates one epoch: generate traffic, route, drop, record.
 pub fn simulate_epoch<R: Rng + ?Sized>(
     topo: &ClosTopology,
@@ -146,8 +184,22 @@ pub fn simulate_epoch<R: Rng + ?Sized>(
     config: &SimConfig,
     rng: &mut R,
 ) -> EpochOutcome {
+    simulate_epoch_with(topo, faults, traffic, config, rng, &mut EpochScratch::new())
+}
+
+/// [`simulate_epoch`] with caller-owned scratch — the trial loop reuses
+/// one [`EpochScratch`] across its epochs so the per-flow hot path stops
+/// allocating. Same RNG stream, same output, fewer allocations.
+pub fn simulate_epoch_with<R: Rng + ?Sized>(
+    topo: &ClosTopology,
+    faults: &LinkFaults,
+    traffic: &TrafficSpec,
+    config: &SimConfig,
+    rng: &mut R,
+    scratch: &mut EpochScratch,
+) -> EpochOutcome {
     let specs = traffic.generate(topo, rng);
-    simulate_flows(topo, faults, &specs, config, rng)
+    simulate_flows_with(topo, faults, &specs, config, rng, scratch)
 }
 
 /// Simulates a pre-generated flow list (used by the test-cluster replay
@@ -159,19 +211,59 @@ pub fn simulate_flows<R: Rng + ?Sized>(
     config: &SimConfig,
     rng: &mut R,
 ) -> EpochOutcome {
+    simulate_flows_with(topo, faults, specs, config, rng, &mut EpochScratch::new())
+}
+
+/// [`simulate_flows`] with caller-owned scratch (see
+/// [`simulate_epoch_with`]).
+pub fn simulate_flows_with<R: Rng + ?Sized>(
+    topo: &ClosTopology,
+    faults: &LinkFaults,
+    specs: &[FlowSpec],
+    config: &SimConfig,
+    rng: &mut R,
+    scratch: &mut EpochScratch,
+) -> EpochOutcome {
     let mut drops_per_link = vec![0u64; topo.num_links()];
     let mut flows = Vec::with_capacity(specs.len());
+    // Split borrows: routing writes `route`, interning owns `arena`, and
+    // the drop sampler uses the flat accumulators — all disjoint.
+    let EpochScratch {
+        route,
+        arena,
+        rates,
+        local_drops,
+        drop_pairs,
+    } = scratch;
 
     for (i, spec) in specs.iter().enumerate() {
         let id = FlowId(i as u32);
-        let record = match topo
-            .route_filtered(&spec.tuple, spec.src, spec.dst, &|l| faults.is_down(l))
-        {
-            Ok(path) => simulate_one_flow(id, spec, path, faults, config, rng, &mut drops_per_link),
-            Err(RouteError::Blackhole { partial }) => {
+        let record = match topo.route_filtered_into(
+            &spec.tuple,
+            spec.src,
+            spec.dst,
+            &|l| faults.is_down(l),
+            route,
+        ) {
+            Ok(Routed::Complete) => {
+                let path = arena.intern(&route.nodes, &route.links);
+                simulate_one_flow(
+                    id,
+                    spec,
+                    arena,
+                    path,
+                    faults,
+                    config,
+                    rng,
+                    &mut drops_per_link,
+                    (rates, local_drops, drop_pairs),
+                )
+            }
+            Ok(Routed::Blackholed) => {
                 // Administratively unreachable: SYN dies in the void. No
                 // link "drops" it (the blackhole is a routing hole), the
                 // connection simply fails to establish.
+                let partial = arena.intern(&route.nodes, &route.links);
                 FlowRecord {
                     id,
                     src: spec.src,
@@ -179,7 +271,7 @@ pub fn simulate_flows<R: Rng + ?Sized>(
                     tuple: spec.tuple,
                     packets: spec.packets,
                     retransmissions: config.syn_attempts,
-                    path: partial,
+                    path: arena.to_path(partial),
                     drops_per_link: Vec::new(),
                     established: false,
                     completed: false,
@@ -187,6 +279,9 @@ pub fn simulate_flows<R: Rng + ?Sized>(
             }
             Err(RouteError::SameHost) => {
                 panic!("traffic generator produced a same-host flow")
+            }
+            Err(RouteError::Blackhole { .. }) => {
+                unreachable!("route_filtered_into reports blackholes as Ok(Routed::Blackholed)")
             }
         };
         flows.push(record);
@@ -201,19 +296,27 @@ pub fn simulate_flows<R: Rng + ?Sized>(
     }
 }
 
-/// Exact per-flow drop simulation with a one-draw fast path.
+/// Exact per-flow drop simulation with a one-draw fast path. The flow's
+/// path arrives interned; the rate/drop accumulators are caller scratch,
+/// cleared here — the only per-flow allocations left are the owned
+/// [`Path`] in the record and the (usually empty) drop-pair list.
+#[allow(clippy::too_many_arguments)]
 fn simulate_one_flow<R: Rng + ?Sized>(
     id: FlowId,
     spec: &FlowSpec,
-    path: Path,
+    arena: &PathArena,
+    path: vigil_topology::PathId,
     faults: &LinkFaults,
     config: &SimConfig,
     rng: &mut R,
     global_drops: &mut [u64],
+    (rates, local, drop_pairs): (&mut Vec<f64>, &mut Vec<u32>, &mut Vec<(LinkId, u32)>),
 ) -> FlowRecord {
+    let links = arena.links(path);
     // Per-link drop rates along the path, and the aggregate per-packet
     // drop probability q = 1 − Π(1 − r_i).
-    let rates: Vec<f64> = path.links.iter().map(|l| faults.rate(*l)).collect();
+    rates.clear();
+    rates.extend(links.iter().map(|l| faults.rate(*l)));
     let survive_all: f64 = rates.iter().map(|r| 1.0 - r).product();
     let q = 1.0 - survive_all;
 
@@ -224,7 +327,7 @@ fn simulate_one_flow<R: Rng + ?Sized>(
         tuple: spec.tuple,
         packets: spec.packets,
         retransmissions: 0,
-        path,
+        path: arena.to_path(path),
         drops_per_link: Vec::new(),
         established: true,
         completed: true,
@@ -253,14 +356,15 @@ fn simulate_one_flow<R: Rng + ?Sized>(
         }
     };
 
-    let mut local: Vec<u32> = vec![0; rates.len()];
+    local.clear();
+    local.resize(rates.len(), 0);
     let mut established = true;
     let mut completed = true;
 
     let mut pkt = geometric_gap(rng);
     while pkt < spec.packets {
         // Packet `pkt`'s first attempt dropped: attribute it.
-        local[attribute_drop(&rates, q, rng)] += 1;
+        local[attribute_drop(rates, q, rng)] += 1;
         record.retransmissions += 1;
 
         let budget = if pkt == 0 {
@@ -270,7 +374,7 @@ fn simulate_one_flow<R: Rng + ?Sized>(
         };
         let mut delivered = false;
         for _retry in 1..budget {
-            match transmit(&rates, q, rng) {
+            match transmit(rates, q, rng) {
                 None => {
                     delivered = true;
                     break;
@@ -295,14 +399,15 @@ fn simulate_one_flow<R: Rng + ?Sized>(
 
     record.established = established;
     record.completed = completed;
-    record.drops_per_link = record
-        .path
-        .links
-        .iter()
-        .zip(local.iter())
-        .filter(|(_, c)| **c > 0)
-        .map(|(l, c)| (*l, *c))
-        .collect();
+    drop_pairs.clear();
+    drop_pairs.extend(
+        links
+            .iter()
+            .zip(local.iter())
+            .filter(|(_, c)| **c > 0)
+            .map(|(l, c)| (*l, *c)),
+    );
+    record.drops_per_link = drop_pairs.as_slice().to_vec();
     for (l, c) in &record.drops_per_link {
         global_drops[l.index()] += u64::from(*c);
     }

@@ -37,7 +37,10 @@ pub mod traffic;
 pub use compose::{CompiledFaults, CompositeFaultPlan, FaultKind};
 pub use dynamics::{Episode, FaultTimeline};
 pub use faults::{FaultPlan, LinkFaults};
-pub use flowsim::{simulate_epoch, EpochOutcome, FlowId, FlowRecord, GroundTruth, SimConfig};
+pub use flowsim::{
+    simulate_epoch, simulate_epoch_with, EpochOutcome, EpochScratch, FlowId, FlowRecord,
+    GroundTruth, SimConfig,
+};
 pub use netsim::{NetSim, NetSimConfig, TracerouteOutcome};
 pub use replay::{RecordedConn, Recording};
 pub use slb::{Slb, SlbError, SlbModel, VipPool};

@@ -150,8 +150,15 @@ impl TrafficSpec {
             let mut next_port: u16 = rng.gen_range(32_768..60_000);
             for _ in 0..conns {
                 let dst_tor = self.pick_dest_tor(&tors, &hot_tors, src_tor, rng);
-                let dst_hosts: Vec<HostId> = topo.hosts_under(dst_tor).collect();
-                let dst = *dst_hosts.choose(rng).expect("ToRs have hosts");
+                // Index into the ToR's host range directly — same single
+                // uniform draw `choose` made over the collected Vec, minus
+                // the per-flow allocation.
+                let rack_size = u32::from(topo.params().hosts_per_tor);
+                let pick = rng.gen_range(0..rack_size) as usize;
+                let dst = topo
+                    .hosts_under(dst_tor)
+                    .nth(pick)
+                    .expect("ToRs have hosts");
                 let tuple = FiveTuple::tcp(
                     topo.host_ip(src),
                     next_port,

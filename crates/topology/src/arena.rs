@@ -1,0 +1,220 @@
+//! Path interning for the epoch hot path.
+//!
+//! A Clos fabric has very few *distinct* paths — at most `n1²·n2` between
+//! any host pair, and the ECMP hash maps the epoch's thousands of flows
+//! onto that small set. Storing an owned `Vec<Node>` + `Vec<LinkId>` per
+//! flow therefore repeats the same handful of sequences thousands of
+//! times. [`PathArena`] interns each distinct path once, as contiguous
+//! ranges over two backing vectors, and hands out a copyable [`PathId`]
+//! whose `links`/`nodes` accessors are zero-allocation slice views.
+//!
+//! Interning is keyed by the link sequence (which uniquely determines the
+//! node sequence for any path with at least one link) plus the origin
+//! node (which disambiguates zero-link partial paths — a flow blackholed
+//! at its own host has an empty link list but a meaningful origin).
+
+use crate::ids::{LinkId, Node};
+use crate::route::Path;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+/// Index of an interned path within one [`PathArena`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PathId(pub u32);
+
+impl PathId {
+    /// The raw index, convenient for dense per-path tables.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Where one interned path lives in the backing vectors.
+#[derive(Debug, Clone, Copy)]
+struct Span {
+    node_start: u32,
+    link_start: u32,
+    hops: u32,
+}
+
+/// Interned path storage: each distinct path is stored once, as a
+/// `(node range, link range)` pair over two backing vectors.
+#[derive(Debug, Clone, Default)]
+pub struct PathArena {
+    nodes: Vec<Node>,
+    links: Vec<LinkId>,
+    spans: Vec<Span>,
+    /// Dedup index: hash of `(origin, links)` → candidate ids. Buckets
+    /// resolve collisions by slice comparison, so lookups never allocate.
+    dedup: HashMap<u64, Vec<PathId>>,
+}
+
+impl PathArena {
+    /// An empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct paths interned.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Drops every interned path, keeping the allocated capacity — call
+    /// at a topology boundary (link ids are only meaningful within one
+    /// topology).
+    pub fn clear(&mut self) {
+        self.nodes.clear();
+        self.links.clear();
+        self.spans.clear();
+        self.dedup.clear();
+    }
+
+    /// Interns a path given as parallel node/link sequences (the
+    /// [`Path`] invariant `nodes.len() == links.len() + 1` is required).
+    /// Returns the existing id when an identical path was interned
+    /// before; otherwise copies the sequences into the backing store.
+    pub fn intern(&mut self, nodes: &[Node], links: &[LinkId]) -> PathId {
+        assert_eq!(
+            nodes.len(),
+            links.len() + 1,
+            "a path with L links visits exactly L+1 nodes"
+        );
+        let key = Self::key(nodes[0], links);
+        if let Some(bucket) = self.dedup.get(&key) {
+            for &id in bucket {
+                if self.links(id) == links && self.nodes(id)[0] == nodes[0] {
+                    return id;
+                }
+            }
+        }
+        let id = PathId(self.spans.len() as u32);
+        self.spans.push(Span {
+            node_start: self.nodes.len() as u32,
+            link_start: self.links.len() as u32,
+            hops: links.len() as u32,
+        });
+        self.nodes.extend_from_slice(nodes);
+        self.links.extend_from_slice(links);
+        self.dedup.entry(key).or_default().push(id);
+        id
+    }
+
+    /// Interns an owned [`Path`].
+    pub fn intern_path(&mut self, path: &Path) -> PathId {
+        self.intern(&path.nodes, &path.links)
+    }
+
+    /// The interned path's link sequence (no allocation).
+    pub fn links(&self, id: PathId) -> &[LinkId] {
+        let s = self.spans[id.index()];
+        &self.links[s.link_start as usize..(s.link_start + s.hops) as usize]
+    }
+
+    /// The interned path's node sequence (no allocation).
+    pub fn nodes(&self, id: PathId) -> &[Node] {
+        let s = self.spans[id.index()];
+        &self.nodes[s.node_start as usize..(s.node_start + s.hops + 1) as usize]
+    }
+
+    /// Link count (`h` in the paper's `1/h` vote weight).
+    pub fn hop_count(&self, id: PathId) -> usize {
+        self.spans[id.index()].hops as usize
+    }
+
+    /// Materializes an owned [`Path`] (two allocations — the only ones
+    /// left on the per-flow path; everything upstream is slice reuse).
+    pub fn to_path(&self, id: PathId) -> Path {
+        Path::new(self.nodes(id).to_vec(), self.links(id).to_vec())
+    }
+
+    fn key(origin: Node, links: &[LinkId]) -> u64 {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        origin.hash(&mut h);
+        links.hash(&mut h);
+        h.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{HostId, SwitchId};
+
+    fn path(host: u32, links: &[u32]) -> Path {
+        let mut nodes = vec![Node::Host(HostId(host))];
+        nodes.extend(links.iter().map(|l| Node::Switch(SwitchId(*l))));
+        Path::new(nodes, links.iter().map(|l| LinkId(*l)).collect())
+    }
+
+    #[test]
+    fn intern_dedupes_identical_paths() {
+        let mut arena = PathArena::new();
+        let p = path(0, &[1, 2, 3]);
+        let a = arena.intern_path(&p);
+        let b = arena.intern_path(&p);
+        assert_eq!(a, b);
+        assert_eq!(arena.len(), 1);
+        assert_eq!(arena.to_path(a), p);
+    }
+
+    #[test]
+    fn distinct_paths_get_distinct_ids() {
+        let mut arena = PathArena::new();
+        let a = arena.intern_path(&path(0, &[1, 2]));
+        let b = arena.intern_path(&path(0, &[1, 3]));
+        let c = arena.intern_path(&path(0, &[1, 2, 3]));
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(arena.len(), 3);
+        assert_eq!(arena.links(a), &[LinkId(1), LinkId(2)]);
+        assert_eq!(arena.hop_count(c), 3);
+    }
+
+    #[test]
+    fn zero_link_partials_keyed_by_origin() {
+        // A flow blackholed at its own host interns `[Host(h)]` with no
+        // links; different hosts must not collapse onto one id.
+        let mut arena = PathArena::new();
+        let a = arena.intern(&[Node::Host(HostId(0))], &[]);
+        let b = arena.intern(&[Node::Host(HostId(1))], &[]);
+        let a2 = arena.intern(&[Node::Host(HostId(0))], &[]);
+        assert_ne!(a, b);
+        assert_eq!(a, a2);
+        assert_eq!(arena.hop_count(a), 0);
+        assert_eq!(arena.nodes(a), &[Node::Host(HostId(0))]);
+    }
+
+    #[test]
+    fn clear_resets_but_keeps_working() {
+        let mut arena = PathArena::new();
+        arena.intern_path(&path(0, &[1, 2]));
+        arena.clear();
+        assert!(arena.is_empty());
+        let id = arena.intern_path(&path(5, &[7]));
+        assert_eq!(id, PathId(0));
+        assert_eq!(arena.links(id), &[LinkId(7)]);
+    }
+
+    #[test]
+    fn roundtrip_preserves_value() {
+        let mut arena = PathArena::new();
+        let p = path(3, &[10, 11, 12, 13]);
+        let id = arena.intern_path(&p);
+        let q = arena.to_path(id);
+        assert_eq!(p, q);
+        assert_eq!(q.hop_count(), arena.hop_count(id));
+    }
+
+    #[test]
+    #[should_panic(expected = "L+1 nodes")]
+    fn invariant_enforced() {
+        let mut arena = PathArena::new();
+        arena.intern(&[Node::Host(HostId(0))], &[LinkId(1)]);
+    }
+}

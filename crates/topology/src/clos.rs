@@ -5,7 +5,7 @@ use crate::alias::AliasMap;
 use crate::ecmp;
 use crate::ids::{HostId, LinkId, Node, SwitchId, SwitchKind};
 use crate::params::{ClosParams, ParamError};
-use crate::route::{Path, RouteError};
+use crate::route::{Path, RouteError, RouteScratch, Routed};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
@@ -349,6 +349,35 @@ impl ClosTopology {
         dst: HostId,
         excluded: &dyn Fn(LinkId) -> bool,
     ) -> Result<Path, RouteError> {
+        let mut scratch = RouteScratch::new();
+        match self.route_filtered_into(tuple, src, dst, excluded, &mut scratch)? {
+            Routed::Complete => Ok(Path::new(scratch.nodes, scratch.links)),
+            Routed::Blackholed => Err(RouteError::Blackhole {
+                partial: Path::new(scratch.nodes, scratch.links),
+            }),
+        }
+    }
+
+    /// The allocation-free variant of [`route_filtered`]: writes the
+    /// routed node/link sequences into caller-owned [`RouteScratch`]
+    /// buffers instead of allocating fresh vectors per call. The epoch
+    /// simulator routes every flow through one scratch; [`route_filtered`]
+    /// is a thin wrapper that materializes an owned [`Path`].
+    ///
+    /// Returns [`Routed::Complete`] when the path reaches `dst`,
+    /// [`Routed::Blackholed`] when every next hop at some switch was
+    /// excluded (the scratch then holds the partial path — §4.2's
+    /// fault-pinpointing partial traceroute).
+    ///
+    /// [`route_filtered`]: Self::route_filtered
+    pub fn route_filtered_into(
+        &self,
+        tuple: &FiveTuple,
+        src: HostId,
+        dst: HostId,
+        excluded: &dyn Fn(LinkId) -> bool,
+        scratch: &mut RouteScratch,
+    ) -> Result<Routed, RouteError> {
         if src == dst {
             return Err(RouteError::SameHost);
         }
@@ -357,31 +386,35 @@ impl ClosTopology {
         let src_pod = self.host_pod(src);
         let dst_pod = self.host_pod(dst);
 
-        let mut nodes: Vec<Node> = vec![Node::Host(src)];
-        let mut links: Vec<LinkId> = Vec::with_capacity(6);
+        scratch.nodes.clear();
+        scratch.links.clear();
+        scratch.nodes.push(Node::Host(src));
 
-        let step =
-            |nodes: &mut Vec<Node>, links: &mut Vec<LinkId>, to: Node| -> Result<(), RouteError> {
-                let from = *nodes.last().expect("path starts non-empty");
-                let lid = self
-                    .link_between(from, to)
-                    .expect("consecutive route nodes are adjacent by construction");
-                if excluded(lid) {
-                    return Err(RouteError::Blackhole {
-                        partial: Path::new(nodes.clone(), links.clone()),
-                    });
-                }
-                nodes.push(to);
-                links.push(lid);
-                Ok(())
-            };
+        // Appends the hop to `to` unless its link is excluded; `false`
+        // leaves the scratch holding the blackholed prefix.
+        let step = |scratch: &mut RouteScratch, to: Node| -> bool {
+            let from = *scratch.nodes.last().expect("path starts non-empty");
+            let lid = self
+                .link_between(from, to)
+                .expect("consecutive route nodes are adjacent by construction");
+            if excluded(lid) {
+                return false;
+            }
+            scratch.nodes.push(to);
+            scratch.links.push(lid);
+            true
+        };
 
         // Host to its ToR: the only uplink; excluded ⇒ blackhole at host.
-        step(&mut nodes, &mut links, Node::Switch(src_tor))?;
+        if !step(scratch, Node::Switch(src_tor)) {
+            return Ok(Routed::Blackholed);
+        }
 
         if src_tor == dst_tor {
-            step(&mut nodes, &mut links, Node::Host(dst))?;
-            return Ok(Path::new(nodes, links));
+            if !step(scratch, Node::Host(dst)) {
+                return Ok(Routed::Blackholed);
+            }
+            return Ok(Routed::Complete);
         }
 
         // ECMP choice at the source ToR: which T1 to ascend to.
@@ -396,21 +429,19 @@ impl ClosTopology {
             u32::from(self.params.n1) as usize,
             excluded,
         );
-        let up_t1 = match up_t1 {
-            Some(idx) => self.t1(src_pod, idx as u16),
-            None => {
-                return Err(RouteError::Blackhole {
-                    partial: Path::new(nodes, links),
-                })
-            }
+        let Some(up_t1) = up_t1.map(|idx| self.t1(src_pod, idx as u16)) else {
+            return Ok(Routed::Blackholed);
         };
-        step(&mut nodes, &mut links, Node::Switch(up_t1))?;
+        if !step(scratch, Node::Switch(up_t1)) {
+            return Ok(Routed::Blackholed);
+        }
 
         if src_pod == dst_pod {
             // Intra-pod: T1 descends straight to the destination ToR.
-            step(&mut nodes, &mut links, Node::Switch(dst_tor))?;
-            step(&mut nodes, &mut links, Node::Host(dst))?;
-            return Ok(Path::new(nodes, links));
+            if !step(scratch, Node::Switch(dst_tor)) || !step(scratch, Node::Host(dst)) {
+                return Ok(Routed::Blackholed);
+            }
+            return Ok(Routed::Complete);
         }
 
         // ECMP choice at the T1: which T2 to ascend to.
@@ -425,15 +456,12 @@ impl ClosTopology {
             u32::from(self.params.n2) as usize,
             excluded,
         );
-        let t2 = match t2 {
-            Some(idx) => self.t2(idx as u16),
-            None => {
-                return Err(RouteError::Blackhole {
-                    partial: Path::new(nodes, links),
-                })
-            }
+        let Some(t2) = t2.map(|idx| self.t2(idx as u16)) else {
+            return Ok(Routed::Blackholed);
         };
-        step(&mut nodes, &mut links, Node::Switch(t2))?;
+        if !step(scratch, Node::Switch(t2)) {
+            return Ok(Routed::Blackholed);
+        }
 
         // ECMP choice at the T2: which T1 of the destination pod to descend to.
         let down_t1 = self.ecmp_choose(
@@ -447,18 +475,16 @@ impl ClosTopology {
             u32::from(self.params.n1) as usize,
             excluded,
         );
-        let down_t1 = match down_t1 {
-            Some(idx) => self.t1(dst_pod, idx as u16),
-            None => {
-                return Err(RouteError::Blackhole {
-                    partial: Path::new(nodes, links),
-                })
-            }
+        let Some(down_t1) = down_t1.map(|idx| self.t1(dst_pod, idx as u16)) else {
+            return Ok(Routed::Blackholed);
         };
-        step(&mut nodes, &mut links, Node::Switch(down_t1))?;
-        step(&mut nodes, &mut links, Node::Switch(dst_tor))?;
-        step(&mut nodes, &mut links, Node::Host(dst))?;
-        Ok(Path::new(nodes, links))
+        if !step(scratch, Node::Switch(down_t1))
+            || !step(scratch, Node::Switch(dst_tor))
+            || !step(scratch, Node::Host(dst))
+        {
+            return Ok(Routed::Blackholed);
+        }
+        Ok(Routed::Complete)
     }
 
     /// ECMP selection over `n` candidates at `switch`, restricted to
@@ -467,7 +493,10 @@ impl ClosTopology {
     ///
     /// Matching real switches, the hash selects among the *live* candidate
     /// set: when links die, BGP withdraws them and the ECMP group shrinks
-    /// (which is also why paths move after failures, §9.1).
+    /// (which is also why paths move after failures, §9.1). The live set
+    /// is never materialized: one pass counts it, the hash picks a rank,
+    /// a second pass finds the ranked candidate — the routing hot path
+    /// stays allocation-free.
     fn ecmp_choose(
         &self,
         switch: SwitchId,
@@ -476,12 +505,12 @@ impl ClosTopology {
         n: usize,
         excluded: &dyn Fn(LinkId) -> bool,
     ) -> Option<usize> {
-        let live: Vec<usize> = (0..n).filter(|&i| !excluded(link_of(i))).collect();
-        if live.is_empty() {
+        let live_count = (0..n).filter(|&i| !excluded(link_of(i))).count();
+        if live_count == 0 {
             return None;
         }
-        let pick = ecmp::select(self.ecmp_seed(switch), tuple, live.len());
-        Some(live[pick])
+        let pick = ecmp::select(self.ecmp_seed(switch), tuple, live_count);
+        (0..n).filter(|&i| !excluded(link_of(i))).nth(pick)
     }
 }
 

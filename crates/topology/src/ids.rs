@@ -25,6 +25,84 @@ impl LinkId {
     }
 }
 
+/// A dense bitset over link ids — the allocation-light replacement for
+/// `HashSet<LinkId>` wherever membership is tested against the topology's
+/// `0..num_links` id space (Algorithm 1's exclusion set, the noise
+/// classifier's detected set). One `u64` word covers 64 links, so even
+/// the paper's 4160-link fabric fits in 65 words.
+#[derive(Debug, Clone, Default)]
+pub struct LinkSet {
+    words: Vec<u64>,
+}
+
+/// Equality is by membership, not capacity: a set sized for 130 links
+/// and a grown-on-demand set holding the same ids compare equal even
+/// though their word vectors differ in length (missing words are zero).
+impl PartialEq for LinkSet {
+    fn eq(&self, other: &Self) -> bool {
+        let (short, long) = if self.words.len() <= other.words.len() {
+            (&self.words, &other.words)
+        } else {
+            (&other.words, &self.words)
+        };
+        short == &long[..short.len()] && long[short.len()..].iter().all(|w| *w == 0)
+    }
+}
+
+impl Eq for LinkSet {}
+
+impl LinkSet {
+    /// An empty set sized for `num_links` links.
+    pub fn new(num_links: usize) -> Self {
+        Self {
+            words: vec![0; num_links.div_ceil(64)],
+        }
+    }
+
+    /// Inserts `link`; returns true when it was newly inserted.
+    pub fn insert(&mut self, link: LinkId) -> bool {
+        let (w, b) = (link.index() / 64, link.index() % 64);
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        let fresh = self.words[w] & (1 << b) == 0;
+        self.words[w] |= 1 << b;
+        fresh
+    }
+
+    /// True when `link` is in the set.
+    pub fn contains(&self, link: LinkId) -> bool {
+        self.words
+            .get(link.index() / 64)
+            .is_some_and(|w| w & (1 << (link.index() % 64)) != 0)
+    }
+
+    /// Removes every element, keeping capacity.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Number of links in the set.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True when no link is set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|w| *w == 0)
+    }
+}
+
+impl FromIterator<LinkId> for LinkSet {
+    fn from_iter<I: IntoIterator<Item = LinkId>>(iter: I) -> Self {
+        let mut s = LinkSet::default();
+        for l in iter {
+            s.insert(l);
+        }
+        s
+    }
+}
+
 /// What tier a switch sits in, and where.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum SwitchKind {
@@ -145,5 +223,49 @@ mod tests {
     #[test]
     fn link_id_index() {
         assert_eq!(LinkId(9).index(), 9);
+    }
+
+    #[test]
+    fn link_set_basics() {
+        let mut s = LinkSet::new(130);
+        assert!(s.is_empty());
+        assert!(s.insert(LinkId(0)));
+        assert!(s.insert(LinkId(63)));
+        assert!(s.insert(LinkId(64)));
+        assert!(s.insert(LinkId(129)));
+        assert!(!s.insert(LinkId(64)), "double insert reports not-fresh");
+        assert_eq!(s.len(), 4);
+        assert!(s.contains(LinkId(129)));
+        assert!(!s.contains(LinkId(1)));
+        assert!(!s.contains(LinkId(4096)), "out of range is absent");
+        s.clear();
+        assert!(s.is_empty());
+        assert!(!s.contains(LinkId(0)));
+    }
+
+    #[test]
+    fn link_set_grows_on_demand() {
+        let mut s = LinkSet::default();
+        s.insert(LinkId(200));
+        assert!(s.contains(LinkId(200)));
+        assert_eq!(s.len(), 1);
+        let from_iter: LinkSet = [LinkId(1), LinkId(1), LinkId(70)].into_iter().collect();
+        assert_eq!(from_iter.len(), 2);
+    }
+
+    #[test]
+    fn link_set_equality_ignores_capacity() {
+        let mut sized = LinkSet::new(130);
+        sized.insert(LinkId(5));
+        let grown: LinkSet = [LinkId(5)].into_iter().collect();
+        assert_eq!(sized, grown, "same members, different word counts");
+        assert_eq!(grown, sized, "symmetry");
+        assert_eq!(LinkSet::new(130), LinkSet::default(), "both empty");
+        let mut other = LinkSet::new(130);
+        other.insert(LinkId(6));
+        assert_ne!(sized, other);
+        let mut tail = LinkSet::default();
+        tail.insert(LinkId(128));
+        assert_ne!(grown, tail, "member beyond the short set's words");
     }
 }

@@ -22,6 +22,7 @@
 #![warn(missing_docs)]
 
 pub mod alias;
+pub mod arena;
 pub mod bounds;
 pub mod clos;
 pub mod degrade;
@@ -43,6 +44,7 @@ pub fn splitmix64(mut z: u64) -> u64 {
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
     z ^ (z >> 31)
 }
-pub use ids::{HostId, LinkId, Node, SwitchId, SwitchKind};
+pub use arena::{PathArena, PathId};
+pub use ids::{HostId, LinkId, LinkSet, Node, SwitchId, SwitchKind};
 pub use params::ClosParams;
-pub use route::{Path, RouteError};
+pub use route::{Path, RouteError, RouteScratch, Routed};

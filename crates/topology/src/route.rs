@@ -52,6 +52,40 @@ impl Path {
     }
 }
 
+/// Reusable routing buffers for the allocation-free
+/// [`route_filtered_into`](crate::ClosTopology::route_filtered_into)
+/// variant: the routed node/link sequences are written here instead of
+/// freshly allocated per call. One scratch serves any number of
+/// consecutive routing calls; each call clears and refills it.
+#[derive(Debug, Clone, Default)]
+pub struct RouteScratch {
+    /// Traversed nodes of the last routed path (or blackholed prefix).
+    pub nodes: Vec<Node>,
+    /// Directional links of the last routed path (or blackholed prefix).
+    pub links: Vec<LinkId>,
+}
+
+impl RouteScratch {
+    /// An empty scratch (buffers grow to a path's length on first use
+    /// and are reused afterwards). Materialize an owned [`Path`] via
+    /// [`crate::PathArena::to_path`] after interning, or by moving the
+    /// buffers — the scratch itself stays a plain buffer pair.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// How an allocation-free routing call ended; the scratch holds the
+/// node/link sequences either way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Routed {
+    /// The path reaches the destination host.
+    Complete,
+    /// Every candidate next hop at some switch was excluded; the scratch
+    /// holds the partial path up to the switch with no live next hop.
+    Blackholed,
+}
+
 /// Routing failures.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RouteError {
