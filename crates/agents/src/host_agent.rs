@@ -1,6 +1,8 @@
 //! The per-host 007 agent: monitoring → pacing → path discovery →
 //! reporting.
 
+use crate::events::AgentEvent;
+use crate::hub::EventSender;
 use crate::monitor::RetransmissionEvent;
 use crate::pathdisc::{DiscoveredPath, HostPacer, Tracer};
 use serde::{Deserialize, Serialize};
@@ -22,17 +24,35 @@ pub struct TraceReport {
     pub complete: bool,
 }
 
-/// One host's agent for one epoch.
+/// One host's agent for one epoch (batch mode) or its whole lifetime
+/// (streaming mode, where [`HostAgent::epoch_tick`] rolls it forward).
 #[derive(Debug)]
 pub struct HostAgent {
     host: HostId,
     pacer: HostPacer,
+    seq: u64,
 }
 
 impl HostAgent {
     /// An agent for `host` with the given pacer.
     pub fn new(host: HostId, pacer: HostPacer) -> Self {
-        Self { host, pacer }
+        Self {
+            host,
+            pacer,
+            seq: 0,
+        }
+    }
+
+    /// The next per-host sequence number (consumed).
+    fn bump_seq(&mut self) -> u64 {
+        let s = self.seq;
+        self.seq += 1;
+        s
+    }
+
+    /// Protocol events emitted so far (the next event's sequence number).
+    pub fn events_emitted(&self) -> u64 {
+        self.seq
     }
 
     /// The host this agent runs on.
@@ -71,6 +91,88 @@ impl HostAgent {
             links,
             complete,
         })
+    }
+
+    /// Handles one retransmission event whose path is already discovered
+    /// — the streaming pipeline's form, where the flow's path arrives
+    /// with the event (the chunk being simulated is the only place the
+    /// record exists) instead of via a [`Tracer`] lookup into an
+    /// epoch-sized flow table.
+    ///
+    /// Filter order matches [`handle_event`](Self::handle_event) exactly
+    /// — pacer admission *then* path usability — so for any event whose
+    /// trace would have succeeded, both forms leave the pacer in the same
+    /// state and return the same report (asserted in tests).
+    pub fn handle_discovered(
+        &mut self,
+        event: &RetransmissionEvent,
+        path: DiscoveredPath,
+    ) -> Option<TraceReport> {
+        debug_assert_eq!(event.host, self.host, "event routed to wrong host agent");
+        if !self.pacer.admit(&event.tuple) {
+            return None;
+        }
+        if path.links.is_empty() {
+            return None;
+        }
+        Some(TraceReport {
+            host: self.host,
+            tuple: event.tuple,
+            retransmissions: event.retransmissions,
+            links: path.links,
+            complete: path.complete,
+        })
+    }
+
+    /// Streaming mode: observes one retransmission and emits protocol
+    /// events onto the hub — [`AgentEvent::FlowOpen`] for the observation
+    /// itself, then [`AgentEvent::Evidence`] when the pacer admits the
+    /// trace. Uses the shedding `try_send` ("monitoring must never hurt
+    /// the application"); a shed is visible in the hub counters and as a
+    /// per-host sequence gap. Returns `true` when evidence was emitted
+    /// *and* delivered.
+    pub fn on_retransmission(
+        &mut self,
+        event: &RetransmissionEvent,
+        path: DiscoveredPath,
+        hub: &EventSender,
+    ) -> bool {
+        let open_seq = self.bump_seq();
+        hub.try_send(AgentEvent::FlowOpen {
+            host: self.host,
+            seq: open_seq,
+            tuple: event.tuple,
+        });
+        match self.handle_discovered(event, path) {
+            Some(report) => {
+                let seq = self.bump_seq();
+                hub.try_send(AgentEvent::Evidence { seq, report })
+            }
+            None => false,
+        }
+    }
+
+    /// Streaming mode: rolls into epoch `epoch` (budget refreshed, trace
+    /// cache cleared — exactly [`next_epoch`](Self::next_epoch)) and
+    /// announces it on the hub.
+    pub fn epoch_tick(&mut self, epoch: u64, hub: &EventSender) {
+        self.pacer.next_epoch();
+        let seq = self.bump_seq();
+        hub.try_send(AgentEvent::EpochTick {
+            host: self.host,
+            seq,
+            epoch,
+        });
+    }
+
+    /// Streaming mode: announces shutdown — the final event this host id
+    /// will carry.
+    pub fn drain(&mut self, hub: &EventSender) {
+        let seq = self.bump_seq();
+        hub.try_send(AgentEvent::Drain {
+            host: self.host,
+            seq,
+        });
     }
 
     /// Processes a batch of this host's events for the epoch.
@@ -163,6 +265,69 @@ mod tests {
         let reports = agent.run_epoch(events.iter().copied(), &mut tracer);
         assert_eq!(reports.len(), 1, "budget of 1 admits exactly one trace");
         assert_eq!(agent.traceroutes_used(), 1);
+    }
+
+    #[test]
+    fn handle_discovered_matches_handle_event() {
+        // The streaming form (path arrives with the event) must evolve
+        // the pacer and produce reports exactly like the tracer form for
+        // every event of the epoch — including budget-exhausted and
+        // duplicate events, where both must burn/skip identically.
+        let (topo, out) = epoch();
+        let monitor = TcpMonitor::new();
+        let mut tracer = OracleTracer::from_flows(&out.flows);
+        for h in topo.hosts() {
+            let events: Vec<_> = monitor.events_for_host(h, &out.flows).collect();
+            // Tight budget so both agents hit the exhausted path too.
+            let mut batch = HostAgent::new(h, HostPacer::with_budget(2));
+            let mut stream = HostAgent::new(h, HostPacer::with_budget(2));
+            for e in &events {
+                let flow = out.flows.iter().find(|f| f.tuple == e.tuple).unwrap();
+                let discovered = crate::pathdisc::DiscoveredPath::of_flow_path(&flow.path);
+                let a = batch.handle_event(e, &mut tracer);
+                let b = stream.handle_discovered(e, discovered);
+                assert_eq!(a, b, "host {h:?}: forms diverged on {:?}", e.tuple);
+            }
+            assert_eq!(batch.traceroutes_used(), stream.traceroutes_used());
+        }
+    }
+
+    #[test]
+    fn streaming_protocol_emits_sequenced_events() {
+        use crate::events::AgentEvent;
+        use crate::hub::event_channel;
+        let (topo, out) = epoch();
+        let monitor = TcpMonitor::new();
+        let (tx, collector) = event_channel();
+        let h = topo
+            .hosts()
+            .find(|h| monitor.events_for_host(*h, &out.flows).count() >= 1)
+            .unwrap();
+        let mut agent = HostAgent::new(h, HostPacer::with_budget(1000));
+        let events: Vec<_> = monitor.events_for_host(h, &out.flows).collect();
+        for e in &events {
+            let flow = out.flows.iter().find(|f| f.tuple == e.tuple).unwrap();
+            let discovered = crate::pathdisc::DiscoveredPath::of_flow_path(&flow.path);
+            assert!(agent.on_retransmission(e, discovered, &tx));
+        }
+        agent.epoch_tick(1, &tx);
+        agent.drain(&tx);
+
+        let mut protocol = Vec::new();
+        collector.drain_into(&mut protocol);
+        // FlowOpen + Evidence per event, then the tick and the drain.
+        assert_eq!(protocol.len(), events.len() * 2 + 2);
+        for (i, ev) in protocol.iter().enumerate() {
+            assert_eq!(ev.host(), h);
+            assert_eq!(ev.seq(), i as u64, "gap-free per-host sequence");
+        }
+        assert!(matches!(
+            protocol[protocol.len() - 2],
+            AgentEvent::EpochTick { epoch: 1, .. }
+        ));
+        assert!(matches!(protocol.last(), Some(AgentEvent::Drain { .. })));
+        assert_eq!(collector.shed(), 0);
+        assert_eq!(agent.events_emitted(), protocol.len() as u64);
     }
 
     #[test]

@@ -13,14 +13,30 @@
 //! hosts that refuse to block can [`ReportSender::try_send`] and shed
 //! reports — "monitoring must never hurt the application".
 
+use crate::events::AgentEvent;
 use crate::host_agent::TraceReport;
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TrySendError};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Shared delivery accounting for one hub: how many submissions made it
+/// onto the queue and how many were shed (full bounded queue, or
+/// collector gone). Shedding is a *deliberate* pressure valve —
+/// "monitoring must never hurt the application" — but a silent one is an
+/// operational hazard: votes quietly vanish and accuracy degrades with
+/// no signal. The counters make every shed observable at the collector.
+#[derive(Debug, Default)]
+struct HubCounters {
+    delivered: AtomicU64,
+    shed: AtomicU64,
+}
 
 /// Sending half given to each host agent (clone freely; one per host
 /// thread).
 #[derive(Debug, Clone)]
 pub struct ReportSender {
     tx: Sender<TraceReport>,
+    counters: Arc<HubCounters>,
 }
 
 impl ReportSender {
@@ -30,17 +46,30 @@ impl ReportSender {
     /// On a bounded hub this blocks while the queue is full
     /// (backpressure).
     pub fn send(&self, report: TraceReport) -> bool {
-        self.tx.send(report).is_ok()
+        if self.tx.send(report).is_ok() {
+            self.counters.delivered.fetch_add(1, Ordering::Relaxed);
+            true
+        } else {
+            self.counters.shed.fetch_add(1, Ordering::Relaxed);
+            false
+        }
     }
 
     /// Non-blocking submit for hosts that must never stall: on a full
     /// bounded hub the report is shed and `false` comes back (the flow
     /// will retransmit again next epoch; losing one report costs a vote,
-    /// not correctness). Also `false` after collector shutdown.
+    /// not correctness). Also `false` after collector shutdown. Every
+    /// shed bumps the collector-visible [`ReportCollector::shed`] count.
     pub fn try_send(&self, report: TraceReport) -> bool {
         match self.tx.try_send(report) {
-            Ok(()) => true,
-            Err(TrySendError::Full(_) | TrySendError::Disconnected(_)) => false,
+            Ok(()) => {
+                self.counters.delivered.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            Err(TrySendError::Full(_) | TrySendError::Disconnected(_)) => {
+                self.counters.shed.fetch_add(1, Ordering::Relaxed);
+                false
+            }
         }
     }
 }
@@ -49,6 +78,7 @@ impl ReportSender {
 #[derive(Debug)]
 pub struct ReportCollector {
     rx: Receiver<TraceReport>,
+    counters: Arc<HubCounters>,
 }
 
 impl ReportCollector {
@@ -74,12 +104,32 @@ impl ReportCollector {
         }
         out
     }
+
+    /// Reports accepted onto the hub so far (delivered to the queue; the
+    /// collector may not have drained them yet).
+    pub fn delivered(&self) -> u64 {
+        self.counters.delivered.load(Ordering::Relaxed)
+    }
+
+    /// Reports shed so far (bounded queue full on `try_send`, or sender
+    /// outliving the collector). Nonzero sheds mean votes were lost this
+    /// epoch — the stream driver logs this count every window.
+    pub fn shed(&self) -> u64 {
+        self.counters.shed.load(Ordering::Relaxed)
+    }
 }
 
 /// Creates the hub: one sender prototype + the collector.
 pub fn report_channel() -> (ReportSender, ReportCollector) {
     let (tx, rx) = unbounded();
-    (ReportSender { tx }, ReportCollector { rx })
+    let counters = Arc::new(HubCounters::default());
+    (
+        ReportSender {
+            tx,
+            counters: Arc::clone(&counters),
+        },
+        ReportCollector { rx, counters },
+    )
 }
 
 /// Creates a hub holding at most `capacity` undelivered reports, so a
@@ -93,7 +143,117 @@ pub fn report_channel() -> (ReportSender, ReportCollector) {
 pub fn report_channel_bounded(capacity: usize) -> (ReportSender, ReportCollector) {
     assert!(capacity > 0, "hub capacity must be at least 1");
     let (tx, rx) = bounded(capacity);
-    (ReportSender { tx }, ReportCollector { rx })
+    let counters = Arc::new(HubCounters::default());
+    (
+        ReportSender {
+            tx,
+            counters: Arc::clone(&counters),
+        },
+        ReportCollector { rx, counters },
+    )
+}
+
+/// Sending half of the typed [`AgentEvent`] hub — the streaming service
+/// mode's wire. Same delivery semantics as [`ReportSender`], with the
+/// event protocol's lifecycle kinds on top of evidence.
+#[derive(Debug, Clone)]
+pub struct EventSender {
+    tx: Sender<AgentEvent>,
+    counters: Arc<HubCounters>,
+}
+
+impl EventSender {
+    /// Blocking submit (backpressure on a full bounded hub). `false` when
+    /// the collector is gone.
+    pub fn send(&self, event: AgentEvent) -> bool {
+        if self.tx.send(event).is_ok() {
+            self.counters.delivered.fetch_add(1, Ordering::Relaxed);
+            true
+        } else {
+            self.counters.shed.fetch_add(1, Ordering::Relaxed);
+            false
+        }
+    }
+
+    /// Non-blocking submit; sheds (and counts the shed) on a full bounded
+    /// hub or after collector shutdown. The per-host sequence numbers in
+    /// [`AgentEvent`] are what let the collector *see* the resulting gap.
+    pub fn try_send(&self, event: AgentEvent) -> bool {
+        match self.tx.try_send(event) {
+            Ok(()) => {
+                self.counters.delivered.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            Err(TrySendError::Full(_) | TrySendError::Disconnected(_)) => {
+                self.counters.shed.fetch_add(1, Ordering::Relaxed);
+                false
+            }
+        }
+    }
+}
+
+/// Receiving half of the typed event hub, owned by the analysis agent
+/// (the stream driver in our pipeline).
+#[derive(Debug)]
+pub struct EventCollector {
+    rx: Receiver<AgentEvent>,
+    counters: Arc<HubCounters>,
+}
+
+impl EventCollector {
+    /// Drains every queued event into `out` (append; non-blocking).
+    /// Returns the number drained. The caller owns the buffer so the
+    /// steady-state drain loop allocates nothing.
+    pub fn drain_into(&self, out: &mut Vec<AgentEvent>) -> usize {
+        let before = out.len();
+        while let Ok(e) = self.rx.try_recv() {
+            out.push(e);
+        }
+        out.len() - before
+    }
+
+    /// Events accepted onto the hub so far.
+    pub fn delivered(&self) -> u64 {
+        self.counters.delivered.load(Ordering::Relaxed)
+    }
+
+    /// Events shed so far (see [`ReportCollector::shed`]).
+    pub fn shed(&self) -> u64 {
+        self.counters.shed.load(Ordering::Relaxed)
+    }
+}
+
+/// Creates an unbounded typed event hub.
+pub fn event_channel() -> (EventSender, EventCollector) {
+    let (tx, rx) = unbounded();
+    let counters = Arc::new(HubCounters::default());
+    (
+        EventSender {
+            tx,
+            counters: Arc::clone(&counters),
+        },
+        EventCollector { rx, counters },
+    )
+}
+
+/// Creates a typed event hub holding at most `capacity` undelivered
+/// events — the stream driver's bounded queue depth.
+///
+/// # Panics
+///
+/// Panics when `capacity` is 0 (rendezvous would deadlock the drain
+/// pattern).
+pub fn event_channel_bounded(capacity: usize) -> (EventSender, EventCollector) {
+    assert!(capacity > 0, "hub capacity must be at least 1");
+    let (tx, rx) = bounded(capacity);
+    let counters = Arc::new(HubCounters::default());
+    (
+        EventSender {
+            tx,
+            counters: Arc::clone(&counters),
+        },
+        EventCollector { rx, counters },
+    )
 }
 
 #[cfg(test)]
@@ -194,5 +354,90 @@ mod tests {
     #[should_panic(expected = "capacity")]
     fn bounded_hub_rejects_zero_capacity() {
         let _ = report_channel_bounded(0);
+    }
+
+    #[test]
+    fn shed_and_delivered_are_counted_on_the_collector() {
+        let (tx, collector) = report_channel_bounded(2);
+        assert!(tx.try_send(report(1, 1)));
+        assert!(tx.try_send(report(2, 1)));
+        assert!(!tx.try_send(report(3, 1)), "third must shed");
+        assert_eq!(collector.delivered(), 2);
+        assert_eq!(collector.shed(), 1);
+        collector.drain();
+        assert!(tx.send(report(4, 1)));
+        assert_eq!(collector.delivered(), 3, "send counts as delivered too");
+        assert_eq!(collector.shed(), 1);
+    }
+
+    #[test]
+    fn send_after_collector_drop_counts_as_shed() {
+        let (tx, collector) = report_channel();
+        let shed_view = tx.clone();
+        drop(collector);
+        assert!(!shed_view.send(report(1, 1)));
+        assert!(!tx.try_send(report(2, 1)));
+        // The counters outlive the collector on the sender side; a fresh
+        // hub starts at zero.
+        let (tx2, collector2) = report_channel();
+        assert!(tx2.send(report(3, 1)));
+        assert_eq!(collector2.delivered(), 1);
+        assert_eq!(collector2.shed(), 0);
+    }
+
+    #[test]
+    fn event_hub_carries_the_typed_protocol() {
+        use crate::events::AgentEvent;
+        let (tx, collector) = event_channel_bounded(8);
+        assert!(tx.send(AgentEvent::FlowOpen {
+            host: HostId(1),
+            seq: 0,
+            tuple: report(1, 1).tuple,
+        }));
+        assert!(tx.send(AgentEvent::Evidence {
+            seq: 1,
+            report: report(1, 2),
+        }));
+        assert!(tx.send(AgentEvent::EpochTick {
+            host: HostId(1),
+            seq: 2,
+            epoch: 0,
+        }));
+        assert!(tx.send(AgentEvent::Drain {
+            host: HostId(1),
+            seq: 3,
+        }));
+        let mut events = Vec::new();
+        assert_eq!(collector.drain_into(&mut events), 4);
+        assert_eq!(collector.delivered(), 4);
+        assert_eq!(collector.shed(), 0);
+        // Per-host sequence numbers arrive gap-free and monotonic.
+        for (i, e) in events.iter().enumerate() {
+            assert_eq!(e.host(), HostId(1));
+            assert_eq!(e.seq(), i as u64);
+        }
+    }
+
+    #[test]
+    fn event_hub_sheds_visibly_when_full() {
+        use crate::events::AgentEvent;
+        let (tx, collector) = event_channel_bounded(1);
+        let open = |seq| AgentEvent::FlowOpen {
+            host: HostId(0),
+            seq,
+            tuple: report(0, 1).tuple,
+        };
+        assert!(tx.try_send(open(0)));
+        assert!(!tx.try_send(open(1)), "full hub sheds");
+        assert_eq!(collector.shed(), 1);
+        let mut events = Vec::new();
+        collector.drain_into(&mut events);
+        // The surviving stream has a detectable sequence gap after the
+        // next successful send.
+        assert!(tx.try_send(open(2)));
+        collector.drain_into(&mut events);
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].seq(), 0);
+        assert_eq!(events[1].seq(), 2, "gap marks the shed event");
     }
 }

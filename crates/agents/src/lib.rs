@@ -15,21 +15,31 @@
 //!   ground-truth oracle (flow-mode, as the paper's §6 simulator did) or
 //!   via real probe trains on the packet-level emulator.
 //! * [`host_agent`] — glue: turns one host's retransmission events into
-//!   the per-flow [`TraceReport`]s the analysis agent consumes.
+//!   the per-flow [`TraceReport`]s the analysis agent consumes — batch
+//!   (epoch-sized report vectors) or streaming (incremental
+//!   [`AgentEvent`]s with per-host sequence numbers).
+//! * [`events`] — the typed agent-event protocol of the streaming
+//!   service mode: flow-open / evidence / epoch-tick / drain.
 //! * [`hub`] — crossbeam-channel fan-in from the per-host agents to the
-//!   centralized analysis agent (the arrow in the paper's Figure 2).
+//!   centralized analysis agent (the arrow in the paper's Figure 2),
+//!   with shed/delivered accounting on every hub.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod events;
 pub mod host_agent;
 pub mod hub;
 pub mod monitor;
 pub mod pathdisc;
 pub mod slb_gate;
 
+pub use events::AgentEvent;
 pub use host_agent::{HostAgent, TraceReport};
-pub use hub::{report_channel, ReportCollector, ReportSender};
+pub use hub::{
+    event_channel, event_channel_bounded, report_channel, report_channel_bounded, EventCollector,
+    EventSender, ReportCollector, ReportSender,
+};
 pub use monitor::{HostEventBuckets, RetransmissionEvent, TcpMonitor};
 pub use pathdisc::{
     DiscoveredPath, FlowIndex, FlowTableTracer, HostPacer, OracleTracer, ProbeTracer, Tracer,

@@ -33,6 +33,19 @@ pub struct DiscoveredPath {
     pub complete: bool,
 }
 
+impl DiscoveredPath {
+    /// The oracle discovery of a flow's recorded path — exactly what
+    /// [`OracleTracer`]/[`FlowTableTracer`] return for that flow, usable
+    /// when the record is in hand (the streaming pipeline, where the
+    /// chunk being simulated is the only place the record lives).
+    pub fn of_flow_path(p: &Path) -> Self {
+        Self {
+            links: p.links.clone(),
+            complete: path_is_complete(p),
+        }
+    }
+}
+
 /// Path discovery back-end.
 pub trait Tracer {
     /// Discovers the path of `tuple` from `src`, or `None` when discovery

@@ -1,0 +1,397 @@
+//! The incremental vote ledger: the analysis agent's state in streaming
+//! service mode.
+//!
+//! The batch pipeline hands the analysis agent a whole epoch of evidence
+//! at once. A deployed 007 sees evidence trickle in as retransmissions
+//! happen and tallies "at regular intervals of 30s" (§5.1). The
+//! [`VoteLedger`] is that always-on accumulator:
+//!
+//! * [`VoteLedger::absorb`] folds one flow's [`FlowEvidence`] in the
+//!   moment it arrives — a [`VoteTally::cast`] into the live tally plus
+//!   an insertion into the window's canonically-ordered evidence store.
+//!   [`VoteLedger::retract`] undoes one (a withdrawn or superseded
+//!   report) via [`VoteTally::retract`].
+//! * [`VoteLedger::close_window`] runs the full two-pass analysis
+//!   (conservative detection → noise classification → Algorithm 1 on the
+//!   failure class) over the window's evidence **without ever touching
+//!   flow records** — the epoch's flows are long gone; only their
+//!   evidence (a few links + a count per traced flow) was retained.
+//! * Closed windows feed a bounded ring of [`WindowSummary`]s and a
+//!   cross-window [`LinkHealth`] EWMA — the operator's heat map — so the
+//!   ledger's memory is constant in epochs: `O(window evidence + K
+//!   summaries + num_links)`.
+//!
+//! **Canonical order.** Algorithm 1's vote adjustment retracts explained
+//! flows in evidence order, so float results depend on that order. The
+//! ledger stores the window's evidence in a `BTreeMap` keyed by the
+//! caller's `K` (the pipeline uses `(HostId, FiveTuple)`), which is
+//! exactly the batch pipeline's canonical report sort — absorption order
+//! (host scheduling, hub arrival) never leaks into the analysis, and the
+//! window close is bit-identical to the batch epoch. The *live* tally is
+//! cast in arrival order; it serves monitoring snapshots between closes
+//! (rankings, not detections) and is reset at each close.
+
+use crate::algorithm1::{detect, Algorithm1Config, Algorithm1Output, ThresholdBase};
+use crate::evidence::FlowEvidence;
+use crate::history::LinkHealth;
+use crate::noise::{classify_flows, DropClass};
+use crate::voting::VoteTally;
+use std::collections::{BTreeMap, VecDeque};
+use vigil_topology::LinkId;
+
+/// What the ledger keeps of a closed window — the constant-size residue
+/// of an epoch.
+#[derive(Debug, Clone)]
+pub struct WindowSummary {
+    /// The window's index (0-based, counted by the ledger).
+    pub epoch: u64,
+    /// Evidence items (traced flows) the window absorbed.
+    pub evidence: usize,
+    /// Total vote mass cast in the window.
+    pub total_votes: f64,
+    /// Algorithm 1's detections, in pick order.
+    pub detections: Vec<crate::algorithm1::Detection>,
+    /// Flows classified as noise.
+    pub noise_flows: usize,
+}
+
+/// The full analysis of one closed window — everything the batch
+/// pipeline's per-epoch analysis produces, in the batch pipeline's
+/// canonical evidence order.
+#[derive(Debug, Clone)]
+pub struct WindowAnalysis {
+    /// The window's index.
+    pub epoch: u64,
+    /// The window's evidence, canonical (key-ascending) order.
+    pub evidence: Vec<FlowEvidence>,
+    /// The conservative first pass (fixed threshold bar) that licenses
+    /// the noise filter.
+    pub conservative: Algorithm1Output,
+    /// Per-evidence classification (parallel to `evidence`).
+    pub classes: Vec<DropClass>,
+    /// Algorithm 1 on the failure-class evidence — the window's verdict.
+    pub detection: Algorithm1Output,
+    /// Pick order with the threshold disabled (first 20) — the Figure 12
+    /// counterfactual.
+    pub unbounded_picks: Vec<LinkId>,
+}
+
+/// The streaming analysis agent's accumulator. `K` is the evidence key
+/// that defines canonical order; the pipeline uses `(HostId, FiveTuple)`.
+#[derive(Debug, Clone)]
+pub struct VoteLedger<K: Ord> {
+    num_links: usize,
+    config: Algorithm1Config,
+    epoch: u64,
+    window: BTreeMap<K, FlowEvidence>,
+    live: VoteTally,
+    ring: VecDeque<WindowSummary>,
+    ring_capacity: usize,
+    health: LinkHealth,
+}
+
+impl<K: Ord> VoteLedger<K> {
+    /// A ledger over `num_links` links running `config`'s Algorithm 1 at
+    /// every window close. `ring_capacity` bounds the retained window
+    /// summaries; `alpha` is the cross-window [`LinkHealth`] EWMA factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `ring_capacity` is 0 or `alpha` is outside `(0, 1]`.
+    pub fn new(
+        num_links: usize,
+        config: Algorithm1Config,
+        ring_capacity: usize,
+        alpha: f64,
+    ) -> Self {
+        assert!(ring_capacity > 0, "ring must hold at least one window");
+        Self {
+            num_links,
+            config,
+            epoch: 0,
+            window: BTreeMap::new(),
+            live: VoteTally::new(num_links),
+            ring: VecDeque::with_capacity(ring_capacity + 1),
+            ring_capacity,
+            health: LinkHealth::new(num_links, alpha),
+        }
+    }
+
+    /// Absorbs one flow's evidence into the open window: casts its votes
+    /// into the live tally and stores it at `key`. Re-absorbing a key
+    /// supersedes the earlier evidence (its votes are retracted first),
+    /// so at-least-once delivery cannot double-count a flow.
+    pub fn absorb(&mut self, key: K, evidence: FlowEvidence) {
+        if let Some(old) = self.window.get(&key) {
+            self.live.retract(old, self.config.weight);
+        }
+        self.live.cast(&evidence, self.config.weight);
+        self.window.insert(key, evidence);
+    }
+
+    /// Retracts the evidence stored at `key` (a withdrawn report): its
+    /// votes leave the live tally and the window forgets it. Returns the
+    /// evidence, or `None` when the key was never absorbed this window.
+    pub fn retract(&mut self, key: &K) -> Option<FlowEvidence> {
+        let evidence = self.window.remove(key)?;
+        self.live.retract(&evidence, self.config.weight);
+        Some(evidence)
+    }
+
+    /// Evidence items resident in the open window.
+    pub fn resident(&self) -> usize {
+        self.window.len()
+    }
+
+    /// The open window's index.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The live tally: votes cast so far in the open window, in arrival
+    /// order — the between-closes monitoring snapshot. Arrival order can
+    /// differ from canonical order by float ulps; window verdicts always
+    /// come from [`close_window`](Self::close_window), which re-derives
+    /// its tallies canonically.
+    pub fn live_tally(&self) -> &VoteTally {
+        &self.live
+    }
+
+    /// The cross-window link-health EWMA (the operator heat map).
+    pub fn health(&self) -> &LinkHealth {
+        &self.health
+    }
+
+    /// The retained window summaries, oldest first (at most the ring
+    /// capacity).
+    pub fn windows(&self) -> impl Iterator<Item = &WindowSummary> {
+        self.ring.iter()
+    }
+
+    /// Closes the open window: runs the batch pipeline's exact two-pass
+    /// analysis over the window's evidence in canonical order, feeds the
+    /// detection into [`LinkHealth`] and the summary ring, and opens the
+    /// next window. No flow record is consulted — evidence is all the
+    /// analysis ever needed.
+    pub fn close_window(&mut self) -> WindowAnalysis {
+        // The evidence leaves the window by value (no re-clone); the
+        // BTreeMap yields it key-ascending — the canonical order the
+        // batch pipeline establishes by sorting reports.
+        let evidence: Vec<FlowEvidence> = std::mem::take(&mut self.window).into_values().collect();
+
+        // The §6 ordering, exactly as the batch pipeline runs it: a
+        // conservative first pass (fixed threshold bar over all evidence)
+        // licenses the noise filter; the final pass — Algorithm 1 with
+        // its shrinking bar — runs on the failure-class evidence only.
+        let conservative = detect(
+            &evidence,
+            self.num_links,
+            &Algorithm1Config {
+                threshold_base: ThresholdBase::Initial,
+                ..self.config
+            },
+        );
+        let classes = classify_flows(&evidence, &conservative.detected_links(), self.num_links);
+        let failure_evidence: Vec<FlowEvidence> = evidence
+            .iter()
+            .zip(&classes)
+            .filter(|(_, c)| **c == DropClass::Failure)
+            .map(|(e, _)| e.clone())
+            .collect();
+        let detection = detect(&failure_evidence, self.num_links, &self.config);
+        let unbounded_picks = detect(
+            &failure_evidence,
+            self.num_links,
+            &Algorithm1Config {
+                threshold_frac: 0.0,
+                max_detections: 20,
+                ..self.config
+            },
+        )
+        .detected_links();
+
+        self.health.absorb(&detection);
+        self.ring.push_back(WindowSummary {
+            epoch: self.epoch,
+            evidence: evidence.len(),
+            total_votes: detection.raw_tally.total(),
+            detections: detection.detections.clone(),
+            noise_flows: classes.iter().filter(|c| **c == DropClass::Noise).count(),
+        });
+        while self.ring.len() > self.ring_capacity {
+            self.ring.pop_front();
+        }
+
+        let closed = self.epoch;
+        self.epoch += 1;
+        self.live = VoteTally::new(self.num_links);
+
+        WindowAnalysis {
+            epoch: closed,
+            evidence,
+            conservative,
+            classes,
+            detection,
+            unbounded_picks,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::voting::VoteWeight;
+
+    type Key = (u32, u32);
+
+    fn ev(links: &[u32], retx: u32) -> FlowEvidence {
+        FlowEvidence::new(links.iter().map(|l| LinkId(*l)).collect(), retx)
+    }
+
+    fn ledger() -> VoteLedger<Key> {
+        VoteLedger::new(64, Algorithm1Config::default(), 4, 0.3)
+    }
+
+    fn tally_bits(t: &VoteTally) -> Vec<u64> {
+        let mut bits: Vec<u64> = (0..t.num_links())
+            .map(|i| t.votes(LinkId(i as u32)).to_bits())
+            .collect();
+        bits.push(t.total().to_bits());
+        bits
+    }
+
+    #[test]
+    fn close_window_matches_batch_analysis() {
+        // Absorbing in *any* order must close to the same analysis as
+        // the batch two-pass over canonically-sorted evidence.
+        let items: Vec<(Key, FlowEvidence)> = vec![
+            ((2, 9), ev(&[5, 20], 3)),
+            ((0, 4), ev(&[5, 21], 2)),
+            ((1, 1), ev(&[7, 8], 1)),
+            ((0, 2), ev(&[5, 22], 4)),
+        ];
+        let mut forward = ledger();
+        for (k, e) in items.iter() {
+            forward.absorb(*k, e.clone());
+        }
+        let mut reverse = ledger();
+        for (k, e) in items.iter().rev() {
+            reverse.absorb(*k, e.clone());
+        }
+        let a = forward.close_window();
+        let b = reverse.close_window();
+        assert_eq!(a.evidence, b.evidence, "canonical order is key order");
+        assert_eq!(
+            tally_bits(&a.detection.raw_tally),
+            tally_bits(&b.detection.raw_tally)
+        );
+        assert_eq!(a.detection.detected_links(), b.detection.detected_links());
+        assert_eq!(a.classes, b.classes);
+
+        // And it equals the hand-run batch pipeline on sorted evidence.
+        let mut sorted = items.clone();
+        sorted.sort_by_key(|(k, _)| *k);
+        let evidence: Vec<FlowEvidence> = sorted.iter().map(|(_, e)| e.clone()).collect();
+        let conservative = detect(
+            &evidence,
+            64,
+            &Algorithm1Config {
+                threshold_base: ThresholdBase::Initial,
+                ..Algorithm1Config::default()
+            },
+        );
+        let classes = classify_flows(&evidence, &conservative.detected_links(), 64);
+        assert_eq!(a.classes, classes);
+        let failure: Vec<FlowEvidence> = evidence
+            .iter()
+            .zip(&classes)
+            .filter(|(_, c)| **c == DropClass::Failure)
+            .map(|(e, _)| e.clone())
+            .collect();
+        let batch = detect(&failure, 64, &Algorithm1Config::default());
+        assert_eq!(
+            tally_bits(&a.detection.raw_tally),
+            tally_bits(&batch.raw_tally)
+        );
+        assert_eq!(a.detection.detected_links(), batch.detected_links());
+    }
+
+    #[test]
+    fn windows_roll_and_ring_is_bounded() {
+        let mut l = ledger();
+        for w in 0..6u64 {
+            assert_eq!(l.epoch(), w);
+            l.absorb((0, w as u32), ev(&[5, 20], 2));
+            l.absorb((1, w as u32), ev(&[5, 21], 2));
+            let win = l.close_window();
+            assert_eq!(win.epoch, w);
+            assert_eq!(win.evidence.len(), 2);
+            assert_eq!(l.resident(), 0, "window cleared at close");
+        }
+        // Ring capacity 4: only the last 4 summaries survive.
+        let epochs: Vec<u64> = l.windows().map(|w| w.epoch).collect();
+        assert_eq!(epochs, vec![2, 3, 4, 5]);
+        // Persistent detection heats the health EWMA and its streak.
+        assert!(l.health().score(LinkId(5)) > 0.0);
+        assert_eq!(l.health().current_streak(LinkId(5)), 6);
+    }
+
+    #[test]
+    fn reabsorbing_a_key_supersedes_instead_of_double_counting() {
+        let mut l = ledger();
+        l.absorb((0, 0), ev(&[3, 4], 1));
+        l.absorb((0, 0), ev(&[3, 4], 5));
+        assert_eq!(l.resident(), 1);
+        assert!(
+            (l.live_tally().total() - 1.0).abs() < 1e-9,
+            "one flow's mass, not two"
+        );
+        let win = l.close_window();
+        assert_eq!(win.evidence.len(), 1);
+        assert_eq!(win.evidence[0].retransmissions, 5, "newest evidence wins");
+    }
+
+    #[test]
+    fn retract_returns_evidence_and_unwinds_votes() {
+        let mut l = ledger();
+        l.absorb((0, 0), ev(&[1, 2], 1));
+        l.absorb((0, 1), ev(&[2, 3], 1));
+        let got = l.retract(&(0, 0)).expect("was absorbed");
+        assert_eq!(got, ev(&[1, 2], 1));
+        assert!(l.retract(&(0, 0)).is_none(), "already gone");
+        assert_eq!(l.resident(), 1);
+        assert!((l.live_tally().votes(LinkId(2)) - 0.5).abs() < 1e-9);
+        assert_eq!(l.live_tally().votes(LinkId(1)).to_bits(), 0.0f64.to_bits());
+    }
+
+    #[test]
+    fn live_tally_tracks_absorbed_mass() {
+        let mut l = ledger();
+        assert_eq!(l.live_tally().total(), 0.0);
+        l.absorb((0, 0), ev(&[1, 2, 3, 4], 1));
+        assert!((l.live_tally().votes(LinkId(1)) - 0.25).abs() < 1e-12);
+        l.close_window();
+        assert_eq!(l.live_tally().total(), 0.0, "live tally resets at close");
+    }
+
+    #[test]
+    fn cast_weight_follows_config() {
+        let mut l: VoteLedger<u32> = VoteLedger::new(
+            8,
+            Algorithm1Config {
+                weight: VoteWeight::Unit,
+                ..Algorithm1Config::default()
+            },
+            2,
+            0.5,
+        );
+        l.absorb(0, ev(&[1, 2], 1));
+        assert_eq!(l.live_tally().votes(LinkId(1)), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ring")]
+    fn zero_ring_capacity_rejected() {
+        let _: VoteLedger<u32> = VoteLedger::new(4, Algorithm1Config::default(), 0, 0.5);
+    }
+}

@@ -14,6 +14,9 @@
 //! * [`algorithm1`] — the paper's Algorithm 1 with the 1 % threshold and
 //!   the ECMP-based vote adjustment (§5.1, −5 % false positives).
 //! * [`blame`] — per-flow most-likely-cause assignment from the ranking.
+//! * [`ledger`] — the incremental [`VoteLedger`] of the streaming service
+//!   mode: absorb/retract evidence as it arrives, close 30-second
+//!   windows without re-scanning flows, feed the [`LinkHealth`] ring.
 //! * [`noise`] — the noise / failure-drop classification of §6.
 //! * [`switch_votes`] — the switch-level voting extension (§5.1).
 //! * [`latency`] — the latency-diagnosis extension sketched in §9.2.
@@ -26,6 +29,7 @@ pub mod blame;
 pub mod evidence;
 pub mod history;
 pub mod latency;
+pub mod ledger;
 pub mod noise;
 pub mod switch_votes;
 pub mod voting;
@@ -34,6 +38,7 @@ pub use algorithm1::{detect, Algorithm1Config, Algorithm1Output, Detection, Thre
 pub use blame::blame_flow;
 pub use evidence::FlowEvidence;
 pub use history::LinkHealth;
+pub use ledger::{VoteLedger, WindowAnalysis, WindowSummary};
 pub use noise::{classify_flows, DropClass};
 pub use switch_votes::{detect_switches, SwitchDetection, SwitchTally};
 pub use voting::{VoteTally, VoteWeight};

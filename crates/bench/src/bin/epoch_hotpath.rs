@@ -105,34 +105,30 @@ fn main() {
     let allocs = ALLOCATIONS.load(Ordering::Relaxed) - allocs_before;
     let bytes = ALLOCATED_BYTES.load(Ordering::Relaxed) - bytes_before;
 
-    // Warm pass: one scratch threaded through every iteration — the
-    // steady state of the trial loop (`run_trial_with` reuses scratch
-    // across a trial's epochs). This is the number that would regress if
-    // scratch reuse were ever silently dropped; the first (cold) warm
-    // iteration is excluded from the per-epoch average by measuring
-    // after it.
+    // Warm pass: one scratch AND one stream session threaded through
+    // every iteration — the steady state of the trial loop
+    // (`run_trial_with` reuses both across a trial's epochs; since the
+    // streaming refactor the session carries the hub, ledger, and agent
+    // table that a bare `run_epoch_with` call rebuilds per epoch). This
+    // is the number that would regress if either reuse were ever
+    // silently dropped; the first (cold) warm iteration is excluded from
+    // the per-epoch average by measuring after it.
     let mut scratch = vigil_fabric::EpochScratch::new();
-    let mut rng = ChaCha8Rng::seed_from_u64(6);
-    std::hint::black_box(vigil::run_epoch_with(
+    let mut session = vigil::StreamSession::new(
         &topo,
-        &faults,
         &cfg,
-        &mut rng,
-        &mut scratch,
-    ));
+        vigil::StreamTuning::default(),
+        vigil::RetainPolicy::All,
+    );
+    let mut rng = ChaCha8Rng::seed_from_u64(6);
+    std::hint::black_box(session.run_window(&faults, &mut rng, &mut scratch));
     let mut warm_ns = Vec::with_capacity(iters);
     let warm_allocs_before = ALLOCATIONS.load(Ordering::Relaxed);
     let warm_bytes_before = ALLOCATED_BYTES.load(Ordering::Relaxed);
     for _ in 0..iters {
         let mut rng = ChaCha8Rng::seed_from_u64(6);
         let started = std::time::Instant::now();
-        std::hint::black_box(vigil::run_epoch_with(
-            &topo,
-            &faults,
-            &cfg,
-            &mut rng,
-            &mut scratch,
-        ));
+        std::hint::black_box(session.run_window(&faults, &mut rng, &mut scratch));
         warm_ns.push(started.elapsed().as_nanos() as f64);
     }
     let warm_allocs = ALLOCATIONS.load(Ordering::Relaxed) - warm_allocs_before;

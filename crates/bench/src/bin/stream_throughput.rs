@@ -1,0 +1,106 @@
+//! Streaming service-mode benchmark: events/second through the typed
+//! hub and — the constant-memory claim, measured — the peak number of
+//! simultaneously-resident flow records across a multi-epoch run.
+//!
+//! Writes `BENCH_stream.json` at the repository root. The headline
+//! number is `peak_resident_flows` against `epoch_flow_count`: the batch
+//! pipeline materializes every flow of an epoch before analysis, so any
+//! peak below one epoch's flow count is memory the streaming refactor
+//! returned (CI gates on exactly that in fast mode). Throughput numbers
+//! on this container are indicative only — the bench host is 1-core
+//! (`cores_available` is recorded); judge events/sec on multicore
+//! hardware.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use vigil::prelude::*;
+use vigil_fabric::EpochScratch;
+
+fn main() {
+    let fast = std::env::var("VIGIL_FAST").is_ok_and(|v| v == "1");
+    // Fast mode shrinks the fabric and the horizon; the full run uses
+    // the paper's simulation topology for a production-shaped epoch.
+    let (params, epochs) = if fast {
+        (ClosParams::tiny(), 5usize)
+    } else {
+        (ClosParams::paper_sim(), 10usize)
+    };
+    let epochs = std::env::var("VIGIL_EPOCHS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(epochs);
+
+    let topo = ClosTopology::new(params, 11).expect("valid bench topology");
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    let faults = FaultPlan {
+        failure_rate: RateRange::fixed(0.01),
+        ..FaultPlan::paper_default(2)
+    }
+    .build(&topo, &mut rng);
+    let cfg = RunConfig::default();
+
+    let mut session = StreamSession::new(
+        &topo,
+        &cfg,
+        StreamTuning::default(),
+        RetainPolicy::EvidenceOnly,
+    );
+    let mut scratch = EpochScratch::new();
+    let started = std::time::Instant::now();
+    let mut evidence_per_window = Vec::with_capacity(epochs);
+    for _ in 0..epochs {
+        let run = session.run_window(&faults, &mut rng, &mut scratch);
+        evidence_per_window.push(run.evidence.len() as u64);
+    }
+    session.shutdown();
+    let wall = started.elapsed().as_secs_f64();
+    let stats = session.stats().clone();
+
+    let epoch_flow_count = stats.flows / stats.windows.max(1);
+    let resident_fraction = stats.peak_resident_flows as f64 / epoch_flow_count.max(1) as f64;
+    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+
+    let doc = serde_json::json!({
+        "bench": "stream_throughput",
+        "fast_mode": fast,
+        "topology": format!("{params:?}"),
+        "windows": stats.windows,
+        "flows": stats.flows,
+        "epoch_flow_count": epoch_flow_count,
+        "hub_events": stats.events,
+        "evidence": stats.evidence,
+        "evidence_per_window": evidence_per_window,
+        "delivered": stats.delivered,
+        "shed": stats.shed,
+        "peak_resident_flows": stats.peak_resident_flows,
+        "resident_fraction_of_epoch": resident_fraction,
+        "wall_seconds": wall,
+        "flows_per_sec": stats.flows as f64 / wall.max(1e-9),
+        "events_per_sec": stats.events as f64 / wall.max(1e-9),
+        "cores_available": cores,
+    });
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_stream.json");
+    let json = serde_json::to_string_pretty(&doc).expect("serialize BENCH_stream.json");
+    std::fs::write(path, json).expect("write BENCH_stream.json");
+
+    println!(
+        "stream_throughput: {} window(s) × {} flow(s), peak resident {} \
+         ({:.4} of an epoch), {:.0} flows/s, {:.0} events/s, shed {} \
+         -> BENCH_stream.json [{} core(s)]",
+        stats.windows,
+        epoch_flow_count,
+        stats.peak_resident_flows,
+        resident_fraction,
+        stats.flows as f64 / wall.max(1e-9),
+        stats.events as f64 / wall.max(1e-9),
+        stats.shed,
+        cores,
+    );
+    assert!(
+        stats.peak_resident_flows < epoch_flow_count,
+        "constant-memory regression: peak resident {} flow records reached a \
+         full epoch's {}",
+        stats.peak_resident_flows,
+        epoch_flow_count
+    );
+}

@@ -16,7 +16,7 @@
 //! thread count.
 
 use crate::evaluate::{evaluate_epoch, EpochReport};
-use crate::run::{run_epoch_with, RunConfig};
+use crate::run::RunConfig;
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
@@ -292,76 +292,125 @@ pub fn run_trial_with<'f>(
     mut faults_for: impl FnMut(usize) -> std::borrow::Cow<'f, vigil_fabric::LinkFaults>,
     rng: &mut ChaCha8Rng,
 ) -> TrialReport {
-    // Per-trial accumulators (figures average per-run values).
-    let mut vigil_acc = RatioMetric::default();
-    let mut vigil_out = DetectionOutcome::default();
-    let mut int_acc = RatioMetric::default();
-    let mut int_out = DetectionOutcome::default();
-    let mut bin_acc = RatioMetric::default();
-    let mut bin_out = DetectionOutcome::default();
-
-    let mut noise_marked = 0u64;
-    let mut noise_marked_incorrectly = 0u64;
-    let mut detected_per_epoch = Summary::new();
-    let mut vote_gaps = Vec::new();
-    let mut epochs_out = Vec::with_capacity(epochs);
-    // One scratch for the whole trial: the simulator's routing buffers
-    // and interned-path arena persist across epochs (same topology, so
-    // link ids stay valid), keeping the per-flow hot path allocation-free
-    // without changing a single output byte.
+    let mut acc = TrialAccumulator::new(epochs);
+    // One scratch AND one stream session for the whole trial: the
+    // simulator's routing buffers and interned-path arena persist across
+    // epochs (same topology, so link ids stay valid), and the session's
+    // hub, ledger, and agent table are built once instead of per epoch —
+    // [`run_epoch_with`]'s throwaway-session path is for one-shot
+    // callers. Neither reuse changes a single output byte (the
+    // determinism suite asserts fresh-per-epoch ≡ persistent).
     let mut scratch = vigil_fabric::EpochScratch::new();
+    let mut session = crate::stream::StreamSession::new(
+        topo,
+        run_config,
+        crate::stream::StreamTuning::default(),
+        crate::stream::RetainPolicy::All,
+    );
 
     for epoch in 0..epochs {
         let faults = faults_for(epoch);
-        let run = run_epoch_with(topo, faults.as_ref(), run_config, rng, &mut scratch);
-        let er = evaluate_epoch(&run);
+        let run = session.run_window(faults.as_ref(), rng, &mut scratch);
+        acc.absorb(evaluate_epoch(&run));
+    }
+    acc.finish(run_config, trial, started)
+}
 
-        vigil_acc.merge(er.vigil.accuracy);
-        vigil_out.accuracy.merge(er.vigil.accuracy);
-        vigil_out.confusion.merge(er.vigil.confusion);
-        if let Some(m) = &er.integer {
-            int_acc.merge(m.accuracy);
-            int_out.accuracy.merge(m.accuracy);
-            int_out.confusion.merge(m.confusion);
+/// Accumulates per-epoch reports into one trial's partial report — the
+/// shared spine of the batch trial loop ([`run_trial_with`]) and the
+/// streaming session loop ([`crate::stream::stream_trial`]). Feeding the
+/// same [`EpochReport`]s in the same order produces the same
+/// [`TrialReport`], whichever pipeline generated them.
+#[derive(Debug)]
+pub struct TrialAccumulator {
+    vigil_acc: RatioMetric,
+    vigil_out: DetectionOutcome,
+    int_acc: RatioMetric,
+    int_out: DetectionOutcome,
+    bin_acc: RatioMetric,
+    bin_out: DetectionOutcome,
+    noise_marked: u64,
+    noise_marked_incorrectly: u64,
+    detected_per_epoch: Summary,
+    vote_gaps: Vec<f64>,
+    epochs: Vec<EpochReport>,
+}
+
+impl TrialAccumulator {
+    /// An empty accumulator (capacity hint only; any epoch count works).
+    pub fn new(expected_epochs: usize) -> Self {
+        Self {
+            vigil_acc: RatioMetric::default(),
+            vigil_out: DetectionOutcome::default(),
+            int_acc: RatioMetric::default(),
+            int_out: DetectionOutcome::default(),
+            bin_acc: RatioMetric::default(),
+            bin_out: DetectionOutcome::default(),
+            noise_marked: 0,
+            noise_marked_incorrectly: 0,
+            detected_per_epoch: Summary::new(),
+            vote_gaps: Vec::new(),
+            epochs: Vec::with_capacity(expected_epochs),
         }
-        if let Some(m) = &er.binary {
-            bin_acc.merge(m.accuracy);
-            bin_out.accuracy.merge(m.accuracy);
-            bin_out.confusion.merge(m.confusion);
-        }
-        noise_marked += er.noise_marked;
-        noise_marked_incorrectly += er.noise_marked_incorrectly;
-        detected_per_epoch.record(er.detected.len() as f64);
-        if let Some(g) = er.vote_gap {
-            vote_gaps.push(g);
-        }
-        epochs_out.push(er);
     }
 
-    let mut vigil = MethodReport::default();
-    vigil.absorb_trial(vigil_acc, &vigil_out);
-    let integer = run_config.baselines.integer.then(|| {
-        let mut m = MethodReport::default();
-        m.absorb_trial(int_acc, &int_out);
-        m
-    });
-    let binary = run_config.baselines.binary.then(|| {
-        let mut m = MethodReport::default();
-        m.absorb_trial(bin_acc, &bin_out);
-        m
-    });
+    /// Folds one epoch's report in (epoch order matters for the
+    /// concatenated vectors, exactly like the serial trial loop).
+    pub fn absorb(&mut self, er: EpochReport) {
+        self.vigil_acc.merge(er.vigil.accuracy);
+        self.vigil_out.accuracy.merge(er.vigil.accuracy);
+        self.vigil_out.confusion.merge(er.vigil.confusion);
+        if let Some(m) = &er.integer {
+            self.int_acc.merge(m.accuracy);
+            self.int_out.accuracy.merge(m.accuracy);
+            self.int_out.confusion.merge(m.confusion);
+        }
+        if let Some(m) = &er.binary {
+            self.bin_acc.merge(m.accuracy);
+            self.bin_out.accuracy.merge(m.accuracy);
+            self.bin_out.confusion.merge(m.confusion);
+        }
+        self.noise_marked += er.noise_marked;
+        self.noise_marked_incorrectly += er.noise_marked_incorrectly;
+        self.detected_per_epoch.record(er.detected.len() as f64);
+        if let Some(g) = er.vote_gap {
+            self.vote_gaps.push(g);
+        }
+        self.epochs.push(er);
+    }
 
-    TrialReport {
-        trial,
-        vigil,
-        integer,
-        binary,
-        noise_marked,
-        noise_marked_incorrectly,
-        detected_per_epoch,
-        vote_gaps,
-        epochs: epochs_out,
-        wall_ms: started.elapsed().as_secs_f64() * 1e3,
+    /// Seals the trial (per-trial summaries recorded, wall clock taken).
+    pub fn finish(
+        self,
+        run_config: &RunConfig,
+        trial: usize,
+        started: std::time::Instant,
+    ) -> TrialReport {
+        let mut vigil = MethodReport::default();
+        vigil.absorb_trial(self.vigil_acc, &self.vigil_out);
+        let integer = run_config.baselines.integer.then(|| {
+            let mut m = MethodReport::default();
+            m.absorb_trial(self.int_acc, &self.int_out);
+            m
+        });
+        let binary = run_config.baselines.binary.then(|| {
+            let mut m = MethodReport::default();
+            m.absorb_trial(self.bin_acc, &self.bin_out);
+            m
+        });
+
+        TrialReport {
+            trial,
+            vigil,
+            integer,
+            binary,
+            noise_marked: self.noise_marked,
+            noise_marked_incorrectly: self.noise_marked_incorrectly,
+            detected_per_epoch: self.detected_per_epoch,
+            vote_gaps: self.vote_gaps,
+            epochs: self.epochs,
+            wall_ms: started.elapsed().as_secs_f64() * 1e3,
+        }
     }
 }
 

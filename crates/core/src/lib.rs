@@ -43,16 +43,20 @@ pub mod experiment;
 pub mod matrix;
 pub mod run;
 pub mod scenarios;
+pub mod stream;
 pub mod sweep;
 
 pub use evaluate::{EpochReport, MethodMetrics};
 pub use experiment::{
     run_experiment, run_trial, run_trial_with, ExperimentConfig, ExperimentReport,
-    ExperimentTiming, MethodReport, TrialReport,
+    ExperimentTiming, MethodReport, TrialAccumulator, TrialReport,
 };
 pub use matrix::{CaseOutcome, Envelope, MatrixReport, MatrixRunner, ScenarioCase};
 pub use run::{
     run_epoch, run_epoch_threaded, run_epoch_with, Baselines, EpochRun, PacerBudget, RunConfig,
+};
+pub use stream::{
+    stream_experiment, stream_trial, RetainPolicy, StreamSession, StreamStats, StreamTuning,
 };
 pub use sweep::{SweepEngine, SweepSpec};
 
@@ -65,6 +69,9 @@ pub mod prelude {
         run_epoch, run_epoch_threaded, run_epoch_with, Baselines, EpochRun, PacerBudget, RunConfig,
     };
     pub use crate::scenarios;
+    pub use crate::stream::{
+        stream_experiment, stream_trial, RetainPolicy, StreamSession, StreamStats, StreamTuning,
+    };
     pub use crate::sweep::{SweepEngine, SweepSpec};
     pub use vigil_analysis::{Algorithm1Config, ThresholdBase, VoteWeight};
     pub use vigil_fabric::compose::{CompositeFaultPlan, FaultKind};

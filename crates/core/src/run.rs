@@ -8,12 +8,12 @@
 //! for every failure-class flow. Optionally the two NP-hard baselines of
 //! §5.3 run on exactly the same evidence.
 
+use crate::stream::{RetainPolicy, StreamSession, StreamTuning};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use vigil_agents::{FlowIndex, FlowTableTracer, HostAgent, HostPacer, TcpMonitor, TraceReport};
-use vigil_analysis::{
-    classify_flows, detect, Algorithm1Config, Algorithm1Output, DropClass, FlowEvidence,
-};
+use vigil_analysis::ledger::WindowAnalysis;
+use vigil_analysis::{Algorithm1Config, Algorithm1Output, DropClass, FlowEvidence, VoteLedger};
 use vigil_fabric::faults::LinkFaults;
 use vigil_fabric::flowsim::{simulate_epoch_with, EpochOutcome, EpochScratch, SimConfig};
 use vigil_fabric::slb::SlbModel;
@@ -50,7 +50,7 @@ impl Default for PacerBudget {
 }
 
 impl PacerBudget {
-    fn pacer(&self, topo: &ClosTopology) -> HostPacer {
+    pub(crate) fn pacer(&self, topo: &ClosTopology) -> HostPacer {
         match *self {
             PacerBudget::Theorem1 {
                 tmax,
@@ -165,6 +165,14 @@ pub fn run_epoch<R: Rng + ?Sized>(
 /// hot path (routing, path storage, drop sampling) reuses its buffers
 /// instead of reallocating. Output is byte-identical to [`run_epoch`] —
 /// same RNG stream, same reports, same detections.
+///
+/// Since the streaming refactor this is a thin wrapper over the
+/// event-driven [`crate::stream`] driver with a retain-everything
+/// policy: the fabric is pulled in chunks, host agents emit evidence
+/// events over the hub, the ledger closes the window — and because the
+/// stream driver reproduces the batch pipeline's exact RNG draw order
+/// and canonical evidence order, the output is byte-identical to the
+/// pre-refactor batch loop (asserted by the committed goldens in CI).
 pub fn run_epoch_with<R: Rng + ?Sized>(
     topo: &ClosTopology,
     faults: &LinkFaults,
@@ -172,35 +180,8 @@ pub fn run_epoch_with<R: Rng + ?Sized>(
     rng: &mut R,
     scratch: &mut EpochScratch,
 ) -> EpochRun {
-    let outcome = simulate_epoch_with(topo, faults, &config.traffic, &config.sim, rng, scratch);
-    // Salt drawn only when the SLB model is active, so default configs
-    // consume exactly the pre-SLB-model RNG stream.
-    let gate_salt = config.slb.enabled().then(|| rng.gen::<u64>());
-    let monitor = TcpMonitor::new();
-    // One bucketing pass groups events by host (the old per-host rescan
-    // was O(hosts × flows)); one index build serves every tracer lookup.
-    let buckets = monitor.bucket_events(&outcome.flows, topo.num_hosts());
-    let flow_index = FlowIndex::from_flows(&outcome.flows);
-    let mut tracer = FlowTableTracer::new(&outcome.flows, &flow_index);
-
-    let mut reports = Vec::new();
-    for host in topo.hosts() {
-        let events = buckets.for_host(host);
-        if events.is_empty() {
-            continue;
-        }
-        let mut agent = HostAgent::new(host, config.pacer.pacer(topo));
-        reports.extend(
-            agent.run_epoch(
-                events
-                    .iter()
-                    .filter(|e| gate_salt.map_or(true, |salt| !config.slb.skips(&e.tuple, salt)))
-                    .copied(),
-                &mut tracer,
-            ),
-        );
-    }
-    analyze(topo, outcome, flow_index, reports, config)
+    StreamSession::new(topo, config, StreamTuning::default(), RetainPolicy::All)
+        .run_window(faults, rng, scratch)
 }
 
 /// Runs one epoch with host agents sharded over worker threads, reports
@@ -270,58 +251,70 @@ pub fn run_epoch_threaded<R: Rng + ?Sized>(
     analyze(topo, outcome, flow_index, reports, config)
 }
 
+/// The ledger ring depth the epoch runners use (how many closed-window
+/// summaries a long-running session retains).
+pub(crate) const LEDGER_RING_WINDOWS: usize = 8;
+/// The cross-window [`vigil_analysis::LinkHealth`] EWMA factor (~3-epoch
+/// memory).
+pub(crate) const LEDGER_HEALTH_ALPHA: f64 = 0.3;
+
+/// A fresh analysis ledger shaped for `config` — the batch runners close
+/// one window per epoch on a throwaway ledger; the streaming session
+/// keeps one alive across windows so the ring and health EWMA accumulate.
+pub(crate) fn fresh_ledger(
+    num_links: usize,
+    config: &RunConfig,
+) -> VoteLedger<crate::stream::EvidenceKey> {
+    VoteLedger::new(
+        num_links,
+        config.alg1,
+        LEDGER_RING_WINDOWS,
+        LEDGER_HEALTH_ALPHA,
+    )
+}
+
 /// The centralized analysis agent: votes, Algorithm 1, classification,
-/// baselines.
+/// baselines — all via a one-window [`VoteLedger`], the same machinery
+/// the streaming service keeps warm across windows.
 fn analyze(
     topo: &ClosTopology,
     outcome: EpochOutcome,
     flow_index: FlowIndex,
-    mut reports: Vec<TraceReport>,
+    reports: Vec<TraceReport>,
     config: &RunConfig,
 ) -> EpochRun {
-    // Canonical order: host-agent arrival order (channel or iteration) is
-    // an artifact, not information; sorting makes sequential and threaded
-    // runs bit-identical.
-    reports.sort_by_key(|r| (r.host, r.tuple));
-    let evidence: Vec<FlowEvidence> = reports
-        .iter()
-        .map(|r| FlowEvidence {
-            links: r.links.clone(),
-            retransmissions: r.retransmissions,
-            complete: r.complete,
-        })
-        .collect();
+    let mut ledger = fresh_ledger(topo.num_links(), config);
+    for r in &reports {
+        ledger.absorb(
+            (r.host, r.tuple),
+            FlowEvidence {
+                links: r.links.clone(),
+                retransmissions: r.retransmissions,
+                complete: r.complete,
+            },
+        );
+    }
+    let window = ledger.close_window();
+    assemble_epoch(outcome, flow_index, reports, window, config)
+}
 
-    // The §6 ordering, as a two-pass scheme: a conservative first pass
-    // (fixed threshold bar over all evidence) licenses the noise filter;
-    // the final pass — the paper's Algorithm 1 with its shrinking bar —
-    // runs on the failure-class evidence only.
-    let conservative = detect(
-        &evidence,
-        topo.num_links(),
-        &Algorithm1Config {
-            threshold_base: vigil_analysis::ThresholdBase::Initial,
-            ..config.alg1
-        },
-    );
-    let classes = classify_flows(&evidence, &conservative.detected_links(), topo.num_links());
-    let failure_evidence: Vec<FlowEvidence> = evidence
-        .iter()
-        .zip(&classes)
-        .filter(|(_, c)| **c == DropClass::Failure)
-        .map(|(e, _)| e.clone())
-        .collect();
-    let detection = detect(&failure_evidence, topo.num_links(), &config.alg1);
-    let unbounded_picks = detect(
-        &failure_evidence,
-        topo.num_links(),
-        &Algorithm1Config {
-            threshold_frac: 0.0,
-            max_detections: 20,
-            ..config.alg1
-        },
-    )
-    .detected_links();
+/// Assembles an [`EpochRun`] from a closed analysis window plus the raw
+/// reports: canonical report order, the §5.3 baselines, and the final
+/// record. Shared by the batch [`analyze`] path and the streaming
+/// driver's window close.
+pub(crate) fn assemble_epoch(
+    outcome: EpochOutcome,
+    flow_index: FlowIndex,
+    mut reports: Vec<TraceReport>,
+    window: WindowAnalysis,
+    config: &RunConfig,
+) -> EpochRun {
+    // Canonical order: host-agent arrival order (channel, chunk, or
+    // iteration) is an artifact, not information; sorting by the same
+    // key that orders the ledger's evidence makes `reports` parallel to
+    // `window.evidence` and every runner bit-identical.
+    reports.sort_by_key(|r| (r.host, r.tuple));
+    debug_assert_eq!(reports.len(), window.evidence.len());
 
     let limits = SearchLimits {
         max_nodes: config.baselines.max_nodes,
@@ -353,10 +346,10 @@ fn analyze(
         outcome,
         flow_index,
         reports,
-        evidence,
-        detection,
-        unbounded_picks,
-        classes,
+        evidence: window.evidence,
+        detection: window.detection,
+        unbounded_picks: window.unbounded_picks,
+        classes: window.classes,
         integer,
         binary,
     }

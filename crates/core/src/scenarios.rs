@@ -253,6 +253,48 @@ fn matrix_run() -> RunConfig {
     }
 }
 
+/// Out-of-regime recall floor for the *sparse-connections* traffic case.
+///
+/// Derivation from [`vigil_topology::bounds::Theorem2::epsilon`]
+/// (Theorem 3's mis-ranking bound `ε ≤ 2·e^{−O(N)}`): the bound decays in
+/// the total connection count `N`, and the matrix baseline (60 hosts ×
+/// 40 connections = 2 400/epoch) sits deep enough in the regime for the
+/// in-regime recall floor of 0.5 ([`Envelope::from_bounds`]). The sparse
+/// case draws 10–30 connections per host — down to a quarter of the
+/// baseline `N` — so ε grows by orders of magnitude (asserted in
+/// `sparse_floors_follow_theorem2_epsilon`) and an occasional missed
+/// faint failure is *expected*, not a regression. At the conformance
+/// scales (recall quantized in steps of 1/(2·trials·epochs)) the
+/// calibrated floor sits one notch under the in-regime 0.5.
+pub const SPARSE_CONNS_MIN_RECALL: f64 = 0.45;
+
+/// Out-of-regime floors for the two *skew-starved* traffic cases
+/// (`skewed-tors/drop-k2` and `combo/wide+skewed-tors`), which used to be
+/// hand-calibrated separately at each site.
+///
+/// Here [`vigil_topology::bounds::Theorem2`] is silent rather than weak:
+/// its vote-probability gap assumes uniformly spread traffic, and the
+/// §6.5 skew (80 % of flows into 25 % of the ToRs) starves the remaining
+/// links of flows entirely — a failure on a starved link can receive
+/// almost no votes in a short run, which is the paper's own graceful-
+/// degradation story. `epsilon` at the starved links' effective `N`
+/// (roughly a fifth of baseline per link) is orders of magnitude worse
+/// than the baseline's (asserted in `sparse_floors_follow_theorem2_
+/// epsilon`), so the envelope asserts graceful degradation only:
+/// majority-correct blame, some recall (calibrated to pass 10 seeds ×
+/// {2×1, 3×2, 4×3} scales).
+pub const STARVED_TRAFFIC_MIN_ACCURACY: f64 = 0.6;
+/// See [`STARVED_TRAFFIC_MIN_ACCURACY`].
+pub const STARVED_TRAFFIC_MIN_RECALL: f64 = 0.2;
+
+/// The shared skew-starved envelope (see
+/// [`STARVED_TRAFFIC_MIN_ACCURACY`]) — one definition for both sites.
+fn starved_traffic_envelope() -> Envelope {
+    Envelope::relaxed(3.5)
+        .with_min_accuracy(Some(STARVED_TRAFFIC_MIN_ACCURACY))
+        .with_min_recall(Some(STARVED_TRAFFIC_MIN_RECALL))
+}
+
 /// Builds one matrix case with default axes labels and a Theorem-2-derived
 /// envelope for `k` static failures dropping at ≥ `p_bad_floor`.
 fn case(name: &str, kinds: Vec<FaultKind>, k: u32, p_bad_floor: f64) -> ScenarioCase {
@@ -549,8 +591,11 @@ pub fn standard_matrix() -> Vec<ScenarioCase> {
     let mut sparse = case("sparse-conns/drop-k2", vec![drop(2)], 2, 1e-4);
     sparse.traffic = "sparse";
     sparse.run.traffic.conns_per_host = ConnCount::Uniform(10, 30);
-    // A third of the baseline connection count shrinks Theorem 3's N.
-    sparse.envelope = sparse.envelope.with_min_recall(Some(0.45));
+    // Down to a quarter of the baseline connection count: Theorem 3's N
+    // shrinks and ε grows (see SPARSE_CONNS_MIN_RECALL's derivation).
+    sparse.envelope = sparse
+        .envelope
+        .with_min_recall(Some(SPARSE_CONNS_MIN_RECALL));
     cases.push(sparse);
 
     let mut skewed = case("skewed-tors/drop-k2", vec![drop(2)], 2, 1e-4);
@@ -562,10 +607,8 @@ pub fn standard_matrix() -> Vec<ScenarioCase> {
     // Skew starves some links of traffic: Theorem 2's uniform-traffic
     // assumption breaks, so the floors relax (the paper's §6.5 story) — a
     // failure on a starved link can be near-invisible in a short run.
-    skewed.envelope = Envelope::relaxed(3.5)
-        .with_min_accuracy(Some(0.6))
-        .with_min_recall(Some(0.2))
-        .with_max_incorrect_noise(0.02);
+    // Crowding the hot rack also grazes the noise boundary occasionally.
+    skewed.envelope = starved_traffic_envelope().with_max_incorrect_noise(0.02);
     cases.push(skewed);
 
     let mut hot30 = case("hot-tor-30/drop-k2", vec![drop(2)], 2, 1e-4);
@@ -613,11 +656,9 @@ pub fn standard_matrix() -> Vec<ScenarioCase> {
         frac_hot_tors: 0.25,
         frac_hot_flows: 0.8,
     };
-    // Same skew-starvation caveat as the standalone skewed-tors case: a
-    // failure on a starved link can be near-invisible.
-    combo2.envelope = Envelope::relaxed(3.5)
-        .with_min_accuracy(Some(0.6))
-        .with_min_recall(Some(0.2));
+    // Same skew-starvation caveat as the standalone skewed-tors case —
+    // the one shared calibration, defined once.
+    combo2.envelope = starved_traffic_envelope();
     cases.push(combo2);
 
     let mut combo3 = case(
@@ -666,6 +707,87 @@ mod tests {
             });
             assert!(cfg.trials > 0 && cfg.epochs > 0, "{}", cfg.name);
         }
+    }
+
+    #[test]
+    fn sparse_floors_follow_theorem2_epsilon() {
+        // The constants' derivation, executable: Theorem 3's mis-ranking
+        // bound ε(N) at the sparse/starved connection counts must be
+        // materially worse than at the matrix baseline — that widening is
+        // *why* these floors sit below the in-regime 0.5, and the floors
+        // must stay ordered accordingly.
+        use vigil_topology::bounds::Theorem2;
+        let params = matrix_params();
+        let packets = matrix_traffic().packets_per_flow.bounds();
+        let t2 = Theorem2 {
+            params,
+            k: 2,
+            p_bad: 1e-4,
+            p_good: RateRange::PAPER_NOISE.hi,
+            c_lower: packets.0,
+            c_upper: packets.1,
+        };
+        // ε ≤ 2·e^{−O(N)} is monotone in the connection count, so the
+        // floors' ordering follows from the traffic axis alone. A single
+        // smoke epoch is below the bound's informative range (ε clamps at
+        // 1 there for every case — the conformance pass pools trials ×
+        // epochs × seeds); evaluate at a pooled-horizon N where the bound
+        // bites to make the derivation executable. The sparse case draws
+        // down to a quarter of the baseline connections; skew starves
+        // ~75 % of the ToRs down to ~20 % of the flows (a fifth of the
+        // per-link evidence budget).
+        let t2_mid = Theorem2 {
+            p_bad: 1e-3, // PAPER_FAILURE's mid-range; 1e-4 is the floor
+            ..t2
+        };
+        let pooled_n = 100_000u64;
+        let eps_base = t2_mid.epsilon(pooled_n).expect("baseline in regime");
+        let eps_sparse = t2_mid
+            .epsilon(pooled_n / 4)
+            .expect("same regime, smaller N");
+        let eps_starved = t2_mid
+            .epsilon(pooled_n / 5)
+            .expect("same regime, starved N");
+        assert!(eps_base < 0.1, "pooled baseline must be informative");
+        assert!(
+            eps_sparse > eps_base * 10.0,
+            "quartering N must widen ε materially (base {eps_base:.3e}, \
+             sparse {eps_sparse:.3e})"
+        );
+        assert!(
+            eps_starved >= eps_sparse,
+            "the starved budget cannot beat the sparse one"
+        );
+
+        // Floors stay consistent with the derivation's ordering: the
+        // in-regime floor (0.5) above the sparse notch, the starved
+        // floor lowest, and accuracy still demanding a majority.
+        let in_regime = Envelope::from_bounds(&params, 2, 1e-4, RateRange::PAPER_NOISE.hi, packets)
+            .min_recall
+            .expect("in-regime envelope asserts recall");
+        assert!(SPARSE_CONNS_MIN_RECALL < in_regime);
+        assert!(STARVED_TRAFFIC_MIN_RECALL < SPARSE_CONNS_MIN_RECALL);
+        assert!(STARVED_TRAFFIC_MIN_ACCURACY > 0.5);
+
+        // And both skew-starved cases share the one calibration.
+        let cases = standard_matrix();
+        let floor_of = |name: &str| {
+            cases
+                .iter()
+                .find(|c| c.name == name)
+                .unwrap_or_else(|| panic!("case {name} missing"))
+                .envelope
+        };
+        let skewed = floor_of("skewed-tors/drop-k2");
+        let combo = floor_of("combo/wide+skewed-tors");
+        assert_eq!(skewed.min_recall, Some(STARVED_TRAFFIC_MIN_RECALL));
+        assert_eq!(skewed.min_accuracy, Some(STARVED_TRAFFIC_MIN_ACCURACY));
+        assert_eq!(combo.min_recall, skewed.min_recall);
+        assert_eq!(combo.min_accuracy, skewed.min_accuracy);
+        assert_eq!(
+            floor_of("sparse-conns/drop-k2").min_recall,
+            Some(SPARSE_CONNS_MIN_RECALL)
+        );
     }
 
     #[test]

@@ -1,0 +1,621 @@
+//! The event-driven streaming pipeline: fabric → host agents → ledger
+//! over the typed hub, at bounded queue depth and constant memory.
+//!
+//! The deployed 007 is not a batch job (paper §3, §5.1): host agents
+//! stream retransmission events as they happen, path discovery fires per
+//! event, and votes are tallied over sliding 30-second windows by an
+//! always-on analysis backend. This module is that shape:
+//!
+//! ```text
+//!  EpochStream ──chunks──▶ TcpMonitor-style eventing ──▶ HostAgent(s)
+//!      (fabric)              (per flow record)              │ AgentEvent
+//!                                                           ▼
+//!  EpochRun ◀── close_window ── VoteLedger ◀── drain ── bounded hub
+//! ```
+//!
+//! Flow records live only inside the current chunk (plus whatever the
+//! retain policy keeps for scoring); evidence — a few links and a count
+//! per traced flow — is all that survives to the window close. The
+//! driver reproduces the batch pipeline's exact RNG draw order and
+//! canonical evidence order, so [`crate::run::run_epoch_with`] is now a
+//! thin wrapper over [`StreamSession::run_window`] with a
+//! retain-everything policy, and every golden stays byte-identical.
+//!
+//! The SLB gate (§4.2) needs the epoch's gate salt, which the batch
+//! pipeline draws *after* the simulation's RNG draws; when the gate is
+//! active the driver therefore defers agent processing to the window
+//! close, buffering only (event, discovered-path) pairs — evidence-sized,
+//! not flow-sized. With the gate off (the default), evidence streams
+//! through the hub while the epoch is still being simulated.
+
+use crate::evaluate::evaluate_epoch;
+use crate::experiment::{ExperimentConfig, ExperimentReport, TrialAccumulator, TrialReport};
+use crate::run::{assemble_epoch, fresh_ledger, EpochRun, RunConfig};
+use crate::sweep::SweepEngine;
+use rand::Rng;
+use serde::Serialize;
+use vigil_agents::{
+    event_channel_bounded, AgentEvent, DiscoveredPath, EventCollector, EventSender, FlowIndex,
+    HostAgent, RetransmissionEvent, TraceReport,
+};
+use vigil_analysis::{FlowEvidence, VoteLedger};
+use vigil_fabric::flowsim::{EpochOutcome, EpochScratch, EpochStream, FlowRecord};
+use vigil_fabric::LinkFaults;
+use vigil_packet::FiveTuple;
+use vigil_topology::{ClosTopology, HostId};
+
+/// The canonical evidence key: one traced flow per host per window. Its
+/// `Ord` is the pipeline's canonical evidence order (the batch report
+/// sort), maintained incrementally by the ledger.
+pub type EvidenceKey = (HostId, FiveTuple);
+
+/// Streaming knobs: how much fabric is materialized at once and how deep
+/// the agent→analysis hub queue is.
+#[derive(Debug, Clone)]
+pub struct StreamTuning {
+    /// Flow records simulated (and resident) per pull. Invisible in the
+    /// output — only in peak memory.
+    pub chunk_flows: usize,
+    /// Bounded hub depth. Must hold one chunk's worth of protocol events
+    /// (two per eventful flow) so the single-threaded drive loop never
+    /// sheds its own evidence; a multi-host deployment would size this to
+    /// its drain latency instead.
+    pub hub_capacity: usize,
+}
+
+impl Default for StreamTuning {
+    fn default() -> Self {
+        Self {
+            chunk_flows: 256,
+            hub_capacity: 1024,
+        }
+    }
+}
+
+impl StreamTuning {
+    fn validate(&self) {
+        assert!(self.chunk_flows > 0, "chunk must hold at least one flow");
+        assert!(
+            self.hub_capacity >= 2 * self.chunk_flows,
+            "hub capacity {} cannot hold one chunk's events ({} flows × 2)",
+            self.hub_capacity,
+            self.chunk_flows
+        );
+    }
+}
+
+/// What the driver keeps of each simulated flow record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetainPolicy {
+    /// Keep every record — the batch wrapper's policy, so
+    /// [`EpochRun::outcome`] carries the full flow table exactly as the
+    /// pre-streaming pipeline did.
+    All,
+    /// Keep only records with at least one retransmission — everything
+    /// scoring ever consults (evidence lookups, ground-truth dominant
+    /// links, retransmitting-flow counts). Peak resident records stay
+    /// proportional to the *eventful* fraction of traffic, not the epoch.
+    EvidenceOnly,
+}
+
+/// Streaming service-mode counters, aggregated across windows (and
+/// mergeable across trials).
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct StreamStats {
+    /// Flow records simulated.
+    pub flows: u64,
+    /// Protocol events drained from the hub (opens, evidence, ticks,
+    /// drains).
+    pub events: u64,
+    /// Evidence events among them (= reports absorbed by the ledger).
+    pub evidence: u64,
+    /// Events accepted onto the hub ([`EventCollector::delivered`]).
+    pub delivered: u64,
+    /// Events shed by the bounded hub ([`EventCollector::shed`]) — the
+    /// silent-loss counter the driver logs every window.
+    pub shed: u64,
+    /// Peak simultaneously-resident flow records (chunk + retained).
+    pub peak_resident_flows: u64,
+    /// Windows closed.
+    pub windows: u64,
+}
+
+impl StreamStats {
+    /// Merges another session's counters (sums; peak takes the max).
+    pub fn merge(&mut self, other: &StreamStats) {
+        self.flows += other.flows;
+        self.events += other.events;
+        self.evidence += other.evidence;
+        self.delivered += other.delivered;
+        self.shed += other.shed;
+        self.peak_resident_flows = self.peak_resident_flows.max(other.peak_resident_flows);
+        self.windows += other.windows;
+    }
+}
+
+/// An always-on streaming pipeline over one topology: persistent host
+/// agents (budgets roll via epoch ticks), a persistent ledger (window
+/// ring + link-health EWMA accumulate), and reusable buffers. Each
+/// [`run_window`](Self::run_window) call simulates, analyzes, and scores
+/// one 30-second window; the caller owns the RNG and simulator scratch
+/// so a trial's windows share one draw stream exactly like the batch
+/// trial loop.
+#[derive(Debug)]
+pub struct StreamSession<'a> {
+    topo: &'a ClosTopology,
+    config: &'a RunConfig,
+    tuning: StreamTuning,
+    retain: RetainPolicy,
+    agents: Vec<Option<HostAgent>>,
+    ledger: VoteLedger<EvidenceKey>,
+    hub_tx: EventSender,
+    hub_rx: EventCollector,
+    stats: StreamStats,
+    reports: Vec<TraceReport>,
+    chunk: Vec<FlowRecord>,
+    inbox: Vec<AgentEvent>,
+    pending: Vec<(RetransmissionEvent, DiscoveredPath)>,
+}
+
+impl<'a> StreamSession<'a> {
+    /// Opens a session on `topo` running `config`'s pipeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `tuning` is inconsistent (zero chunk, or a hub that
+    /// cannot hold one chunk's events).
+    pub fn new(
+        topo: &'a ClosTopology,
+        config: &'a RunConfig,
+        tuning: StreamTuning,
+        retain: RetainPolicy,
+    ) -> Self {
+        tuning.validate();
+        let (hub_tx, hub_rx) = event_channel_bounded(tuning.hub_capacity);
+        Self {
+            topo,
+            config,
+            tuning,
+            retain,
+            agents: (0..topo.num_hosts()).map(|_| None).collect(),
+            ledger: fresh_ledger(topo.num_links(), config),
+            hub_tx,
+            hub_rx,
+            stats: StreamStats::default(),
+            reports: Vec::new(),
+            chunk: Vec::new(),
+            inbox: Vec::new(),
+            pending: Vec::new(),
+        }
+    }
+
+    /// The session's counters so far.
+    pub fn stats(&self) -> &StreamStats {
+        &self.stats
+    }
+
+    /// The live analysis ledger (between-closes snapshots: rankings, the
+    /// window ring, the cross-window heat map).
+    pub fn ledger(&self) -> &VoteLedger<EvidenceKey> {
+        &self.ledger
+    }
+
+    /// Drains the hub into the ledger: evidence is absorbed the moment it
+    /// crosses; lifecycle events are counted and dropped.
+    fn drain_hub(&mut self) {
+        self.inbox.clear();
+        self.hub_rx.drain_into(&mut self.inbox);
+        for event in self.inbox.drain(..) {
+            self.stats.events += 1;
+            if let AgentEvent::Evidence { report, .. } = event {
+                self.ledger.absorb(
+                    (report.host, report.tuple),
+                    FlowEvidence {
+                        links: report.links.clone(),
+                        retransmissions: report.retransmissions,
+                        complete: report.complete,
+                    },
+                );
+                self.reports.push(report);
+                self.stats.evidence += 1;
+            }
+        }
+    }
+
+    /// Routes one eventful record through its (lazily created) host
+    /// agent, which emits protocol events onto the hub.
+    fn dispatch(&mut self, event: RetransmissionEvent, path: DiscoveredPath) {
+        let slot = &mut self.agents[event.host.0 as usize];
+        let agent = slot
+            .get_or_insert_with(|| HostAgent::new(event.host, self.config.pacer.pacer(self.topo)));
+        agent.on_retransmission(&event, path, &self.hub_tx);
+    }
+
+    /// Runs one window: simulate the epoch in chunks, stream evidence
+    /// through the hub, close the ledger window, assemble the scored
+    /// [`EpochRun`]. Byte-identical to the batch epoch on the same RNG
+    /// stream (the goldens' contract).
+    pub fn run_window<R: Rng + ?Sized>(
+        &mut self,
+        faults: &LinkFaults,
+        rng: &mut R,
+        scratch: &mut EpochScratch,
+    ) -> EpochRun {
+        // The batch pipeline draws the SLB gate salt *after* the epoch's
+        // simulation draws; an active gate therefore defers agent
+        // processing to the window close (buffering evidence-sized
+        // pending pairs), while the common gate-off path streams evidence
+        // incrementally.
+        let deferred_gate = self.config.slb.enabled();
+        let mut stream = EpochStream::open(
+            self.topo,
+            faults,
+            &self.config.traffic,
+            &self.config.sim,
+            rng,
+            scratch,
+        );
+        let mut retained: Vec<FlowRecord> = match self.retain {
+            RetainPolicy::All => Vec::with_capacity(stream.total_flows()),
+            RetainPolicy::EvidenceOnly => Vec::new(),
+        };
+
+        loop {
+            self.chunk.clear();
+            if stream.next_chunk(self.tuning.chunk_flows, &mut self.chunk) == 0 {
+                break;
+            }
+            self.stats.flows += self.chunk.len() as u64;
+            self.stats.peak_resident_flows = self
+                .stats
+                .peak_resident_flows
+                .max((retained.len() + self.chunk.len()) as u64);
+            // The chunk buffer steps out of `self` for the dispatch loop
+            // (agents and hub are `self` fields) and returns after it,
+            // keeping its capacity across pulls.
+            let mut chunk = std::mem::take(&mut self.chunk);
+            for rec in chunk.drain(..) {
+                // The monitoring agent's eventfulness rule (§4.2): the
+                // flow established and saw a retransmission.
+                if rec.established && rec.retransmissions > 0 {
+                    let event = RetransmissionEvent {
+                        host: rec.src,
+                        tuple: rec.tuple,
+                        retransmissions: rec.retransmissions,
+                    };
+                    let path = DiscoveredPath::of_flow_path(&rec.path);
+                    if deferred_gate {
+                        self.pending.push((event, path));
+                    } else {
+                        self.dispatch(event, path);
+                    }
+                }
+                match self.retain {
+                    RetainPolicy::All => retained.push(rec),
+                    RetainPolicy::EvidenceOnly => {
+                        if rec.retransmissions > 0 {
+                            retained.push(rec);
+                        }
+                    }
+                }
+            }
+            self.chunk = chunk;
+            self.drain_hub();
+        }
+        let ground_truth = stream.finish();
+
+        if deferred_gate {
+            // Same draw position as the batch runner: first draw after
+            // the simulation stream.
+            let salt = rng.gen::<u64>();
+            let pending = std::mem::take(&mut self.pending);
+            for (i, (event, path)) in pending.into_iter().enumerate() {
+                if !self.config.slb.skips(&event.tuple, salt) {
+                    self.dispatch(event, path);
+                }
+                if (i + 1) % self.tuning.chunk_flows == 0 {
+                    self.drain_hub();
+                }
+            }
+            self.drain_hub();
+        }
+
+        // Roll every live agent into the next epoch (budget refresh,
+        // trace-cache clear), announced on the hub; drain periodically so
+        // a large fleet's ticks cannot overflow the bounded queue.
+        let next_epoch = self.ledger.epoch() + 1;
+        let mut since_drain = 0usize;
+        for i in 0..self.agents.len() {
+            if let Some(agent) = self.agents[i].as_mut() {
+                agent.epoch_tick(next_epoch, &self.hub_tx);
+                since_drain += 1;
+                if since_drain >= self.tuning.hub_capacity {
+                    self.drain_hub();
+                    since_drain = 0;
+                }
+            }
+        }
+        self.drain_hub();
+
+        self.stats.delivered = self.hub_rx.delivered();
+        self.stats.shed = self.hub_rx.shed();
+        self.stats.windows += 1;
+        debug_assert_eq!(self.stats.shed, 0, "in-process hub must never shed");
+
+        let window = self.ledger.close_window();
+        let reports = std::mem::take(&mut self.reports);
+        let flow_index = FlowIndex::from_flows(&retained);
+        let outcome = EpochOutcome {
+            flows: retained,
+            ground_truth,
+        };
+        assemble_epoch(outcome, flow_index, reports, window, self.config)
+    }
+
+    /// Shuts the session down: every live agent announces
+    /// [`AgentEvent::Drain`] and the hub is drained one last time.
+    pub fn shutdown(&mut self) {
+        let mut since_drain = 0usize;
+        for i in 0..self.agents.len() {
+            if let Some(agent) = self.agents[i].as_mut() {
+                agent.drain(&self.hub_tx);
+                since_drain += 1;
+                if since_drain >= self.tuning.hub_capacity {
+                    self.drain_hub();
+                    since_drain = 0;
+                }
+            }
+        }
+        self.drain_hub();
+        self.stats.delivered = self.hub_rx.delivered();
+        self.stats.shed = self.hub_rx.shed();
+    }
+}
+
+/// One streaming trial: the exact seed discipline of
+/// [`crate::experiment::run_trial`] (topology from the trial RNG, faults
+/// built once, epochs sharing the draw stream) driven through a
+/// [`StreamSession`] in evidence-only retention. Produces a
+/// [`TrialReport`] bit-identical to the batch trial's.
+pub fn stream_trial(
+    config: &ExperimentConfig,
+    trial: usize,
+    tuning: &StreamTuning,
+) -> (TrialReport, StreamStats) {
+    let started = std::time::Instant::now();
+    let mut rng = config.trial_rng(trial);
+    let topo = vigil_topology::ClosTopology::new(config.params, rng.gen())
+        .expect("experiment parameters validated upstream");
+    let faults = config.faults.build(&topo, &mut rng);
+    let mut scratch = EpochScratch::new();
+    let mut session = StreamSession::new(
+        &topo,
+        &config.run,
+        tuning.clone(),
+        RetainPolicy::EvidenceOnly,
+    );
+    let mut acc = TrialAccumulator::new(config.epochs);
+    for _ in 0..config.epochs {
+        let run = session.run_window(&faults, &mut rng, &mut scratch);
+        acc.absorb(evaluate_epoch(&run));
+    }
+    session.shutdown();
+    let stats = session.stats().clone();
+    (acc.finish(&config.run, trial, started), stats)
+}
+
+/// Runs a whole experiment through the streaming pipeline: trials shard
+/// across the sweep engine's workers exactly like
+/// [`SweepEngine::run_experiment`], so the report is bit-identical to
+/// the batch path at any thread count — plus the aggregated service-mode
+/// counters.
+pub fn stream_experiment(
+    config: &ExperimentConfig,
+    engine: &SweepEngine,
+    tuning: &StreamTuning,
+) -> (ExperimentReport, StreamStats) {
+    let started = std::time::Instant::now();
+    let mut report = ExperimentReport::empty(config);
+    let mut stats = StreamStats::default();
+    for (trial, trial_stats) in engine.run_tasks(config.trials, |t| stream_trial(config, t, tuning))
+    {
+        report.merge_trial(trial);
+        stats.merge(&trial_stats);
+    }
+    report.timing.total_ms = started.elapsed().as_secs_f64() * 1e3;
+    report.timing.threads = engine.threads();
+    (report, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use vigil_fabric::faults::{FaultPlan, RateRange};
+    use vigil_fabric::slb::SlbModel;
+    use vigil_fabric::traffic::{ConnCount, TrafficSpec};
+    use vigil_topology::ClosParams;
+
+    fn setup(failures: u32, seed: u64) -> (ClosTopology, LinkFaults) {
+        let topo = ClosTopology::new(ClosParams::tiny(), seed).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let faults = FaultPlan {
+            failure_rate: RateRange::fixed(0.05),
+            ..FaultPlan::paper_default(failures)
+        }
+        .build(&topo, &mut rng);
+        (topo, faults)
+    }
+
+    fn config() -> RunConfig {
+        RunConfig {
+            traffic: TrafficSpec {
+                conns_per_host: ConnCount::Fixed(30),
+                ..TrafficSpec::paper_default()
+            },
+            ..RunConfig::default()
+        }
+    }
+
+    /// Strips an epoch run to the scoring-visible parts shared by both
+    /// retain policies.
+    fn fingerprint(run: &EpochRun) -> (Vec<TraceReport>, Vec<vigil_topology::LinkId>, String) {
+        (
+            run.reports.clone(),
+            run.detection.detected_links(),
+            format!("{:?}", evaluate_epoch(run)),
+        )
+    }
+
+    #[test]
+    fn chunk_size_is_invisible_in_the_epoch_run() {
+        let (topo, faults) = setup(2, 51);
+        let cfg = config();
+        let baseline = {
+            let mut rng = ChaCha8Rng::seed_from_u64(3);
+            let mut session =
+                StreamSession::new(&topo, &cfg, StreamTuning::default(), RetainPolicy::All);
+            session.run_window(&faults, &mut rng, &mut EpochScratch::new())
+        };
+        for chunk in [1usize, 17, 4096] {
+            let mut rng = ChaCha8Rng::seed_from_u64(3);
+            let tuning = StreamTuning {
+                chunk_flows: chunk,
+                hub_capacity: 2 * chunk + 16,
+            };
+            let mut session = StreamSession::new(&topo, &cfg, tuning, RetainPolicy::All);
+            let run = session.run_window(&faults, &mut rng, &mut EpochScratch::new());
+            assert_eq!(run.outcome.flows, baseline.outcome.flows);
+            assert_eq!(run.reports, baseline.reports);
+            assert_eq!(fingerprint(&run), fingerprint(&baseline));
+        }
+    }
+
+    #[test]
+    fn evidence_only_retention_scores_identically_and_bounds_memory() {
+        let (topo, faults) = setup(2, 53);
+        let cfg = config();
+        let mut rng_all = ChaCha8Rng::seed_from_u64(9);
+        let mut rng_lean = ChaCha8Rng::seed_from_u64(9);
+        let mut all = StreamSession::new(&topo, &cfg, StreamTuning::default(), RetainPolicy::All);
+        let tuning = StreamTuning {
+            chunk_flows: 32,
+            hub_capacity: 256,
+        };
+        let mut lean = StreamSession::new(&topo, &cfg, tuning, RetainPolicy::EvidenceOnly);
+        let full = all.run_window(&faults, &mut rng_all, &mut EpochScratch::new());
+        let slim = lean.run_window(&faults, &mut rng_lean, &mut EpochScratch::new());
+
+        // The scoring-visible surface is identical...
+        assert_eq!(slim.reports, full.reports);
+        assert_eq!(fingerprint(&slim), fingerprint(&full));
+        // ...but the resident flow table is the eventful slice only.
+        assert!(slim.outcome.flows.len() < full.outcome.flows.len());
+        assert!(slim.outcome.flows.iter().all(|f| f.retransmissions > 0));
+        assert!(
+            lean.stats().peak_resident_flows < full.outcome.flows.len() as u64,
+            "peak {} must undercut the epoch's {} flows",
+            lean.stats().peak_resident_flows,
+            full.outcome.flows.len()
+        );
+        assert_eq!(lean.stats().shed, 0);
+        assert!(lean.stats().evidence > 0);
+        assert_eq!(lean.stats().evidence as usize, slim.reports.len());
+    }
+
+    #[test]
+    fn deferred_gate_matches_batch_runner() {
+        // SLB gating forces the deferred path; it must still reproduce
+        // run_epoch (which itself asserts parity with the threaded
+        // runner elsewhere).
+        let (topo, faults) = setup(2, 57);
+        let mut cfg = config();
+        cfg.slb = SlbModel::query_failures(0.5);
+        let mut rng_batch = ChaCha8Rng::seed_from_u64(23);
+        let mut rng_stream = ChaCha8Rng::seed_from_u64(23);
+        let batch = crate::run::run_epoch(&topo, &faults, &cfg, &mut rng_batch);
+        let tuning = StreamTuning {
+            chunk_flows: 19,
+            hub_capacity: 64,
+        };
+        let mut session = StreamSession::new(&topo, &cfg, tuning, RetainPolicy::EvidenceOnly);
+        let run = session.run_window(&faults, &mut rng_stream, &mut EpochScratch::new());
+        assert_eq!(run.reports, batch.reports);
+        assert_eq!(
+            run.detection.detected_links(),
+            batch.detection.detected_links()
+        );
+        // Both runners leave the RNG at the same position.
+        assert_eq!(rng_batch.gen::<u64>(), rng_stream.gen::<u64>());
+    }
+
+    #[test]
+    fn session_persists_health_across_windows() {
+        let (topo, faults) = setup(1, 61);
+        let cfg = config();
+        let mut rng = ChaCha8Rng::seed_from_u64(13);
+        let mut scratch = EpochScratch::new();
+        let mut session = StreamSession::new(
+            &topo,
+            &cfg,
+            StreamTuning::default(),
+            RetainPolicy::EvidenceOnly,
+        );
+        let mut detected = Vec::new();
+        for w in 0..3 {
+            assert_eq!(session.ledger().epoch(), w);
+            let run = session.run_window(&faults, &mut rng, &mut scratch);
+            detected.push(run.detection.detected_links());
+        }
+        assert_eq!(session.stats().windows, 3);
+        assert_eq!(session.ledger().windows().count(), 3);
+        let bad = *faults.failed_set().iter().next().unwrap();
+        assert!(detected.iter().all(|d| d.contains(&bad)));
+        assert!(session.ledger().health().current_streak(bad) == 3);
+        session.shutdown();
+        assert_eq!(session.stats().shed, 0);
+    }
+
+    #[test]
+    fn stream_trial_matches_batch_trial() {
+        let cfg = ExperimentConfig {
+            name: "stream-vs-batch".into(),
+            params: ClosParams::tiny(),
+            faults: FaultPlan {
+                failure_rate: RateRange::fixed(0.05),
+                ..FaultPlan::paper_default(1)
+            },
+            run: config(),
+            epochs: 2,
+            trials: 2,
+            seed: 5,
+        };
+        for trial in 0..cfg.trials {
+            let batch = crate::experiment::run_trial(&cfg, trial);
+            let (stream, stats) = stream_trial(&cfg, trial, &StreamTuning::default());
+            assert_eq!(batch.vote_gaps, stream.vote_gaps);
+            assert_eq!(
+                format!("{:?}", batch.epochs),
+                format!("{:?}", stream.epochs)
+            );
+            assert_eq!(stats.windows, cfg.epochs as u64);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "hub capacity")]
+    fn tuning_rejects_undersized_hub() {
+        let (topo, _) = setup(1, 3);
+        let cfg = config();
+        let _ = StreamSession::new(
+            &topo,
+            &cfg,
+            StreamTuning {
+                chunk_flows: 100,
+                hub_capacity: 100,
+            },
+            RetainPolicy::All,
+        );
+    }
+}

@@ -106,6 +106,59 @@ fn scratch_reuse_across_epochs_is_invisible() {
 }
 
 #[test]
+fn stream_pipeline_reproduces_the_batch_experiment_exactly() {
+    // The streaming refactor's contract, at the report level: the
+    // event-driven constant-memory pipeline produces the same
+    // ExperimentReport JSON as the batch path, and is itself identical
+    // at threads 1 vs 4 (trials shard through the same engine).
+    let cfg = config();
+    let batch = SweepEngine::new(1).run_experiment(&cfg);
+    let (stream_one, stats_one) =
+        stream_experiment(&cfg, &SweepEngine::new(1), &StreamTuning::default());
+    let (stream_four, stats_four) =
+        stream_experiment(&cfg, &SweepEngine::new(4), &StreamTuning::default());
+    assert_eq!(
+        serde_json::to_string_pretty(&batch).unwrap(),
+        serde_json::to_string_pretty(&stream_one).unwrap(),
+        "streaming changed the science"
+    );
+    assert_eq!(
+        serde_json::to_string_pretty(&stream_one).unwrap(),
+        serde_json::to_string_pretty(&stream_four).unwrap(),
+        "thread count leaked into the streamed report"
+    );
+    // Constant-memory evidence: the stream never held a full epoch of
+    // flow records, and the bounded hub never shed an event.
+    let epoch_flows = stats_one.flows / stats_one.windows;
+    assert!(stats_one.peak_resident_flows < epoch_flows);
+    assert_eq!(stats_one.shed, 0);
+    assert_eq!(stats_four.shed, 0);
+}
+
+#[test]
+fn stream_chunk_and_hub_tuning_are_invisible() {
+    // Chunk size and queue depth are memory knobs, not science knobs.
+    let cfg = config();
+    let reference = serde_json::to_string_pretty(
+        &stream_experiment(&cfg, &SweepEngine::serial(), &StreamTuning::default()).0,
+    )
+    .unwrap();
+    for (chunk_flows, hub_capacity) in [(1, 8), (37, 96), (5000, 10_000)] {
+        let tuning = StreamTuning {
+            chunk_flows,
+            hub_capacity,
+        };
+        let (report, stats) = stream_experiment(&cfg, &SweepEngine::serial(), &tuning);
+        assert_eq!(
+            serde_json::to_string_pretty(&report).unwrap(),
+            reference,
+            "tuning ({chunk_flows}, {hub_capacity}) changed the report"
+        );
+        assert_eq!(stats.shed, 0, "driver must drain before the hub fills");
+    }
+}
+
+#[test]
 fn matrix_runner_is_deterministic_across_thread_counts() {
     // A sampled sub-grid spanning static, timeline, SLB-gated, and
     // degraded cases: threads 1 and 4 must produce identical JSON

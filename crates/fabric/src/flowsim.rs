@@ -224,8 +224,29 @@ pub fn simulate_flows_with<R: Rng + ?Sized>(
     rng: &mut R,
     scratch: &mut EpochScratch,
 ) -> EpochOutcome {
-    let mut drops_per_link = vec![0u64; topo.num_links()];
+    let mut stream = EpochStream::replay(topo, faults, specs, config, rng, scratch);
     let mut flows = Vec::with_capacity(specs.len());
+    while stream.next_chunk(usize::MAX, &mut flows) > 0 {}
+    EpochOutcome {
+        flows,
+        ground_truth: stream.finish(),
+    }
+}
+
+/// Simulates one spec end to end: route, intern, sample drops. The one
+/// per-flow step both the batch loop and the streaming pull path share —
+/// factoring it here is what makes their RNG draw order identical by
+/// construction.
+fn simulate_spec<R: Rng + ?Sized>(
+    topo: &ClosTopology,
+    faults: &LinkFaults,
+    config: &SimConfig,
+    id: FlowId,
+    spec: &FlowSpec,
+    rng: &mut R,
+    scratch: &mut EpochScratch,
+    drops_per_link: &mut [u64],
+) -> FlowRecord {
     // Split borrows: routing writes `route`, interning owns `arena`, and
     // the drop sampler uses the flat accumulators — all disjoint.
     let EpochScratch {
@@ -235,64 +256,173 @@ pub fn simulate_flows_with<R: Rng + ?Sized>(
         local_drops,
         drop_pairs,
     } = scratch;
+    match topo.route_filtered_into(
+        &spec.tuple,
+        spec.src,
+        spec.dst,
+        &|l| faults.is_down(l),
+        route,
+    ) {
+        Ok(Routed::Complete) => {
+            let path = arena.intern(&route.nodes, &route.links);
+            simulate_one_flow(
+                id,
+                spec,
+                arena,
+                path,
+                faults,
+                config,
+                rng,
+                drops_per_link,
+                (rates, local_drops, drop_pairs),
+            )
+        }
+        Ok(Routed::Blackholed) => {
+            // Administratively unreachable: SYN dies in the void. No
+            // link "drops" it (the blackhole is a routing hole), the
+            // connection simply fails to establish.
+            let partial = arena.intern(&route.nodes, &route.links);
+            FlowRecord {
+                id,
+                src: spec.src,
+                dst: spec.dst,
+                tuple: spec.tuple,
+                packets: spec.packets,
+                retransmissions: config.syn_attempts,
+                path: arena.to_path(partial),
+                drops_per_link: Vec::new(),
+                established: false,
+                completed: false,
+            }
+        }
+        Err(RouteError::SameHost) => {
+            panic!("traffic generator produced a same-host flow")
+        }
+        Err(RouteError::Blackhole { .. }) => {
+            unreachable!("route_filtered_into reports blackholes as Ok(Routed::Blackholed)")
+        }
+    }
+}
 
-    for (i, spec) in specs.iter().enumerate() {
-        let id = FlowId(i as u32);
-        let record = match topo.route_filtered_into(
-            &spec.tuple,
-            spec.src,
-            spec.dst,
-            &|l| faults.is_down(l),
-            route,
-        ) {
-            Ok(Routed::Complete) => {
-                let path = arena.intern(&route.nodes, &route.links);
-                simulate_one_flow(
-                    id,
-                    spec,
-                    arena,
-                    path,
-                    faults,
-                    config,
-                    rng,
-                    &mut drops_per_link,
-                    (rates, local_drops, drop_pairs),
-                )
-            }
-            Ok(Routed::Blackholed) => {
-                // Administratively unreachable: SYN dies in the void. No
-                // link "drops" it (the blackhole is a routing hole), the
-                // connection simply fails to establish.
-                let partial = arena.intern(&route.nodes, &route.links);
-                FlowRecord {
-                    id,
-                    src: spec.src,
-                    dst: spec.dst,
-                    tuple: spec.tuple,
-                    packets: spec.packets,
-                    retransmissions: config.syn_attempts,
-                    path: arena.to_path(partial),
-                    drops_per_link: Vec::new(),
-                    established: false,
-                    completed: false,
-                }
-            }
-            Err(RouteError::SameHost) => {
-                panic!("traffic generator produced a same-host flow")
-            }
-            Err(RouteError::Blackhole { .. }) => {
-                unreachable!("route_filtered_into reports blackholes as Ok(Routed::Blackholed)")
-            }
-        };
-        flows.push(record);
+/// Pull-based streaming form of the epoch simulator: flow records are
+/// produced in caller-sized chunks instead of one epoch-sized vector, so
+/// a streaming consumer can process and *discard* records while the
+/// epoch is still being generated — the constant-memory service mode's
+/// fabric side.
+///
+/// The RNG draw order is identical to [`simulate_epoch_with`] by
+/// construction (asserted in tests): all traffic-generation draws happen
+/// in [`EpochStream::open`], then each flow's drop draws happen in flow
+/// order as chunks are pulled, exactly as the batch loop interleaves
+/// them. Chunk size is therefore invisible in the output — only in the
+/// peak number of live [`FlowRecord`]s.
+#[derive(Debug)]
+pub struct EpochStream<'a, R: Rng + ?Sized> {
+    topo: &'a ClosTopology,
+    faults: &'a LinkFaults,
+    config: &'a SimConfig,
+    rng: &'a mut R,
+    scratch: &'a mut EpochScratch,
+    specs: std::borrow::Cow<'a, [FlowSpec]>,
+    cursor: usize,
+    drops_per_link: Vec<u64>,
+}
+
+impl<'a, R: Rng + ?Sized> EpochStream<'a, R> {
+    /// Opens the epoch: draws *all* traffic-generation randomness (the
+    /// same draws, in the same order, as [`simulate_epoch_with`]'s
+    /// `traffic.generate` call) and positions the stream before the
+    /// first flow. Flow specs are plain `(src, dst, tuple, packets)`
+    /// quadruples — holding an epoch of them is cheap; the heavy
+    /// [`FlowRecord`]s (paths, drop lists) are what streaming bounds.
+    pub fn open(
+        topo: &'a ClosTopology,
+        faults: &'a LinkFaults,
+        traffic: &TrafficSpec,
+        config: &'a SimConfig,
+        rng: &'a mut R,
+        scratch: &'a mut EpochScratch,
+    ) -> Self {
+        let specs = traffic.generate(topo, rng);
+        Self {
+            topo,
+            faults,
+            config,
+            rng,
+            scratch,
+            specs: std::borrow::Cow::Owned(specs),
+            cursor: 0,
+            drops_per_link: vec![0; topo.num_links()],
+        }
     }
 
-    EpochOutcome {
-        flows,
-        ground_truth: GroundTruth {
-            drops_per_link,
-            failed_links: faults.failed_set().clone(),
-        },
+    /// A stream over a pre-generated flow list (the replay experiments'
+    /// fixed workload). No generation draws; drop draws stream in flow
+    /// order.
+    pub fn replay(
+        topo: &'a ClosTopology,
+        faults: &'a LinkFaults,
+        specs: &'a [FlowSpec],
+        config: &'a SimConfig,
+        rng: &'a mut R,
+        scratch: &'a mut EpochScratch,
+    ) -> Self {
+        Self {
+            topo,
+            faults,
+            config,
+            rng,
+            scratch,
+            specs: std::borrow::Cow::Borrowed(specs),
+            cursor: 0,
+            drops_per_link: vec![0; topo.num_links()],
+        }
+    }
+
+    /// Total flows this epoch will produce.
+    pub fn total_flows(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// Flows not yet pulled.
+    pub fn remaining(&self) -> usize {
+        self.specs.len() - self.cursor
+    }
+
+    /// Simulates up to `max_flows` further flows, appending their records
+    /// to `out` (which the caller clears — or not — between pulls).
+    /// Returns the number appended; `0` means the epoch is exhausted.
+    pub fn next_chunk(&mut self, max_flows: usize, out: &mut Vec<FlowRecord>) -> usize {
+        let end = self
+            .specs
+            .len()
+            .min(self.cursor.saturating_add(max_flows.max(1)));
+        let produced = end - self.cursor;
+        for i in self.cursor..end {
+            out.push(simulate_spec(
+                self.topo,
+                self.faults,
+                self.config,
+                FlowId(i as u32),
+                &self.specs[i],
+                self.rng,
+                self.scratch,
+                &mut self.drops_per_link,
+            ));
+        }
+        self.cursor = end;
+        produced
+    }
+
+    /// Closes the epoch and returns its ground truth (per-link drop
+    /// totals over every flow pulled so far, plus the injected failure
+    /// set). Call after the stream is exhausted for the full epoch's
+    /// oracle.
+    pub fn finish(self) -> GroundTruth {
+        GroundTruth {
+            drops_per_link: self.drops_per_link,
+            failed_links: self.faults.failed_set().clone(),
+        }
     }
 }
 
@@ -671,6 +801,51 @@ mod tests {
             .copied()
             .unwrap();
         assert!(max <= 5, "noise produced a hot link ({max} drops)");
+    }
+
+    #[test]
+    fn epoch_stream_chunking_is_invisible() {
+        // The streaming pipeline's fabric contract: pulling the epoch in
+        // chunks of any size consumes the exact RNG stream the batch
+        // simulator consumes, so records and ground truth are identical
+        // bit for bit — chunk size only changes peak memory.
+        let topo = topo();
+        let mut rng = ChaCha8Rng::seed_from_u64(31);
+        let faults = FaultPlan {
+            failure_rate: RateRange::fixed(0.02),
+            ..FaultPlan::paper_default(2)
+        }
+        .build(&topo, &mut rng);
+        let spec = traffic(12, 40);
+        let cfg = SimConfig::default();
+
+        let mut batch_rng = ChaCha8Rng::seed_from_u64(77);
+        let batch = simulate_epoch(&topo, &faults, &spec, &cfg, &mut batch_rng);
+
+        for chunk in [1usize, 7, 64, usize::MAX] {
+            let mut rng = ChaCha8Rng::seed_from_u64(77);
+            let mut scratch = EpochScratch::new();
+            let mut stream = EpochStream::open(&topo, &faults, &spec, &cfg, &mut rng, &mut scratch);
+            assert_eq!(stream.total_flows(), batch.flows.len());
+            let mut flows = Vec::new();
+            let mut buf = Vec::new();
+            loop {
+                buf.clear();
+                if stream.next_chunk(chunk, &mut buf) == 0 {
+                    break;
+                }
+                assert!(chunk == usize::MAX || buf.len() <= chunk);
+                flows.extend(buf.drain(..));
+            }
+            assert_eq!(stream.remaining(), 0);
+            let truth = stream.finish();
+            assert_eq!(flows, batch.flows, "chunk size {chunk} changed the flows");
+            assert_eq!(truth.drops_per_link, batch.ground_truth.drops_per_link);
+            assert_eq!(truth.failed_links, batch.ground_truth.failed_links);
+            // And the RNG position matches: both streams draw next the
+            // same value.
+            assert_eq!(rng.gen::<u64>(), batch_rng.clone().gen::<u64>());
+        }
     }
 
     #[test]

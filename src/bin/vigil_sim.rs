@@ -3,7 +3,10 @@
 //!
 //! ```text
 //! vigil-sim list                          # available scenario presets
-//! vigil-sim run <preset> [options]        # run a preset
+//! vigil-sim run <preset> [options]        # run a preset (batch)
+//! vigil-sim stream [preset] [options]     # run it event-driven, constant
+//!                                         # memory (default preset:
+//!                                         # single-failure)
 //! vigil-sim run-config <config.json>      # run a JSON ExperimentConfig
 //! vigil-sim bounds                        # print the Theorem 1/2 numbers
 //! vigil-sim matrix [--filter pat] [--list]  # the scenario-matrix grid
@@ -16,6 +19,21 @@
 //!                  VIGIL_THREADS, else all available cores; results
 //!                  are bit-identical at any thread count)
 //!   --json         machine-readable report on stdout
+//!
+//! stream-only options:
+//!   --forever      long-running service mode: windows roll until killed
+//!                  (or for --epochs N windows when given), one summary
+//!                  line each, heat map on exit
+//!   --window-ms W  window length on the pacing clock (default 30000 —
+//!                  the paper's 30-second epoch; rescales the Theorem 1
+//!                  traceroute budget)
+//!
+//! `stream --epochs N --json` emits byte-identical JSON to
+//! `run --json` on the same preset and flags: the streaming pipeline
+//! reproduces the batch pipeline's RNG draw order and canonical
+//! evidence order while holding only evidence-bearing flow records in
+//! memory. Service-mode counters (events/s, peak resident flows,
+//! shed/delivered) go to stderr.
 //!
 //! `matrix` runs every named scenario (fault × topology × traffic) and
 //! asserts each case's accuracy envelope: exit code 1 when any case
@@ -141,12 +159,197 @@ fn main() -> ExitCode {
             };
             execute(cfg, engine, args.iter().any(|a| a == "--json"))
         }
+        Some("stream") => run_stream(&args[1..]),
         Some("matrix") => run_matrix(&args[1..]),
         _ => {
-            eprintln!("usage: vigil-sim <list|bounds|run|run-config|matrix> …");
+            eprintln!("usage: vigil-sim <list|bounds|run|stream|run-config|matrix> …");
             ExitCode::FAILURE
         }
     }
+}
+
+/// The `stream` subcommand: the event-driven, constant-memory pipeline.
+fn run_stream(flags: &[String]) -> ExitCode {
+    // An optional leading preset name; everything else is flags.
+    let (preset_name, rest) = match flags.first() {
+        Some(f) if !f.starts_with("--") => (f.as_str(), &flags[1..]),
+        _ => ("single-failure", flags),
+    };
+    let Some(mut cfg) = preset(preset_name) else {
+        eprintln!("unknown preset '{preset_name}'; try `vigil-sim list`");
+        return ExitCode::FAILURE;
+    };
+
+    // Stream-only flags peel off first; the shared ones go through
+    // `apply_flags` so `stream` and `run` parse identically.
+    let mut forever = false;
+    let mut window_ms: Option<u64> = None;
+    let mut shared: Vec<String> = Vec::new();
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--forever" => forever = true,
+            "--window-ms" => {
+                let v = match it.next().map(|v| v.parse::<u64>()) {
+                    Some(Ok(v)) if v > 0 => v,
+                    _ => {
+                        eprintln!("--window-ms needs a positive integer (milliseconds)");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                window_ms = Some(v);
+            }
+            other => shared.push(other.to_string()),
+        }
+    }
+    let epochs_capped = shared.iter().any(|f| f == "--epochs");
+    let json = shared.iter().any(|f| f == "--json");
+    let engine = match apply_flags(&mut cfg, &shared) {
+        Ok(engine) => engine,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = cfg.params.validate() {
+        eprintln!("invalid topology parameters: {e}");
+        return ExitCode::FAILURE;
+    }
+    // A non-default window rescales the Theorem 1 traceroute budget:
+    // `Ct × window_seconds` traces per window.
+    if let Some(ms) = window_ms {
+        if let PacerBudget::Theorem1 { tmax, .. } = cfg.run.pacer {
+            cfg.run.pacer = PacerBudget::Theorem1 {
+                tmax,
+                epoch_seconds: ms as f64 / 1000.0,
+            };
+        }
+    }
+
+    if forever {
+        // The service loop has no final report: it runs one continuous
+        // session (trial 0) and prints per-window lines. Flags that only
+        // shape a report are contradictions, not no-ops.
+        if json {
+            eprintln!("--forever has no JSON report; drop --json (or drop --forever)");
+            return ExitCode::FAILURE;
+        }
+        if shared.iter().any(|f| f == "--trials" || f == "--threads") {
+            eprintln!(
+                "--forever runs one continuous session (trial 0, serial); \
+                 --trials/--threads only apply to the report mode"
+            );
+            return ExitCode::FAILURE;
+        }
+        return stream_forever(&cfg, epochs_capped.then_some(cfg.epochs));
+    }
+
+    let (report, stats) = stream_experiment(&cfg, &engine, &StreamTuning::default());
+    // Service-mode accounting goes to stderr so `--json` stdout stays
+    // byte-identical to the batch `run --json` output.
+    eprintln!(
+        "stream: {} flows, {} events ({} evidence), peak resident {} flow record(s), \
+         hub delivered {} / shed {}",
+        stats.flows,
+        stats.events,
+        stats.evidence,
+        stats.peak_resident_flows,
+        stats.delivered,
+        stats.shed
+    );
+    if stats.shed > 0 {
+        eprintln!(
+            "stream: WARNING — {} event(s) shed on the bounded hub (votes lost)",
+            stats.shed
+        );
+    }
+    if json {
+        match serde_json::to_string_pretty(&report) {
+            Ok(s) => println!("{s}"),
+            Err(e) => {
+                eprintln!("serialization failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        return ExitCode::SUCCESS;
+    }
+    print_report(&cfg, &report);
+    println!(
+        "\nstreaming: {} window(s), peak resident {} flow record(s) (vs {} simulated), \
+         {} hub event(s), shed {}",
+        stats.windows, stats.peak_resident_flows, stats.flows, stats.events, stats.shed
+    );
+    ExitCode::SUCCESS
+}
+
+/// `stream --forever`: the long-running service. One topology + fault
+/// draw (trial 0), windows rolling until killed — or for `cap` windows
+/// when `--epochs` was explicit — with a summary line per window and the
+/// cross-window heat map at the end.
+fn stream_forever(cfg: &ExperimentConfig, cap: Option<usize>) -> ExitCode {
+    use rand::Rng;
+    let mut rng = cfg.trial_rng(0);
+    let topo = match ClosTopology::new(cfg.params, rng.gen()) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("invalid topology parameters: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let faults = cfg.faults.build(&topo, &mut rng);
+    let mut scratch = vigil_fabric::EpochScratch::new();
+    let mut session = StreamSession::new(
+        &topo,
+        &cfg.run,
+        StreamTuning::default(),
+        RetainPolicy::EvidenceOnly,
+    );
+    println!(
+        "streaming service mode: preset {}, {} host(s), {} link(s){}",
+        cfg.name,
+        topo.num_hosts(),
+        topo.num_links(),
+        cap.map_or(String::from(" (until killed)"), |c| format!(
+            " ({c} window(s))"
+        )),
+    );
+    let started = std::time::Instant::now();
+    loop {
+        let run = session.run_window(&faults, &mut rng, &mut scratch);
+        let stats = session.stats();
+        let elapsed = started.elapsed().as_secs_f64().max(1e-9);
+        println!(
+            "window {:>5}  evidence {:>5}  detected {:>2} link(s)  resident peak {:>6}  \
+             {:>9.0} events/s  shed {}",
+            stats.windows,
+            run.evidence.len(),
+            run.detection.detections.len(),
+            stats.peak_resident_flows,
+            stats.events as f64 / elapsed,
+            stats.shed,
+        );
+        if cap.is_some_and(|c| stats.windows >= c as u64) {
+            break;
+        }
+    }
+    session.shutdown();
+    let health = session.ledger().health();
+    let head: Vec<String> = health
+        .heat_map()
+        .into_iter()
+        .take(5)
+        .map(|(l, s)| format!("{l:?}={s:.2}"))
+        .collect();
+    println!(
+        "heat map (EWMA, top {}): {}",
+        head.len(),
+        if head.is_empty() {
+            String::from("(cold)")
+        } else {
+            head.join("  ")
+        }
+    );
+    ExitCode::SUCCESS
 }
 
 /// The `matrix` subcommand: run the scenario grid, assert envelopes,
@@ -336,6 +539,12 @@ fn execute(cfg: ExperimentConfig, engine: SweepEngine, json: bool) -> ExitCode {
         }
         return ExitCode::SUCCESS;
     }
+    print_report(&cfg, &report);
+    ExitCode::SUCCESS
+}
+
+/// The human-readable report table (shared by `run` and `stream`).
+fn print_report(cfg: &ExperimentConfig, report: &ExperimentReport) {
     println!("experiment: {}", report.name);
     println!(
         "topology: {:?} ({} trials × {} epochs, {} thread(s), {:.0} ms)",
@@ -376,5 +585,4 @@ fn execute(cfg: ExperimentConfig, engine: SweepEngine, json: bool) -> ExitCode {
         "noise-marked flows: {} (incorrect: {})",
         report.noise_marked, report.noise_marked_incorrectly
     );
-    ExitCode::SUCCESS
 }

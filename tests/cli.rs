@@ -171,6 +171,98 @@ fn matrix_run_with_filter_reports_conformance_and_is_thread_invariant() {
 }
 
 #[test]
+fn stream_json_equals_batch_run_and_is_thread_invariant() {
+    // The streaming determinism contract, end to end through the front
+    // door: `stream --epochs 3 --json` is byte-identical to the batch
+    // `run` path on the same preset, and to itself at --threads 1 vs 4.
+    let run = |cmd: &str, threads: &str| {
+        let out = vigil_sim()
+            .args([
+                cmd,
+                "single-failure",
+                "--trials",
+                "2",
+                "--epochs",
+                "3",
+                "--threads",
+                threads,
+                "--json",
+            ])
+            .output()
+            .expect("spawn vigil-sim");
+        assert!(
+            out.status.success(),
+            "vigil-sim {cmd} failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8(out.stdout).unwrap()
+    };
+    let batch = run("run", "1");
+    let stream = run("stream", "1");
+    assert_eq!(batch, stream, "stream JSON diverged from the batch path");
+    let stream4 = run("stream", "4");
+    assert_eq!(stream, stream4, "thread count changed the stream JSON");
+
+    // The service-mode accounting lands on stderr, not in the JSON.
+    let out = vigil_sim()
+        .args([
+            "stream",
+            "single-failure",
+            "--trials",
+            "1",
+            "--epochs",
+            "1",
+            "--threads",
+            "1",
+            "--json",
+        ])
+        .output()
+        .unwrap();
+    let stderr = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(
+        stderr.contains("peak resident") && stderr.contains("shed"),
+        "stream stats missing from stderr: {stderr}"
+    );
+}
+
+#[test]
+fn stream_forever_caps_at_explicit_epochs_and_prints_windows() {
+    let out = vigil_sim()
+        .args([
+            "stream",
+            "single-failure",
+            "--forever",
+            "--epochs",
+            "2",
+            "--window-ms",
+            "30000",
+        ])
+        .output()
+        .expect("spawn vigil-sim");
+    assert!(
+        out.status.success(),
+        "stream --forever failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    let windows = text.lines().filter(|l| l.starts_with("window")).count();
+    assert_eq!(windows, 2, "expected 2 window lines:\n{text}");
+    assert!(text.contains("heat map"), "missing heat map:\n{text}");
+
+    // Unknown presets and bad window lengths fail cleanly.
+    let bad = vigil_sim()
+        .args(["stream", "no-such-preset"])
+        .output()
+        .unwrap();
+    assert!(!bad.status.success());
+    let bad = vigil_sim()
+        .args(["stream", "--window-ms", "zero"])
+        .output()
+        .unwrap();
+    assert!(!bad.status.success());
+}
+
+#[test]
 fn threads_flag_is_accepted_and_output_is_thread_invariant() {
     // `--threads N` routes through the sweep engine; the JSON report must
     // be byte-identical at any width.
