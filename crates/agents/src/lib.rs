@@ -23,10 +23,15 @@
 //! * [`hub`] — crossbeam-channel fan-in from the per-host agents to the
 //!   centralized analysis agent (the arrow in the paper's Figure 2),
 //!   with shed/delivered accounting on every hub.
+//! * [`adversary`] — byzantine host behaviors (liar, mute, flooder,
+//!   flipper): a deterministic, seed-derived fraction of hosts whose
+//!   monitoring agents misreport, for the robustness axis of the
+//!   scenario matrix.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adversary;
 pub mod events;
 pub mod host_agent;
 pub mod hub;
@@ -34,6 +39,7 @@ pub mod monitor;
 pub mod pathdisc;
 pub mod slb_gate;
 
+pub use adversary::{AdversaryModel, ByzantineBehavior, ByzantineSpec};
 pub use events::AgentEvent;
 pub use host_agent::{HostAgent, TraceReport};
 pub use hub::{

@@ -104,6 +104,16 @@ pub struct Algorithm1Output {
     pub adjusted_tally: VoteTally,
     /// The raw, unadjusted tally (the ranking used for per-flow blame).
     pub raw_tally: VoteTally,
+    /// Total vote mass cast into the tally (the democratic input).
+    #[serde(default)]
+    pub absorbed_votes: f64,
+    /// Vote mass retracted by the adjustment pass — flows explained by a
+    /// detected link whose votes were excluded from later picks. The
+    /// absorbed/excluded split makes the tally's robustness observable:
+    /// an adversary's spurious mass either stays in the residual (diluting
+    /// thresholds) or is discarded here.
+    #[serde(default)]
+    pub excluded_votes: f64,
 }
 
 impl Algorithm1Output {
@@ -168,10 +178,13 @@ pub fn detect(
         }
     }
 
+    let excluded_votes = initial_total - tally.total();
     Algorithm1Output {
         detections,
         adjusted_tally: tally,
         raw_tally,
+        absorbed_votes: initial_total,
+        excluded_votes,
     }
 }
 
@@ -360,5 +373,26 @@ mod tests {
         assert!((out.raw_tally.votes(LinkId(1)) - 1.0).abs() < 1e-12);
         // adjusted tally may differ (flows explained by link 1 retracted)
         assert!(out.adjusted_tally.votes(LinkId(1)) <= out.raw_tally.votes(LinkId(1)));
+    }
+
+    #[test]
+    fn absorbed_and_excluded_mass_account_for_the_adjustment() {
+        // Two flows through link 1: detection explains both, so the whole
+        // absorbed mass is excluded by the adjustment pass.
+        let evidence = vec![ev(&[1, 2]), ev(&[1, 3])];
+        let out = detect(&evidence, 5, &cfg());
+        assert!((out.absorbed_votes - 2.0).abs() < 1e-12);
+        assert!((out.excluded_votes - 2.0).abs() < 1e-12);
+        // Without adjustment nothing is ever excluded.
+        let no_adjust = detect(
+            &evidence,
+            5,
+            &Algorithm1Config {
+                adjust: false,
+                ..cfg()
+            },
+        );
+        assert_eq!(no_adjust.excluded_votes, 0.0);
+        assert!((no_adjust.absorbed_votes - 2.0).abs() < 1e-12);
     }
 }

@@ -35,6 +35,7 @@ use crate::algorithm1::{detect, Algorithm1Config, Algorithm1Output, ThresholdBas
 use crate::evidence::FlowEvidence;
 use crate::history::LinkHealth;
 use crate::noise::{classify_flows, DropClass};
+use crate::robustness::RobustnessCounters;
 use crate::voting::VoteTally;
 use std::collections::{BTreeMap, VecDeque};
 use vigil_topology::LinkId;
@@ -88,6 +89,7 @@ pub struct VoteLedger<K: Ord> {
     ring: VecDeque<WindowSummary>,
     ring_capacity: usize,
     health: LinkHealth,
+    robustness: RobustnessCounters,
 }
 
 impl<K: Ord> VoteLedger<K> {
@@ -114,6 +116,7 @@ impl<K: Ord> VoteLedger<K> {
             ring: VecDeque::with_capacity(ring_capacity + 1),
             ring_capacity,
             health: LinkHealth::new(num_links, alpha),
+            robustness: RobustnessCounters::default(),
         }
     }
 
@@ -122,8 +125,10 @@ impl<K: Ord> VoteLedger<K> {
     /// supersedes the earlier evidence (its votes are retracted first),
     /// so at-least-once delivery cannot double-count a flow.
     pub fn absorb(&mut self, key: K, evidence: FlowEvidence) {
+        self.robustness.absorbed += 1;
         if let Some(old) = self.window.get(&key) {
             self.live.retract(old, self.config.weight);
+            self.robustness.superseded += 1;
         }
         self.live.cast(&evidence, self.config.weight);
         self.window.insert(key, evidence);
@@ -135,6 +140,7 @@ impl<K: Ord> VoteLedger<K> {
     pub fn retract(&mut self, key: &K) -> Option<FlowEvidence> {
         let evidence = self.window.remove(key)?;
         self.live.retract(&evidence, self.config.weight);
+        self.robustness.retracted += 1;
         Some(evidence)
     }
 
@@ -160,6 +166,27 @@ impl<K: Ord> VoteLedger<K> {
     /// The cross-window link-health EWMA (the operator heat map).
     pub fn health(&self) -> &LinkHealth {
         &self.health
+    }
+
+    /// Cumulative absorb/discard accounting (never reset by a close):
+    /// votes absorbed vs discarded-by-exclusion, the byzantine-axis
+    /// observability counters.
+    pub fn robustness(&self) -> RobustnessCounters {
+        self.robustness
+    }
+
+    /// The open window's evidence volume grouped by `group_of(key)` —
+    /// usually the host half of the pipeline's `(HostId, FiveTuple)`
+    /// key. Keys arrive in canonical (ascending) order, so the result is
+    /// sorted by group; feed it to
+    /// [`volume_outliers`](crate::robustness::volume_outliers) to flag
+    /// flooding hosts.
+    pub fn volumes_by<H: Ord + Copy>(&self, group_of: impl Fn(&K) -> H) -> Vec<(H, u64)> {
+        let mut volumes: BTreeMap<H, u64> = BTreeMap::new();
+        for key in self.window.keys() {
+            *volumes.entry(group_of(key)).or_insert(0) += 1;
+        }
+        volumes.into_iter().collect()
     }
 
     /// The retained window summaries, oldest first (at most the ring
@@ -349,6 +376,28 @@ mod tests {
         let win = l.close_window();
         assert_eq!(win.evidence.len(), 1);
         assert_eq!(win.evidence[0].retransmissions, 5, "newest evidence wins");
+    }
+
+    #[test]
+    fn robustness_counters_and_volumes_track_the_window() {
+        let mut l = ledger();
+        l.absorb((0, 0), ev(&[1, 2], 1));
+        l.absorb((0, 1), ev(&[1, 2], 1));
+        l.absorb((0, 1), ev(&[1, 2], 3)); // supersedes
+        l.absorb((7, 0), ev(&[3, 4], 2));
+        l.retract(&(7, 0)).expect("absorbed");
+        l.retract(&(7, 0)); // miss: not counted
+        let c = l.robustness();
+        assert_eq!(c.absorbed, 4);
+        assert_eq!(c.superseded, 1);
+        assert_eq!(c.retracted, 1);
+        assert_eq!(c.discarded(), 2);
+        assert_eq!(c.net_absorbed(), 2);
+        assert_eq!(l.volumes_by(|k| k.0), vec![(0, 2)]);
+        // Counters are cumulative: a close resets the window, not them.
+        l.close_window();
+        assert_eq!(l.robustness(), c);
+        assert!(l.volumes_by(|k| k.0).is_empty());
     }
 
     #[test]

@@ -18,6 +18,8 @@
 //!   mode: absorb/retract evidence as it arrives, close 30-second
 //!   windows without re-scanning flows, feed the [`LinkHealth`] ring.
 //! * [`noise`] — the noise / failure-drop classification of §6.
+//! * [`robustness`] — absorb/discard counters and per-host vote-volume
+//!   outlier stats: the observability for the byzantine-voter axis.
 //! * [`switch_votes`] — the switch-level voting extension (§5.1).
 //! * [`latency`] — the latency-diagnosis extension sketched in §9.2.
 
@@ -31,6 +33,7 @@ pub mod history;
 pub mod latency;
 pub mod ledger;
 pub mod noise;
+pub mod robustness;
 pub mod switch_votes;
 pub mod voting;
 
@@ -40,5 +43,6 @@ pub use evidence::FlowEvidence;
 pub use history::LinkHealth;
 pub use ledger::{VoteLedger, WindowAnalysis, WindowSummary};
 pub use noise::{classify_flows, DropClass};
+pub use robustness::{volume_outliers, RobustnessCounters, VoteVolumeStats};
 pub use switch_votes::{detect_switches, SwitchDetection, SwitchTally};
 pub use voting::{VoteTally, VoteWeight};

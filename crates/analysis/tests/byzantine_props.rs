@@ -1,0 +1,237 @@
+//! Byzantine-voter properties of the democratic tally (the analysis-side
+//! guarantees behind the `byzantine/*` scenario axis).
+//!
+//! Each property is constructive: it builds an evidence pool where the
+//! adversary's strength is bounded by an explicit margin, then asserts
+//! the tally + Algorithm 1 hold the honest verdict. The margins mirror
+//! Theorem 2's separation argument — a bad link's vote mass exceeds any
+//! good link's with probability `1 - ε` because each victim flow casts
+//! equal `1/h` mass — reduced to its combinatorial core: with every path
+//! the same length, vote order *is* voter-count order, so "k liars cannot
+//! outrank a link with more than k honest victims" is exact, not
+//! probabilistic.
+//!
+//! 1. **Liar margin**: k lying voters, each minting one fake-path flow,
+//!    never push a fabricated link above any true link backed by more
+//!    than k honest flows — the true links occupy the top ranks and the
+//!    first picks of Algorithm 1.
+//! 2. **Mute monotonicity**: silent voters only remove evidence, so the
+//!    detection set can only shrink (recall loss) and never gains a
+//!    false positive (accuracy is untouched).
+//! 3. **Flooder threshold**: spurious evidence spread over healthy links
+//!    never mints a detection while each healthy link's flood mass stays
+//!    below the conservative (fixed-base) threshold bar — the same bar
+//!    the noise classifier's first-pass detection uses. The construction
+//!    grants the flooder its strongest position: none of its flows are
+//!    assumed caught by the upstream noise filter.
+
+use proptest::prelude::*;
+use vigil_analysis::{detect, Algorithm1Config, FlowEvidence, ThresholdBase, VoteWeight};
+use vigil_topology::LinkId;
+
+/// Builds a 3-hop flow: the link under test plus two globally unique
+/// filler links. Equal path lengths make `1/h` votes rank by voter
+/// count; unique fillers keep every filler below the voter quorum.
+fn flow_through(link: u32, filler: &mut u32) -> FlowEvidence {
+    let a = *filler;
+    *filler += 2;
+    FlowEvidence::new(vec![LinkId(link), LinkId(a), LinkId(a + 1)], 2)
+}
+
+fn cfg() -> Algorithm1Config {
+    Algorithm1Config::default()
+}
+
+proptest! {
+    /// With `k` liars among the voters — each emitting one flow whose
+    /// fabricated path blames fake links — every true link backed by
+    /// more than `k` honest flows strictly outranks every fabricated
+    /// link, in both the raw tally ranking and Algorithm 1's pick order.
+    #[test]
+    fn liars_below_the_margin_never_outrank_true_links(
+        honest in proptest::collection::vec(2u32..12, 1..4),
+        k_raw in 0u32..64,
+        fake_choice in proptest::collection::vec(0usize..5, 1..16),
+    ) {
+        let n_true = honest.len() as u32;
+        let min_honest = *honest.iter().min().unwrap();
+        // The margin: strictly fewer liar flows than any true link's
+        // honest backing. (Each liar mints one flow per epoch, exactly
+        // as the Liar adversary does per retransmitting flow.)
+        let k = (k_raw % min_honest) as usize;
+        let n_fake = 5u32;
+        let mut filler = n_true + n_fake;
+
+        let mut evidence = Vec::new();
+        for (i, &count) in honest.iter().enumerate() {
+            for _ in 0..count {
+                evidence.push(flow_through(i as u32, &mut filler));
+            }
+        }
+        for j in 0..k {
+            let fake = n_true + fake_choice[j % fake_choice.len()] as u32;
+            evidence.push(flow_through(fake, &mut filler));
+        }
+
+        let num_links = filler as usize;
+        let out = detect(&evidence, num_links, &cfg());
+
+        // Raw ranking: the top `n_true` entries are exactly the true
+        // links — no fabricated link intrudes on the top ranks.
+        let ranking = out.raw_tally.ranking();
+        let top: Vec<u32> = ranking[..n_true as usize]
+            .iter()
+            .map(|(l, _)| l.0)
+            .collect();
+        for i in 0..n_true {
+            prop_assert!(
+                top.contains(&i),
+                "true link {i} pushed out of the top ranks by liars (k={k}): {top:?}"
+            );
+        }
+        // And strictly: the weakest true link out-votes the strongest
+        // impostor (margin > 0 by construction).
+        let weakest_true = (0..n_true)
+            .map(|i| out.raw_tally.votes(LinkId(i)))
+            .fold(f64::INFINITY, f64::min);
+        let strongest_fake = (n_true..n_true + n_fake)
+            .map(|i| out.raw_tally.votes(LinkId(i)))
+            .fold(0.0, f64::max);
+        prop_assert!(
+            weakest_true > strongest_fake,
+            "margin violated: weakest true {weakest_true} vs strongest fake {strongest_fake}"
+        );
+
+        // Algorithm 1 picks the true links first, before any liar-backed
+        // link can be considered.
+        let first_picks: Vec<u32> = out
+            .detections
+            .iter()
+            .take(n_true as usize)
+            .map(|d| d.link.0)
+            .collect();
+        prop_assert_eq!(first_picks.len(), n_true as usize);
+        for i in 0..n_true {
+            prop_assert!(
+                first_picks.contains(&i),
+                "true link {} not among the first picks: {:?}",
+                i,
+                first_picks
+            );
+        }
+    }
+
+    /// Mute hosts withhold their evidence. Over disjoint per-link
+    /// evidence, that can only shrink the detection set (recall), never
+    /// add to it (accuracy): the muted run's detections stay a subset of
+    /// both the honest run's detections and the true links.
+    #[test]
+    fn mute_hosts_only_reduce_recall_never_accuracy(
+        honest in proptest::collection::vec(1u32..8, 1..5),
+        mute in proptest::collection::vec(proptest::any::<bool>(), 1..40),
+    ) {
+        let n_true = honest.len() as u32;
+        let mut filler = n_true;
+        let mut evidence = Vec::new();
+        for (i, &count) in honest.iter().enumerate() {
+            for _ in 0..count {
+                evidence.push(flow_through(i as u32, &mut filler));
+            }
+        }
+        let num_links = filler as usize;
+
+        let surviving: Vec<FlowEvidence> = evidence
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !mute[i % mute.len()])
+            .map(|(_, e)| e.clone())
+            .collect();
+
+        let full = detect(&evidence, num_links, &cfg());
+        let muted = detect(&surviving, num_links, &cfg());
+
+        let full_set: Vec<u32> = full.detections.iter().map(|d| d.link.0).collect();
+        let muted_set: Vec<u32> = muted.detections.iter().map(|d| d.link.0).collect();
+
+        // Accuracy: neither run ever blames a link no honest flow voted
+        // for (fillers are below the voter quorum by construction).
+        for l in full_set.iter().chain(&muted_set) {
+            prop_assert!(*l < n_true, "false positive {l} minted by silence");
+        }
+        // Recall monotonicity: removing voters can only lose detections.
+        for l in &muted_set {
+            prop_assert!(
+                full_set.contains(l),
+                "muting voters minted detection {l} absent from the honest run"
+            );
+        }
+        prop_assert!(muted_set.len() <= full_set.len());
+    }
+
+    /// A flooder spreads spurious flows over healthy links. While each
+    /// healthy link's flood mass stays below the conservative threshold
+    /// bar (`threshold_frac` of the epoch's initial vote total — the
+    /// fixed base the noise classifier's first-pass detection uses), no
+    /// flooded link is ever detected: detections remain within the true
+    /// failed set.
+    #[test]
+    fn flood_below_the_bar_never_mints_a_false_positive(
+        honest in proptest::collection::vec(15u32..25, 3..6),
+        flood_raw in proptest::collection::vec(0u32..8, 1..6),
+    ) {
+        let n_true = honest.len() as u32;
+        let n_flood = flood_raw.len() as u32;
+        let total_honest: u32 = honest.iter().sum();
+        // Every flow contributes total mass 1.0 (h links × 1/h), so the
+        // initial total is at least `total_honest` and the bar at least
+        // `0.01 · total_honest`. A flooded link's mass is `f/3` (3-hop
+        // paths), so capping `f` at `floor(0.03 · total_honest)` keeps
+        // every flooded link strictly under the bar.
+        let cap = (0.03 * total_honest as f64).floor() as u32;
+        let flood: Vec<u32> = flood_raw.iter().map(|f| (*f).min(cap)).collect();
+
+        let mut filler = n_true + n_flood;
+        let mut evidence = Vec::new();
+        for (i, &count) in honest.iter().enumerate() {
+            for _ in 0..count {
+                evidence.push(flow_through(i as u32, &mut filler));
+            }
+        }
+        for (j, &count) in flood.iter().enumerate() {
+            for _ in 0..count {
+                evidence.push(flow_through(n_true + j as u32, &mut filler));
+            }
+        }
+        let num_links = filler as usize;
+
+        let out = detect(
+            &evidence,
+            num_links,
+            &Algorithm1Config {
+                threshold_base: ThresholdBase::Initial,
+                weight: VoteWeight::ReciprocalPathLength,
+                ..cfg()
+            },
+        );
+
+        let detected: Vec<u32> = out.detections.iter().map(|d| d.link.0).collect();
+        for l in &detected {
+            prop_assert!(
+                *l < n_true,
+                "flooded healthy link {} detected below the bar \
+                 (flood mass {:?}, honest {:?})",
+                l,
+                flood,
+                honest
+            );
+        }
+        // The flood never drowns the true links either: every genuinely
+        // failed link still clears the bar.
+        for i in 0..n_true {
+            prop_assert!(
+                detected.contains(&i),
+                "true link {i} lost to flood dilution: {detected:?}"
+            );
+        }
+    }
+}

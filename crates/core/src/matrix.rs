@@ -200,6 +200,12 @@ pub struct ScenarioCase {
     pub run: RunConfig,
     /// The accuracy envelope this case must satisfy.
     pub envelope: Envelope,
+    /// For byzantine cases: the envelope the *honest-voter* twin of this
+    /// case satisfies. `envelope` above is the byzantine *tolerance*
+    /// envelope (what must still hold under attack); this one feeds the
+    /// [`MatrixReport::breaking_points`] computation — the smallest
+    /// fraction whose measured metrics fall outside it.
+    pub honest_envelope: Option<Envelope>,
 }
 
 impl ScenarioCase {
@@ -220,6 +226,9 @@ impl ScenarioCase {
         let mut labels = self.faults.labels();
         if self.run.slb.enabled() {
             labels.push("slb-gate");
+        }
+        if self.run.byzantine.enabled() {
+            labels.push(self.run.byzantine.label());
         }
         labels
     }
@@ -276,8 +285,25 @@ pub struct CaseOutcome {
     pub pass: bool,
 }
 
-/// The whole grid's result.
+/// The measured byzantine breaking point of one behavior: the smallest
+/// compromised-host fraction that drove a case below its *honest-voter*
+/// envelope. `None` means every tested fraction stayed inside it — the
+/// tally tolerated the whole sweep.
 #[derive(Debug, Clone, Serialize)]
+pub struct BreakingPoint {
+    /// The behavior label (`byz-liar`, `byz-mute`, …).
+    pub behavior: &'static str,
+    /// The smallest tested fraction outside the honest envelope.
+    pub breaking_fraction: Option<f64>,
+    /// The largest tested fraction that stayed inside it (`None`: every
+    /// tested fraction broke).
+    pub tolerated_fraction: Option<f64>,
+    /// The largest fraction the grid tested (bounds the claim).
+    pub max_tested_fraction: f64,
+}
+
+/// The whole grid's result.
+#[derive(Debug, Clone)]
 pub struct MatrixReport {
     /// Matrix master seed.
     pub seed: u64,
@@ -287,6 +313,30 @@ pub struct MatrixReport {
     pub epochs: usize,
     /// Per-case verdicts, grid order.
     pub cases: Vec<CaseOutcome>,
+    /// Per-behavior byzantine breaking points (empty on honest-only
+    /// grids).
+    pub breaking_points: Vec<BreakingPoint>,
+}
+
+// Hand-written so `breaking_points` is *absent* (not `[]`) on
+// honest-only grids: an honest matrix report serializes byte-identically
+// to before the byzantine axis existed.
+impl Serialize for MatrixReport {
+    fn to_value(&self) -> serde::Value {
+        let mut entries = vec![
+            ("seed".to_string(), self.seed.to_value()),
+            ("trials".to_string(), self.trials.to_value()),
+            ("epochs".to_string(), self.epochs.to_value()),
+            ("cases".to_string(), self.cases.to_value()),
+        ];
+        if !self.breaking_points.is_empty() {
+            entries.push((
+                "breaking_points".to_string(),
+                self.breaking_points.to_value(),
+            ));
+        }
+        serde::Value::Map(entries)
+    }
 }
 
 impl MatrixReport {
@@ -376,8 +426,19 @@ impl MatrixRunner {
         for (ci, trial) in trials {
             reports[ci].merge_trial(trial);
         }
+        // (behavior, fraction, within-honest-envelope) per byzantine case.
+        let mut byz_samples: Vec<(&'static str, f64, bool)> = Vec::new();
         for (case, report) in cases.iter().zip(&reports) {
             let metrics = CaseMetrics::from_report(report);
+            if let Some(honest) = &case.honest_envelope {
+                if case.run.byzantine.enabled() {
+                    byz_samples.push((
+                        case.run.byzantine.label(),
+                        case.run.byzantine.fraction,
+                        honest.check(&metrics).is_empty(),
+                    ));
+                }
+            }
             let violations = case.envelope.check(&metrics);
             outcomes.push(CaseOutcome {
                 name: case.name.clone(),
@@ -395,8 +456,44 @@ impl MatrixRunner {
             trials: self.trials,
             epochs: self.epochs,
             cases: outcomes,
+            breaking_points: breaking_points(&byz_samples),
         }
     }
+}
+
+/// Folds per-case `(behavior, fraction, within-honest-envelope)` samples
+/// into one [`BreakingPoint`] per behavior, in first-seen behavior order.
+fn breaking_points(samples: &[(&'static str, f64, bool)]) -> Vec<BreakingPoint> {
+    let mut points: Vec<BreakingPoint> = Vec::new();
+    for &(behavior, fraction, within) in samples {
+        let point = match points.iter_mut().find(|p| p.behavior == behavior) {
+            Some(p) => p,
+            None => {
+                points.push(BreakingPoint {
+                    behavior,
+                    breaking_fraction: None,
+                    tolerated_fraction: None,
+                    max_tested_fraction: 0.0,
+                });
+                points.last_mut().expect("just pushed")
+            }
+        };
+        point.max_tested_fraction = point.max_tested_fraction.max(fraction);
+        if within {
+            point.tolerated_fraction = Some(
+                point
+                    .tolerated_fraction
+                    .map_or(fraction, |t| t.max(fraction)),
+            );
+        } else {
+            point.breaking_fraction = Some(
+                point
+                    .breaking_fraction
+                    .map_or(fraction, |b| b.min(fraction)),
+            );
+        }
+    }
+    points
 }
 
 /// Keeps the cases whose name contains `pat` (empty pattern keeps all).
@@ -475,6 +572,51 @@ mod tests {
         let blackholes = filter_cases(cases, "blackhole");
         assert!(!blackholes.is_empty());
         assert!(blackholes.iter().all(|c| c.name.contains("blackhole")));
+    }
+
+    #[test]
+    fn breaking_points_fold_per_behavior() {
+        let samples = [
+            ("byz-liar", 0.05, true),
+            ("byz-liar", 0.10, true),
+            ("byz-liar", 0.33, false),
+            ("byz-liar", 0.50, false),
+            ("byz-mute", 0.20, true),
+            ("byz-mute", 0.50, true),
+            ("byz-flip", 0.10, false),
+        ];
+        let points = breaking_points(&samples);
+        assert_eq!(points.len(), 3);
+        let liar = &points[0];
+        assert_eq!(liar.behavior, "byz-liar");
+        assert_eq!(liar.breaking_fraction, Some(0.33), "smallest failing");
+        assert_eq!(liar.tolerated_fraction, Some(0.10), "largest passing");
+        assert_eq!(liar.max_tested_fraction, 0.50);
+        let mute = &points[1];
+        assert_eq!(mute.breaking_fraction, None, "never broke");
+        assert_eq!(mute.tolerated_fraction, Some(0.50));
+        let flip = &points[2];
+        assert_eq!(flip.breaking_fraction, Some(0.10));
+        assert_eq!(flip.tolerated_fraction, None, "every fraction broke");
+        assert!(breaking_points(&[]).is_empty());
+    }
+
+    #[test]
+    fn honest_matrix_report_serializes_without_breaking_points() {
+        let cases = filter_cases(standard_matrix(), "drop/k1");
+        let mut runner = MatrixRunner::new(SweepEngine::serial());
+        runner.trials = 1;
+        runner.epochs = 1;
+        let honest = runner.run(&cases[..1]);
+        let json = serde_json::to_string(&honest).unwrap();
+        assert!(
+            !json.contains("breaking_points"),
+            "honest reports must serialize byte-identically to the pre-axis format"
+        );
+        let byz = runner.run(&filter_cases(standard_matrix(), "byzantine/liar-50"));
+        assert!(serde_json::to_string(&byz)
+            .unwrap()
+            .contains("breaking_points"));
     }
 
     #[test]

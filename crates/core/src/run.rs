@@ -11,7 +11,10 @@
 use crate::stream::{RetainPolicy, StreamSession, StreamTuning};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
-use vigil_agents::{FlowIndex, FlowTableTracer, HostAgent, HostPacer, TcpMonitor, TraceReport};
+use vigil_agents::{
+    AdversaryModel, ByzantineSpec, FlowIndex, FlowTableTracer, HostAgent, HostPacer, TcpMonitor,
+    TraceReport,
+};
 use vigil_analysis::ledger::WindowAnalysis;
 use vigil_analysis::{Algorithm1Config, Algorithm1Output, DropClass, FlowEvidence, VoteLedger};
 use vigil_fabric::faults::LinkFaults;
@@ -100,6 +103,12 @@ pub struct RunConfig {
     /// that are SNATed) go untraced. Disabled by default.
     #[serde(default)]
     pub slb: SlbModel,
+    /// Byzantine-voter axis: a deterministic, seed-derived fraction of
+    /// hosts whose monitoring agents lie, stay mute, or flood spurious
+    /// evidence. Disabled by default (`fraction = 0` — a true no-op on
+    /// the RNG draw order).
+    #[serde(default)]
+    pub byzantine: ByzantineSpec,
 }
 
 impl Default for RunConfig {
@@ -111,6 +120,7 @@ impl Default for RunConfig {
             pacer: PacerBudget::default(),
             baselines: Baselines::default(),
             slb: SlbModel::default(),
+            byzantine: ByzantineSpec::default(),
         }
     }
 }
@@ -213,6 +223,17 @@ pub fn run_epoch_threaded<R: Rng + ?Sized>(
     // O(flows × chunk) `contains` filter) and the flow index every
     // worker's tracer reads through.
     let buckets = monitor.bucket_events(&outcome.flows, topo.num_hosts());
+    // The byzantine axis needs every flow of a host (a flooder emits on
+    // *healthy* flows), in simulation order so the pacer interleaving
+    // matches the stream driver — a second CSR bucket over all flows,
+    // built only when the axis is on.
+    let adversary = config
+        .byzantine
+        .enabled()
+        .then(|| AdversaryModel::new(config.byzantine, topo.num_links()));
+    let flow_buckets = adversary
+        .is_some()
+        .then(|| bucket_flows(&outcome.flows, topo.num_hosts()));
     let flow_index = FlowIndex::from_flows(&outcome.flows);
     let (sender, collector) = vigil_agents::report_channel();
 
@@ -223,6 +244,8 @@ pub fn run_epoch_threaded<R: Rng + ?Sized>(
             let outcome_ref = &outcome;
             let topo_ref = topo;
             let buckets_ref = &buckets;
+            let flow_buckets_ref = &flow_buckets;
+            let adversary_ref = &adversary;
             let index_ref = &flow_index;
             let config_ref = config;
             scope.spawn(move || {
@@ -230,6 +253,31 @@ pub fn run_epoch_threaded<R: Rng + ?Sized>(
                 // the one flow table and index.
                 let mut tracer = FlowTableTracer::new(&outcome_ref.flows, index_ref);
                 for &host in chunk {
+                    if let (Some(adv), Some(fb)) = (adversary_ref, flow_buckets_ref) {
+                        // Adversarial path: the emission decision (honest
+                        // eventfulness or a byzantine override) is a pure
+                        // per-flow hash, evaluated on the host's flows in
+                        // simulation order.
+                        let mut agent: Option<HostAgent> = None;
+                        for &fi in fb.for_host(host) {
+                            let rec = &outcome_ref.flows[fi as usize];
+                            let Some((event, path)) = adv.emission(rec) else {
+                                continue;
+                            };
+                            if gate_salt
+                                .is_some_and(|salt| config_ref.slb.skips(&event.tuple, salt))
+                            {
+                                continue;
+                            }
+                            let agent = agent.get_or_insert_with(|| {
+                                HostAgent::new(host, config_ref.pacer.pacer(topo_ref))
+                            });
+                            if let Some(report) = agent.handle_discovered(&event, path) {
+                                tx.send(report);
+                            }
+                        }
+                        continue;
+                    }
                     let events = buckets_ref.for_host(host);
                     if events.is_empty() {
                         continue;
@@ -249,6 +297,42 @@ pub fn run_epoch_threaded<R: Rng + ?Sized>(
     // All workers have joined (scope end), so every report is queued.
     let reports = collector.drain();
     analyze(topo, outcome, flow_index, reports, config)
+}
+
+/// Host → flow-index buckets over *all* flows (CSR layout, simulation
+/// order preserved within each host) — the adversarial counterpart of
+/// [`TcpMonitor::bucket_events`], which buckets eventful flows only.
+struct HostFlowBuckets {
+    starts: Vec<usize>,
+    idx: Vec<u32>,
+}
+
+impl HostFlowBuckets {
+    /// The flow indices of `host`, in simulation order.
+    fn for_host(&self, host: vigil_topology::HostId) -> &[u32] {
+        let h = host.0 as usize;
+        &self.idx[self.starts[h]..self.starts[h + 1]]
+    }
+}
+
+/// Buckets every flow record by source host: counting pass → prefix
+/// sums → placement, so each bucket preserves simulation order.
+fn bucket_flows(flows: &[vigil_fabric::flowsim::FlowRecord], num_hosts: usize) -> HostFlowBuckets {
+    let mut starts = vec![0usize; num_hosts + 1];
+    for rec in flows {
+        starts[rec.src.0 as usize + 1] += 1;
+    }
+    for h in 0..num_hosts {
+        starts[h + 1] += starts[h];
+    }
+    let mut cursor = starts.clone();
+    let mut idx = vec![0u32; flows.len()];
+    for (i, rec) in flows.iter().enumerate() {
+        let c = &mut cursor[rec.src.0 as usize];
+        idx[*c] = i as u32;
+        *c += 1;
+    }
+    HostFlowBuckets { starts, idx }
 }
 
 /// The ledger ring depth the epoch runners use (how many closed-window
@@ -452,6 +536,78 @@ mod tests {
             seq.reports.len(),
             ungated.reports.len()
         );
+    }
+
+    #[test]
+    fn byzantine_behaviors_match_across_runners() {
+        // Every behavior, sequential vs threaded, same RNG: identical
+        // reports (adversary decisions are per-flow hashes, never
+        // arrival-order) — and each behavior visibly changes the
+        // evidence relative to the honest run.
+        let (topo, faults, _) = setup(2, 29);
+        let mut honest_rng = ChaCha8Rng::seed_from_u64(31);
+        let honest = run_epoch(&topo, &faults, &config(), &mut honest_rng);
+        for spec in [
+            ByzantineSpec::liars(0.33),
+            ByzantineSpec::mutes(0.33),
+            ByzantineSpec::flooders(0.33, 0.5),
+            ByzantineSpec::flippers(0.33),
+        ] {
+            let mut cfg = config();
+            cfg.byzantine = spec;
+            let mut rng1 = ChaCha8Rng::seed_from_u64(31);
+            let mut rng2 = ChaCha8Rng::seed_from_u64(31);
+            let seq = run_epoch(&topo, &faults, &cfg, &mut rng1);
+            let thr = run_epoch_threaded(&topo, &faults, &cfg, 4, &mut rng2);
+            assert_eq!(
+                seq.reports,
+                thr.reports,
+                "{}: adversary must be order-independent",
+                spec.label()
+            );
+            assert_ne!(
+                seq.reports,
+                honest.reports,
+                "{}: a third of the hosts compromised must change the evidence",
+                spec.label()
+            );
+        }
+    }
+
+    #[test]
+    fn byzantine_composes_with_slb_gate_across_runners() {
+        // The deferred-gate stream path and the threaded path must agree
+        // when both axes are on: gate skips apply uniformly to honest
+        // and byzantine emissions.
+        let (topo, faults, _) = setup(2, 37);
+        let mut cfg = config();
+        cfg.slb = SlbModel::query_failures(0.4);
+        cfg.byzantine = ByzantineSpec::flippers(0.25);
+        let mut rng1 = ChaCha8Rng::seed_from_u64(41);
+        let mut rng2 = ChaCha8Rng::seed_from_u64(41);
+        let seq = run_epoch(&topo, &faults, &cfg, &mut rng1);
+        let thr = run_epoch_threaded(&topo, &faults, &cfg, 4, &mut rng2);
+        assert_eq!(seq.reports, thr.reports);
+        // Both axes left the RNG at the same position.
+        assert_eq!(rng1.gen::<u64>(), rng2.gen::<u64>());
+    }
+
+    #[test]
+    fn disabled_byzantine_spec_is_a_true_noop() {
+        // fraction = 0 must not perturb a single byte relative to a
+        // config that never mentions the axis (the goldens' guarantee).
+        let (topo, faults, _) = setup(1, 43);
+        let mut cfg = config();
+        cfg.byzantine = ByzantineSpec {
+            fraction: 0.0,
+            ..ByzantineSpec::liars(0.0)
+        };
+        let mut rng1 = ChaCha8Rng::seed_from_u64(47);
+        let mut rng2 = ChaCha8Rng::seed_from_u64(47);
+        let plain = run_epoch(&topo, &faults, &config(), &mut rng1);
+        let specced = run_epoch(&topo, &faults, &cfg, &mut rng2);
+        assert_eq!(plain.reports, specced.reports);
+        assert_eq!(rng1.gen::<u64>(), rng2.gen::<u64>());
     }
 
     #[test]

@@ -35,8 +35,8 @@ use crate::sweep::SweepEngine;
 use rand::Rng;
 use serde::Serialize;
 use vigil_agents::{
-    event_channel_bounded, AgentEvent, DiscoveredPath, EventCollector, EventSender, FlowIndex,
-    HostAgent, RetransmissionEvent, TraceReport,
+    event_channel_bounded, AdversaryModel, AgentEvent, DiscoveredPath, EventCollector, EventSender,
+    FlowIndex, HostAgent, RetransmissionEvent, TraceReport,
 };
 use vigil_analysis::{FlowEvidence, VoteLedger};
 use vigil_fabric::flowsim::{EpochOutcome, EpochScratch, EpochStream, FlowRecord};
@@ -147,6 +147,7 @@ pub struct StreamSession<'a> {
     tuning: StreamTuning,
     retain: RetainPolicy,
     agents: Vec<Option<HostAgent>>,
+    adversary: Option<AdversaryModel>,
     ledger: VoteLedger<EvidenceKey>,
     hub_tx: EventSender,
     hub_rx: EventCollector,
@@ -178,6 +179,10 @@ impl<'a> StreamSession<'a> {
             tuning,
             retain,
             agents: (0..topo.num_hosts()).map(|_| None).collect(),
+            adversary: config
+                .byzantine
+                .enabled()
+                .then(|| AdversaryModel::new(config.byzantine, topo.num_links())),
             ledger: fresh_ledger(topo.num_links(), config),
             hub_tx,
             hub_rx,
@@ -276,14 +281,26 @@ impl<'a> StreamSession<'a> {
             let mut chunk = std::mem::take(&mut self.chunk);
             for rec in chunk.drain(..) {
                 // The monitoring agent's eventfulness rule (§4.2): the
-                // flow established and saw a retransmission.
-                if rec.established && rec.retransmissions > 0 {
-                    let event = RetransmissionEvent {
-                        host: rec.src,
-                        tuple: rec.tuple,
-                        retransmissions: rec.retransmissions,
-                    };
-                    let path = DiscoveredPath::of_flow_path(&rec.path);
+                // flow established and saw a retransmission. With the
+                // byzantine axis on, the adversary model overrides the
+                // decision for compromised hosts (lie, stay mute, or
+                // flood a healthy flow) — a pure per-flow hash, so the
+                // honest path below is untouched when the axis is off.
+                let emitted = match &self.adversary {
+                    Some(adv) => adv.emission(&rec),
+                    None => (rec.established && rec.retransmissions > 0).then(|| {
+                        (
+                            RetransmissionEvent {
+                                host: rec.src,
+                                tuple: rec.tuple,
+                                retransmissions: rec.retransmissions,
+                            },
+                            DiscoveredPath::of_flow_path(&rec.path),
+                        )
+                    }),
+                };
+                let emitted_some = emitted.is_some();
+                if let Some((event, path)) = emitted {
                     if deferred_gate {
                         self.pending.push((event, path));
                     } else {
@@ -293,7 +310,11 @@ impl<'a> StreamSession<'a> {
                 match self.retain {
                     RetainPolicy::All => retained.push(rec),
                     RetainPolicy::EvidenceOnly => {
-                        if rec.retransmissions > 0 {
+                        // Everything scoring consults: retransmitting
+                        // flows, plus any flow a byzantine agent emitted
+                        // evidence for (its record must resolve in the
+                        // flow index exactly as in the retain-all path).
+                        if rec.retransmissions > 0 || emitted_some {
                             retained.push(rec);
                         }
                     }

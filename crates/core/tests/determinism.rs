@@ -182,6 +182,72 @@ fn matrix_runner_is_deterministic_across_thread_counts() {
 }
 
 #[test]
+fn byzantine_matrix_is_deterministic_across_thread_counts() {
+    // The adversary's decisions are pure functions of (case seed, host
+    // id, flow tuple) — so the byzantine sub-grid, breaking points
+    // included, must serialize byte-identically at any thread count.
+    let mut cases = Vec::new();
+    for pat in [
+        "byzantine/liar-20",
+        "byzantine/mute-50",
+        "byzantine/flood-20",
+        "byzantine/flip-10",
+    ] {
+        let sample = vigil::matrix::filter_cases(scenarios::standard_matrix(), pat);
+        assert!(!sample.is_empty(), "no case matches {pat}");
+        cases.extend(sample);
+    }
+    let run = |threads: usize| {
+        let mut runner = MatrixRunner::new(SweepEngine::new(threads));
+        runner.trials = 2;
+        runner.epochs = 1;
+        serde_json::to_string_pretty(&runner.run(&cases)).unwrap()
+    };
+    let one = run(1);
+    assert_eq!(one, run(4), "thread count leaked into the byzantine grid");
+    assert!(
+        one.contains("breaking_points"),
+        "byzantine report must carry the breaking-point fold"
+    );
+}
+
+#[test]
+fn byzantine_stream_reproduces_batch_for_every_behavior() {
+    // Adversarial emission rides the same per-flow hook in both paths:
+    // for each behavior, the streaming pipeline must reproduce the batch
+    // report byte-for-byte, at one thread and at four.
+    use vigil_agents::ByzantineSpec;
+    for spec in [
+        ByzantineSpec::liars(0.2),
+        ByzantineSpec::mutes(0.2),
+        ByzantineSpec::flooders(0.2, 0.1),
+        ByzantineSpec::flippers(0.2),
+    ] {
+        let mut cfg = config();
+        cfg.name = format!("determinism-{}", spec.label());
+        cfg.run.byzantine = spec;
+        let batch =
+            serde_json::to_string_pretty(&SweepEngine::new(1).run_experiment(&cfg)).unwrap();
+        let (stream_one, _) =
+            stream_experiment(&cfg, &SweepEngine::new(1), &StreamTuning::default());
+        let (stream_four, _) =
+            stream_experiment(&cfg, &SweepEngine::new(4), &StreamTuning::default());
+        assert_eq!(
+            batch,
+            serde_json::to_string_pretty(&stream_one).unwrap(),
+            "{}: streaming changed the adversarial science",
+            cfg.name
+        );
+        assert_eq!(
+            serde_json::to_string_pretty(&stream_one).unwrap(),
+            serde_json::to_string_pretty(&stream_four).unwrap(),
+            "{}: thread count leaked into the adversarial stream",
+            cfg.name
+        );
+    }
+}
+
+#[test]
 fn sweep_grid_is_deterministic_across_thread_counts() {
     let spec = || {
         SweepSpec::new("det", "#failures", vec![1u32, 2, 3], |&k| {

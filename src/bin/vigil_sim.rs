@@ -41,7 +41,11 @@
 //! `pat` (seeds are name-derived, so filtering never changes a case's
 //! numbers); `--list` prints the grid without running. The JSON verdict
 //! lands in `results/matrix.json` and is byte-identical at any thread
-//! count.
+//! count. `byzantine/*` cases also report per-behavior breaking points
+//! (the smallest compromised-host fraction outside the honest-voter
+//! envelope); `--byzantine-fraction F` overrides every byzantine case's
+//! fraction while keeping its calibrated envelope — the forced-violation
+//! knob (e.g. `--filter byzantine --byzantine-fraction 0.9` must exit 1).
 //! ```
 
 use std::process::ExitCode;
@@ -66,6 +70,10 @@ const PRESETS: &[(&str, &str)] = &[
         "test-cluster",
         "the paper's 10-ToR test cluster, 0.1% failure (fig. 13)",
     ),
+    (
+        "byzantine-liar",
+        "two failures with 20% of hosts lying about paths",
+    ),
 ];
 
 fn preset(name: &str) -> Option<ExperimentConfig> {
@@ -76,6 +84,12 @@ fn preset(name: &str) -> Option<ExperimentConfig> {
         "hot-tor" => scenarios::fig09_hot_tor(0.5, 5),
         "skewed-rates" => scenarios::fig12_skewed_rates(6),
         "test-cluster" => scenarios::fig13_cluster(1e-3),
+        "byzantine-liar" => {
+            let mut cfg = scenarios::fig03_optimal_case(2);
+            cfg.name = "byzantine-liar k=2 f=0.2".into();
+            cfg.run.byzantine = vigil_agents::ByzantineSpec::liars(0.2);
+            cfg
+        }
         _ => return None,
     })
 }
@@ -362,10 +376,21 @@ fn run_matrix(flags: &[String]) -> ExitCode {
     let mut filter = String::new();
     let mut list_only = false;
     let mut json = false;
+    let mut byz_fraction: Option<f64> = None;
 
     let mut it = flags.iter();
     while let Some(flag) = it.next() {
         match flag.as_str() {
+            "--byzantine-fraction" => {
+                let v = match it.next().map(|v| v.parse::<f64>()) {
+                    Some(Ok(v)) if (0.0..=1.0).contains(&v) => v,
+                    _ => {
+                        eprintln!("--byzantine-fraction needs a fraction in [0, 1]");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                byz_fraction = Some(v);
+            }
             "--filter" => {
                 let Some(v) = it.next() else {
                     eprintln!("--filter needs a pattern");
@@ -397,10 +422,25 @@ fn run_matrix(flags: &[String]) -> ExitCode {
         }
     }
 
-    let cases = vigil::matrix::filter_cases(scenarios::standard_matrix(), &filter);
+    let mut cases = vigil::matrix::filter_cases(scenarios::standard_matrix(), &filter);
     if cases.is_empty() {
         eprintln!("no scenario matches filter '{filter}'");
         return ExitCode::FAILURE;
+    }
+    // Override every byzantine case's compromised fraction while keeping
+    // its calibrated envelope: the forced-violation / what-if knob.
+    if let Some(f) = byz_fraction {
+        let mut hit = false;
+        for c in &mut cases {
+            if c.run.byzantine.enabled() {
+                c.run.byzantine.fraction = f;
+                hit = true;
+            }
+        }
+        if !hit {
+            eprintln!("--byzantine-fraction matched no byzantine case (try --filter byzantine)");
+            return ExitCode::FAILURE;
+        }
     }
     if list_only {
         println!("{} scenario(s):", cases.len());
@@ -467,6 +507,24 @@ fn run_matrix(flags: &[String]) -> ExitCode {
             );
             for v in &c.violations {
                 println!("{:>30} ! {v}", "");
+            }
+        }
+        if !report.breaking_points.is_empty() {
+            println!(
+                "\n{:<12} {:>10} {:>11} {:>11}",
+                "behavior", "breaks at", "tolerates", "max tested"
+            );
+            let pct_or = |v: Option<f64>, none: &str| {
+                v.map_or(none.into(), |f| format!("{:.0}%", f * 100.0))
+            };
+            for p in &report.breaking_points {
+                println!(
+                    "{:<12} {:>10} {:>11} {:>11.0}%",
+                    p.behavior,
+                    pct_or(p.breaking_fraction, "never"),
+                    pct_or(p.tolerated_fraction, "-"),
+                    p.max_tested_fraction * 100.0
+                );
             }
         }
     }

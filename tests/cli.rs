@@ -20,6 +20,7 @@ fn list_prints_every_preset() {
         "hot-tor",
         "skewed-rates",
         "test-cluster",
+        "byzantine-liar",
     ] {
         assert!(text.contains(preset), "missing preset {preset} in:\n{text}");
     }
@@ -168,6 +169,101 @@ fn matrix_run_with_filter_reports_conformance_and_is_thread_invariant() {
             "case failed conformance: {case:?}"
         );
     }
+}
+
+#[test]
+fn byzantine_matrix_gates_and_forced_violation_fails() {
+    // The committed byzantine grid conforms (exit 0) at the calibrated
+    // smoke scale; forcing every byzantine case to 90 % compromised
+    // hosts must break at least one tolerance envelope (exit 1).
+    let run = |extra: &[&str]| {
+        let mut args = vec![
+            "matrix",
+            "--filter",
+            "byzantine",
+            "--trials",
+            "2",
+            "--epochs",
+            "1",
+            "--threads",
+            "2",
+            "--json",
+        ];
+        args.extend_from_slice(extra);
+        vigil_sim().args(&args).output().expect("spawn vigil-sim")
+    };
+
+    let committed = run(&[]);
+    assert!(
+        committed.status.success(),
+        "committed byzantine grid violated its envelopes: {}",
+        String::from_utf8_lossy(&committed.stdout)
+    );
+    let text = String::from_utf8(committed.stdout).unwrap();
+    let report: serde_json::Value = {
+        let start = text.find('{').expect("json in stdout");
+        let end = text.rfind('}').expect("json in stdout");
+        serde_json::from_str(&text[start..=end]).unwrap()
+    };
+    let points = report
+        .get("breaking_points")
+        .and_then(serde_json::Value::as_seq)
+        .expect("byzantine report carries breaking_points");
+    assert!(points.len() >= 4, "one fold entry per behavior: {points:?}");
+
+    let forced = run(&["--byzantine-fraction", "0.9"]);
+    assert!(
+        !forced.status.success(),
+        "90 % compromised hosts passed the tolerance envelopes:\n{}",
+        String::from_utf8_lossy(&forced.stdout)
+    );
+
+    // The override is an adversary knob, not an honest-case knob: it
+    // refuses filters with no byzantine case to act on.
+    let misapplied = vigil_sim()
+        .args([
+            "matrix",
+            "--filter",
+            "drop/k1",
+            "--byzantine-fraction",
+            "0.5",
+        ])
+        .output()
+        .unwrap();
+    assert!(!misapplied.status.success());
+}
+
+#[test]
+fn byzantine_stream_json_equals_batch_run() {
+    // The adversarial preset rides the same per-flow hook in both entry
+    // points: `stream --json` must be byte-identical to `run --json`.
+    let run = |cmd: &str| {
+        let out = vigil_sim()
+            .args([
+                cmd,
+                "byzantine-liar",
+                "--trials",
+                "1",
+                "--epochs",
+                "2",
+                "--threads",
+                "2",
+                "--json",
+            ])
+            .output()
+            .expect("spawn vigil-sim");
+        assert!(
+            out.status.success(),
+            "vigil-sim {cmd} byzantine-liar failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8(out.stdout).unwrap()
+    };
+    assert_eq!(
+        run("run"),
+        run("stream"),
+        "adversarial stream diverged from the batch path"
+    );
 }
 
 #[test]
