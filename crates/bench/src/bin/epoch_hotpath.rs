@@ -121,14 +121,14 @@ fn main() {
         vigil::RetainPolicy::All,
     );
     let mut rng = ChaCha8Rng::seed_from_u64(6);
-    std::hint::black_box(session.run_window(&faults, &mut rng, &mut scratch));
+    std::hint::black_box(session.run_window(&topo, &cfg, &faults, &mut rng, &mut scratch));
     let mut warm_ns = Vec::with_capacity(iters);
     let warm_allocs_before = ALLOCATIONS.load(Ordering::Relaxed);
     let warm_bytes_before = ALLOCATED_BYTES.load(Ordering::Relaxed);
     for _ in 0..iters {
         let mut rng = ChaCha8Rng::seed_from_u64(6);
         let started = std::time::Instant::now();
-        std::hint::black_box(session.run_window(&faults, &mut rng, &mut scratch));
+        std::hint::black_box(session.run_window(&topo, &cfg, &faults, &mut rng, &mut scratch));
         warm_ns.push(started.elapsed().as_nanos() as f64);
     }
     let warm_allocs = ALLOCATIONS.load(Ordering::Relaxed) - warm_allocs_before;

@@ -1,20 +1,43 @@
 //! Streaming service-mode benchmark: events/second through the typed
-//! hub and — the constant-memory claim, measured — the peak number of
-//! simultaneously-resident flow records across a multi-epoch run.
+//! hub, the constant-memory claim (peak simultaneously-resident flow
+//! records across a multi-epoch run), and — since the unified epoch
+//! pool — the thread-scaling curve of the streaming experiment.
 //!
 //! Writes `BENCH_stream.json` at the repository root. The headline
 //! number is `peak_resident_flows` against `epoch_flow_count`: the batch
 //! pipeline materializes every flow of an epoch before analysis, so any
 //! peak below one epoch's flow count is memory the streaming refactor
-//! returned (CI gates on exactly that in fast mode). Throughput numbers
-//! on this container are indicative only — the bench host is 1-core
-//! (`cores_available` is recorded); judge events/sec on multicore
-//! hardware.
+//! returned (CI gates on exactly that in fast mode). The `threads` array
+//! records per-width wall clock and `flows_per_sec` at power-of-two
+//! widths up to `--threads N` (or `VIGIL_THREADS`, or every available
+//! core); every width produces byte-identical reports, so the axis
+//! measures pure scheduling. Throughput numbers on this container are
+//! indicative only — the bench host records `cores_available`; judge
+//! events/sec and scaling on multicore hardware.
 
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 use vigil::prelude::*;
-use vigil_fabric::EpochScratch;
+use vigil::ExperimentConfig;
+
+fn max_threads() -> usize {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--threads" {
+            let v = args
+                .next()
+                .expect("--threads takes a value")
+                .parse()
+                .expect("--threads must be an integer");
+            return std::cmp::max(v, 1);
+        }
+    }
+    if let Ok(v) = std::env::var("VIGIL_THREADS") {
+        return v
+            .parse::<usize>()
+            .expect("VIGIL_THREADS must be an integer")
+            .max(1);
+    }
+    std::thread::available_parallelism().map_or(1, |c| c.get())
+}
 
 fn main() {
     let fast = std::env::var("VIGIL_FAST").is_ok_and(|v| v == "1");
@@ -30,31 +53,60 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(epochs);
 
-    let topo = ClosTopology::new(params, 11).expect("valid bench topology");
-    let mut rng = ChaCha8Rng::seed_from_u64(5);
-    let faults = FaultPlan {
-        failure_rate: RateRange::fixed(0.01),
-        ..FaultPlan::paper_default(2)
-    }
-    .build(&topo, &mut rng);
-    let cfg = RunConfig::default();
+    let cfg = ExperimentConfig {
+        name: "stream-throughput".into(),
+        params,
+        faults: FaultPlan {
+            failure_rate: RateRange::fixed(0.01),
+            ..FaultPlan::paper_default(2)
+        },
+        run: RunConfig::default(),
+        epochs,
+        trials: 1,
+        seed: 5,
+    };
 
-    let mut session = StreamSession::new(
-        &topo,
-        &cfg,
-        StreamTuning::default(),
-        RetainPolicy::EvidenceOnly,
-    );
-    let mut scratch = EpochScratch::new();
-    let started = std::time::Instant::now();
-    let mut evidence_per_window = Vec::with_capacity(epochs);
-    for _ in 0..epochs {
-        let run = session.run_window(&faults, &mut rng, &mut scratch);
-        evidence_per_window.push(run.evidence.len() as u64);
+    // Power-of-two widths up to the requested maximum (always including
+    // the maximum itself so `--threads 6` measures 1, 2, 4, 6).
+    let top = max_threads();
+    let mut widths = vec![1usize];
+    while widths.last().copied().unwrap_or(1) * 2 <= top {
+        widths.push(widths.last().unwrap() * 2);
     }
-    session.shutdown();
-    let wall = started.elapsed().as_secs_f64();
-    let stats = session.stats().clone();
+    if widths.last() != Some(&top) {
+        widths.push(top);
+    }
+
+    let tuning = StreamTuning::default();
+    let mut axis = Vec::with_capacity(widths.len());
+    let mut base: Option<(ExperimentReport, StreamStats, f64)> = None;
+    let mut base_wall = f64::NAN;
+    for &w in &widths {
+        let engine = SweepEngine::new(w);
+        let started = std::time::Instant::now();
+        let (report, stats) = stream_experiment(&cfg, &engine, &tuning);
+        let wall = started.elapsed().as_secs_f64();
+        assert_eq!(stats.shed, 0, "bounded hub shed evidence at {w} thread(s)");
+        if w == 1 {
+            base_wall = wall;
+        }
+        axis.push(serde_json::json!({
+            "threads": w,
+            "wall_seconds": wall,
+            "flows_per_sec": stats.flows as f64 / wall.max(1e-9),
+            "events_per_sec": stats.events as f64 / wall.max(1e-9),
+            "speedup_vs_1": base_wall / wall.max(1e-9),
+        }));
+        if base.is_none() {
+            base = Some((report, stats, wall));
+        }
+    }
+    let (report, stats, wall) = base.expect("at least one width ran");
+    let evidence_per_window: Vec<u64> = report
+        .epochs
+        .iter()
+        .map(|e| e.traced_flows as u64)
+        .collect();
 
     let epoch_flow_count = stats.flows / stats.windows.max(1);
     let resident_fraction = stats.peak_resident_flows as f64 / epoch_flow_count.max(1) as f64;
@@ -77,6 +129,7 @@ fn main() {
         "wall_seconds": wall,
         "flows_per_sec": stats.flows as f64 / wall.max(1e-9),
         "events_per_sec": stats.events as f64 / wall.max(1e-9),
+        "threads": axis,
         "cores_available": cores,
     });
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_stream.json");
@@ -85,16 +138,16 @@ fn main() {
 
     println!(
         "stream_throughput: {} window(s) × {} flow(s), peak resident {} \
-         ({:.4} of an epoch), {:.0} flows/s, {:.0} events/s, shed {} \
-         -> BENCH_stream.json [{} core(s)]",
+         ({:.4} of an epoch), {:.0} flows/s at 1 thread, shed {} \
+         -> BENCH_stream.json [{} core(s); widths {:?}]",
         stats.windows,
         epoch_flow_count,
         stats.peak_resident_flows,
         resident_fraction,
         stats.flows as f64 / wall.max(1e-9),
-        stats.events as f64 / wall.max(1e-9),
         stats.shed,
         cores,
+        widths,
     );
     assert!(
         stats.peak_resident_flows < epoch_flow_count,

@@ -8,12 +8,14 @@
 //!
 //! Trials are independent by construction — each draws its own topology
 //! seed and fault plan from a per-trial [`ChaCha8Rng`] derived from the
-//! master seed — so the runner is factored into [`run_trial`] (one
-//! trial's partial report) plus associative merges ([`MethodReport::merge`],
-//! [`ExperimentReport::merge_trial`]). The [`crate::sweep::SweepEngine`]
-//! shards trials across worker threads and merges in trial order, which
-//! makes its output bit-identical to this module's serial path at any
-//! thread count.
+//! master seed — and every *epoch* inside a trial reseeds from
+//! [`crate::sweep::epoch_rng`], so the runner is factored into
+//! [`run_trial`] (one trial's partial report) plus associative merges
+//! ([`MethodReport::merge`], [`ExperimentReport::merge_trial`]). The
+//! [`crate::sweep::SweepEngine`] shards the flattened (trial × epoch)
+//! grid across worker threads (see `crate::pool`) and merges in
+//! (trial, epoch) order, which makes its output bit-identical to this
+//! module's serial path at any thread count.
 
 use crate::evaluate::{evaluate_epoch, EpochReport};
 use crate::run::RunConfig;
@@ -59,9 +61,20 @@ impl Default for ExperimentConfig {
 }
 
 impl ExperimentConfig {
+    /// The trial's derived seed ([`crate::sweep::task_seed`]): the root
+    /// of the trial's RNG tree — [`trial_rng`](Self::trial_rng) for
+    /// topology and fault draws, [`crate::sweep::epoch_rng`] for each
+    /// epoch's traffic and drop draws.
+    pub fn trial_seed(&self, trial: usize) -> u64 {
+        crate::sweep::task_seed(self.seed, trial)
+    }
+
     /// The per-trial RNG: seeded from the master seed and the trial index
     /// only, so trials can run in any order (or on any thread) and still
-    /// draw identical topologies, faults, and traffic.
+    /// draw identical topologies and faults. Epoch bodies do **not** draw
+    /// from this stream — each epoch reseeds via
+    /// [`crate::sweep::epoch_rng`], making every `(trial, epoch)` cell
+    /// independently reproducible.
     pub fn trial_rng(&self, trial: usize) -> ChaCha8Rng {
         crate::sweep::task_rng(self.seed, trial)
     }
@@ -200,8 +213,10 @@ impl ExperimentReport {
 
     /// Merges a whole sibling report (associative). Both sides must come
     /// from the same config shape (same baselines enabled); trial-derived
-    /// vectors concatenate in call order.
-    pub fn merge(&mut self, other: &ExperimentReport) {
+    /// vectors concatenate in call order. Consumes `other` so the
+    /// per-epoch reports move instead of cloning — sibling reports can
+    /// carry thousands of epochs.
+    pub fn merge(&mut self, other: ExperimentReport) {
         self.vigil.merge(&other.vigil);
         if let (Some(mine), Some(theirs)) = (self.integer.as_mut(), other.integer.as_ref()) {
             mine.merge(theirs);
@@ -212,11 +227,9 @@ impl ExperimentReport {
         self.noise_marked += other.noise_marked;
         self.noise_marked_incorrectly += other.noise_marked_incorrectly;
         self.detected_per_epoch.merge(&other.detected_per_epoch);
-        self.vote_gaps.extend(other.vote_gaps.iter().copied());
-        self.epochs.extend(other.epochs.iter().cloned());
-        self.timing
-            .per_trial_ms
-            .extend(other.timing.per_trial_ms.iter().copied());
+        self.vote_gaps.extend(other.vote_gaps);
+        self.epochs.extend(other.epochs);
+        self.timing.per_trial_ms.extend(other.timing.per_trial_ms);
         self.timing.total_ms += other.timing.total_ms;
     }
 }
@@ -262,7 +275,7 @@ pub fn run_trial(config: &ExperimentConfig, trial: usize) -> TrialReport {
         trial,
         started,
         |_| std::borrow::Cow::Borrowed(&faults),
-        &mut rng,
+        config.trial_seed(trial),
     )
 }
 
@@ -280,8 +293,10 @@ pub fn run_trial(config: &ExperimentConfig, trial: usize) -> TrialReport {
 /// so the common static case ([`run_trial`]) borrows one table for
 /// every epoch while timeline drivers materialize fresh ones.
 ///
-/// The caller owns the RNG position: `faults_for` must not draw (or the
-/// trial's traffic stream would depend on epoch count).
+/// `trial_seed` roots the trial's RNG tree: each epoch body draws from
+/// its own [`crate::sweep::epoch_rng`]`(trial_seed, epoch)` stream, so
+/// any (worker, order) schedule of the epochs reproduces this loop
+/// byte-for-byte.
 #[allow(clippy::too_many_arguments)]
 pub fn run_trial_with<'f>(
     run_config: &RunConfig,
@@ -290,7 +305,7 @@ pub fn run_trial_with<'f>(
     trial: usize,
     started: std::time::Instant,
     mut faults_for: impl FnMut(usize) -> std::borrow::Cow<'f, vigil_fabric::LinkFaults>,
-    rng: &mut ChaCha8Rng,
+    trial_seed: u64,
 ) -> TrialReport {
     let mut acc = TrialAccumulator::new(epochs);
     // One scratch AND one stream session for the whole trial: the
@@ -310,7 +325,8 @@ pub fn run_trial_with<'f>(
 
     for epoch in 0..epochs {
         let faults = faults_for(epoch);
-        let run = session.run_window(faults.as_ref(), rng, &mut scratch);
+        let mut rng = crate::sweep::epoch_rng(trial_seed, epoch);
+        let run = session.run_window(topo, run_config, faults.as_ref(), &mut rng, &mut scratch);
         acc.absorb(evaluate_epoch(&run));
     }
     acc.finish(run_config, trial, started)
@@ -386,6 +402,15 @@ impl TrialAccumulator {
         trial: usize,
         started: std::time::Instant,
     ) -> TrialReport {
+        let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+        self.finish_at(run_config, trial, wall_ms)
+    }
+
+    /// Seals the trial with an explicitly measured wall-clock figure —
+    /// for drivers (the `crate::pool` work queue) whose trial is spread
+    /// over workers and therefore has no single `started` instant; the
+    /// caller sums the per-epoch wall times instead.
+    pub fn finish_at(self, run_config: &RunConfig, trial: usize, wall_ms: f64) -> TrialReport {
         let mut vigil = MethodReport::default();
         vigil.absorb_trial(self.vigil_acc, &self.vigil_out);
         let integer = run_config.baselines.integer.then(|| {
@@ -409,7 +434,7 @@ impl TrialAccumulator {
             detected_per_epoch: self.detected_per_epoch,
             vote_gaps: self.vote_gaps,
             epochs: self.epochs,
-            wall_ms: started.elapsed().as_secs_f64() * 1e3,
+            wall_ms,
         }
     }
 }
@@ -505,7 +530,7 @@ mod tests {
         left.merge_trial(trials[1].clone());
         let mut c_only = ExperimentReport::empty(&cfg);
         c_only.merge_trial(trials[2].clone());
-        left.merge(&c_only);
+        left.merge(c_only);
 
         // a ⊕ (b ⊕ c)
         let mut right = ExperimentReport::empty(&cfg);
@@ -513,7 +538,7 @@ mod tests {
         let mut bc = ExperimentReport::empty(&cfg);
         bc.merge_trial(trials[1].clone());
         bc.merge_trial(trials[2].clone());
-        right.merge(&bc);
+        right.merge(bc);
 
         assert_eq!(left.vigil.pooled.accuracy, right.vigil.pooled.accuracy);
         assert_eq!(left.noise_marked, right.noise_marked);

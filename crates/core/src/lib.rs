@@ -41,6 +41,7 @@
 pub mod evaluate;
 pub mod experiment;
 pub mod matrix;
+mod pool;
 pub mod run;
 pub mod scenarios;
 pub mod stream;
@@ -58,7 +59,7 @@ pub use run::{
 pub use stream::{
     stream_experiment, stream_trial, RetainPolicy, StreamSession, StreamStats, StreamTuning,
 };
-pub use sweep::{SweepEngine, SweepSpec};
+pub use sweep::{epoch_rng, task_rng, task_seed, SweepEngine, SweepSpec};
 
 /// Convenient glob-import for examples and benches.
 pub mod prelude {

@@ -19,8 +19,10 @@
 //! numbers.
 
 use crate::experiment::{run_trial_with, ExperimentReport, TrialReport};
+use crate::pool::{run_epoch_grid, EpochGroup, GroupFaults};
 use crate::run::RunConfig;
-use crate::sweep::{task_rng, SweepEngine};
+use crate::stream::{RetainPolicy, StreamTuning};
+use crate::sweep::{task_rng, task_seed, SweepEngine};
 use serde::Serialize;
 use vigil_fabric::CompositeFaultPlan;
 use vigil_topology::bounds::Theorem2;
@@ -383,6 +385,7 @@ impl MatrixRunner {
     pub fn run_case_trial(&self, case: &ScenarioCase, trial: usize) -> TrialReport {
         use rand::Rng;
         let started = std::time::Instant::now();
+        let trial_seed = task_seed(case.seed(self.seed), trial);
         let mut rng = task_rng(case.seed(self.seed), trial);
         let topo = ClosTopology::new(case.params, rng.gen())
             .expect("matrix case parameters validated at grid construction");
@@ -396,35 +399,50 @@ impl MatrixRunner {
             trial,
             started,
             |epoch| std::borrow::Cow::Owned(compiled.epoch_faults(epoch)),
-            &mut rng,
+            trial_seed,
         )
     }
 
-    /// Runs every case: the whole `(case × trial)` grid flattens into one
-    /// sweep-engine task pool (a slow case never idles workers), partial
-    /// reports merge in trial order per case — the same discipline that
-    /// makes [`SweepEngine::run_experiment`] bit-identical at any thread
-    /// count.
+    /// Runs every case: the whole `(case × trial × epoch)` grid flattens
+    /// into the unified epoch pool (a slow case never idles workers),
+    /// partial reports merge in (trial, epoch) order per case — the same
+    /// discipline that makes [`SweepEngine::run_experiment`]
+    /// bit-identical at any thread count.
     pub fn run(&self, cases: &[ScenarioCase]) -> MatrixReport {
         for case in cases {
             case.params
                 .validate()
                 .unwrap_or_else(|e| panic!("{}: invalid topology: {e}", case.name));
         }
-        let total = cases.len() * self.trials;
-        let trials = self.engine.run_tasks(total, |flat| {
-            let (ci, trial) = (flat / self.trials, flat % self.trials);
-            (ci, self.run_case_trial(&cases[ci], trial))
-        });
+        let groups: Vec<EpochGroup<'_>> = cases
+            .iter()
+            .map(|case| EpochGroup {
+                run: &case.run,
+                params: case.params,
+                master_seed: case.seed(self.seed),
+                trials: self.trials,
+                epochs: self.epochs,
+                faults: GroupFaults::Timeline {
+                    plan: &case.faults,
+                    epoch_seconds: self.epoch_seconds,
+                },
+                retain: RetainPolicy::All,
+                tuning: StreamTuning::default(),
+            })
+            .collect();
+        let results = run_epoch_grid(&self.engine, &groups);
 
         let mut outcomes: Vec<CaseOutcome> = Vec::with_capacity(cases.len());
         let mut reports: Vec<ExperimentReport> = cases
             .iter()
             .map(|c| ExperimentReport::empty_named(&c.name, &c.run.baselines))
             .collect();
-        // Flat order is case-major, trials ascending — serial merge order.
-        for (ci, trial) in trials {
-            reports[ci].merge_trial(trial);
+        // Grid results arrive case-major, trials ascending — serial merge
+        // order per case.
+        for (report, result) in reports.iter_mut().zip(results) {
+            for trial in result.trials {
+                report.merge_trial(trial);
+            }
         }
         // (behavior, fraction, within-honest-envelope) per byzantine case.
         let mut byz_samples: Vec<(&'static str, f64, bool)> = Vec::new();

@@ -16,7 +16,9 @@ use vigil_agents::{
     TraceReport,
 };
 use vigil_analysis::ledger::WindowAnalysis;
-use vigil_analysis::{Algorithm1Config, Algorithm1Output, DropClass, FlowEvidence, VoteLedger};
+use vigil_analysis::{
+    Algorithm1Config, Algorithm1Output, DropClass, FlowEvidence, ShardedVoteLedger, VoteLedger,
+};
 use vigil_fabric::faults::LinkFaults;
 use vigil_fabric::flowsim::{simulate_epoch_with, EpochOutcome, EpochScratch, SimConfig};
 use vigil_fabric::slb::SlbModel;
@@ -191,12 +193,19 @@ pub fn run_epoch_with<R: Rng + ?Sized>(
     scratch: &mut EpochScratch,
 ) -> EpochRun {
     StreamSession::new(topo, config, StreamTuning::default(), RetainPolicy::All)
-        .run_window(faults, rng, scratch)
+        .run_window(topo, config, faults, rng, scratch)
 }
 
 /// Runs one epoch with host agents sharded over worker threads, reports
 /// fanned into the centralized collector over the crossbeam hub — the
 /// deployment shape of the paper's Figure 2.
+///
+/// Vote absorption is sharded too: each worker owns one
+/// [`ShardedVoteLedger`] shard and absorbs its hosts' evidence locally
+/// while the epoch streams, so the post-join close only merges shard
+/// windows (associative, canonical-key order) instead of replaying every
+/// report through one central ledger. Output stays byte-identical to the
+/// sequential runner.
 pub fn run_epoch_threaded<R: Rng + ?Sized>(
     topo: &ClosTopology,
     faults: &LinkFaults,
@@ -238,8 +247,21 @@ pub fn run_epoch_threaded<R: Rng + ?Sized>(
     let (sender, collector) = vigil_agents::report_channel();
 
     let hosts: Vec<_> = topo.hosts().collect();
+    let chunks: Vec<&[vigil_topology::HostId]> =
+        hosts.chunks(hosts.len().div_ceil(workers).max(1)).collect();
+    // One vote-ledger shard per worker chunk: votes are absorbed where
+    // the evidence is produced, and the shards merge after the join.
+    let mut sharded: ShardedVoteLedger<crate::stream::EvidenceKey> = ShardedVoteLedger::new(
+        chunks.len().max(1),
+        topo.num_links(),
+        config.alg1,
+        LEDGER_RING_WINDOWS,
+        LEDGER_HEALTH_ALPHA,
+    );
     std::thread::scope(|scope| {
-        for chunk in hosts.chunks(hosts.len().div_ceil(workers)) {
+        let shard_refs: Vec<&mut VoteLedger<crate::stream::EvidenceKey>> =
+            sharded.shards_mut().collect();
+        for (chunk, shard) in chunks.iter().copied().zip(shard_refs) {
             let tx = sender.clone();
             let outcome_ref = &outcome;
             let topo_ref = topo;
@@ -249,9 +271,21 @@ pub fn run_epoch_threaded<R: Rng + ?Sized>(
             let index_ref = &flow_index;
             let config_ref = config;
             scope.spawn(move || {
+                let shard = shard;
                 // Tracer views are free to construct: all workers share
                 // the one flow table and index.
                 let mut tracer = FlowTableTracer::new(&outcome_ref.flows, index_ref);
+                let mut absorb_and_send = |report: TraceReport| {
+                    shard.absorb(
+                        (report.host, report.tuple),
+                        FlowEvidence {
+                            links: report.links.clone(),
+                            retransmissions: report.retransmissions,
+                            complete: report.complete,
+                        },
+                    );
+                    tx.send(report);
+                };
                 for &host in chunk {
                     if let (Some(adv), Some(fb)) = (adversary_ref, flow_buckets_ref) {
                         // Adversarial path: the emission decision (honest
@@ -273,7 +307,7 @@ pub fn run_epoch_threaded<R: Rng + ?Sized>(
                                 HostAgent::new(host, config_ref.pacer.pacer(topo_ref))
                             });
                             if let Some(report) = agent.handle_discovered(&event, path) {
-                                tx.send(report);
+                                absorb_and_send(report);
                             }
                         }
                         continue;
@@ -287,16 +321,18 @@ pub fn run_epoch_threaded<R: Rng + ?Sized>(
                         gate_salt.map_or(true, |salt| !config_ref.slb.skips(&e.tuple, salt))
                     });
                     for report in agent.run_epoch(admitted.copied(), &mut tracer) {
-                        tx.send(report);
+                        absorb_and_send(report);
                     }
                 }
             });
         }
         drop(sender);
     });
-    // All workers have joined (scope end), so every report is queued.
+    // All workers have joined (scope end), so every report is queued and
+    // every shard holds its chunk's votes.
     let reports = collector.drain();
-    analyze(topo, outcome, flow_index, reports, config)
+    let window = sharded.close_window();
+    assemble_epoch(outcome, flow_index, reports, window, config)
 }
 
 /// Host → flow-index buckets over *all* flows (CSR layout, simulation
@@ -355,31 +391,6 @@ pub(crate) fn fresh_ledger(
         LEDGER_RING_WINDOWS,
         LEDGER_HEALTH_ALPHA,
     )
-}
-
-/// The centralized analysis agent: votes, Algorithm 1, classification,
-/// baselines — all via a one-window [`VoteLedger`], the same machinery
-/// the streaming service keeps warm across windows.
-fn analyze(
-    topo: &ClosTopology,
-    outcome: EpochOutcome,
-    flow_index: FlowIndex,
-    reports: Vec<TraceReport>,
-    config: &RunConfig,
-) -> EpochRun {
-    let mut ledger = fresh_ledger(topo.num_links(), config);
-    for r in &reports {
-        ledger.absorb(
-            (r.host, r.tuple),
-            FlowEvidence {
-                links: r.links.clone(),
-                retransmissions: r.retransmissions,
-                complete: r.complete,
-            },
-        );
-    }
-    let window = ledger.close_window();
-    assemble_epoch(outcome, flow_index, reports, window, config)
 }
 
 /// Assembles an [`EpochRun`] from a closed analysis window plus the raw

@@ -804,16 +804,16 @@ pub fn standard_matrix() -> Vec<ScenarioCase> {
     #[rustfmt::skip]
     let byzantine_grid = [
         ("byzantine/liar-05",  ByzantineSpec::liars(0.05),         byz(Some(0.85), Some(0.60), Some(0.75),  3.5, 0.04)),
-        ("byzantine/liar-10",  ByzantineSpec::liars(0.10),         byz(Some(0.80), Some(0.50), Some(0.75),  4.0, 0.06)),
-        ("byzantine/liar-20",  ByzantineSpec::liars(0.20),         byz(Some(0.80), Some(0.60), Some(0.50),  3.5, 0.25)),
+        ("byzantine/liar-10",  ByzantineSpec::liars(0.10),         byz(Some(0.80), Some(0.50), Some(0.75),  4.0, 0.12)),
+        ("byzantine/liar-20",  ByzantineSpec::liars(0.20),         byz(Some(0.80), Some(0.40), Some(0.45),  3.5, 0.25)),
         ("byzantine/liar-33",  ByzantineSpec::liars(0.33),         byz(Some(0.60), Some(0.35), Some(0.60),  5.5, 0.20)),
-        ("byzantine/liar-50",  ByzantineSpec::liars(0.50),         byz(Some(0.35), Some(0.15), Some(0.50),  9.0, 0.10)),
+        ("byzantine/liar-50",  ByzantineSpec::liars(0.50),         byz(Some(0.35), Some(0.15), Some(0.50),  9.0, 0.22)),
         ("byzantine/mute-20",  ByzantineSpec::mutes(0.20),         byz(Some(0.90), Some(0.75), Some(0.50),  3.5, 0.02)),
         ("byzantine/mute-50",  ByzantineSpec::mutes(0.50),         byz(Some(0.85), Some(0.70), Some(0.45),  3.5, 0.02)),
         ("byzantine/flood-20", ByzantineSpec::flooders(0.20, 0.1), byz(Some(0.80), Some(0.05), Some(0.45), 14.0, 0.02)),
         ("byzantine/flood-50", ByzantineSpec::flooders(0.50, 0.1), byz(Some(0.80), None,       Some(0.60), 40.0, 0.02)),
         ("byzantine/flip-10",  ByzantineSpec::flippers(0.10),      byz(Some(0.80), Some(0.20), Some(0.75), 10.0, 0.02)),
-        ("byzantine/flip-33",  ByzantineSpec::flippers(0.33),      byz(Some(0.50), Some(0.08), Some(0.75), 22.0, 0.02)),
+        ("byzantine/flip-33",  ByzantineSpec::flippers(0.33),      byz(Some(0.30), Some(0.08), Some(0.75), 22.0, 0.02)),
     ];
     for (name, spec, envelope) in byzantine_grid {
         cases.push(byzantine_case(name, spec, envelope));

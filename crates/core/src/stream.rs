@@ -39,7 +39,7 @@ use vigil_agents::{
     FlowIndex, HostAgent, RetransmissionEvent, TraceReport,
 };
 use vigil_analysis::{FlowEvidence, VoteLedger};
-use vigil_fabric::flowsim::{EpochOutcome, EpochScratch, EpochStream, FlowRecord};
+use vigil_fabric::flowsim::{EpochOutcome, EpochScratch, EpochStream, FlowBatch, FlowRecord};
 use vigil_fabric::LinkFaults;
 use vigil_packet::FiveTuple;
 use vigil_topology::{ClosTopology, HostId};
@@ -131,6 +131,22 @@ impl StreamStats {
         self.peak_resident_flows = self.peak_resident_flows.max(other.peak_resident_flows);
         self.windows += other.windows;
     }
+
+    /// The counters accumulated since `before` (a snapshot of the same
+    /// session's stats): sums subtract; the peak is the current value —
+    /// the epoch pool uses this to attribute one window's work out of a
+    /// per-worker session.
+    pub fn delta_since(&self, before: &StreamStats) -> StreamStats {
+        StreamStats {
+            flows: self.flows - before.flows,
+            events: self.events - before.events,
+            evidence: self.evidence - before.evidence,
+            delivered: self.delivered - before.delivered,
+            shed: self.shed - before.shed,
+            peak_resident_flows: self.peak_resident_flows,
+            windows: self.windows - before.windows,
+        }
+    }
 }
 
 /// An always-on streaming pipeline over one topology: persistent host
@@ -140,10 +156,12 @@ impl StreamStats {
 /// one 30-second window; the caller owns the RNG and simulator scratch
 /// so a trial's windows share one draw stream exactly like the batch
 /// trial loop.
+///
+/// The session owns no borrow of the topology or run config — both are
+/// passed per call — so pool workers can keep a session in worker-local
+/// state alongside the owned [`ClosTopology`] it serves.
 #[derive(Debug)]
-pub struct StreamSession<'a> {
-    topo: &'a ClosTopology,
-    config: &'a RunConfig,
+pub struct StreamSession {
     tuning: StreamTuning,
     retain: RetainPolicy,
     agents: Vec<Option<HostAgent>>,
@@ -154,28 +172,30 @@ pub struct StreamSession<'a> {
     stats: StreamStats,
     reports: Vec<TraceReport>,
     chunk: Vec<FlowRecord>,
+    batch: FlowBatch,
     inbox: Vec<AgentEvent>,
     pending: Vec<(RetransmissionEvent, DiscoveredPath)>,
 }
 
-impl<'a> StreamSession<'a> {
-    /// Opens a session on `topo` running `config`'s pipeline.
+impl StreamSession {
+    /// Opens a session sized for `topo` running `config`'s pipeline.
+    /// Every subsequent [`run_window`](Self::run_window) must pass the
+    /// same topology and config (the session only retains what sizing
+    /// requires: agent slots, the ledger, the adversary model).
     ///
     /// # Panics
     ///
     /// Panics when `tuning` is inconsistent (zero chunk, or a hub that
     /// cannot hold one chunk's events).
     pub fn new(
-        topo: &'a ClosTopology,
-        config: &'a RunConfig,
+        topo: &ClosTopology,
+        config: &RunConfig,
         tuning: StreamTuning,
         retain: RetainPolicy,
     ) -> Self {
         tuning.validate();
         let (hub_tx, hub_rx) = event_channel_bounded(tuning.hub_capacity);
         Self {
-            topo,
-            config,
             tuning,
             retain,
             agents: (0..topo.num_hosts()).map(|_| None).collect(),
@@ -189,6 +209,7 @@ impl<'a> StreamSession<'a> {
             stats: StreamStats::default(),
             reports: Vec::new(),
             chunk: Vec::new(),
+            batch: FlowBatch::new(),
             inbox: Vec::new(),
             pending: Vec::new(),
         }
@@ -229,99 +250,150 @@ impl<'a> StreamSession<'a> {
 
     /// Routes one eventful record through its (lazily created) host
     /// agent, which emits protocol events onto the hub.
-    fn dispatch(&mut self, event: RetransmissionEvent, path: DiscoveredPath) {
+    fn dispatch(
+        &mut self,
+        topo: &ClosTopology,
+        config: &RunConfig,
+        event: RetransmissionEvent,
+        path: DiscoveredPath,
+    ) {
         let slot = &mut self.agents[event.host.0 as usize];
-        let agent = slot
-            .get_or_insert_with(|| HostAgent::new(event.host, self.config.pacer.pacer(self.topo)));
+        let agent =
+            slot.get_or_insert_with(|| HostAgent::new(event.host, config.pacer.pacer(topo)));
         agent.on_retransmission(&event, path, &self.hub_tx);
     }
 
     /// Runs one window: simulate the epoch in chunks, stream evidence
     /// through the hub, close the ledger window, assemble the scored
     /// [`EpochRun`]. Byte-identical to the batch epoch on the same RNG
-    /// stream (the goldens' contract).
+    /// stream (the goldens' contract). `topo` and `config` must be the
+    /// ones the session was sized for.
     pub fn run_window<R: Rng + ?Sized>(
         &mut self,
+        topo: &ClosTopology,
+        config: &RunConfig,
         faults: &LinkFaults,
         rng: &mut R,
         scratch: &mut EpochScratch,
     ) -> EpochRun {
+        debug_assert_eq!(
+            self.agents.len(),
+            topo.num_hosts(),
+            "session sized for a different topology"
+        );
         // The batch pipeline draws the SLB gate salt *after* the epoch's
         // simulation draws; an active gate therefore defers agent
         // processing to the window close (buffering evidence-sized
         // pending pairs), while the common gate-off path streams evidence
         // incrementally.
-        let deferred_gate = self.config.slb.enabled();
-        let mut stream = EpochStream::open(
-            self.topo,
-            faults,
-            &self.config.traffic,
-            &self.config.sim,
-            rng,
-            scratch,
-        );
+        let deferred_gate = config.slb.enabled();
+        let mut stream =
+            EpochStream::open(topo, faults, &config.traffic, &config.sim, rng, scratch);
         let mut retained: Vec<FlowRecord> = match self.retain {
             RetainPolicy::All => Vec::with_capacity(stream.total_flows()),
             RetainPolicy::EvidenceOnly => Vec::new(),
         };
 
-        loop {
-            self.chunk.clear();
-            if stream.next_chunk(self.tuning.chunk_flows, &mut self.chunk) == 0 {
-                break;
-            }
-            self.stats.flows += self.chunk.len() as u64;
-            self.stats.peak_resident_flows = self
-                .stats
-                .peak_resident_flows
-                .max((retained.len() + self.chunk.len()) as u64);
-            // The chunk buffer steps out of `self` for the dispatch loop
-            // (agents and hub are `self` fields) and returns after it,
-            // keeping its capacity across pulls.
-            let mut chunk = std::mem::take(&mut self.chunk);
-            for rec in chunk.drain(..) {
-                // The monitoring agent's eventfulness rule (§4.2): the
-                // flow established and saw a retransmission. With the
-                // byzantine axis on, the adversary model overrides the
-                // decision for compromised hosts (lie, stay mute, or
-                // flood a healthy flow) — a pure per-flow hash, so the
-                // honest path below is untouched when the axis is off.
-                let emitted = match &self.adversary {
-                    Some(adv) => adv.emission(&rec),
-                    None => (rec.established && rec.retransmissions > 0).then(|| {
-                        (
-                            RetransmissionEvent {
-                                host: rec.src,
-                                tuple: rec.tuple,
-                                retransmissions: rec.retransmissions,
-                            },
-                            DiscoveredPath::of_flow_path(&rec.path),
-                        )
-                    }),
-                };
-                let emitted_some = emitted.is_some();
-                if let Some((event, path)) = emitted {
-                    if deferred_gate {
-                        self.pending.push((event, path));
-                    } else {
-                        self.dispatch(event, path);
-                    }
+        if self.adversary.is_some() {
+            // Adversarial path: the model inspects whole records, so pull
+            // materialized chunks.
+            loop {
+                self.chunk.clear();
+                if stream.next_chunk(self.tuning.chunk_flows, &mut self.chunk) == 0 {
+                    break;
                 }
-                match self.retain {
-                    RetainPolicy::All => retained.push(rec),
-                    RetainPolicy::EvidenceOnly => {
-                        // Everything scoring consults: retransmitting
-                        // flows, plus any flow a byzantine agent emitted
-                        // evidence for (its record must resolve in the
-                        // flow index exactly as in the retain-all path).
-                        if rec.retransmissions > 0 || emitted_some {
-                            retained.push(rec);
+                self.stats.flows += self.chunk.len() as u64;
+                self.stats.peak_resident_flows = self
+                    .stats
+                    .peak_resident_flows
+                    .max((retained.len() + self.chunk.len()) as u64);
+                // The chunk buffer steps out of `self` for the dispatch
+                // loop (agents and hub are `self` fields) and returns
+                // after it, keeping its capacity across pulls.
+                let mut chunk = std::mem::take(&mut self.chunk);
+                for rec in chunk.drain(..) {
+                    // The adversary model overrides the honest
+                    // eventfulness decision for compromised hosts (lie,
+                    // stay mute, or flood a healthy flow) — a pure
+                    // per-flow hash.
+                    let emitted = self
+                        .adversary
+                        .as_ref()
+                        .expect("adversarial path")
+                        .emission(&rec);
+                    let emitted_some = emitted.is_some();
+                    if let Some((event, path)) = emitted {
+                        if deferred_gate {
+                            self.pending.push((event, path));
+                        } else {
+                            self.dispatch(topo, config, event, path);
+                        }
+                    }
+                    match self.retain {
+                        RetainPolicy::All => retained.push(rec),
+                        RetainPolicy::EvidenceOnly => {
+                            // Everything scoring consults: retransmitting
+                            // flows, plus any flow a byzantine agent
+                            // emitted evidence for (its record must
+                            // resolve in the flow index exactly as in the
+                            // retain-all path).
+                            if rec.retransmissions > 0 || emitted_some {
+                                retained.push(rec);
+                            }
                         }
                     }
                 }
+                self.chunk = chunk;
+                self.drain_hub();
             }
-            self.chunk = chunk;
-            self.drain_hub();
+        } else {
+            // Honest path: pull struct-of-arrays batches and scan the
+            // dense columns. The monitoring agent's eventfulness rule
+            // (§4.2) — established and at least one retransmission —
+            // reads two columns; only rows that are eventful or retained
+            // are materialized into records, so the common clean flow
+            // never allocates.
+            loop {
+                self.batch.clear();
+                if stream.next_batch(self.tuning.chunk_flows, &mut self.batch) == 0 {
+                    break;
+                }
+                self.stats.flows += self.batch.len() as u64;
+                self.stats.peak_resident_flows = self
+                    .stats
+                    .peak_resident_flows
+                    .max((retained.len() + self.batch.len()) as u64);
+                let batch = std::mem::take(&mut self.batch);
+                for i in 0..batch.len() {
+                    let eventful = batch.established()[i] && batch.retransmissions()[i] > 0;
+                    let keep = match self.retain {
+                        RetainPolicy::All => true,
+                        RetainPolicy::EvidenceOnly => batch.retransmissions()[i] > 0,
+                    };
+                    if !eventful && !keep {
+                        continue;
+                    }
+                    let rec = stream.materialize(&batch, i);
+                    if eventful {
+                        let event = RetransmissionEvent {
+                            host: rec.src,
+                            tuple: rec.tuple,
+                            retransmissions: rec.retransmissions,
+                        };
+                        let path = DiscoveredPath::of_flow_path(&rec.path);
+                        if deferred_gate {
+                            self.pending.push((event, path));
+                        } else {
+                            self.dispatch(topo, config, event, path);
+                        }
+                    }
+                    if keep {
+                        retained.push(rec);
+                    }
+                }
+                self.batch = batch;
+                self.drain_hub();
+            }
         }
         let ground_truth = stream.finish();
 
@@ -331,8 +403,8 @@ impl<'a> StreamSession<'a> {
             let salt = rng.gen::<u64>();
             let pending = std::mem::take(&mut self.pending);
             for (i, (event, path)) in pending.into_iter().enumerate() {
-                if !self.config.slb.skips(&event.tuple, salt) {
-                    self.dispatch(event, path);
+                if !config.slb.skips(&event.tuple, salt) {
+                    self.dispatch(topo, config, event, path);
                 }
                 if (i + 1) % self.tuning.chunk_flows == 0 {
                     self.drain_hub();
@@ -370,7 +442,7 @@ impl<'a> StreamSession<'a> {
             flows: retained,
             ground_truth,
         };
-        assemble_epoch(outcome, flow_index, reports, window, self.config)
+        assemble_epoch(outcome, flow_index, reports, window, config)
     }
 
     /// Shuts the session down: every live agent announces
@@ -394,16 +466,18 @@ impl<'a> StreamSession<'a> {
 }
 
 /// One streaming trial: the exact seed discipline of
-/// [`crate::experiment::run_trial`] (topology from the trial RNG, faults
-/// built once, epochs sharing the draw stream) driven through a
-/// [`StreamSession`] in evidence-only retention. Produces a
-/// [`TrialReport`] bit-identical to the batch trial's.
+/// [`crate::experiment::run_trial`] (topology and faults from the trial
+/// RNG, each epoch on its own derived [`crate::sweep::epoch_rng`]
+/// stream) driven through a [`StreamSession`] in evidence-only
+/// retention. Produces a [`TrialReport`] bit-identical to the batch
+/// trial's.
 pub fn stream_trial(
     config: &ExperimentConfig,
     trial: usize,
     tuning: &StreamTuning,
 ) -> (TrialReport, StreamStats) {
     let started = std::time::Instant::now();
+    let trial_seed = config.trial_seed(trial);
     let mut rng = config.trial_rng(trial);
     let topo = vigil_topology::ClosTopology::new(config.params, rng.gen())
         .expect("experiment parameters validated upstream");
@@ -416,8 +490,9 @@ pub fn stream_trial(
         RetainPolicy::EvidenceOnly,
     );
     let mut acc = TrialAccumulator::new(config.epochs);
-    for _ in 0..config.epochs {
-        let run = session.run_window(&faults, &mut rng, &mut scratch);
+    for epoch in 0..config.epochs {
+        let mut erng = crate::sweep::epoch_rng(trial_seed, epoch);
+        let run = session.run_window(&topo, &config.run, &faults, &mut erng, &mut scratch);
         acc.absorb(evaluate_epoch(&run));
     }
     session.shutdown();
@@ -425,27 +500,32 @@ pub fn stream_trial(
     (acc.finish(&config.run, trial, started), stats)
 }
 
-/// Runs a whole experiment through the streaming pipeline: trials shard
-/// across the sweep engine's workers exactly like
-/// [`SweepEngine::run_experiment`], so the report is bit-identical to
-/// the batch path at any thread count — plus the aggregated service-mode
-/// counters.
+/// Runs a whole experiment through the streaming pipeline's epoch pool:
+/// `(trial, epoch)` tasks shard across the sweep engine's workers
+/// exactly like [`SweepEngine::run_experiment`], so the report is
+/// bit-identical to the batch path at any thread count — plus the
+/// aggregated service-mode counters.
 pub fn stream_experiment(
     config: &ExperimentConfig,
     engine: &SweepEngine,
     tuning: &StreamTuning,
 ) -> (ExperimentReport, StreamStats) {
     let started = std::time::Instant::now();
+    let groups = [crate::pool::EpochGroup::from_experiment(
+        config,
+        RetainPolicy::EvidenceOnly,
+        tuning.clone(),
+    )];
+    let result = crate::pool::run_epoch_grid(engine, &groups)
+        .pop()
+        .expect("one group in, one result out");
     let mut report = ExperimentReport::empty(config);
-    let mut stats = StreamStats::default();
-    for (trial, trial_stats) in engine.run_tasks(config.trials, |t| stream_trial(config, t, tuning))
-    {
+    for trial in result.trials {
         report.merge_trial(trial);
-        stats.merge(&trial_stats);
     }
     report.timing.total_ms = started.elapsed().as_secs_f64() * 1e3;
     report.timing.threads = engine.threads();
-    (report, stats)
+    (report, result.stats)
 }
 
 #[cfg(test)]
@@ -497,7 +577,7 @@ mod tests {
             let mut rng = ChaCha8Rng::seed_from_u64(3);
             let mut session =
                 StreamSession::new(&topo, &cfg, StreamTuning::default(), RetainPolicy::All);
-            session.run_window(&faults, &mut rng, &mut EpochScratch::new())
+            session.run_window(&topo, &cfg, &faults, &mut rng, &mut EpochScratch::new())
         };
         for chunk in [1usize, 17, 4096] {
             let mut rng = ChaCha8Rng::seed_from_u64(3);
@@ -506,7 +586,7 @@ mod tests {
                 hub_capacity: 2 * chunk + 16,
             };
             let mut session = StreamSession::new(&topo, &cfg, tuning, RetainPolicy::All);
-            let run = session.run_window(&faults, &mut rng, &mut EpochScratch::new());
+            let run = session.run_window(&topo, &cfg, &faults, &mut rng, &mut EpochScratch::new());
             assert_eq!(run.outcome.flows, baseline.outcome.flows);
             assert_eq!(run.reports, baseline.reports);
             assert_eq!(fingerprint(&run), fingerprint(&baseline));
@@ -525,8 +605,14 @@ mod tests {
             hub_capacity: 256,
         };
         let mut lean = StreamSession::new(&topo, &cfg, tuning, RetainPolicy::EvidenceOnly);
-        let full = all.run_window(&faults, &mut rng_all, &mut EpochScratch::new());
-        let slim = lean.run_window(&faults, &mut rng_lean, &mut EpochScratch::new());
+        let full = all.run_window(&topo, &cfg, &faults, &mut rng_all, &mut EpochScratch::new());
+        let slim = lean.run_window(
+            &topo,
+            &cfg,
+            &faults,
+            &mut rng_lean,
+            &mut EpochScratch::new(),
+        );
 
         // The scoring-visible surface is identical...
         assert_eq!(slim.reports, full.reports);
@@ -561,7 +647,13 @@ mod tests {
             hub_capacity: 64,
         };
         let mut session = StreamSession::new(&topo, &cfg, tuning, RetainPolicy::EvidenceOnly);
-        let run = session.run_window(&faults, &mut rng_stream, &mut EpochScratch::new());
+        let run = session.run_window(
+            &topo,
+            &cfg,
+            &faults,
+            &mut rng_stream,
+            &mut EpochScratch::new(),
+        );
         assert_eq!(run.reports, batch.reports);
         assert_eq!(
             run.detection.detected_links(),
@@ -586,7 +678,7 @@ mod tests {
         let mut detected = Vec::new();
         for w in 0..3 {
             assert_eq!(session.ledger().epoch(), w);
-            let run = session.run_window(&faults, &mut rng, &mut scratch);
+            let run = session.run_window(&topo, &cfg, &faults, &mut rng, &mut scratch);
             detected.push(run.detection.detected_links());
         }
         assert_eq!(session.stats().windows, 3);

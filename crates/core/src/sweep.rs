@@ -24,20 +24,47 @@
 //! [`std::thread::available_parallelism`], else 1 — see
 //! [`SweepEngine::from_env`].
 
-use crate::experiment::{run_trial, ExperimentConfig, ExperimentReport};
+use crate::experiment::{ExperimentConfig, ExperimentReport};
+use crate::pool::{run_epoch_grid, EpochGroup};
+use crate::stream::{RetainPolicy, StreamTuning};
 use crossbeam::channel;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+/// The golden-ratio multiplier every derived seed mixes with (the
+/// Weyl-sequence constant ⌊2⁶⁴/φ⌋).
+const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Derives task `index`'s seed from the master seed — the golden-ratio
+/// multiply-XOR shared by trial seeding ([`ExperimentConfig::trial_rng`])
+/// and matrix case seeding. Pure and position-free: any task's seed is
+/// computable without running the tasks before it.
+pub fn task_seed(master_seed: u64, index: usize) -> u64 {
+    master_seed ^ (index as u64).wrapping_mul(GOLDEN)
+}
+
 /// Per-task RNG for custom replays driven through
-/// [`SweepEngine::run_tasks`]: mixes the task index into the master seed
-/// (golden-ratio multiply, the same derivation as
-/// [`ExperimentConfig::trial_rng`]) so tasks draw independent streams in
-/// any execution order.
+/// [`SweepEngine::run_tasks`]: seeds from [`task_seed`] so tasks draw
+/// independent streams in any execution order.
 pub fn task_rng(master_seed: u64, index: usize) -> ChaCha8Rng {
-    ChaCha8Rng::seed_from_u64(master_seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    ChaCha8Rng::seed_from_u64(task_seed(master_seed, index))
+}
+
+/// The RNG for one epoch of one trial, derived from the trial's seed and
+/// the epoch index alone — the seeding scheme that makes epochs (not
+/// trials) the unit of parallelism: any epoch of any trial is
+/// independently reproducible without replaying its predecessors.
+///
+/// The trial seed is scrambled (multiply + xor-shift) before the epoch
+/// term is mixed in. A naive `trial_seed ^ (epoch+1)·G` would collide
+/// systematically: with `trial_seed = master ^ trial·G`, every trial `t`
+/// at epoch `t−1` would fold back to the master seed.
+pub fn epoch_rng(trial_seed: u64, epoch: usize) -> ChaCha8Rng {
+    let mut t = trial_seed.wrapping_mul(GOLDEN);
+    t ^= t >> 32;
+    ChaCha8Rng::seed_from_u64(t ^ ((epoch as u64) + 1).wrapping_mul(GOLDEN))
 }
 
 /// Hardware parallelism, with a serial fallback when it cannot be
@@ -142,9 +169,25 @@ impl SweepEngine {
         T: Send,
         F: Fn(usize) -> T + Sync,
     {
+        self.run_tasks_with(n, || (), move |_, i| task(i))
+    }
+
+    /// [`run_tasks`](Self::run_tasks) with worker-local state: every
+    /// worker thread calls `init` once and threads its `&mut S` through
+    /// each task it claims. The epoch pool uses this to cache a trial's
+    /// topology, session, and scratch across consecutively-claimed
+    /// epochs — state reuse that is observable only as speed, never in
+    /// the results (tasks must not let `S` change their output).
+    pub fn run_tasks_with<S, T, I, F>(&self, n: usize, init: I, task: F) -> Vec<T>
+    where
+        T: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, usize) -> T + Sync,
+    {
         let workers = self.threads.get().min(n);
         if workers <= 1 {
-            return (0..n).map(task).collect();
+            let mut state = init();
+            return (0..n).map(|i| task(&mut state, i)).collect();
         }
 
         let next = AtomicUsize::new(0);
@@ -153,16 +196,21 @@ impl SweepEngine {
             for _ in 0..workers {
                 let tx = tx.clone();
                 let next = &next;
+                let init = &init;
                 let task = &task;
-                scope.spawn(move || loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    // A send only fails when the collector is gone, i.e.
-                    // the scope is already unwinding; stop quietly then.
-                    if tx.send((i, task(i))).is_err() {
-                        break;
+                scope.spawn(move || {
+                    let mut state = init();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        // A send only fails when the collector is gone,
+                        // i.e. the scope is already unwinding; stop
+                        // quietly then.
+                        if tx.send((i, task(&mut state, i))).is_err() {
+                            break;
+                        }
                     }
                 });
             }
@@ -180,13 +228,22 @@ impl SweepEngine {
             .collect()
     }
 
-    /// Runs `config.trials` independent trials across the workers and
-    /// merges them in trial order. Bit-identical to the serial runner at
-    /// any thread count.
+    /// Runs one config through the unified epoch×trial pool: every
+    /// `(trial, epoch)` pair is one task, so parallelism reaches inside
+    /// trials. Partial reports merge in (trial, epoch) order —
+    /// bit-identical to the serial runner at any thread count.
     pub fn run_experiment(&self, config: &ExperimentConfig) -> ExperimentReport {
         let started = std::time::Instant::now();
+        let groups = [EpochGroup::from_experiment(
+            config,
+            RetainPolicy::All,
+            StreamTuning::default(),
+        )];
+        let result = run_epoch_grid(self, &groups)
+            .pop()
+            .expect("one group in, one result out");
         let mut report = ExperimentReport::empty(config);
-        for trial in self.run_tasks(config.trials, |t| run_trial(config, t)) {
+        for trial in result.trials {
             report.merge_trial(trial);
         }
         report.timing.total_ms = started.elapsed().as_secs_f64() * 1e3;
@@ -194,40 +251,29 @@ impl SweepEngine {
         report
     }
 
-    /// Runs a declarative sweep: every `(point, trial)` pair becomes one
-    /// task in a flattened grid, so parallelism spans the whole figure
-    /// rather than one point at a time. Returns one report per knob
-    /// value, in `spec.values` order, each bit-identical to running
-    /// [`Self::run_experiment`] on that point alone.
+    /// Runs a declarative sweep: every `(point, trial, epoch)` triple
+    /// becomes one task in a flattened grid, so parallelism spans the
+    /// whole figure rather than one point at a time. Returns one report
+    /// per knob value, in `spec.values` order, each bit-identical to
+    /// running [`Self::run_experiment`] on that point alone.
     pub fn run_sweep<X>(&self, spec: &SweepSpec<'_, X>) -> Vec<ExperimentReport> {
         let started = std::time::Instant::now();
         let configs: Vec<ExperimentConfig> = spec.values.iter().map(|x| (spec.config)(x)).collect();
 
-        // Flat grid: point p owns flat indices offsets[p]..offsets[p+1].
-        let mut offsets = Vec::with_capacity(configs.len() + 1);
-        let mut total = 0usize;
-        for cfg in &configs {
-            offsets.push(total);
-            total += cfg.trials;
-        }
-        offsets.push(total);
-
-        let locate = |flat: usize| -> (usize, usize) {
-            let point = offsets.partition_point(|&o| o <= flat) - 1;
-            (point, flat - offsets[point])
-        };
-
-        let trials = self.run_tasks(total, |flat| {
-            let (point, trial) = locate(flat);
-            (point, run_trial(&configs[point], trial))
-        });
+        let groups: Vec<EpochGroup<'_>> = configs
+            .iter()
+            .map(|cfg| EpochGroup::from_experiment(cfg, RetainPolicy::All, StreamTuning::default()))
+            .collect();
+        let results = run_epoch_grid(self, &groups);
 
         let mut reports: Vec<ExperimentReport> =
             configs.iter().map(ExperimentReport::empty).collect();
-        // `run_tasks` returns flat-index order = point-major, trials
-        // ascending — exactly the serial merge order per point.
-        for (point, trial) in trials {
-            reports[point].merge_trial(trial);
+        // Grid results arrive group-major, trials ascending — exactly
+        // the serial merge order per point.
+        for (report, result) in reports.iter_mut().zip(results) {
+            for trial in result.trials {
+                report.merge_trial(trial);
+            }
         }
         let total_ms = started.elapsed().as_secs_f64() * 1e3;
         for report in &mut reports {
@@ -272,6 +318,58 @@ mod tests {
         let engine = SweepEngine::new(4);
         let out = engine.run_tasks(100, |i| i * 3);
         assert_eq!(out, (0..100).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_tasks_with_threads_worker_state() {
+        // Worker-local state persists across the tasks one worker claims
+        // (each task sees how many the same worker ran before it), and
+        // results still come back in index order.
+        let engine = SweepEngine::new(3);
+        let out = engine.run_tasks_with(
+            50,
+            || 0usize,
+            |count, i| {
+                *count += 1;
+                (i, *count)
+            },
+        );
+        assert_eq!(out.len(), 50);
+        for (idx, (i, count)) in out.iter().enumerate() {
+            assert_eq!(*i, idx);
+            assert!(*count >= 1 && *count <= 50);
+        }
+        // Serial: one state serves every task, so counts are 1..=n.
+        let serial = SweepEngine::serial().run_tasks_with(
+            5,
+            || 0usize,
+            |count, i| {
+                *count += 1;
+                (i, *count)
+            },
+        );
+        assert_eq!(serial, vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
+    }
+
+    #[test]
+    fn epoch_seeds_are_unique_across_the_grid() {
+        // No (trial, epoch) pair may share an RNG stream with another —
+        // including the degenerate diagonal that a naive xor derivation
+        // collides on (trial t, epoch t−1 folding back to the master).
+        use rand::Rng;
+        let master = 0xD37E_2026u64;
+        let mut seen = std::collections::HashSet::new();
+        for trial in 0..64usize {
+            let trial_seed = task_seed(master, trial);
+            for epoch in 0..64usize {
+                let mut rng = epoch_rng(trial_seed, epoch);
+                let first: u64 = rng.gen();
+                assert!(
+                    seen.insert(first),
+                    "trial {trial} epoch {epoch} collided with an earlier stream"
+                );
+            }
+        }
     }
 
     #[test]

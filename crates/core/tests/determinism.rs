@@ -248,6 +248,66 @@ fn byzantine_stream_reproduces_batch_for_every_behavior() {
 }
 
 #[test]
+fn pool_is_byte_identical_at_one_two_and_four_threads() {
+    // The unified epoch×trial pool's contract across every front door:
+    // run, stream, and matrix reports serialize byte-identically at
+    // widths 1, 2, and 4. Width 2 matters separately from 4 — it is the
+    // first width where two workers race for units of the same trial,
+    // and the width every CI job pins.
+    let cfg = config();
+    let runs: Vec<String> = [1usize, 2, 4]
+        .iter()
+        .map(|&t| serde_json::to_string_pretty(&SweepEngine::new(t).run_experiment(&cfg)).unwrap())
+        .collect();
+    assert_eq!(runs[0], runs[1], "run: width 2 diverged from width 1");
+    assert_eq!(runs[0], runs[2], "run: width 4 diverged from width 1");
+
+    let streams: Vec<String> = [1usize, 2, 4]
+        .iter()
+        .map(|&t| {
+            let (report, stats) =
+                stream_experiment(&cfg, &SweepEngine::new(t), &StreamTuning::default());
+            assert_eq!(stats.shed, 0, "width {t} shed evidence");
+            serde_json::to_string_pretty(&report).unwrap()
+        })
+        .collect();
+    assert_eq!(streams[0], streams[1], "stream: width 2 diverged");
+    assert_eq!(streams[0], streams[2], "stream: width 4 diverged");
+
+    let cases = vigil::matrix::filter_cases(scenarios::standard_matrix(), "drop/k1");
+    assert!(!cases.is_empty());
+    let matrices: Vec<String> = [1usize, 2, 4]
+        .iter()
+        .map(|&t| {
+            let mut runner = MatrixRunner::new(SweepEngine::new(t));
+            runner.trials = 2;
+            runner.epochs = 2;
+            serde_json::to_string_pretty(&runner.run(&cases)).unwrap()
+        })
+        .collect();
+    assert_eq!(matrices[0], matrices[1], "matrix: width 2 diverged");
+    assert_eq!(matrices[0], matrices[2], "matrix: width 4 diverged");
+}
+
+#[test]
+fn tier_two_epoch_threading_matches_serial_inside_the_pool() {
+    // One trial × one epoch on a 4-wide engine leaves three pool workers
+    // idle, so the pool's second tier hands the epoch's hosts to
+    // `run_epoch_threaded` (inner = 4) with per-worker ledger shards.
+    // The report must still match the fully serial run byte for byte.
+    let mut cfg = config();
+    cfg.trials = 1;
+    cfg.epochs = 1;
+    let serial = SweepEngine::new(1).run_experiment(&cfg);
+    let fanned = SweepEngine::new(4).run_experiment(&cfg);
+    assert_eq!(
+        serde_json::to_string_pretty(&serial).unwrap(),
+        serde_json::to_string_pretty(&fanned).unwrap(),
+        "tier-2 host fan-out changed the report"
+    );
+}
+
+#[test]
 fn sweep_grid_is_deterministic_across_thread_counts() {
     let spec = || {
         SweepSpec::new("det", "#failures", vec![1u32, 2, 3], |&k| {

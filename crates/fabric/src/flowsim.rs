@@ -233,20 +233,35 @@ pub fn simulate_flows_with<R: Rng + ?Sized>(
     }
 }
 
+/// Column-level outcome of simulating one spec: everything a
+/// [`FlowRecord`] carries except the owned path (it stays interned in
+/// the arena) and the drop list (appended to a caller-provided pair
+/// buffer). The struct-of-arrays [`FlowBatch`] stores exactly these
+/// fields per flow; [`EpochStream::materialize`] turns a row back into
+/// a [`FlowRecord`] on demand.
+#[derive(Debug, Clone, Copy)]
+struct RawFlow {
+    path: vigil_topology::PathId,
+    retransmissions: u32,
+    established: bool,
+    completed: bool,
+}
+
 /// Simulates one spec end to end: route, intern, sample drops. The one
 /// per-flow step both the batch loop and the streaming pull path share —
 /// factoring it here is what makes their RNG draw order identical by
-/// construction.
-fn simulate_spec<R: Rng + ?Sized>(
+/// construction. Drop pairs are *appended* to `pairs_out` (the record
+/// path clears it per flow; the batch path accumulates CSR-style).
+fn simulate_spec_raw<R: Rng + ?Sized>(
     topo: &ClosTopology,
     faults: &LinkFaults,
     config: &SimConfig,
-    id: FlowId,
     spec: &FlowSpec,
     rng: &mut R,
     scratch: &mut EpochScratch,
+    pairs_out: &mut Vec<(LinkId, u32)>,
     drops_per_link: &mut [u64],
-) -> FlowRecord {
+) -> RawFlow {
     // Split borrows: routing writes `route`, interning owns `arena`, and
     // the drop sampler uses the flat accumulators — all disjoint.
     let EpochScratch {
@@ -254,7 +269,7 @@ fn simulate_spec<R: Rng + ?Sized>(
         arena,
         rates,
         local_drops,
-        drop_pairs,
+        drop_pairs: _,
     } = scratch;
     match topo.route_filtered_into(
         &spec.tuple,
@@ -266,7 +281,6 @@ fn simulate_spec<R: Rng + ?Sized>(
         Ok(Routed::Complete) => {
             let path = arena.intern(&route.nodes, &route.links);
             simulate_one_flow(
-                id,
                 spec,
                 arena,
                 path,
@@ -274,7 +288,7 @@ fn simulate_spec<R: Rng + ?Sized>(
                 config,
                 rng,
                 drops_per_link,
-                (rates, local_drops, drop_pairs),
+                (rates, local_drops, pairs_out),
             )
         }
         Ok(Routed::Blackholed) => {
@@ -282,15 +296,9 @@ fn simulate_spec<R: Rng + ?Sized>(
             // link "drops" it (the blackhole is a routing hole), the
             // connection simply fails to establish.
             let partial = arena.intern(&route.nodes, &route.links);
-            FlowRecord {
-                id,
-                src: spec.src,
-                dst: spec.dst,
-                tuple: spec.tuple,
-                packets: spec.packets,
+            RawFlow {
+                path: partial,
                 retransmissions: config.syn_attempts,
-                path: arena.to_path(partial),
-                drops_per_link: Vec::new(),
                 established: false,
                 completed: false,
             }
@@ -301,6 +309,152 @@ fn simulate_spec<R: Rng + ?Sized>(
         Err(RouteError::Blackhole { .. }) => {
             unreachable!("route_filtered_into reports blackholes as Ok(Routed::Blackholed)")
         }
+    }
+}
+
+/// Record-materializing form of [`simulate_spec_raw`]: same draws, same
+/// outcome, plus the owned [`Path`] and drop list a [`FlowRecord`]
+/// carries.
+fn simulate_spec<R: Rng + ?Sized>(
+    topo: &ClosTopology,
+    faults: &LinkFaults,
+    config: &SimConfig,
+    id: FlowId,
+    spec: &FlowSpec,
+    rng: &mut R,
+    scratch: &mut EpochScratch,
+    drops_per_link: &mut [u64],
+) -> FlowRecord {
+    let mut pairs = std::mem::take(&mut scratch.drop_pairs);
+    pairs.clear();
+    let raw = simulate_spec_raw(
+        topo,
+        faults,
+        config,
+        spec,
+        rng,
+        scratch,
+        &mut pairs,
+        drops_per_link,
+    );
+    let record = FlowRecord {
+        id,
+        src: spec.src,
+        dst: spec.dst,
+        tuple: spec.tuple,
+        packets: spec.packets,
+        retransmissions: raw.retransmissions,
+        path: scratch.arena.to_path(raw.path),
+        drops_per_link: pairs.as_slice().to_vec(),
+        established: raw.established,
+        completed: raw.completed,
+    };
+    scratch.drop_pairs = pairs;
+    record
+}
+
+/// Struct-of-arrays view of a chunk of simulated flows: the hot fields
+/// live in dense parallel columns, paths stay interned ([`vigil_topology::PathId`]s into
+/// the stream's arena), and drop pairs are CSR-packed. Consumers that
+/// only need to *scan* (did this flow retransmit? did it establish?)
+/// iterate columns without materializing a single [`FlowRecord`]; rows
+/// that matter are materialized on demand via
+/// [`EpochStream::materialize`].
+#[derive(Debug, Clone, Default)]
+pub struct FlowBatch {
+    first_id: u32,
+    src: Vec<HostId>,
+    dst: Vec<HostId>,
+    tuple: Vec<FiveTuple>,
+    packets: Vec<u32>,
+    retransmissions: Vec<u32>,
+    established: Vec<bool>,
+    completed: Vec<bool>,
+    path: Vec<vigil_topology::PathId>,
+    drop_starts: Vec<u32>,
+    drop_pairs: Vec<(LinkId, u32)>,
+}
+
+impl FlowBatch {
+    /// Fresh, empty batch (columns grow on first fill).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Rows in the batch.
+    pub fn len(&self) -> usize {
+        self.src.len()
+    }
+
+    /// Whether the batch holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.src.is_empty()
+    }
+
+    /// Clears every column, keeping capacity.
+    pub fn clear(&mut self) {
+        self.first_id = 0;
+        self.src.clear();
+        self.dst.clear();
+        self.tuple.clear();
+        self.packets.clear();
+        self.retransmissions.clear();
+        self.established.clear();
+        self.completed.clear();
+        self.path.clear();
+        self.drop_starts.clear();
+        self.drop_pairs.clear();
+    }
+
+    /// The epoch-wide [`FlowId`] of row `i`.
+    pub fn id(&self, i: usize) -> FlowId {
+        FlowId(self.first_id + i as u32)
+    }
+
+    /// Source-host column.
+    pub fn src(&self) -> &[HostId] {
+        &self.src
+    }
+
+    /// Destination-host column.
+    pub fn dst(&self) -> &[HostId] {
+        &self.dst
+    }
+
+    /// Five-tuple column.
+    pub fn tuples(&self) -> &[FiveTuple] {
+        &self.tuple
+    }
+
+    /// Packets-attempted column.
+    pub fn packets(&self) -> &[u32] {
+        &self.packets
+    }
+
+    /// Retransmission-count column — the column the monitoring agent's
+    /// `retransmissions > 0` scan reads.
+    pub fn retransmissions(&self) -> &[u32] {
+        &self.retransmissions
+    }
+
+    /// Connection-establishment column.
+    pub fn established(&self) -> &[bool] {
+        &self.established
+    }
+
+    /// Completion column.
+    pub fn completed(&self) -> &[bool] {
+        &self.completed
+    }
+
+    /// Ground-truth drop pairs of row `i` (CSR slice).
+    pub fn drops(&self, i: usize) -> &[(LinkId, u32)] {
+        let lo = self.drop_starts[i] as usize;
+        let hi = self
+            .drop_starts
+            .get(i + 1)
+            .map_or(self.drop_pairs.len(), |&e| e as usize);
+        &self.drop_pairs[lo..hi]
     }
 }
 
@@ -414,6 +568,66 @@ impl<'a, R: Rng + ?Sized> EpochStream<'a, R> {
         produced
     }
 
+    /// Struct-of-arrays twin of [`next_chunk`](Self::next_chunk): same
+    /// flows, same RNG draws, but the results land in dense columns and
+    /// nothing per-flow is heap-allocated — no owned [`Path`], no
+    /// per-record drop vector. Returns the number of rows appended; `0`
+    /// means the epoch is exhausted. Materialize interesting rows with
+    /// [`materialize`](Self::materialize).
+    pub fn next_batch(&mut self, max_flows: usize, out: &mut FlowBatch) -> usize {
+        let end = self
+            .specs
+            .len()
+            .min(self.cursor.saturating_add(max_flows.max(1)));
+        let produced = end - self.cursor;
+        if out.is_empty() {
+            out.first_id = self.cursor as u32;
+        }
+        for i in self.cursor..end {
+            let spec = self.specs[i];
+            out.drop_starts.push(out.drop_pairs.len() as u32);
+            let raw = simulate_spec_raw(
+                self.topo,
+                self.faults,
+                self.config,
+                &spec,
+                self.rng,
+                self.scratch,
+                &mut out.drop_pairs,
+                &mut self.drops_per_link,
+            );
+            out.src.push(spec.src);
+            out.dst.push(spec.dst);
+            out.tuple.push(spec.tuple);
+            out.packets.push(spec.packets);
+            out.retransmissions.push(raw.retransmissions);
+            out.established.push(raw.established);
+            out.completed.push(raw.completed);
+            out.path.push(raw.path);
+        }
+        self.cursor = end;
+        produced
+    }
+
+    /// Materializes row `i` of a batch this stream produced into a full
+    /// [`FlowRecord`] — bit-identical to what
+    /// [`next_chunk`](Self::next_chunk) would have pushed for the same
+    /// flow.
+    pub fn materialize(&self, batch: &FlowBatch, i: usize) -> FlowRecord {
+        FlowRecord {
+            id: batch.id(i),
+            src: batch.src[i],
+            dst: batch.dst[i],
+            tuple: batch.tuple[i],
+            packets: batch.packets[i],
+            retransmissions: batch.retransmissions[i],
+            path: self.scratch.arena.to_path(batch.path[i]),
+            drops_per_link: batch.drops(i).to_vec(),
+            established: batch.established[i],
+            completed: batch.completed[i],
+        }
+    }
+
     /// Closes the epoch and returns its ground truth (per-link drop
     /// totals over every flow pulled so far, plus the injected failure
     /// set). Call after the stream is exhausted for the full epoch's
@@ -427,12 +641,11 @@ impl<'a, R: Rng + ?Sized> EpochStream<'a, R> {
 }
 
 /// Exact per-flow drop simulation with a one-draw fast path. The flow's
-/// path arrives interned; the rate/drop accumulators are caller scratch,
-/// cleared here — the only per-flow allocations left are the owned
-/// [`Path`] in the record and the (usually empty) drop-pair list.
+/// path arrives interned and *stays* interned — the outcome is a
+/// [`RawFlow`] row; drop pairs are appended to `pairs_out`. The common
+/// zero-drop flow touches no heap at all.
 #[allow(clippy::too_many_arguments)]
 fn simulate_one_flow<R: Rng + ?Sized>(
-    id: FlowId,
     spec: &FlowSpec,
     arena: &PathArena,
     path: vigil_topology::PathId,
@@ -440,8 +653,8 @@ fn simulate_one_flow<R: Rng + ?Sized>(
     config: &SimConfig,
     rng: &mut R,
     global_drops: &mut [u64],
-    (rates, local, drop_pairs): (&mut Vec<f64>, &mut Vec<u32>, &mut Vec<(LinkId, u32)>),
-) -> FlowRecord {
+    (rates, local, pairs_out): (&mut Vec<f64>, &mut Vec<u32>, &mut Vec<(LinkId, u32)>),
+) -> RawFlow {
     let links = arena.links(path);
     // Per-link drop rates along the path, and the aggregate per-packet
     // drop probability q = 1 − Π(1 − r_i).
@@ -450,15 +663,9 @@ fn simulate_one_flow<R: Rng + ?Sized>(
     let survive_all: f64 = rates.iter().map(|r| 1.0 - r).product();
     let q = 1.0 - survive_all;
 
-    let mut record = FlowRecord {
-        id,
-        src: spec.src,
-        dst: spec.dst,
-        tuple: spec.tuple,
-        packets: spec.packets,
+    let mut record = RawFlow {
+        path,
         retransmissions: 0,
-        path: arena.to_path(path),
-        drops_per_link: Vec::new(),
         established: true,
         completed: true,
     };
@@ -529,17 +736,11 @@ fn simulate_one_flow<R: Rng + ?Sized>(
 
     record.established = established;
     record.completed = completed;
-    drop_pairs.clear();
-    drop_pairs.extend(
-        links
-            .iter()
-            .zip(local.iter())
-            .filter(|(_, c)| **c > 0)
-            .map(|(l, c)| (*l, *c)),
-    );
-    record.drops_per_link = drop_pairs.as_slice().to_vec();
-    for (l, c) in &record.drops_per_link {
-        global_drops[l.index()] += u64::from(*c);
+    for (l, c) in links.iter().zip(local.iter()) {
+        if *c > 0 {
+            pairs_out.push((*l, *c));
+            global_drops[l.index()] += u64::from(*c);
+        }
     }
     record
 }
@@ -844,6 +1045,49 @@ mod tests {
             assert_eq!(truth.failed_links, batch.ground_truth.failed_links);
             // And the RNG position matches: both streams draw next the
             // same value.
+            assert_eq!(rng.gen::<u64>(), batch_rng.clone().gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn batch_pull_matches_record_pull_bitwise() {
+        // The SoA fast path's contract: `next_batch` draws the same RNG
+        // stream as `next_chunk`, and materializing every row reproduces
+        // the exact records — columns are a layout change, not a science
+        // change.
+        let topo = topo();
+        let mut rng = ChaCha8Rng::seed_from_u64(31);
+        let faults = FaultPlan {
+            failure_rate: RateRange::fixed(0.02),
+            ..FaultPlan::paper_default(2)
+        }
+        .build(&topo, &mut rng);
+        let spec = traffic(12, 40);
+        let cfg = SimConfig::default();
+
+        let mut batch_rng = ChaCha8Rng::seed_from_u64(77);
+        let batch = simulate_epoch(&topo, &faults, &spec, &cfg, &mut batch_rng);
+
+        for chunk in [1usize, 7, 64, usize::MAX] {
+            let mut rng = ChaCha8Rng::seed_from_u64(77);
+            let mut scratch = EpochScratch::new();
+            let mut stream = EpochStream::open(&topo, &faults, &spec, &cfg, &mut rng, &mut scratch);
+            let mut flows = Vec::new();
+            let mut buf = FlowBatch::new();
+            loop {
+                buf.clear();
+                if stream.next_batch(chunk, &mut buf) == 0 {
+                    break;
+                }
+                assert!(chunk == usize::MAX || buf.len() <= chunk);
+                for i in 0..buf.len() {
+                    flows.push(stream.materialize(&buf, i));
+                }
+            }
+            assert_eq!(stream.remaining(), 0);
+            let truth = stream.finish();
+            assert_eq!(flows, batch.flows, "chunk size {chunk} changed the flows");
+            assert_eq!(truth.drops_per_link, batch.ground_truth.drops_per_link);
             assert_eq!(rng.gen::<u64>(), batch_rng.clone().gen::<u64>());
         }
     }

@@ -38,8 +38,8 @@ pub use compose::{CompiledFaults, CompositeFaultPlan, FaultKind};
 pub use dynamics::{Episode, FaultTimeline};
 pub use faults::{FaultPlan, LinkFaults};
 pub use flowsim::{
-    simulate_epoch, simulate_epoch_with, EpochOutcome, EpochScratch, EpochStream, FlowId,
-    FlowRecord, GroundTruth, SimConfig,
+    simulate_epoch, simulate_epoch_with, EpochOutcome, EpochScratch, EpochStream, FlowBatch,
+    FlowId, FlowRecord, GroundTruth, SimConfig,
 };
 pub use netsim::{NetSim, NetSimConfig, TracerouteOutcome};
 pub use replay::{RecordedConn, Recording};

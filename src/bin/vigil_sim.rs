@@ -302,6 +302,7 @@ fn run_stream(flags: &[String]) -> ExitCode {
 /// cross-window heat map at the end.
 fn stream_forever(cfg: &ExperimentConfig, cap: Option<usize>) -> ExitCode {
     use rand::Rng;
+    let trial_seed = cfg.trial_seed(0);
     let mut rng = cfg.trial_rng(0);
     let topo = match ClosTopology::new(cfg.params, rng.gen()) {
         Ok(t) => t,
@@ -328,8 +329,14 @@ fn stream_forever(cfg: &ExperimentConfig, cap: Option<usize>) -> ExitCode {
         )),
     );
     let started = std::time::Instant::now();
+    let mut window = 0usize;
     loop {
-        let run = session.run_window(&faults, &mut rng, &mut scratch);
+        // Every window reseeds from its index — the same derivation the
+        // epoch pool uses, so window w here is byte-identical to epoch w
+        // of a batch trial on the same preset.
+        let mut wrng = vigil::epoch_rng(trial_seed, window);
+        window += 1;
+        let run = session.run_window(&topo, &cfg.run, &faults, &mut wrng, &mut scratch);
         let stats = session.stats();
         let elapsed = started.elapsed().as_secs_f64().max(1e-9);
         println!(
