@@ -18,7 +18,7 @@ use serde::{Deserialize, Serialize};
 use vigil_topology::LinkId;
 
 /// Cross-epoch accumulator.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct LinkHealth {
     /// EWMA smoothing factor per epoch (0 < α ≤ 1); higher = more
     /// reactive.

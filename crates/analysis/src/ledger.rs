@@ -37,12 +37,13 @@ use crate::history::LinkHealth;
 use crate::noise::{classify_flows, DropClass};
 use crate::robustness::RobustnessCounters;
 use crate::voting::VoteTally;
+use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, VecDeque};
 use vigil_topology::LinkId;
 
 /// What the ledger keeps of a closed window — the constant-size residue
 /// of an epoch.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct WindowSummary {
     /// The window's index (0-based, counted by the ledger).
     pub epoch: u64,
@@ -292,6 +293,71 @@ impl<K: Ord> VoteLedger<K> {
         self.robustness.retracted += drained.retracted;
         other.live = VoteTally::new(other.num_links);
     }
+
+    /// The ledger's persistent cross-window state: epoch index, summary
+    /// ring, health EWMA, robustness counters. Taken **at a window
+    /// boundary** (right after [`close_window`](Self::close_window), when
+    /// the open window is empty) it is the ledger's *complete* state — a
+    /// collector that [`restore`](Self::restore)s it and replays
+    /// subsequent windows closes them bit-identically to one that never
+    /// went down. Open-window evidence is deliberately not captured:
+    /// mid-window evidence is in flight by definition, and the failover
+    /// contract is per-window.
+    pub fn snapshot(&self) -> LedgerSnapshot {
+        LedgerSnapshot {
+            epoch: self.epoch,
+            ring: self.ring.iter().cloned().collect(),
+            health: self.health.clone(),
+            robustness: self.robustness,
+        }
+    }
+
+    /// Rebuilds a ledger from a [`snapshot`](Self::snapshot), resuming at
+    /// the snapshot's epoch with an empty open window. The sizing
+    /// parameters are [`VoteLedger::new`]'s and must match the original
+    /// ledger's (they are configuration, not state, so the snapshot does
+    /// not carry them).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `ring_capacity` is 0, `alpha` is outside `(0, 1]`, or
+    /// the snapshot's ring exceeds `ring_capacity`.
+    pub fn restore(
+        num_links: usize,
+        config: Algorithm1Config,
+        ring_capacity: usize,
+        alpha: f64,
+        snapshot: LedgerSnapshot,
+    ) -> Self {
+        let mut ledger = Self::new(num_links, config, ring_capacity, alpha);
+        assert!(
+            snapshot.ring.len() <= ring_capacity,
+            "snapshot ring ({} windows) exceeds ring capacity {ring_capacity}",
+            snapshot.ring.len()
+        );
+        ledger.epoch = snapshot.epoch;
+        ledger.ring = snapshot.ring.into();
+        ledger.health = snapshot.health;
+        ledger.robustness = snapshot.robustness;
+        ledger
+    }
+}
+
+/// A [`VoteLedger`]'s serializable cross-window state — what
+/// [`VoteLedger::snapshot`] captures at a window boundary and
+/// [`VoteLedger::restore`] resumes from. The collector daemon persists
+/// one of these per window close so a restart loses at most the open
+/// window.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LedgerSnapshot {
+    /// The next window's index (windows closed so far).
+    pub epoch: u64,
+    /// Retained window summaries, oldest first.
+    pub ring: Vec<WindowSummary>,
+    /// The cross-window link-health EWMA.
+    pub health: LinkHealth,
+    /// Cumulative absorb/discard accounting.
+    pub robustness: RobustnessCounters,
 }
 
 /// A link-range-partitioned [`VoteLedger`]: each of N shards absorbs a
@@ -578,5 +644,54 @@ mod tests {
     #[should_panic(expected = "ring")]
     fn zero_ring_capacity_rejected() {
         let _: VoteLedger<u32> = VoteLedger::new(4, Algorithm1Config::default(), 0, 0.5);
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_bit_identically() {
+        // Run two windows, snapshot at the boundary, keep running the
+        // original; a restored ledger fed the same remaining windows must
+        // close each one bit-identically (tally bits, ring, health,
+        // epoch index) — the collector failover contract.
+        let feed = |l: &mut VoteLedger<Key>, w: u32| {
+            l.absorb((0, w), ev(&[5, 20], 2 + w));
+            l.absorb((1, w), ev(&[5, 21], 1));
+            l.absorb((2, w), ev(&[7, 8 + w % 3], 1));
+        };
+        let mut original = ledger();
+        for w in 0..2 {
+            feed(&mut original, w);
+            original.close_window();
+        }
+        let snap = original.snapshot();
+        assert_eq!(snap.epoch, 2);
+
+        let mut restored = VoteLedger::restore(64, Algorithm1Config::default(), 4, 0.3, snap);
+        assert_eq!(restored.epoch(), 2);
+        for w in 2..5 {
+            feed(&mut original, w);
+            feed(&mut restored, w);
+            let a = original.close_window();
+            let b = restored.close_window();
+            assert_eq!(a.evidence, b.evidence);
+            assert_eq!(
+                tally_bits(&a.detection.raw_tally),
+                tally_bits(&b.detection.raw_tally)
+            );
+            assert_eq!(a.detection.detected_links(), b.detection.detected_links());
+            assert_eq!(a.unbounded_picks, b.unbounded_picks);
+        }
+        assert_eq!(original.snapshot(), restored.snapshot());
+    }
+
+    #[test]
+    fn snapshot_survives_json() {
+        let mut l = ledger();
+        l.absorb((0, 0), ev(&[5, 20], 2));
+        l.absorb((1, 0), ev(&[5, 21], 3));
+        l.close_window();
+        let snap = l.snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: LedgerSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
     }
 }

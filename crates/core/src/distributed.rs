@@ -1,0 +1,1479 @@
+//! Distributed service mode: host agents in their own processes, a
+//! collector daemon absorbing their evidence over sockets.
+//!
+//! The paper's deployment (§3, Figure 2) is not one process: every
+//! production host runs a monitoring + path-discovery agent, and a
+//! centralized analysis service tallies their votes per 30-second
+//! window. This module is that shape over real transport:
+//!
+//! ```text
+//!   vigil-sim agent --hosts 0..N/2 ─┐  length-prefixed frames
+//!   vigil-sim agent --hosts N/2..N ─┤  (vigil_wire, TCP or Unix)
+//!                                   ▼
+//!            vigil-sim collect ── bounded hub ── VoteLedger
+//!                 │                                  │
+//!            snapshot.json                    window close →
+//!          (failover/restart)              EpochRun → EpochReport
+//! ```
+//!
+//! * [`run_agent`] simulates a slice of the fabric's hosts (the same
+//!   deterministic epoch streams every runner draws) and writes the
+//!   typed [`AgentEvent`] protocol over a socket, one
+//!   [`WireFrame::EpochDone`] barrier per window.
+//! * [`run_collector`] admits agent connections (version check,
+//!   host-range non-overlap, optional host cap), forwards their events
+//!   onto the bounded hub — backpressure sheds are counted, never
+//!   panicked — detects per-host sequence gaps and agent restarts
+//!   *before* the hub so in-flight loss and collector backpressure are
+//!   accounted separately, closes the ledger window at the epoch
+//!   barrier, and scores it with the exact batch machinery.
+//!
+//! Determinism contract: a loopback run (N agent processes feeding one
+//! collector) produces a final report **byte-identical** to
+//! `vigil-sim stream --json --trials 1` on the same preset. Both sides
+//! derive topology, faults, and per-epoch RNG streams from the same
+//! seeds; evidence admission (pacer, trace cache, SLB gate, byzantine
+//! emission) runs on the agent exactly as in-process; the collector
+//! re-simulates each epoch locally only for ground truth and retained
+//! flow records (it never dispatches evidence of its own).
+//!
+//! Failover: with a snapshot path the collector serializes
+//! `{ledger, epoch reports}` at every window close (atomic
+//! temp-and-rename). A restarted collector `--resume`s from the last
+//! closed window; agents launched with `--start-epoch` cover the
+//! remaining epochs (per-epoch RNG streams are independent, so nothing
+//! is replayed) and the final tally matches the uninterrupted run.
+
+use crate::evaluate::{evaluate_epoch, EpochReport};
+use crate::experiment::{ExperimentConfig, ExperimentReport, TrialAccumulator};
+use crate::run::{
+    assemble_epoch, fresh_ledger, RunConfig, LEDGER_HEALTH_ALPHA, LEDGER_RING_WINDOWS,
+};
+use crate::stream::EvidenceKey;
+use crate::sweep::epoch_rng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap};
+use std::io::{self, BufWriter, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::ops::Range;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+use vigil_agents::{
+    event_channel, event_channel_bounded, AdversaryModel, AgentEvent, DiscoveredPath,
+    EventCollector, EventSender, FlowIndex, HostAgent, RetransmissionEvent, TraceReport,
+};
+use vigil_analysis::{FlowEvidence, LedgerSnapshot, VoteLedger};
+use vigil_fabric::flowsim::{EpochOutcome, EpochScratch, EpochStream, FlowBatch, FlowRecord};
+use vigil_topology::ClosTopology;
+use vigil_wire::{FrameReader, FrameWriter, WireFrame, WIRE_VERSION};
+
+fn invalid<E: std::fmt::Display>(e: E) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidInput, e.to_string())
+}
+
+fn other<E: std::fmt::Display>(e: E) -> io::Error {
+    io::Error::other(e.to_string())
+}
+
+// ---------------------------------------------------------------------
+// Transport: one address syntax for TCP and Unix-domain sockets.
+// ---------------------------------------------------------------------
+
+/// A socket address an agent connects to / a collector listens on.
+/// Operands containing `/` are Unix-domain socket paths; everything
+/// else is a TCP `host:port`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Endpoint {
+    /// A TCP address (`host:port`; port `0` binds an ephemeral port).
+    Tcp(String),
+    /// A Unix-domain socket path.
+    #[cfg(unix)]
+    Unix(PathBuf),
+}
+
+impl Endpoint {
+    /// Parses the CLI address syntax (`/`-containing → Unix path).
+    pub fn parse(s: &str) -> Self {
+        #[cfg(unix)]
+        if s.contains('/') {
+            return Endpoint::Unix(PathBuf::from(s));
+        }
+        Endpoint::Tcp(s.to_string())
+    }
+
+    /// Connects as an agent; the protocol is strictly one-directional,
+    /// so only the write half is exposed.
+    pub fn connect(&self) -> io::Result<Box<dyn Write + Send>> {
+        match self {
+            Endpoint::Tcp(addr) => Ok(Box::new(TcpStream::connect(addr)?)),
+            #[cfg(unix)]
+            Endpoint::Unix(path) => Ok(Box::new(std::os::unix::net::UnixStream::connect(path)?)),
+        }
+    }
+
+    /// Binds the collector's listening socket. An existing Unix socket
+    /// file is unlinked first (the crash-leftover case).
+    pub fn bind(&self) -> io::Result<Listener> {
+        match self {
+            Endpoint::Tcp(addr) => Ok(Listener::Tcp(TcpListener::bind(addr)?)),
+            #[cfg(unix)]
+            Endpoint::Unix(path) => {
+                let _ = std::fs::remove_file(path);
+                Ok(Listener::Unix(std::os::unix::net::UnixListener::bind(
+                    path,
+                )?))
+            }
+        }
+    }
+}
+
+/// A bound collector socket (see [`Endpoint::bind`]).
+#[derive(Debug)]
+pub enum Listener {
+    /// TCP listener.
+    Tcp(TcpListener),
+    /// Unix-domain listener.
+    #[cfg(unix)]
+    Unix(std::os::unix::net::UnixListener),
+}
+
+impl Listener {
+    /// The bound address in [`Endpoint::parse`] syntax — what
+    /// `--addr-file` records so agents can find an ephemeral port.
+    pub fn local_addr(&self) -> String {
+        match self {
+            Listener::Tcp(l) => l
+                .local_addr()
+                .map(|a| a.to_string())
+                .unwrap_or_else(|_| "?".into()),
+            #[cfg(unix)]
+            Listener::Unix(l) => l
+                .local_addr()
+                .ok()
+                .and_then(|a| a.as_pathname().map(|p| p.display().to_string()))
+                .unwrap_or_else(|| "?".into()),
+        }
+    }
+
+    fn accept_reader(&self) -> io::Result<Box<dyn Read + Send>> {
+        match self {
+            Listener::Tcp(l) => {
+                let (stream, _) = l.accept()?;
+                Ok(Box::new(stream))
+            }
+            #[cfg(unix)]
+            Listener::Unix(l) => {
+                let (stream, _) = l.accept()?;
+                Ok(Box::new(stream))
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Agent process driver.
+// ---------------------------------------------------------------------
+
+/// What one agent process covers: a host slice and an epoch slice of
+/// trial 0's deterministic schedule.
+#[derive(Debug, Clone)]
+pub struct AgentSpec {
+    /// Half-open host-id range this process emits events for.
+    pub hosts: Range<u32>,
+    /// First epoch to simulate (0-based; a restarted fleet resumes here).
+    pub start_epoch: usize,
+    /// Epochs to simulate starting at `start_epoch`.
+    pub epochs: usize,
+    /// Flow records materialized per simulator pull (memory knob only —
+    /// invisible on the wire).
+    pub chunk_flows: usize,
+}
+
+/// What [`run_agent`] sent.
+#[derive(Debug, Clone, Default)]
+pub struct AgentStats {
+    /// Epochs simulated and barriered.
+    pub epochs: usize,
+    /// Event frames written (opens, evidence, ticks, drains).
+    pub events_sent: u64,
+    /// Evidence frames among them.
+    pub evidence_sent: u64,
+}
+
+/// Routes one eventful record through its (lazily created) host agent —
+/// the same admission pipeline (pacer, per-epoch trace cache) the
+/// in-process stream driver runs.
+fn dispatch(
+    agents: &mut [Option<HostAgent>],
+    topo: &ClosTopology,
+    config: &RunConfig,
+    event: RetransmissionEvent,
+    path: DiscoveredPath,
+    hub: &EventSender,
+) {
+    let slot = &mut agents[event.host.0 as usize];
+    let agent = slot.get_or_insert_with(|| HostAgent::new(event.host, config.pacer.pacer(topo)));
+    agent.on_retransmission(&event, path, hub);
+}
+
+/// Drains the staging hub onto the wire, in emission order.
+fn flush_staging<W: Write>(
+    writer: &mut FrameWriter<W>,
+    staging: &EventCollector,
+    inbox: &mut Vec<AgentEvent>,
+    stats: &mut AgentStats,
+) -> io::Result<()> {
+    inbox.clear();
+    staging.drain_into(inbox);
+    for event in inbox.drain(..) {
+        if matches!(event, AgentEvent::Evidence { .. }) {
+            stats.evidence_sent += 1;
+        }
+        writer.write_frame(&WireFrame::Event(event))?;
+        stats.events_sent += 1;
+    }
+    Ok(())
+}
+
+/// Runs one agent process: simulates `spec.hosts`' share of trial 0's
+/// epochs and streams the [`AgentEvent`] protocol over `sink`, ending
+/// each epoch with a [`WireFrame::EpochDone`] barrier. The emitted
+/// evidence is exactly what the in-process stream driver's agents for
+/// those hosts would put on the hub — same pacer admissions, same SLB
+/// gate salt, same byzantine emissions, same per-host sequence numbers.
+///
+/// The staging hub is unbounded: an agent never sheds its own evidence;
+/// loss happens (and is counted) only at the collector.
+pub fn run_agent<W: Write>(
+    config: &ExperimentConfig,
+    spec: &AgentSpec,
+    sink: W,
+) -> io::Result<AgentStats> {
+    let trial_seed = config.trial_seed(0);
+    let mut rng = config.trial_rng(0);
+    let topo = ClosTopology::new(config.params, rng.gen()).map_err(invalid)?;
+    let faults = config.faults.build(&topo, &mut rng);
+    let num_hosts = u32::try_from(topo.num_hosts()).map_err(invalid)?;
+    if spec.hosts.start >= spec.hosts.end || spec.hosts.end > num_hosts {
+        return Err(invalid(format!(
+            "host range {}..{} invalid for a {num_hosts}-host topology",
+            spec.hosts.start, spec.hosts.end
+        )));
+    }
+    if spec.chunk_flows == 0 || spec.epochs == 0 {
+        return Err(invalid("agent needs chunk_flows >= 1 and epochs >= 1"));
+    }
+
+    let run_cfg = &config.run;
+    let adversary = run_cfg
+        .byzantine
+        .enabled()
+        .then(|| AdversaryModel::new(run_cfg.byzantine, topo.num_links()));
+    let deferred_gate = run_cfg.slb.enabled();
+    let (hub_tx, hub_rx) = event_channel();
+    let mut writer = FrameWriter::new(BufWriter::new(sink));
+    writer.write_frame(&WireFrame::Hello {
+        version: WIRE_VERSION,
+        host_lo: spec.hosts.start,
+        host_hi: spec.hosts.end,
+    })?;
+
+    let mut agents: Vec<Option<HostAgent>> = (0..topo.num_hosts()).map(|_| None).collect();
+    let mut scratch = EpochScratch::new();
+    let mut chunk: Vec<FlowRecord> = Vec::new();
+    let mut batch = FlowBatch::new();
+    let mut inbox: Vec<AgentEvent> = Vec::new();
+    let mut pending: Vec<(RetransmissionEvent, DiscoveredPath)> = Vec::new();
+    let mut stats = AgentStats::default();
+    let last_epoch = spec.start_epoch + spec.epochs - 1;
+
+    for epoch in spec.start_epoch..=last_epoch {
+        let mut erng = epoch_rng(trial_seed, epoch);
+        let mut stream = EpochStream::open(
+            &topo,
+            &faults,
+            &run_cfg.traffic,
+            &run_cfg.sim,
+            &mut erng,
+            &mut scratch,
+        );
+        if let Some(adv) = &adversary {
+            // Adversarial path: emission decisions inspect whole records.
+            loop {
+                chunk.clear();
+                if stream.next_chunk(spec.chunk_flows, &mut chunk) == 0 {
+                    break;
+                }
+                for rec in chunk.drain(..) {
+                    let Some((event, path)) = adv.emission(&rec) else {
+                        continue;
+                    };
+                    if !spec.hosts.contains(&event.host.0) {
+                        continue;
+                    }
+                    if deferred_gate {
+                        pending.push((event, path));
+                    } else {
+                        dispatch(&mut agents, &topo, run_cfg, event, path, &hub_tx);
+                    }
+                }
+                flush_staging(&mut writer, &hub_rx, &mut inbox, &mut stats)?;
+            }
+        } else {
+            // Honest path: scan the dense columns, materialize eventful
+            // rows only (§4.2: established and retransmitting).
+            loop {
+                batch.clear();
+                if stream.next_batch(spec.chunk_flows, &mut batch) == 0 {
+                    break;
+                }
+                for i in 0..batch.len() {
+                    if !(batch.established()[i] && batch.retransmissions()[i] > 0) {
+                        continue;
+                    }
+                    let rec = stream.materialize(&batch, i);
+                    if !spec.hosts.contains(&rec.src.0) {
+                        continue;
+                    }
+                    let event = RetransmissionEvent {
+                        host: rec.src,
+                        tuple: rec.tuple,
+                        retransmissions: rec.retransmissions,
+                    };
+                    let path = DiscoveredPath::of_flow_path(&rec.path);
+                    if deferred_gate {
+                        pending.push((event, path));
+                    } else {
+                        dispatch(&mut agents, &topo, run_cfg, event, path, &hub_tx);
+                    }
+                }
+                flush_staging(&mut writer, &hub_rx, &mut inbox, &mut stats)?;
+            }
+        }
+        let _ground_truth = stream.finish();
+        if deferred_gate {
+            // Same draw position as every other runner: the gate salt is
+            // the first draw after the simulation stream.
+            let salt = erng.gen::<u64>();
+            for (event, path) in pending.drain(..) {
+                if !run_cfg.slb.skips(&event.tuple, salt) {
+                    dispatch(&mut agents, &topo, run_cfg, event, path, &hub_tx);
+                }
+            }
+            flush_staging(&mut writer, &hub_rx, &mut inbox, &mut stats)?;
+        }
+        // Roll live agents into the next epoch (budget refresh, cache
+        // clear), announced on the wire like any other event.
+        for h in spec.hosts.clone() {
+            if let Some(agent) = agents[h as usize].as_mut() {
+                agent.epoch_tick(epoch as u64 + 1, &hub_tx);
+            }
+        }
+        if epoch == last_epoch {
+            // Shutdown drains ride inside the final window (before its
+            // barrier) so the agent never writes after the collector may
+            // have torn the run down.
+            for h in spec.hosts.clone() {
+                if let Some(agent) = agents[h as usize].as_mut() {
+                    agent.drain(&hub_tx);
+                }
+            }
+        }
+        flush_staging(&mut writer, &hub_rx, &mut inbox, &mut stats)?;
+        writer.write_frame(&WireFrame::EpochDone {
+            epoch: epoch as u64,
+        })?;
+        writer.flush()?;
+        stats.epochs += 1;
+    }
+    Ok(stats)
+}
+
+// ---------------------------------------------------------------------
+// Collector: sequence accounting, admission, reader threads.
+// ---------------------------------------------------------------------
+
+/// Per-host wire-sequence accounting, shared across connections so an
+/// agent restart (a *new* connection re-claiming the same hosts) is
+/// recognized as a reset rather than a giant backwards gap.
+#[derive(Debug, Default)]
+struct SeqTracker {
+    next: HashMap<u32, u64>,
+    gaps: u64,
+    resets: u64,
+}
+
+impl SeqTracker {
+    /// Notes `seq` from `host`; returns how many events were lost
+    /// immediately before it (0 when in order). A sequence running
+    /// *backwards* is a restarted agent: counted as a reset, not a gap.
+    fn note(&mut self, host: u32, seq: u64) -> u64 {
+        match self.next.get_mut(&host) {
+            None => {
+                // First sighting: a nonzero start means the prefix never
+                // arrived (frames lost before admission).
+                self.next.insert(host, seq + 1);
+                self.gaps += seq;
+                seq
+            }
+            Some(next) => {
+                if seq < *next {
+                    self.resets += 1;
+                    *next = seq + 1;
+                    0
+                } else {
+                    let lost = seq - *next;
+                    self.gaps += lost;
+                    *next = seq + 1;
+                    lost
+                }
+            }
+        }
+    }
+}
+
+/// Validates a connection's first frame against the admission rules.
+fn admit(
+    first: io::Result<Option<WireFrame>>,
+    num_hosts: u32,
+    max_hosts: Option<u32>,
+    claimed: &[Range<u32>],
+) -> Result<Range<u32>, String> {
+    let frame = match first {
+        Ok(Some(f)) => f,
+        Ok(None) => return Err("connection closed before Hello".into()),
+        Err(e) => return Err(format!("handshake read failed: {e}")),
+    };
+    let WireFrame::Hello {
+        version,
+        host_lo,
+        host_hi,
+    } = frame
+    else {
+        return Err("first frame was not a Hello".into());
+    };
+    if version != WIRE_VERSION {
+        return Err(format!(
+            "protocol version {version} (collector speaks {WIRE_VERSION})"
+        ));
+    }
+    if host_lo >= host_hi {
+        return Err(format!("empty host range {host_lo}..{host_hi}"));
+    }
+    if host_hi > num_hosts {
+        return Err(format!(
+            "host range {host_lo}..{host_hi} exceeds the {num_hosts}-host topology"
+        ));
+    }
+    if let Some(cap) = max_hosts {
+        let span: u32 = claimed.iter().map(|r| r.end - r.start).sum();
+        if span + (host_hi - host_lo) > cap {
+            return Err(format!(
+                "host cap exceeded: {span} already claimed, {} requested, cap {cap}",
+                host_hi - host_lo
+            ));
+        }
+    }
+    for r in claimed {
+        if host_lo < r.end && r.start < host_hi {
+            return Err(format!(
+                "host range {host_lo}..{host_hi} overlaps already-claimed {}..{}",
+                r.start, r.end
+            ));
+        }
+    }
+    Ok(host_lo..host_hi)
+}
+
+/// Reader-thread → window-loop control messages.
+enum Ctrl {
+    EpochDone { conn: usize, epoch: u64 },
+    Closed { conn: usize, error: Option<String> },
+}
+
+struct ReaderTask {
+    conn: usize,
+    frames: FrameReader<Box<dyn Read + Send>>,
+    hosts: Range<u32>,
+    hub: EventSender,
+    tracker: Arc<Mutex<SeqTracker>>,
+    ctrl: mpsc::Sender<Ctrl>,
+    resume: mpsc::Receiver<()>,
+    rate_cap: u64,
+    rate_limited: Arc<AtomicU64>,
+    foreign: Arc<AtomicU64>,
+}
+
+/// One connection's read loop: sequence accounting *before* the hub
+/// (wire loss vs. collector backpressure stay separate counters), the
+/// per-window rate cap, and the epoch barrier. After forwarding an
+/// [`WireFrame::EpochDone`] the reader parks until the window closes,
+/// so events of epoch `w+1` can never leak into window `w`'s ledger —
+/// TCP's own flow control backpressures a fast agent.
+fn reader_loop(mut task: ReaderTask) {
+    let mut window_events: u64 = 0;
+    loop {
+        match task.frames.next_frame() {
+            Ok(Some(WireFrame::Event(event))) => {
+                let host = event.host().0;
+                if !task.hosts.contains(&host) {
+                    task.foreign.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                task.tracker
+                    .lock()
+                    .expect("seq tracker lock")
+                    .note(host, event.seq());
+                if window_events >= task.rate_cap {
+                    task.rate_limited.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                window_events += 1;
+                // try_send: a full hub sheds (the hub counts it); the
+                // reader never blocks the barrier on backpressure.
+                task.hub.try_send(event);
+            }
+            Ok(Some(WireFrame::EpochDone { epoch })) => {
+                window_events = 0;
+                if task
+                    .ctrl
+                    .send(Ctrl::EpochDone {
+                        conn: task.conn,
+                        epoch,
+                    })
+                    .is_err()
+                {
+                    return;
+                }
+                if task.resume.recv().is_err() {
+                    return;
+                }
+            }
+            Ok(Some(WireFrame::Hello { .. })) => {
+                let _ = task.ctrl.send(Ctrl::Closed {
+                    conn: task.conn,
+                    error: Some("unexpected mid-stream Hello".into()),
+                });
+                return;
+            }
+            Ok(None) => {
+                let _ = task.ctrl.send(Ctrl::Closed {
+                    conn: task.conn,
+                    error: None,
+                });
+                return;
+            }
+            Err(e) => {
+                let _ = task.ctrl.send(Ctrl::Closed {
+                    conn: task.conn,
+                    error: Some(e.to_string()),
+                });
+                return;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Collector daemon.
+// ---------------------------------------------------------------------
+
+/// Collector knobs (the `vigil-sim collect` flags).
+#[derive(Debug, Clone)]
+pub struct CollectorConfig {
+    /// Agent connections to admit before window 0 (the start barrier).
+    pub agents: usize,
+    /// Total epochs the run covers (including any already in the
+    /// snapshot when resuming).
+    pub epochs: usize,
+    /// Bounded-hub depth; undersizing sheds (counted), never panics.
+    pub hub_capacity: usize,
+    /// Per-connection events admitted per window; the excess is dropped
+    /// and counted as rate-limited.
+    pub max_events_per_window: u64,
+    /// Admission cap on the total host span across connections.
+    pub max_hosts: Option<u32>,
+    /// Where to persist the window-close snapshot (enables failover).
+    pub snapshot_path: Option<PathBuf>,
+    /// Restore from `snapshot_path` and continue at the next window.
+    pub resume: bool,
+    /// Exit cleanly after closing this many windows *this run* (snapshot
+    /// persisted) — the failover drill's kill switch.
+    pub exit_after: Option<usize>,
+    /// TCP address for the metrics endpoint (JSON; `?text` for plain).
+    pub metrics: Option<String>,
+    /// File to write the metrics endpoint's bound address to.
+    pub metrics_addr_file: Option<PathBuf>,
+}
+
+impl Default for CollectorConfig {
+    fn default() -> Self {
+        Self {
+            agents: 1,
+            epochs: 1,
+            // Roomy default: loopback fleets should never shed.
+            hub_capacity: 65_536,
+            max_events_per_window: u64::MAX,
+            max_hosts: None,
+            snapshot_path: None,
+            resume: false,
+            exit_after: None,
+            metrics: None,
+            metrics_addr_file: None,
+        }
+    }
+}
+
+/// Loss-accounting and liveness counters, updated at every window close.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct CollectorStats {
+    /// Windows closed across the whole run (resumed ones included).
+    pub windows: u64,
+    /// Events drained from the hub.
+    pub events: u64,
+    /// Evidence events among them (= ledger absorptions).
+    pub evidence: u64,
+    /// Events accepted onto the hub.
+    pub delivered: u64,
+    /// Events shed by the bounded hub (collector backpressure).
+    pub shed: u64,
+    /// Events lost on the wire or agent side (sequence gaps).
+    pub seq_gaps: u64,
+    /// Agent restarts observed (sequence numbers running backwards).
+    pub seq_resets: u64,
+    /// Events dropped by the per-connection rate cap.
+    pub rate_limited: u64,
+    /// Events for hosts outside the connection's admitted range.
+    pub foreign: u64,
+    /// Connections admitted at the start barrier.
+    pub agents_admitted: u64,
+    /// Connections still live at the last window close.
+    pub agents_live: u64,
+}
+
+/// The collector's persistent state, written at every window close. A
+/// successor restores the ledger ring/health and the already-scored
+/// epoch reports, then continues at window `epochs_done`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CollectorSnapshot {
+    /// Master seed of the run (resume refuses a mismatch).
+    pub seed: u64,
+    /// Windows closed so far (= the next window index).
+    pub epochs_done: usize,
+    /// The analysis ledger at the last window boundary.
+    pub ledger: LedgerSnapshot,
+    /// Scored reports of the closed windows, in epoch order.
+    pub epochs: Vec<EpochReport>,
+}
+
+/// How [`run_collector`] ended.
+#[derive(Debug)]
+pub enum CollectorOutcome {
+    /// Every epoch closed and scored; the report is byte-identical to
+    /// `stream --json --trials 1` on the same config.
+    Completed(Box<ExperimentReport>, CollectorStats),
+    /// `exit_after` tripped; the snapshot holds everything a successor
+    /// needs.
+    Paused(CollectorStats),
+}
+
+/// Rolling metrics served by the HTTP endpoint.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct MetricsState {
+    /// Cumulative counters as of the last window close.
+    pub totals: CollectorStats,
+    /// Per-window deltas, most recent last (bounded ring).
+    pub windows: Vec<WindowMetrics>,
+}
+
+/// One closed window's metrics entry.
+#[derive(Debug, Clone, Serialize)]
+pub struct WindowMetrics {
+    /// Window index (epoch).
+    pub window: u64,
+    /// Evidence absorbed this window.
+    pub evidence: u64,
+    /// Hub-delivered events this window.
+    pub delivered: u64,
+    /// Hub-shed events this window.
+    pub shed: u64,
+    /// New sequence gaps this window.
+    pub seq_gaps: u64,
+    /// New rate-limited drops this window.
+    pub rate_limited: u64,
+    /// Links Algorithm 1 detected this window.
+    pub detected: Vec<u32>,
+    /// Top of the cross-window link-health heat map `(link, score)`.
+    pub heat: Vec<(u32, f64)>,
+}
+
+const METRICS_RING: usize = 16;
+
+fn render_metrics_text(m: &MetricsState) -> String {
+    let t = &m.totals;
+    let mut out = format!(
+        "vigil_windows_closed {}\nvigil_events {}\nvigil_evidence {}\n\
+         vigil_delivered {}\nvigil_shed {}\nvigil_seq_gaps {}\n\
+         vigil_seq_resets {}\nvigil_rate_limited {}\nvigil_foreign {}\n\
+         vigil_agents_admitted {}\nvigil_agents_live {}\n",
+        t.windows,
+        t.events,
+        t.evidence,
+        t.delivered,
+        t.shed,
+        t.seq_gaps,
+        t.seq_resets,
+        t.rate_limited,
+        t.foreign,
+        t.agents_admitted,
+        t.agents_live,
+    );
+    if let Some(w) = m.windows.last() {
+        for (link, score) in &w.heat {
+            out.push_str(&format!("vigil_link_heat{{link=\"{link}\"}} {score}\n"));
+        }
+    }
+    out
+}
+
+/// Serves `state` over HTTP/1.0 until the process exits: JSON by
+/// default, the plain-text counter rendering when the request path
+/// mentions `text`.
+fn spawn_metrics_server(listener: TcpListener, state: Arc<Mutex<MetricsState>>) {
+    std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            let Ok(mut stream) = stream else { continue };
+            let mut buf = [0u8; 512];
+            let n = stream.read(&mut buf).unwrap_or(0);
+            let req = String::from_utf8_lossy(&buf[..n]);
+            let want_text = req.lines().next().is_some_and(|l| l.contains("text"));
+            let snap = state.lock().expect("metrics lock").clone();
+            let (ctype, body) = if want_text {
+                ("text/plain", render_metrics_text(&snap))
+            } else {
+                (
+                    "application/json",
+                    serde_json::to_string_pretty(&snap).unwrap_or_else(|_| "{}".into()),
+                )
+            };
+            let _ = write!(
+                stream,
+                "HTTP/1.0 200 OK\r\nContent-Type: {ctype}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+                body.len()
+            );
+            let _ = stream.flush();
+        }
+    });
+}
+
+fn write_snapshot(path: &PathBuf, snap: &CollectorSnapshot) -> io::Result<()> {
+    let text = serde_json::to_string_pretty(snap).map_err(other)?;
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, text)?;
+    std::fs::rename(&tmp, path)
+}
+
+/// Drains the hub into the ledger and the window's canonical report map
+/// (keyed like the ledger, so duplicates supersede identically).
+fn drain_hub(
+    hub_rx: &EventCollector,
+    inbox: &mut Vec<AgentEvent>,
+    ledger: &mut VoteLedger<EvidenceKey>,
+    reports: &mut BTreeMap<EvidenceKey, TraceReport>,
+    stats: &mut CollectorStats,
+) {
+    inbox.clear();
+    hub_rx.drain_into(inbox);
+    for event in inbox.drain(..) {
+        stats.events += 1;
+        if let AgentEvent::Evidence { report, .. } = event {
+            ledger.absorb(
+                (report.host, report.tuple),
+                FlowEvidence {
+                    links: report.links.clone(),
+                    retransmissions: report.retransmissions,
+                    complete: report.complete,
+                },
+            );
+            stats.evidence += 1;
+            reports.insert((report.host, report.tuple), report);
+        }
+    }
+}
+
+struct ConnHandle {
+    resume: mpsc::Sender<()>,
+    hosts: Range<u32>,
+}
+
+/// Runs the collector daemon over an already-bound `listener`: admits
+/// `ccfg.agents` connections, then closes one window per epoch —
+/// simulate locally for ground truth, absorb the fleet's evidence off
+/// the hub, barrier on every connection's [`WireFrame::EpochDone`],
+/// close the ledger window, score, snapshot. See the module docs for
+/// the determinism and failover contracts.
+pub fn run_collector(
+    config: &ExperimentConfig,
+    listener: &Listener,
+    ccfg: &CollectorConfig,
+) -> io::Result<CollectorOutcome> {
+    let started = std::time::Instant::now();
+    if ccfg.agents == 0 || ccfg.epochs == 0 {
+        return Err(invalid("collector needs agents >= 1 and epochs >= 1"));
+    }
+
+    // Resume: load the predecessor's snapshot before touching sockets.
+    let mut epoch_reports: Vec<EpochReport> = Vec::new();
+    let mut start_epoch = 0usize;
+    let mut restored: Option<LedgerSnapshot> = None;
+    if ccfg.resume {
+        let path = ccfg
+            .snapshot_path
+            .as_ref()
+            .ok_or_else(|| invalid("--resume needs a snapshot path"))?;
+        let text = std::fs::read_to_string(path)?;
+        let snap: CollectorSnapshot =
+            serde_json::from_str(&text).map_err(|e| other(format!("invalid snapshot: {e}")))?;
+        if snap.seed != config.seed {
+            return Err(invalid(format!(
+                "snapshot seed {} does not match config seed {}",
+                snap.seed, config.seed
+            )));
+        }
+        if snap.epochs_done >= ccfg.epochs {
+            return Err(invalid(format!(
+                "snapshot already covers {} epoch(s) of {}",
+                snap.epochs_done, ccfg.epochs
+            )));
+        }
+        start_epoch = snap.epochs_done;
+        epoch_reports = snap.epochs;
+        restored = Some(snap.ledger);
+    }
+
+    let trial_seed = config.trial_seed(0);
+    let mut rng = config.trial_rng(0);
+    let topo = ClosTopology::new(config.params, rng.gen()).map_err(invalid)?;
+    let faults = config.faults.build(&topo, &mut rng);
+    let run_cfg = &config.run;
+    let num_hosts = u32::try_from(topo.num_hosts()).map_err(invalid)?;
+    let mut ledger = match restored {
+        Some(snap) => VoteLedger::restore(
+            topo.num_links(),
+            run_cfg.alg1,
+            LEDGER_RING_WINDOWS,
+            LEDGER_HEALTH_ALPHA,
+            snap,
+        ),
+        None => fresh_ledger(topo.num_links(), run_cfg),
+    };
+    let adversary = run_cfg
+        .byzantine
+        .enabled()
+        .then(|| AdversaryModel::new(run_cfg.byzantine, topo.num_links()));
+    let deferred_gate = run_cfg.slb.enabled();
+
+    // Metrics endpoint, up before the start barrier so operators can
+    // watch admission.
+    let metrics_state = match &ccfg.metrics {
+        Some(addr) => {
+            let l = TcpListener::bind(addr)?;
+            if let Some(file) = &ccfg.metrics_addr_file {
+                std::fs::write(file, l.local_addr()?.to_string())?;
+            }
+            let state = Arc::new(Mutex::new(MetricsState::default()));
+            spawn_metrics_server(l, Arc::clone(&state));
+            Some(state)
+        }
+        None => None,
+    };
+
+    // Start barrier: admit exactly `ccfg.agents` connections.
+    let (hub_tx, hub_rx) = event_channel_bounded(ccfg.hub_capacity);
+    let tracker = Arc::new(Mutex::new(SeqTracker::default()));
+    let rate_limited = Arc::new(AtomicU64::new(0));
+    let foreign = Arc::new(AtomicU64::new(0));
+    let (ctrl_tx, ctrl_rx) = mpsc::channel::<Ctrl>();
+    let mut conns: Vec<ConnHandle> = Vec::new();
+    while conns.len() < ccfg.agents {
+        let stream = listener.accept_reader()?;
+        let mut frames = FrameReader::new(stream);
+        let claimed: Vec<Range<u32>> = conns.iter().map(|c| c.hosts.clone()).collect();
+        match admit(frames.next_frame(), num_hosts, ccfg.max_hosts, &claimed) {
+            Ok(hosts) => {
+                let conn = conns.len();
+                let (resume_tx, resume_rx) = mpsc::channel::<()>();
+                let task = ReaderTask {
+                    conn,
+                    frames,
+                    hosts: hosts.clone(),
+                    hub: hub_tx.clone(),
+                    tracker: Arc::clone(&tracker),
+                    ctrl: ctrl_tx.clone(),
+                    resume: resume_rx,
+                    rate_cap: ccfg.max_events_per_window,
+                    rate_limited: Arc::clone(&rate_limited),
+                    foreign: Arc::clone(&foreign),
+                };
+                std::thread::spawn(move || reader_loop(task));
+                eprintln!(
+                    "collect: agent {conn} admitted for hosts {}..{}",
+                    hosts.start, hosts.end
+                );
+                conns.push(ConnHandle {
+                    resume: resume_tx,
+                    hosts,
+                });
+            }
+            Err(why) => eprintln!("collect: connection rejected: {why}"),
+        }
+    }
+
+    let mut stats = CollectorStats {
+        agents_admitted: conns.len() as u64,
+        agents_live: conns.len() as u64,
+        windows: start_epoch as u64,
+        ..CollectorStats::default()
+    };
+    let mut live: Vec<bool> = vec![true; conns.len()];
+    let mut scratch = EpochScratch::new();
+    let mut window_reports: BTreeMap<EvidenceKey, TraceReport> = BTreeMap::new();
+    let mut inbox: Vec<AgentEvent> = Vec::new();
+    let mut chunk: Vec<FlowRecord> = Vec::new();
+    let mut batch = FlowBatch::new();
+    let mut closed_this_run = 0usize;
+    let mut prev = stats.clone();
+
+    for w in start_epoch..ccfg.epochs {
+        // Local simulation: retained flow records and ground truth only.
+        // Evidence admission happened on the agents; the collector draws
+        // the identical epoch stream to score against.
+        let mut erng = epoch_rng(trial_seed, w);
+        let mut stream = EpochStream::open(
+            &topo,
+            &faults,
+            &run_cfg.traffic,
+            &run_cfg.sim,
+            &mut erng,
+            &mut scratch,
+        );
+        let mut retained: Vec<FlowRecord> = Vec::new();
+        if let Some(adv) = &adversary {
+            loop {
+                chunk.clear();
+                if stream.next_chunk(256, &mut chunk) == 0 {
+                    break;
+                }
+                for rec in chunk.drain(..) {
+                    // Evidence-only retention, byzantine-aware: keep any
+                    // record scoring may look up (retransmitting, or one
+                    // a compromised agent emitted for).
+                    if rec.retransmissions > 0 || adv.emission(&rec).is_some() {
+                        retained.push(rec);
+                    }
+                }
+                drain_hub(
+                    &hub_rx,
+                    &mut inbox,
+                    &mut ledger,
+                    &mut window_reports,
+                    &mut stats,
+                );
+            }
+        } else {
+            loop {
+                batch.clear();
+                if stream.next_batch(256, &mut batch) == 0 {
+                    break;
+                }
+                for i in 0..batch.len() {
+                    if batch.retransmissions()[i] > 0 {
+                        retained.push(stream.materialize(&batch, i));
+                    }
+                }
+                drain_hub(
+                    &hub_rx,
+                    &mut inbox,
+                    &mut ledger,
+                    &mut window_reports,
+                    &mut stats,
+                );
+            }
+        }
+        let ground_truth = stream.finish();
+        if deferred_gate {
+            // RNG parity with the agents (the gate decisions themselves
+            // were made fleet-side).
+            let _salt = erng.gen::<u64>();
+        }
+
+        // Epoch barrier: every live connection must report EpochDone(w)
+        // before the window closes; lost connections are warned about
+        // and dropped from the barrier.
+        let mut done = vec![false; conns.len()];
+        loop {
+            drain_hub(
+                &hub_rx,
+                &mut inbox,
+                &mut ledger,
+                &mut window_reports,
+                &mut stats,
+            );
+            if done.iter().zip(&live).all(|(d, l)| *d || !*l) {
+                break;
+            }
+            if !live.iter().any(|l| *l) {
+                return Err(other(format!(
+                    "all agent connections lost before window {w} completed"
+                )));
+            }
+            match ctrl_rx.recv_timeout(Duration::from_millis(10)) {
+                Ok(Ctrl::EpochDone { conn, epoch }) => {
+                    if epoch != w as u64 {
+                        eprintln!(
+                            "collect: warning: agent {conn} barriered epoch {epoch} \
+                             at window {w} (schedule mismatch)"
+                        );
+                    }
+                    done[conn] = true;
+                }
+                Ok(Ctrl::Closed { conn, error }) => {
+                    if live[conn] {
+                        live[conn] = false;
+                        stats.agents_live -= 1;
+                        match error {
+                            Some(e) => eprintln!(
+                                "collect: warning: agent {conn} (hosts {}..{}) lost: {e}",
+                                conns[conn].hosts.start, conns[conn].hosts.end
+                            ),
+                            None => eprintln!(
+                                "collect: agent {conn} (hosts {}..{}) disconnected",
+                                conns[conn].hosts.start, conns[conn].hosts.end
+                            ),
+                        }
+                    }
+                }
+                Err(mpsc::RecvTimeoutError::Timeout) => {}
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    return Err(other("all reader threads exited unexpectedly"));
+                }
+            }
+        }
+        // Everything forwarded before the barrier is on the hub already
+        // (readers forward, then signal); one final sweep gets it all.
+        drain_hub(
+            &hub_rx,
+            &mut inbox,
+            &mut ledger,
+            &mut window_reports,
+            &mut stats,
+        );
+
+        // Close and score the window with the exact batch machinery.
+        let window = ledger.close_window();
+        let reports: Vec<TraceReport> = std::mem::take(&mut window_reports).into_values().collect();
+        let flow_index = FlowIndex::from_flows(&retained);
+        let outcome = EpochOutcome {
+            flows: retained,
+            ground_truth,
+        };
+        let run = assemble_epoch(outcome, flow_index, reports, window, run_cfg);
+        let er = evaluate_epoch(&run);
+
+        // Loss accounting surfaces at every window close.
+        stats.windows += 1;
+        stats.delivered = hub_rx.delivered();
+        stats.shed = hub_rx.shed();
+        {
+            let t = tracker.lock().expect("seq tracker lock");
+            stats.seq_gaps = t.gaps;
+            stats.seq_resets = t.resets;
+        }
+        stats.rate_limited = rate_limited.load(Ordering::Relaxed);
+        stats.foreign = foreign.load(Ordering::Relaxed);
+        eprintln!(
+            "collect: window {w}: {} evidence, delivered {}, shed {}, gaps {}, \
+             resets {}, rate-limited {}, agents {}/{}",
+            run.evidence.len(),
+            stats.delivered,
+            stats.shed,
+            stats.seq_gaps,
+            stats.seq_resets,
+            stats.rate_limited,
+            stats.agents_live,
+            stats.agents_admitted,
+        );
+        if let Some(state) = &metrics_state {
+            let mut m = state.lock().expect("metrics lock");
+            m.totals = stats.clone();
+            m.windows.push(WindowMetrics {
+                window: w as u64,
+                evidence: stats.evidence - prev.evidence,
+                delivered: stats.delivered - prev.delivered,
+                shed: stats.shed - prev.shed,
+                seq_gaps: stats.seq_gaps - prev.seq_gaps,
+                rate_limited: stats.rate_limited - prev.rate_limited,
+                detected: er.detected.iter().map(|l| l.0).collect(),
+                heat: ledger
+                    .health()
+                    .heat_map()
+                    .into_iter()
+                    .take(8)
+                    .map(|(l, s)| (l.0, s))
+                    .collect(),
+            });
+            if m.windows.len() > METRICS_RING {
+                let excess = m.windows.len() - METRICS_RING;
+                m.windows.drain(..excess);
+            }
+        }
+        prev = stats.clone();
+        epoch_reports.push(er);
+
+        if let Some(path) = &ccfg.snapshot_path {
+            let snap = CollectorSnapshot {
+                seed: config.seed,
+                epochs_done: w + 1,
+                ledger: ledger.snapshot(),
+                epochs: epoch_reports.clone(),
+            };
+            write_snapshot(path, &snap)?;
+        }
+
+        closed_this_run += 1;
+        if w + 1 < ccfg.epochs {
+            if let Some(k) = ccfg.exit_after {
+                if closed_this_run >= k {
+                    eprintln!(
+                        "collect: pausing after {closed_this_run} window(s) \
+                         (snapshot covers epochs 0..{})",
+                        w + 1
+                    );
+                    return Ok(CollectorOutcome::Paused(stats));
+                }
+            }
+            // Release the readers into the next window.
+            for (i, c) in conns.iter().enumerate() {
+                if live[i] {
+                    let _ = c.resume.send(());
+                }
+            }
+        }
+    }
+
+    // Final assembly: identical fold to the in-process trial loop.
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    let mut acc = TrialAccumulator::new(ccfg.epochs);
+    for er in epoch_reports {
+        acc.absorb(er);
+    }
+    let trial = acc.finish_at(run_cfg, 0, wall_ms);
+    let mut report = ExperimentReport::empty(config);
+    report.merge_trial(trial);
+    Ok(CollectorOutcome::Completed(Box::new(report), stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::{stream_trial, StreamTuning};
+    use std::io::Cursor;
+    use vigil_fabric::faults::{FaultPlan, RateRange};
+    use vigil_fabric::traffic::{ConnCount, TrafficSpec};
+    use vigil_topology::{ClosParams, HostId};
+
+    fn tiny_config() -> ExperimentConfig {
+        ExperimentConfig {
+            name: "distributed-test".into(),
+            params: ClosParams::tiny(),
+            faults: FaultPlan {
+                failure_rate: RateRange::fixed(0.05),
+                ..FaultPlan::paper_default(2)
+            },
+            run: RunConfig {
+                traffic: TrafficSpec {
+                    conns_per_host: ConnCount::Fixed(30),
+                    ..TrafficSpec::paper_default()
+                },
+                ..RunConfig::default()
+            },
+            epochs: 3,
+            trials: 1,
+            seed: 51,
+        }
+    }
+
+    fn expected_report(cfg: &ExperimentConfig) -> String {
+        let (trial, _) = stream_trial(cfg, 0, &StreamTuning::default());
+        let mut report = ExperimentReport::empty(cfg);
+        report.merge_trial(trial);
+        serde_json::to_string_pretty(&report).unwrap()
+    }
+
+    fn spawn_agents(
+        cfg: &ExperimentConfig,
+        addr: &str,
+        ranges: &[Range<u32>],
+        start_epoch: usize,
+        epochs: usize,
+    ) -> Vec<std::thread::JoinHandle<AgentStats>> {
+        ranges
+            .iter()
+            .map(|hosts| {
+                let cfg = cfg.clone();
+                let addr = addr.to_string();
+                let spec = AgentSpec {
+                    hosts: hosts.clone(),
+                    start_epoch,
+                    epochs,
+                    chunk_flows: 128,
+                };
+                std::thread::spawn(move || {
+                    let sink = Endpoint::parse(&addr).connect().expect("connect");
+                    run_agent(&cfg, &spec, sink).expect("agent run")
+                })
+            })
+            .collect()
+    }
+
+    fn num_hosts(cfg: &ExperimentConfig) -> u32 {
+        ClosTopology::new(cfg.params, 0).unwrap().num_hosts() as u32
+    }
+
+    #[test]
+    fn loopback_agents_match_in_process_stream() {
+        let cfg = tiny_config();
+        let hosts = num_hosts(&cfg);
+        let listener = Endpoint::parse("127.0.0.1:0").bind().unwrap();
+        let addr = listener.local_addr();
+        let split = hosts / 2;
+        let handles = spawn_agents(&cfg, &addr, &[0..split, split..hosts], 0, cfg.epochs);
+        let ccfg = CollectorConfig {
+            agents: 2,
+            epochs: cfg.epochs,
+            ..CollectorConfig::default()
+        };
+        let outcome = run_collector(&cfg, &listener, &ccfg).unwrap();
+        for h in handles {
+            let stats = h.join().unwrap();
+            assert_eq!(stats.epochs, cfg.epochs);
+        }
+        let CollectorOutcome::Completed(report, stats) = outcome else {
+            panic!("expected a completed run");
+        };
+        assert_eq!(stats.shed, 0, "loopback must not shed");
+        assert_eq!(stats.seq_gaps, 0, "loopback must not gap");
+        assert!(stats.evidence > 0, "fleet produced evidence");
+        assert_eq!(
+            serde_json::to_string_pretty(&*report).unwrap(),
+            expected_report(&cfg),
+            "distributed run must be byte-identical to the in-process stream"
+        );
+    }
+
+    #[test]
+    fn failover_restores_to_identical_tally() {
+        let cfg = tiny_config();
+        let hosts = num_hosts(&cfg);
+        let split = hosts / 2;
+        let dir = std::env::temp_dir().join(format!("vigil-failover-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let snap = dir.join("collector.snapshot.json");
+        let _ = std::fs::remove_file(&snap);
+
+        // Phase 1: the fleet covers epochs 0..2; the collector is
+        // "killed" (exits cleanly) after closing two windows.
+        let listener = Endpoint::parse("127.0.0.1:0").bind().unwrap();
+        let addr = listener.local_addr();
+        let handles = spawn_agents(&cfg, &addr, &[0..split, split..hosts], 0, 2);
+        let ccfg = CollectorConfig {
+            agents: 2,
+            epochs: cfg.epochs,
+            snapshot_path: Some(snap.clone()),
+            exit_after: Some(2),
+            ..CollectorConfig::default()
+        };
+        let outcome = run_collector(&cfg, &listener, &ccfg).unwrap();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(matches!(outcome, CollectorOutcome::Paused(_)));
+        assert!(snap.exists(), "snapshot written at the window boundary");
+
+        // Phase 2: a fresh collector restores the snapshot; a restarted
+        // fleet covers the remaining epoch.
+        let listener = Endpoint::parse("127.0.0.1:0").bind().unwrap();
+        let addr = listener.local_addr();
+        let handles = spawn_agents(&cfg, &addr, &[0..split, split..hosts], 2, 1);
+        let ccfg = CollectorConfig {
+            agents: 2,
+            epochs: cfg.epochs,
+            snapshot_path: Some(snap.clone()),
+            resume: true,
+            ..CollectorConfig::default()
+        };
+        let outcome = run_collector(&cfg, &listener, &ccfg).unwrap();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let CollectorOutcome::Completed(report, _) = outcome else {
+            panic!("resumed run must complete");
+        };
+        assert_eq!(
+            serde_json::to_string_pretty(&*report).unwrap(),
+            expected_report(&cfg),
+            "kill + restore must reproduce the uninterrupted tally"
+        );
+        let _ = std::fs::remove_file(&snap);
+    }
+
+    fn event_stream(host: u32, seqs: &[u64]) -> Box<dyn Read + Send> {
+        let mut out = Vec::new();
+        for &seq in seqs {
+            vigil_wire::emit_frame(
+                &WireFrame::Event(AgentEvent::Drain {
+                    host: HostId(host),
+                    seq,
+                }),
+                &mut out,
+            );
+        }
+        Box::new(Cursor::new(out))
+    }
+
+    #[test]
+    fn collector_counts_sequence_gap_after_reconnect() {
+        let tracker = Arc::new(Mutex::new(SeqTracker::default()));
+        let (hub_tx, hub_rx) = event_channel();
+        let (ctrl_tx, ctrl_rx) = mpsc::channel();
+        let run_conn = |conn: usize, stream: Box<dyn Read + Send>| {
+            let (_resume_tx, resume_rx) = mpsc::channel();
+            reader_loop(ReaderTask {
+                conn,
+                frames: FrameReader::new(stream),
+                hosts: 0..8,
+                hub: hub_tx.clone(),
+                tracker: Arc::clone(&tracker),
+                ctrl: ctrl_tx.clone(),
+                resume: resume_rx,
+                rate_cap: u64::MAX,
+                rate_limited: Arc::new(AtomicU64::new(0)),
+                foreign: Arc::new(AtomicU64::new(0)),
+            });
+            assert!(matches!(
+                ctrl_rx.recv().unwrap(),
+                Ctrl::Closed { error: None, .. }
+            ));
+        };
+
+        // Connection 0: host 3 emits seqs 0..=2, then the link dies.
+        run_conn(0, event_stream(3, &[0, 1, 2]));
+        {
+            let t = tracker.lock().unwrap();
+            assert_eq!((t.gaps, t.resets), (0, 0));
+        }
+        // The agent reconnects mid-life: its first frame is seq 5, so
+        // seqs 3 and 4 were lost in flight — a gap, surfaced as such.
+        run_conn(1, event_stream(3, &[5, 6]));
+        {
+            let t = tracker.lock().unwrap();
+            assert_eq!((t.gaps, t.resets), (2, 0));
+        }
+        // The agent *restarts*: sequence numbers run backwards to 0 —
+        // a reset, not another giant gap.
+        run_conn(2, event_stream(3, &[0, 1]));
+        {
+            let t = tracker.lock().unwrap();
+            assert_eq!((t.gaps, t.resets), (2, 1));
+        }
+        let mut all = Vec::new();
+        hub_rx.drain_into(&mut all);
+        assert_eq!(all.len(), 7, "every in-range event was forwarded");
+    }
+
+    #[test]
+    fn rate_cap_drops_and_counts_excess() {
+        let tracker = Arc::new(Mutex::new(SeqTracker::default()));
+        let (hub_tx, hub_rx) = event_channel();
+        let (ctrl_tx, _ctrl_rx) = mpsc::channel();
+        let (_resume_tx, resume_rx) = mpsc::channel();
+        let rate_limited = Arc::new(AtomicU64::new(0));
+        reader_loop(ReaderTask {
+            conn: 0,
+            frames: FrameReader::new(event_stream(1, &[0, 1, 2, 3, 4])),
+            hosts: 0..8,
+            hub: hub_tx,
+            tracker,
+            ctrl: ctrl_tx,
+            resume: resume_rx,
+            rate_cap: 3,
+            rate_limited: Arc::clone(&rate_limited),
+            foreign: Arc::new(AtomicU64::new(0)),
+        });
+        assert_eq!(rate_limited.load(Ordering::Relaxed), 2);
+        let mut all = Vec::new();
+        hub_rx.drain_into(&mut all);
+        assert_eq!(all.len(), 3, "cap admits exactly rate_cap events");
+    }
+
+    #[test]
+    fn admission_rejects_bad_hellos() {
+        let hello = |v, lo, hi| {
+            Ok(Some(WireFrame::Hello {
+                version: v,
+                host_lo: lo,
+                host_hi: hi,
+            }))
+        };
+        assert_eq!(admit(hello(WIRE_VERSION, 0, 4), 8, None, &[]), Ok(0..4));
+        assert!(admit(hello(WIRE_VERSION + 1, 0, 4), 8, None, &[]).is_err());
+        assert!(admit(hello(WIRE_VERSION, 4, 4), 8, None, &[]).is_err());
+        assert!(admit(hello(WIRE_VERSION, 0, 9), 8, None, &[]).is_err());
+        assert!(admit(hello(WIRE_VERSION, 2, 6), 8, None, &[0..4]).is_err());
+        assert!(admit(hello(WIRE_VERSION, 4, 8), 8, Some(6), &[0..4]).is_err());
+        assert_eq!(
+            admit(hello(WIRE_VERSION, 4, 6), 8, Some(6), &[0..4]),
+            Ok(4..6)
+        );
+        assert!(admit(Ok(Some(WireFrame::EpochDone { epoch: 0 })), 8, None, &[]).is_err());
+        assert!(admit(Ok(None), 8, None, &[]).is_err());
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let cfg = tiny_config();
+        let mut ledger = fresh_ledger(4, &cfg.run);
+        ledger.absorb(
+            (
+                HostId(0),
+                vigil_packet::FiveTuple::tcp(
+                    "10.0.0.1".parse().unwrap(),
+                    9,
+                    "10.0.0.2".parse().unwrap(),
+                    80,
+                ),
+            ),
+            FlowEvidence {
+                links: vec![vigil_topology::LinkId(1)],
+                retransmissions: 2,
+                complete: true,
+            },
+        );
+        let _ = ledger.close_window();
+        let snap = CollectorSnapshot {
+            seed: cfg.seed,
+            epochs_done: 1,
+            ledger: ledger.snapshot(),
+            epochs: Vec::new(),
+        };
+        let text = serde_json::to_string_pretty(&snap).unwrap();
+        let back: CollectorSnapshot = serde_json::from_str(&text).unwrap();
+        assert_eq!(back.seed, snap.seed);
+        assert_eq!(back.epochs_done, 1);
+        assert_eq!(back.ledger, snap.ledger);
+    }
+}

@@ -20,14 +20,14 @@
 //!   votes on any good link.
 
 use crate::run::EpochRun;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use vigil_analysis::{blame_flow, DropClass};
 use vigil_stats::{BinaryConfusion, RatioMetric};
 use vigil_topology::LinkId;
 
 /// Accuracy + detection confusion for one method on one epoch.
-#[derive(Debug, Clone, Copy, Default, Serialize)]
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
 pub struct MethodMetrics {
     /// Per-flow blame accuracy (failure-class flows with ground truth).
     pub accuracy: RatioMetric,
@@ -36,7 +36,7 @@ pub struct MethodMetrics {
 }
 
 /// Everything measured on one epoch.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct EpochReport {
     /// 007 (voting + Algorithm 1).
     pub vigil: MethodMetrics,

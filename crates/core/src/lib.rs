@@ -38,6 +38,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod distributed;
 pub mod evaluate;
 pub mod experiment;
 pub mod matrix;
@@ -47,6 +48,10 @@ pub mod scenarios;
 pub mod stream;
 pub mod sweep;
 
+pub use distributed::{
+    run_agent, run_collector, AgentSpec, AgentStats, CollectorConfig, CollectorOutcome,
+    CollectorSnapshot, CollectorStats, Endpoint, Listener,
+};
 pub use evaluate::{EpochReport, MethodMetrics};
 pub use experiment::{
     run_experiment, run_trial, run_trial_with, ExperimentConfig, ExperimentReport,
@@ -63,6 +68,9 @@ pub use sweep::{epoch_rng, task_rng, task_seed, SweepEngine, SweepSpec};
 
 /// Convenient glob-import for examples and benches.
 pub mod prelude {
+    pub use crate::distributed::{
+        run_agent, run_collector, AgentSpec, CollectorConfig, CollectorOutcome, Endpoint,
+    };
     pub use crate::evaluate::{EpochReport, MethodMetrics};
     pub use crate::experiment::{run_experiment, ExperimentConfig, ExperimentReport, MethodReport};
     pub use crate::matrix::{Envelope, MatrixReport, MatrixRunner, ScenarioCase};

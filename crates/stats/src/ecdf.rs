@@ -73,11 +73,20 @@ impl Ecdf {
             return None;
         }
         let n = self.sorted.len();
-        if q == 0.0 {
-            return Some(self.sorted[0]);
+        // Smallest rank k in [1, n] with k/n >= q, found by binary search over
+        // the same `count / len` quotient `eval` computes. The previous
+        // `(q * n).ceil()` formulation could off-by-one the rank when `q * n`
+        // rounded across an integer for exactly-representable quantiles.
+        let (mut lo, mut hi) = (1usize, n);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if (mid as f64) / (n as f64) >= q {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
         }
-        let rank = (q * n as f64).ceil() as usize;
-        Some(self.sorted[rank.saturating_sub(1).min(n - 1)])
+        Some(self.sorted[lo - 1])
     }
 
     /// Minimum observation, if any.
@@ -214,6 +223,21 @@ mod tests {
             let x = e.quantile(q).unwrap();
             // F(quantile(q)) >= q by the inverse-CDF definition
             prop_assert!(e.eval(x) + 1e-12 >= q);
+        }
+
+        #[test]
+        fn exact_rank_quantiles_hit_sorted_entries(
+            xs in proptest::collection::vec(-1e6f64..1e6, 1..400),
+        ) {
+            // quantile(k/n) must be exactly sorted[k-1] for every k in 1..=n —
+            // the float-rank formulation could miss this at representable
+            // boundaries (e.g. k/n where q*n lands just above an integer).
+            let e = Ecdf::new(xs);
+            let n = e.len();
+            for k in 1..=n {
+                let q = k as f64 / n as f64;
+                prop_assert_eq!(e.quantile(q).unwrap(), e.sorted[k - 1]);
+            }
         }
     }
 }

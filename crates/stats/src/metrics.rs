@@ -10,12 +10,12 @@
 //! * **Precision** — of the links Algorithm 1 reports, the fraction that
 //!   actually failed (complements false positives).
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
 /// A simple ratio metric: `hits / total`, with an explicit empty state so
 /// "no eligible samples" is distinguishable from "0 %".
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct RatioMetric {
     /// Number of favourable outcomes.
     pub hits: u64,
@@ -59,7 +59,7 @@ impl RatioMetric {
 
 /// Confusion counts for a set-detection task (Algorithm 1: report a set of
 /// bad links, compare against the ground-truth failed set).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct BinaryConfusion {
     /// Reported and actually failed.
     pub true_positives: u64,

@@ -1,0 +1,688 @@
+//! The `AgentEvent` wire codec: how a host's 007 process puts evidence
+//! on an actual socket to the centralized analysis agent (paper §6).
+//!
+//! The in-process streaming pipeline moves typed
+//! [`AgentEvent`]s over a bounded channel; the
+//! distributed service mode moves the same events over TCP or Unix
+//! sockets as **length-prefixed frames**, in the `vigil_packet` idiom:
+//! explicit big-endian layouts, checked parsing, an error enum per
+//! failure shape, and proptest round-trips. No serde on the wire — the
+//! frame layout is part of the protocol, not an implementation detail.
+//!
+//! ```text
+//! frame := magic "007" (3B) | kind (1B) | payload_len (u32 BE) | payload
+//! ```
+//!
+//! Frame kinds:
+//!
+//! | kind | frame | payload |
+//! |------|-------|---------|
+//! | 1 | [`WireFrame::Hello`]     | version u16 ‖ host_lo u32 ‖ host_hi u32 |
+//! | 2 | `FlowOpen`               | host u32 ‖ seq u64 ‖ tuple 13B |
+//! | 3 | `Evidence`               | seq u64 ‖ host u32 ‖ tuple 13B ‖ retx u32 ‖ complete u8 ‖ n u32 ‖ n × link u32 |
+//! | 4 | `EpochTick`              | host u32 ‖ seq u64 ‖ epoch u64 |
+//! | 5 | `Drain`                  | host u32 ‖ seq u64 |
+//! | 6 | [`WireFrame::EpochDone`] | epoch u64 |
+//!
+//! All integers big-endian; the 13-byte tuple is
+//! [`FiveTuple::to_bytes`] (`src_ip ‖ dst_ip ‖ src_port ‖ dst_port ‖
+//! protocol`). `Hello` must be a connection's first frame — it carries
+//! the protocol version and the host-id range the connection will emit
+//! for, which is what the collector's admission control checks.
+//! `EpochDone` is the per-connection epoch barrier: the agent sends it
+//! after the last event of an epoch, so the collector knows the
+//! connection is drained for that window.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+use vigil_agents::{AgentEvent, TraceReport};
+use vigil_packet::{FiveTuple, Protocol};
+use vigil_topology::{HostId, LinkId};
+
+/// The protocol version carried in every [`WireFrame::Hello`].
+pub const WIRE_VERSION: u16 = 1;
+
+/// Frame magic: every frame opens with these three bytes.
+pub const MAGIC: [u8; 3] = *b"007";
+
+/// Frames never carry more than this much payload; a length prefix
+/// beyond it is [`FrameError::Malformed`], not an allocation request.
+pub const MAX_PAYLOAD: usize = 1 << 20;
+
+const HEADER_LEN: usize = 3 + 1 + 4;
+const TUPLE_LEN: usize = 13;
+
+const KIND_HELLO: u8 = 1;
+const KIND_FLOW_OPEN: u8 = 2;
+const KIND_EVIDENCE: u8 = 3;
+const KIND_EPOCH_TICK: u8 = 4;
+const KIND_DRAIN: u8 = 5;
+const KIND_EPOCH_DONE: u8 = 6;
+
+/// Errors produced when parsing a frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameError {
+    /// The buffer ends before the frame does — read more bytes and retry.
+    Truncated,
+    /// The first bytes are not the `"007"` magic: this is not a frame
+    /// stream (or the stream lost sync).
+    BadMagic,
+    /// The kind byte names no known frame kind.
+    UnknownKind(u8),
+    /// A length or field value is inconsistent with the layout.
+    Malformed,
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Truncated => write!(f, "frame truncated"),
+            FrameError::BadMagic => write!(f, "bad frame magic"),
+            FrameError::UnknownKind(k) => write!(f, "unknown frame kind {k}"),
+            FrameError::Malformed => write!(f, "malformed frame payload"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// One frame of the agent→collector protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireFrame {
+    /// Connection handshake — must be the first frame. Carries the
+    /// protocol version and the half-open host-id range `[host_lo,
+    /// host_hi)` this connection emits events for.
+    Hello {
+        /// Protocol version ([`WIRE_VERSION`]).
+        version: u16,
+        /// First host id (inclusive).
+        host_lo: u32,
+        /// Last host id (exclusive).
+        host_hi: u32,
+    },
+    /// A protocol event from a host agent.
+    Event(AgentEvent),
+    /// Per-connection epoch barrier: every event of `epoch` has been
+    /// sent on this connection.
+    EpochDone {
+        /// The epoch that is now fully sent (0-based window index).
+        epoch: u64,
+    },
+}
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+/// Serializes one frame onto `out` (appending; the buffer is not
+/// cleared). The emitted bytes always parse back to an equal frame —
+/// the proptests pin that round-trip for every variant.
+pub fn emit_frame(frame: &WireFrame, out: &mut Vec<u8>) {
+    let start = out.len();
+    out.extend_from_slice(&MAGIC);
+    out.push(0); // kind, patched below
+    put_u32(out, 0); // payload length, patched below
+    let kind = match frame {
+        WireFrame::Hello {
+            version,
+            host_lo,
+            host_hi,
+        } => {
+            put_u16(out, *version);
+            put_u32(out, *host_lo);
+            put_u32(out, *host_hi);
+            KIND_HELLO
+        }
+        WireFrame::Event(event) => match event {
+            AgentEvent::FlowOpen { host, seq, tuple } => {
+                put_u32(out, host.0);
+                put_u64(out, *seq);
+                out.extend_from_slice(&tuple.to_bytes());
+                KIND_FLOW_OPEN
+            }
+            AgentEvent::Evidence { seq, report } => {
+                put_u64(out, *seq);
+                put_u32(out, report.host.0);
+                out.extend_from_slice(&report.tuple.to_bytes());
+                put_u32(out, report.retransmissions);
+                out.push(report.complete as u8);
+                put_u32(out, report.links.len() as u32);
+                for link in &report.links {
+                    put_u32(out, link.0);
+                }
+                KIND_EVIDENCE
+            }
+            AgentEvent::EpochTick { host, seq, epoch } => {
+                put_u32(out, host.0);
+                put_u64(out, *seq);
+                put_u64(out, *epoch);
+                KIND_EPOCH_TICK
+            }
+            AgentEvent::Drain { host, seq } => {
+                put_u32(out, host.0);
+                put_u64(out, *seq);
+                KIND_DRAIN
+            }
+        },
+        WireFrame::EpochDone { epoch } => {
+            put_u64(out, *epoch);
+            KIND_EPOCH_DONE
+        }
+    };
+    out[start + 3] = kind;
+    let payload_len = (out.len() - start - HEADER_LEN) as u32;
+    out[start + 4..start + 8].copy_from_slice(&payload_len.to_be_bytes());
+}
+
+/// A checked, consuming reader over one frame's payload bytes.
+struct Payload<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Payload<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], FrameError> {
+        if self.buf.len() < n {
+            return Err(FrameError::Malformed);
+        }
+        let (head, rest) = self.buf.split_at(n);
+        self.buf = rest;
+        Ok(head)
+    }
+
+    fn u16(&mut self) -> Result<u16, FrameError> {
+        Ok(u16::from_be_bytes(self.take(2)?.try_into().expect("len 2")))
+    }
+
+    fn u32(&mut self) -> Result<u32, FrameError> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().expect("len 4")))
+    }
+
+    fn u64(&mut self) -> Result<u64, FrameError> {
+        Ok(u64::from_be_bytes(self.take(8)?.try_into().expect("len 8")))
+    }
+
+    fn tuple(&mut self) -> Result<FiveTuple, FrameError> {
+        let b = self.take(TUPLE_LEN)?;
+        let protocol = Protocol::from_number(b[12]).ok_or(FrameError::Malformed)?;
+        Ok(FiveTuple {
+            src_ip: std::net::Ipv4Addr::new(b[0], b[1], b[2], b[3]),
+            dst_ip: std::net::Ipv4Addr::new(b[4], b[5], b[6], b[7]),
+            src_port: u16::from_be_bytes([b[8], b[9]]),
+            dst_port: u16::from_be_bytes([b[10], b[11]]),
+            protocol,
+        })
+    }
+
+    fn finish(self) -> Result<(), FrameError> {
+        if self.buf.is_empty() {
+            Ok(())
+        } else {
+            Err(FrameError::Malformed)
+        }
+    }
+}
+
+/// Parses one frame from the front of `buf`.
+///
+/// Returns the frame and the number of bytes it occupied.
+/// [`FrameError::Truncated`] means `buf` holds a frame prefix — read
+/// more bytes and retry; every other error is unrecoverable for the
+/// stream. Never panics, whatever the input bytes.
+pub fn parse_frame(buf: &[u8]) -> Result<(WireFrame, usize), FrameError> {
+    if buf.len() < HEADER_LEN {
+        // Report BadMagic as soon as the prefix can't be ours, so garbage
+        // shorter than a header is not mistaken for a truncated frame.
+        if !MAGIC.starts_with(&buf[..buf.len().min(3)]) {
+            return Err(FrameError::BadMagic);
+        }
+        return Err(FrameError::Truncated);
+    }
+    if buf[..3] != MAGIC {
+        return Err(FrameError::BadMagic);
+    }
+    let kind = buf[3];
+    let payload_len = u32::from_be_bytes(buf[4..8].try_into().expect("len 4")) as usize;
+    if payload_len > MAX_PAYLOAD {
+        return Err(FrameError::Malformed);
+    }
+    let total = HEADER_LEN + payload_len;
+    if buf.len() < total {
+        return Err(FrameError::Truncated);
+    }
+    let mut p = Payload {
+        buf: &buf[HEADER_LEN..total],
+    };
+    let frame = match kind {
+        KIND_HELLO => {
+            let version = p.u16()?;
+            let host_lo = p.u32()?;
+            let host_hi = p.u32()?;
+            WireFrame::Hello {
+                version,
+                host_lo,
+                host_hi,
+            }
+        }
+        KIND_FLOW_OPEN => {
+            let host = HostId(p.u32()?);
+            let seq = p.u64()?;
+            let tuple = p.tuple()?;
+            WireFrame::Event(AgentEvent::FlowOpen { host, seq, tuple })
+        }
+        KIND_EVIDENCE => {
+            let seq = p.u64()?;
+            let host = HostId(p.u32()?);
+            let tuple = p.tuple()?;
+            let retransmissions = p.u32()?;
+            let complete = match p.take(1)?[0] {
+                0 => false,
+                1 => true,
+                _ => return Err(FrameError::Malformed),
+            };
+            let n = p.u32()? as usize;
+            // The link list must account for exactly the remaining bytes.
+            let mut links = Vec::with_capacity(n.min(MAX_PAYLOAD / 4));
+            for _ in 0..n {
+                links.push(LinkId(p.u32()?));
+            }
+            WireFrame::Event(AgentEvent::Evidence {
+                seq,
+                report: TraceReport {
+                    host,
+                    tuple,
+                    retransmissions,
+                    links,
+                    complete,
+                },
+            })
+        }
+        KIND_EPOCH_TICK => {
+            let host = HostId(p.u32()?);
+            let seq = p.u64()?;
+            let epoch = p.u64()?;
+            WireFrame::Event(AgentEvent::EpochTick { host, seq, epoch })
+        }
+        KIND_DRAIN => {
+            let host = HostId(p.u32()?);
+            let seq = p.u64()?;
+            WireFrame::Event(AgentEvent::Drain { host, seq })
+        }
+        KIND_EPOCH_DONE => {
+            let epoch = p.u64()?;
+            WireFrame::EpochDone { epoch }
+        }
+        other => return Err(FrameError::UnknownKind(other)),
+    };
+    p.finish()?;
+    Ok((frame, total))
+}
+
+/// Blocking frame reader over any [`Read`] (a socket, a file, a pipe).
+///
+/// Buffers internally; [`next_frame`](Self::next_frame) returns `None`
+/// on a clean end-of-stream (EOF on a frame boundary) and an error when
+/// the peer sent garbage or hung up mid-frame.
+#[derive(Debug)]
+pub struct FrameReader<R> {
+    inner: R,
+    buf: Vec<u8>,
+    start: usize,
+}
+
+impl<R: Read> FrameReader<R> {
+    /// Wraps a byte stream.
+    pub fn new(inner: R) -> Self {
+        Self {
+            inner,
+            buf: Vec::with_capacity(8 * 1024),
+            start: 0,
+        }
+    }
+
+    /// Reads the next frame, blocking for more bytes as needed.
+    pub fn next_frame(&mut self) -> io::Result<Option<WireFrame>> {
+        loop {
+            match parse_frame(&self.buf[self.start..]) {
+                Ok((frame, used)) => {
+                    self.start += used;
+                    // Reclaim consumed space once it dominates the buffer.
+                    if self.start > 4096 && self.start * 2 > self.buf.len() {
+                        self.buf.drain(..self.start);
+                        self.start = 0;
+                    }
+                    return Ok(Some(frame));
+                }
+                Err(FrameError::Truncated) => {
+                    let mut chunk = [0u8; 8 * 1024];
+                    let n = self.inner.read(&mut chunk)?;
+                    if n == 0 {
+                        if self.start == self.buf.len() {
+                            return Ok(None); // clean EOF on a boundary
+                        }
+                        return Err(io::Error::new(
+                            io::ErrorKind::UnexpectedEof,
+                            "connection closed mid-frame",
+                        ));
+                    }
+                    self.buf.extend_from_slice(&chunk[..n]);
+                }
+                Err(e) => {
+                    return Err(io::Error::new(io::ErrorKind::InvalidData, e.to_string()));
+                }
+            }
+        }
+    }
+}
+
+/// Buffered frame writer over any [`Write`].
+#[derive(Debug)]
+pub struct FrameWriter<W> {
+    inner: W,
+    scratch: Vec<u8>,
+}
+
+impl<W: Write> FrameWriter<W> {
+    /// Wraps a byte sink.
+    pub fn new(inner: W) -> Self {
+        Self {
+            inner,
+            scratch: Vec::with_capacity(4 * 1024),
+        }
+    }
+
+    /// Serializes and writes one frame.
+    pub fn write_frame(&mut self, frame: &WireFrame) -> io::Result<()> {
+        self.scratch.clear();
+        emit_frame(frame, &mut self.scratch);
+        self.inner.write_all(&self.scratch)
+    }
+
+    /// Flushes the underlying sink.
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn tuple() -> FiveTuple {
+        FiveTuple::tcp(
+            "10.0.0.1".parse().unwrap(),
+            40_001,
+            "10.0.1.1".parse().unwrap(),
+            443,
+        )
+    }
+
+    fn sample_frames() -> Vec<WireFrame> {
+        vec![
+            WireFrame::Hello {
+                version: WIRE_VERSION,
+                host_lo: 0,
+                host_hi: 16,
+            },
+            WireFrame::Event(AgentEvent::FlowOpen {
+                host: HostId(3),
+                seq: 0,
+                tuple: tuple(),
+            }),
+            WireFrame::Event(AgentEvent::Evidence {
+                seq: 1,
+                report: TraceReport {
+                    host: HostId(3),
+                    tuple: tuple(),
+                    retransmissions: 2,
+                    links: vec![LinkId(1), LinkId(9), LinkId(40)],
+                    complete: true,
+                },
+            }),
+            WireFrame::Event(AgentEvent::EpochTick {
+                host: HostId(3),
+                seq: 2,
+                epoch: 7,
+            }),
+            WireFrame::Event(AgentEvent::Drain {
+                host: HostId(3),
+                seq: 3,
+            }),
+            WireFrame::EpochDone { epoch: 7 },
+        ]
+    }
+
+    #[test]
+    fn every_variant_round_trips() {
+        for frame in sample_frames() {
+            let mut buf = Vec::new();
+            emit_frame(&frame, &mut buf);
+            let (back, used) = parse_frame(&buf).unwrap();
+            assert_eq!(used, buf.len());
+            assert_eq!(back, frame);
+        }
+    }
+
+    #[test]
+    fn frames_concatenate() {
+        let frames = sample_frames();
+        let mut buf = Vec::new();
+        for f in &frames {
+            emit_frame(f, &mut buf);
+        }
+        let mut at = 0;
+        let mut out = Vec::new();
+        while at < buf.len() {
+            let (f, used) = parse_frame(&buf[at..]).unwrap();
+            out.push(f);
+            at += used;
+        }
+        assert_eq!(out, frames);
+    }
+
+    #[test]
+    fn truncation_is_recoverable() {
+        for frame in sample_frames() {
+            let mut buf = Vec::new();
+            emit_frame(&frame, &mut buf);
+            for cut in 0..buf.len() {
+                assert_eq!(
+                    parse_frame(&buf[..cut]).unwrap_err(),
+                    FrameError::Truncated,
+                    "cut at {cut} of {}",
+                    buf.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn garbage_prefix_is_bad_magic() {
+        assert_eq!(
+            parse_frame(b"GET / HTTP/1.0\r\n").unwrap_err(),
+            FrameError::BadMagic
+        );
+        assert_eq!(parse_frame(b"X").unwrap_err(), FrameError::BadMagic);
+        assert_eq!(parse_frame(b"00").unwrap_err(), FrameError::Truncated);
+        assert_eq!(parse_frame(b"008AAAA").unwrap_err(), FrameError::BadMagic);
+    }
+
+    #[test]
+    fn unknown_kind_and_oversize_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC);
+        buf.push(200);
+        buf.extend_from_slice(&0u32.to_be_bytes());
+        assert_eq!(parse_frame(&buf).unwrap_err(), FrameError::UnknownKind(200));
+
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC);
+        buf.push(KIND_DRAIN);
+        buf.extend_from_slice(&(MAX_PAYLOAD as u32 + 1).to_be_bytes());
+        assert_eq!(parse_frame(&buf).unwrap_err(), FrameError::Malformed);
+    }
+
+    #[test]
+    fn trailing_payload_bytes_rejected() {
+        let mut buf = Vec::new();
+        emit_frame(&WireFrame::EpochDone { epoch: 3 }, &mut buf);
+        // Grow the payload by one byte and patch the length prefix.
+        buf.push(0xFF);
+        let len = (buf.len() - HEADER_LEN) as u32;
+        buf[4..8].copy_from_slice(&len.to_be_bytes());
+        assert_eq!(parse_frame(&buf).unwrap_err(), FrameError::Malformed);
+    }
+
+    #[test]
+    fn reader_reassembles_split_stream() {
+        struct Dribble {
+            data: Vec<u8>,
+            at: usize,
+        }
+        impl Read for Dribble {
+            fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+                if self.at >= self.data.len() {
+                    return Ok(0);
+                }
+                // one byte at a time: worst-case fragmentation
+                out[0] = self.data[self.at];
+                self.at += 1;
+                Ok(1)
+            }
+        }
+        let frames = sample_frames();
+        let mut data = Vec::new();
+        for f in &frames {
+            emit_frame(f, &mut data);
+        }
+        let mut reader = FrameReader::new(Dribble { data, at: 0 });
+        let mut out = Vec::new();
+        while let Some(f) = reader.next_frame().unwrap() {
+            out.push(f);
+        }
+        assert_eq!(out, frames);
+    }
+
+    #[test]
+    fn reader_flags_mid_frame_eof() {
+        let mut data = Vec::new();
+        emit_frame(&WireFrame::EpochDone { epoch: 1 }, &mut data);
+        data.truncate(data.len() - 2);
+        let mut reader = FrameReader::new(io::Cursor::new(data));
+        let err = reader.next_frame().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    fn arb_tuple() -> impl Strategy<Value = FiveTuple> {
+        (
+            any::<u32>(),
+            any::<u32>(),
+            any::<u16>(),
+            any::<u16>(),
+            any::<bool>(),
+        )
+            .prop_map(|(src, dst, sp, dp, udp)| FiveTuple {
+                src_ip: std::net::Ipv4Addr::from(src.to_be_bytes()),
+                dst_ip: std::net::Ipv4Addr::from(dst.to_be_bytes()),
+                src_port: sp,
+                dst_port: dp,
+                protocol: if udp { Protocol::Udp } else { Protocol::Tcp },
+            })
+    }
+
+    /// One strategy covering every frame variant: a selector plus a
+    /// superset of field draws, mapped onto the selected variant (the
+    /// vendored proptest has no `prop_oneof!`).
+    fn arb_frame() -> impl Strategy<Value = WireFrame> {
+        (
+            0u8..6,
+            (any::<u32>(), any::<u64>(), any::<u64>(), any::<u16>()),
+            arb_tuple(),
+            (any::<u32>(), any::<bool>()),
+            proptest::collection::vec(any::<u32>(), 0..12),
+        )
+            .prop_map(
+                |(which, (host, seq, epoch, version), tuple, (retx, complete), links)| match which {
+                    0 => WireFrame::Hello {
+                        version,
+                        host_lo: host,
+                        host_hi: epoch as u32,
+                    },
+                    1 => WireFrame::Event(AgentEvent::FlowOpen {
+                        host: HostId(host),
+                        seq,
+                        tuple,
+                    }),
+                    2 => WireFrame::Event(AgentEvent::Evidence {
+                        seq,
+                        report: TraceReport {
+                            host: HostId(host),
+                            tuple,
+                            retransmissions: retx,
+                            links: links.into_iter().map(LinkId).collect(),
+                            complete,
+                        },
+                    }),
+                    3 => WireFrame::Event(AgentEvent::EpochTick {
+                        host: HostId(host),
+                        seq,
+                        epoch,
+                    }),
+                    4 => WireFrame::Event(AgentEvent::Drain {
+                        host: HostId(host),
+                        seq,
+                    }),
+                    _ => WireFrame::EpochDone { epoch },
+                },
+            )
+    }
+
+    proptest! {
+        #[test]
+        fn emit_parse_round_trip(frame in arb_frame()) {
+            let mut buf = Vec::new();
+            emit_frame(&frame, &mut buf);
+            let (back, used) = parse_frame(&buf).unwrap();
+            prop_assert_eq!(used, buf.len());
+            prop_assert_eq!(back, frame);
+        }
+
+        #[test]
+        fn every_truncation_is_truncated(frame in arb_frame(), frac in 0.0f64..1.0) {
+            let mut buf = Vec::new();
+            emit_frame(&frame, &mut buf);
+            let cut = ((buf.len() as f64) * frac) as usize;
+            prop_assert_eq!(parse_frame(&buf[..cut.min(buf.len() - 1)]).unwrap_err(),
+                            FrameError::Truncated);
+        }
+
+        #[test]
+        fn arbitrary_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+            let _ = parse_frame(&bytes);
+        }
+
+        #[test]
+        fn garbage_prefix_never_parses(mut bytes in proptest::collection::vec(any::<u8>(), 1..64),
+                                       frame in arb_frame()) {
+            // Force a non-magic first byte, then append a valid frame:
+            // the parser must reject at the front, not resync silently.
+            if bytes[0] == MAGIC[0] {
+                bytes[0] = bytes[0].wrapping_add(1);
+            }
+            emit_frame(&frame, &mut bytes);
+            prop_assert_eq!(parse_frame(&bytes).unwrap_err(), FrameError::BadMagic);
+        }
+    }
+}

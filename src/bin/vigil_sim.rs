@@ -10,6 +10,9 @@
 //! vigil-sim run-config <config.json>      # run a JSON ExperimentConfig
 //! vigil-sim bounds                        # print the Theorem 1/2 numbers
 //! vigil-sim matrix [--filter pat] [--list]  # the scenario-matrix grid
+//! vigil-sim collect [preset] [options]    # distributed collector daemon
+//! vigil-sim agent [preset] [options]      # one distributed host-agent
+//!                                         # process (feeds a collector)
 //!
 //! options:
 //!   --trials N     independent trials (fresh topology + fault draw)
@@ -27,6 +30,7 @@
 //!   --window-ms W  window length on the pacing clock (default 30000 —
 //!                  the paper's 30-second epoch; rescales the Theorem 1
 //!                  traceroute budget)
+//! ```
 //!
 //! `stream --epochs N --json` emits byte-identical JSON to
 //! `run --json` on the same preset and flags: the streaming pipeline
@@ -34,6 +38,24 @@
 //! evidence order while holding only evidence-bearing flow records in
 //! memory. Service-mode counters (events/s, peak resident flows,
 //! shed/delivered) go to stderr.
+//!
+//! distributed service mode (the paper's Figure 2 over sockets):
+//!
+//! ```text
+//! vigil-sim collect [preset] --agents N [--listen ADDR] [--addr-file F]
+//!            [--epochs N] [--seed N] [--json] [--snapshot F] [--resume]
+//!            [--exit-after K] [--metrics ADDR] [--metrics-addr-file F]
+//!            [--hub-capacity N] [--max-events-per-window N] [--max-hosts N]
+//! vigil-sim agent [preset] --collector ADDR --hosts LO..HI
+//!            [--start-epoch S] [--epochs N] [--seed N]
+//! ```
+//!
+//! Addresses containing `/` are Unix-domain socket paths, anything else
+//! is TCP `host:port` (port 0 binds ephemerally; `--addr-file` records
+//! the bound address for agents to discover). A loopback fleet whose
+//! `--hosts` ranges cover the topology emits a final `--json` report
+//! byte-identical to `stream --json --trials 1`; `--snapshot` +
+//! `--exit-after` + `--resume` drill the collector failover path.
 //!
 //! `matrix` runs every named scenario (fault × topology × traffic) and
 //! asserts each case's accuracy envelope: exit code 1 when any case
@@ -46,7 +68,6 @@
 //! envelope); `--byzantine-fraction F` overrides every byzantine case's
 //! fraction while keeping its calibrated envelope — the forced-violation
 //! knob (e.g. `--filter byzantine --byzantine-fraction 0.9` must exit 1).
-//! ```
 
 use std::process::ExitCode;
 use vigil::prelude::*;
@@ -174,9 +195,13 @@ fn main() -> ExitCode {
             execute(cfg, engine, args.iter().any(|a| a == "--json"))
         }
         Some("stream") => run_stream(&args[1..]),
+        Some("agent") => run_agent_cmd(&args[1..]),
+        Some("collect") => run_collect_cmd(&args[1..]),
         Some("matrix") => run_matrix(&args[1..]),
         _ => {
-            eprintln!("usage: vigil-sim <list|bounds|run|stream|run-config|matrix> …");
+            eprintln!(
+                "usage: vigil-sim <list|bounds|run|stream|agent|collect|run-config|matrix> …"
+            );
             ExitCode::FAILURE
         }
     }
@@ -371,6 +396,260 @@ fn stream_forever(cfg: &ExperimentConfig, cap: Option<usize>) -> ExitCode {
         }
     );
     ExitCode::SUCCESS
+}
+
+/// Pulls `(preset, flags)` apart for the distributed subcommands (same
+/// leading-preset convention as `stream`).
+fn split_preset(flags: &[String]) -> Result<(ExperimentConfig, &[String]), ExitCode> {
+    let (preset_name, rest) = match flags.first() {
+        Some(f) if !f.starts_with("--") => (f.as_str(), &flags[1..]),
+        _ => ("single-failure", flags),
+    };
+    match preset(preset_name) {
+        Some(cfg) => Ok((cfg, rest)),
+        None => {
+            eprintln!("unknown preset '{preset_name}'; try `vigil-sim list`");
+            Err(ExitCode::FAILURE)
+        }
+    }
+}
+
+/// Parses a flag's value as a positive integer (rejecting 0 and junk).
+fn positive(flag: &str, value: Option<&String>) -> Result<u64, String> {
+    match value.map(|v| v.parse::<u64>()) {
+        Some(Ok(v)) if v > 0 => Ok(v),
+        _ => Err(format!("{flag} needs a positive integer")),
+    }
+}
+
+/// The `agent` subcommand: one distributed host-agent process.
+fn run_agent_cmd(flags: &[String]) -> ExitCode {
+    let (mut cfg, rest) = match split_preset(flags) {
+        Ok(x) => x,
+        Err(code) => return code,
+    };
+    let mut collector: Option<String> = None;
+    let mut hosts: Option<std::ops::Range<u32>> = None;
+    let mut start_epoch = 0usize;
+    let mut epochs: Option<usize> = None;
+    let mut it = rest.iter();
+    let fail = |msg: &str| {
+        eprintln!("{msg}");
+        eprintln!(
+            "usage: vigil-sim agent [preset] --collector ADDR --hosts LO..HI \
+             [--start-epoch S] [--epochs N] [--seed N]"
+        );
+        ExitCode::FAILURE
+    };
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--collector" => match it.next() {
+                Some(a) => collector = Some(a.clone()),
+                None => return fail("--collector needs an address"),
+            },
+            "--hosts" => {
+                let parsed = it.next().and_then(|v| {
+                    let (lo, hi) = v.split_once("..")?;
+                    Some(lo.trim().parse::<u32>().ok()?..hi.trim().parse::<u32>().ok()?)
+                });
+                match parsed {
+                    Some(r) => hosts = Some(r),
+                    None => return fail("--hosts needs a half-open range LO..HI"),
+                }
+            }
+            "--start-epoch" => {
+                // 0 is a legitimate start.
+                match it.next().map(|v| v.parse::<u64>()) {
+                    Some(Ok(v)) => start_epoch = v as usize,
+                    _ => return fail("--start-epoch needs an integer"),
+                }
+            }
+            "--epochs" => match positive(flag, it.next()) {
+                Ok(v) => epochs = Some(v as usize),
+                Err(e) => return fail(&e),
+            },
+            "--seed" => match it.next().map(|v| v.parse::<u64>()) {
+                Some(Ok(v)) => cfg.seed = v,
+                _ => return fail("--seed needs an integer"),
+            },
+            other => return fail(&format!("unknown flag {other}")),
+        }
+    }
+    let Some(collector) = collector else {
+        return fail("--collector is required");
+    };
+    let Some(hosts) = hosts else {
+        return fail("--hosts is required");
+    };
+    let spec = AgentSpec {
+        hosts,
+        start_epoch,
+        epochs: epochs.unwrap_or(cfg.epochs),
+        chunk_flows: 256,
+    };
+    let sink = match Endpoint::parse(&collector).connect() {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("agent: cannot connect to {collector}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run_agent(&cfg, &spec, sink) {
+        Ok(stats) => {
+            eprintln!(
+                "agent: hosts {}..{}: {} epoch(s), {} event(s) sent ({} evidence)",
+                spec.hosts.start,
+                spec.hosts.end,
+                stats.epochs,
+                stats.events_sent,
+                stats.evidence_sent
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("agent: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// The `collect` subcommand: the distributed collector daemon.
+fn run_collect_cmd(flags: &[String]) -> ExitCode {
+    let (mut cfg, rest) = match split_preset(flags) {
+        Ok(x) => x,
+        Err(code) => return code,
+    };
+    cfg.trials = 1; // the daemon runs trial 0's schedule
+    let mut listen = "127.0.0.1:0".to_string();
+    let mut addr_file: Option<String> = None;
+    let mut json = false;
+    let mut ccfg = CollectorConfig {
+        epochs: cfg.epochs,
+        ..CollectorConfig::default()
+    };
+    let mut it = rest.iter();
+    let fail = |msg: &str| {
+        eprintln!("{msg}");
+        eprintln!(
+            "usage: vigil-sim collect [preset] --agents N [--listen ADDR] [--addr-file F] \
+             [--epochs N] [--seed N] [--json] [--snapshot F] [--resume] [--exit-after K] \
+             [--metrics ADDR] [--metrics-addr-file F] [--hub-capacity N] \
+             [--max-events-per-window N] [--max-hosts N]"
+        );
+        ExitCode::FAILURE
+    };
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--listen" => match it.next() {
+                Some(a) => listen = a.clone(),
+                None => return fail("--listen needs an address"),
+            },
+            "--addr-file" => match it.next() {
+                Some(p) => addr_file = Some(p.clone()),
+                None => return fail("--addr-file needs a path"),
+            },
+            "--agents" => match positive(flag, it.next()) {
+                Ok(v) => ccfg.agents = v as usize,
+                Err(e) => return fail(&e),
+            },
+            "--epochs" => match positive(flag, it.next()) {
+                Ok(v) => {
+                    cfg.epochs = v as usize;
+                    ccfg.epochs = v as usize;
+                }
+                Err(e) => return fail(&e),
+            },
+            "--seed" => match it.next().map(|v| v.parse::<u64>()) {
+                Some(Ok(v)) => cfg.seed = v,
+                _ => return fail("--seed needs an integer"),
+            },
+            "--json" => json = true,
+            "--snapshot" => match it.next() {
+                Some(p) => ccfg.snapshot_path = Some(p.into()),
+                None => return fail("--snapshot needs a path"),
+            },
+            "--resume" => ccfg.resume = true,
+            "--exit-after" => match positive(flag, it.next()) {
+                Ok(v) => ccfg.exit_after = Some(v as usize),
+                Err(e) => return fail(&e),
+            },
+            "--metrics" => match it.next() {
+                Some(a) => ccfg.metrics = Some(a.clone()),
+                None => return fail("--metrics needs a TCP address"),
+            },
+            "--metrics-addr-file" => match it.next() {
+                Some(p) => ccfg.metrics_addr_file = Some(p.into()),
+                None => return fail("--metrics-addr-file needs a path"),
+            },
+            "--hub-capacity" => match positive(flag, it.next()) {
+                Ok(v) => ccfg.hub_capacity = v as usize,
+                Err(e) => return fail(&e),
+            },
+            "--max-events-per-window" => match positive(flag, it.next()) {
+                Ok(v) => ccfg.max_events_per_window = v,
+                Err(e) => return fail(&e),
+            },
+            "--max-hosts" => match positive(flag, it.next()) {
+                Ok(v) => ccfg.max_hosts = Some(v as u32),
+                Err(e) => return fail(&e),
+            },
+            other => return fail(&format!("unknown flag {other}")),
+        }
+    }
+    let listener = match Endpoint::parse(&listen).bind() {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("collect: cannot bind {listen}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let bound = listener.local_addr();
+    eprintln!("collect: listening on {bound}");
+    if let Some(path) = &addr_file {
+        if let Err(e) = std::fs::write(path, &bound) {
+            eprintln!("collect: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    match run_collector(&cfg, &listener, &ccfg) {
+        Ok(CollectorOutcome::Completed(report, stats)) => {
+            eprintln!(
+                "collect: done: {} window(s), {} evidence, delivered {}, shed {}, \
+                 gaps {}, resets {}, rate-limited {}",
+                stats.windows,
+                stats.evidence,
+                stats.delivered,
+                stats.shed,
+                stats.seq_gaps,
+                stats.seq_resets,
+                stats.rate_limited
+            );
+            if json {
+                match serde_json::to_string_pretty(&*report) {
+                    Ok(s) => println!("{s}"),
+                    Err(e) => {
+                        eprintln!("serialization failed: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            } else {
+                print_report(&cfg, &report);
+            }
+            ExitCode::SUCCESS
+        }
+        Ok(CollectorOutcome::Paused(stats)) => {
+            eprintln!(
+                "collect: paused after {} window(s) (snapshot persisted); \
+                 resume with --resume",
+                stats.windows
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("collect: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 /// The `matrix` subcommand: run the scenario grid, assert envelopes,
@@ -574,6 +853,11 @@ fn apply_flags(cfg: &mut ExperimentConfig, flags: &[String]) -> Result<SweepEngi
                     .ok_or_else(|| format!("{flag} needs a value"))?
                     .parse::<u64>()
                     .map_err(|e| format!("{flag}: {e}"))?;
+                // Zero trials/epochs would "succeed" with a vacuous
+                // report — reject loudly like any other bad value.
+                if v == 0 && matches!(flag.as_str(), "--trials" | "--epochs") {
+                    return Err(format!("{flag} needs a positive integer, got 0"));
+                }
                 match flag.as_str() {
                     "--trials" => cfg.trials = v as usize,
                     "--epochs" => cfg.epochs = v as usize,

@@ -359,6 +359,35 @@ fn stream_forever_caps_at_explicit_epochs_and_prints_windows() {
 }
 
 #[test]
+fn zero_valued_counts_are_rejected_not_vacuous() {
+    // A zero window, trial, or epoch count must fail loudly — not
+    // "succeed" with an empty report (or divide the pacer budget by a
+    // zero-length window).
+    for args in [
+        ["stream", "--window-ms", "0"],
+        ["stream", "--trials", "0"],
+        ["stream", "--epochs", "0"],
+        ["run", "single-failure", "--trials"], // missing value
+    ] {
+        let out = vigil_sim().args(args).output().unwrap();
+        assert!(!out.status.success(), "{args:?} must fail");
+        assert!(out.stdout.is_empty(), "{args:?} must not print a report");
+    }
+    for (sub, flag) in [("run", "--trials"), ("run", "--epochs")] {
+        let out = vigil_sim()
+            .args([sub, "single-failure", flag, "0"])
+            .output()
+            .unwrap();
+        assert!(!out.status.success(), "{sub} {flag} 0 must fail");
+        let err = String::from_utf8(out.stderr).unwrap();
+        assert!(
+            err.contains("positive integer"),
+            "{sub} {flag} 0: unexpected stderr:\n{err}"
+        );
+    }
+}
+
+#[test]
 fn threads_flag_is_accepted_and_output_is_thread_invariant() {
     // `--threads N` routes through the sweep engine; the JSON report must
     // be byte-identical at any width.

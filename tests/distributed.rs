@@ -1,0 +1,232 @@
+//! Process-level checks of the distributed service mode: the real
+//! `vigil-sim collect` / `vigil-sim agent` binaries, talking over
+//! loopback TCP, must reproduce `vigil-sim stream --json --trials 1`
+//! byte for byte — including across a collector kill/restore cycle.
+//!
+//! The in-module tests in `vigil::distributed` already exercise the
+//! library API over real sockets; these tests cover the CLI surface:
+//! flag parsing, `--addr-file` discovery of an ephemeral port, the
+//! metrics endpoint, and snapshot/resume through real process exits.
+
+use std::io::{Read as _, Write as _};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn vigil_sim() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_vigil-sim"))
+}
+
+/// A per-test scratch directory keyed by pid so parallel test binaries
+/// never collide.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("vigil-dist-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Polls an `--addr-file` until the collector has written the bound
+/// address into it (port 0 means we can't know it in advance).
+fn wait_for_addr(path: &Path) -> String {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        if let Ok(s) = std::fs::read_to_string(path) {
+            let s = s.trim().to_string();
+            if !s.is_empty() {
+                return s;
+            }
+        }
+        assert!(
+            Instant::now() < deadline,
+            "timed out waiting for {}",
+            path.display()
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// The `single-failure` preset fabric has 800 hosts; each agent serves
+/// half of them.
+const HOST_SPLITS: [&str; 2] = ["0..400", "400..800"];
+
+fn spawn_agent(addr: &str, hosts: &str, start_epoch: usize, epochs: usize) -> Child {
+    vigil_sim()
+        .args([
+            "agent",
+            "--collector",
+            addr,
+            "--hosts",
+            hosts,
+            "--start-epoch",
+            &start_epoch.to_string(),
+            "--epochs",
+            &epochs.to_string(),
+            "--seed",
+            "7",
+        ])
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap()
+}
+
+fn reap_agents(agents: Vec<Child>) {
+    for mut agent in agents {
+        assert!(agent.wait().unwrap().success(), "agent process failed");
+    }
+}
+
+fn stream_reference(epochs: &str) -> Vec<u8> {
+    let out = vigil_sim()
+        .args([
+            "stream", "--json", "--trials", "1", "--epochs", epochs, "--seed", "7",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    out.stdout
+}
+
+#[test]
+fn collect_binary_matches_stream_binary() {
+    let dir = scratch("loopback");
+    let addr_file = dir.join("addr");
+    let metrics_file = dir.join("metrics-addr");
+    let collector = vigil_sim()
+        .args([
+            "collect",
+            "--listen",
+            "127.0.0.1:0",
+            "--addr-file",
+            addr_file.to_str().unwrap(),
+            "--metrics",
+            "127.0.0.1:0",
+            "--metrics-addr-file",
+            metrics_file.to_str().unwrap(),
+            "--agents",
+            "2",
+            "--epochs",
+            "2",
+            "--seed",
+            "7",
+            "--json",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+    let addr = wait_for_addr(&addr_file);
+
+    // The metrics endpoint is live before any agent is admitted; it
+    // must already answer valid JSON (all-zero totals at this point).
+    let metrics_addr = wait_for_addr(&metrics_file);
+    let mut sock = TcpStream::connect(&metrics_addr).unwrap();
+    sock.write_all(b"GET / HTTP/1.0\r\n\r\n").unwrap();
+    let mut resp = String::new();
+    sock.read_to_string(&mut resp).unwrap();
+    assert!(resp.contains("\"windows\""), "metrics response:\n{resp}");
+
+    let agents = HOST_SPLITS
+        .iter()
+        .map(|hosts| spawn_agent(&addr, hosts, 0, 2))
+        .collect();
+    reap_agents(agents);
+    let out = collector.wait_with_output().unwrap();
+    assert!(out.status.success());
+
+    assert_eq!(
+        out.stdout,
+        stream_reference("2"),
+        "distributed report must be byte-identical to the in-process stream"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn collector_failover_resumes_to_identical_report() {
+    let dir = scratch("failover");
+    let snapshot = dir.join("snap.json");
+
+    // Phase 1: serve two of three windows, snapshot each, then pause.
+    let addr_file = dir.join("addr1");
+    let collector = vigil_sim()
+        .args([
+            "collect",
+            "--listen",
+            "127.0.0.1:0",
+            "--addr-file",
+            addr_file.to_str().unwrap(),
+            "--agents",
+            "2",
+            "--epochs",
+            "3",
+            "--seed",
+            "7",
+            "--json",
+            "--snapshot",
+            snapshot.to_str().unwrap(),
+            "--exit-after",
+            "2",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+    let addr = wait_for_addr(&addr_file);
+    let agents = HOST_SPLITS
+        .iter()
+        .map(|hosts| spawn_agent(&addr, hosts, 0, 2))
+        .collect();
+    reap_agents(agents);
+    let paused = collector.wait_with_output().unwrap();
+    assert!(paused.status.success());
+    assert!(
+        paused.stdout.is_empty(),
+        "a paused collector emits no report"
+    );
+    assert!(
+        snapshot.exists(),
+        "snapshot must be on disk after the pause"
+    );
+
+    // Phase 2: a fresh collector process restores the ledger from the
+    // snapshot and serves only the remaining window.
+    let addr_file = dir.join("addr2");
+    let collector = vigil_sim()
+        .args([
+            "collect",
+            "--listen",
+            "127.0.0.1:0",
+            "--addr-file",
+            addr_file.to_str().unwrap(),
+            "--agents",
+            "2",
+            "--epochs",
+            "3",
+            "--seed",
+            "7",
+            "--json",
+            "--snapshot",
+            snapshot.to_str().unwrap(),
+            "--resume",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+    let addr = wait_for_addr(&addr_file);
+    let agents = HOST_SPLITS
+        .iter()
+        .map(|hosts| spawn_agent(&addr, hosts, 2, 1))
+        .collect();
+    reap_agents(agents);
+    let out = collector.wait_with_output().unwrap();
+    assert!(out.status.success());
+
+    assert_eq!(
+        out.stdout,
+        stream_reference("3"),
+        "resumed report must match an uninterrupted three-epoch stream"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
