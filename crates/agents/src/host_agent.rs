@@ -55,6 +55,14 @@ impl HostAgent {
         self.seq
     }
 
+    /// Rewinds the sequence counter to `seq` — a distributed agent
+    /// replaying an unacknowledged epoch restores the pre-epoch counter
+    /// so the replayed events carry the same sequence numbers (the
+    /// collector's dedup keys on them for exactly-once tallying).
+    pub fn rewind(&mut self, seq: u64) {
+        self.seq = seq;
+    }
+
     /// The host this agent runs on.
     pub fn host(&self) -> HostId {
         self.host

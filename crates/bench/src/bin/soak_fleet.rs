@@ -1,0 +1,142 @@
+//! `soak_fleet` — the chaos soak as a bench artifact: a long-running
+//! distributed fleet under an escalating churn schedule, with the
+//! robustness invariants asserted (not eyeballed) and the full
+//! [`SoakReport`] written to `BENCH_soak.json`.
+//!
+//! The schedule escalates chaos across thirds of the run — a quiet
+//! first third, mild corruption + resets in the second, then heavy
+//! corruption, duplication, and reset-with-partition in the last — and
+//! performs one agent kill/restart plus one collector kill/`--resume`
+//! mid-run. The run fails (exit 1) unless:
+//!
+//! - the final tally is **byte-identical** to the chaos-free stream,
+//! - **zero epochs leaked** (every window closed exactly once),
+//! - **nothing was shed** and **no host was evicted**,
+//! - peak RSS late in the run stays within 1.5× of the early peak
+//!   (plus a 16 MiB allowance for allocator noise),
+//! - the idle collector burned < 250 ms of CPU in its 400 ms probe.
+//!
+//! Scale knobs: `VIGIL_FAST=1` shrinks to a CI smoke run (~a minute);
+//! `VIGIL_EPOCHS=N` sets the horizon explicitly — on this fabric one
+//! epoch is a few wall-clock seconds, so hundreds of epochs give the
+//! hours-scale soak the paper's always-on deployment story calls for.
+
+use std::time::Duration;
+
+use vigil::prelude::*;
+use vigil::{CollectorConfig, ExperimentConfig};
+use vigil_wire::chaos::{ChaosPlan, ChaosSchedule};
+
+fn main() {
+    let fast = std::env::var("VIGIL_FAST").is_ok_and(|v| v == "1");
+    let epochs = std::env::var("VIGIL_EPOCHS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(if fast { 4 } else { 30 });
+
+    let config = ExperimentConfig {
+        name: "soak-fleet".into(),
+        params: ClosParams::tiny(),
+        faults: FaultPlan {
+            failure_rate: RateRange::fixed(0.05),
+            ..FaultPlan::paper_default(2)
+        },
+        run: RunConfig {
+            traffic: TrafficSpec {
+                conns_per_host: ConnCount::Fixed(30),
+                ..TrafficSpec::paper_default()
+            },
+            ..RunConfig::default()
+        },
+        epochs,
+        trials: 1,
+        seed: 51,
+    };
+
+    // Escalating chaos by thirds. Every plan keeps its reset gap wider
+    // than one epoch's frame volume so the fleet always has a window in
+    // which a full epoch can land — the loss-recoverable regime.
+    let third = (epochs as u64 / 3).max(1);
+    let mild =
+        ChaosPlan::parse("seed=11,corrupt=0.01,dup=0.01,reset_every=400").expect("mild chaos plan");
+    let heavy = ChaosPlan::parse(
+        "seed=13,corrupt=0.03,truncate=0.01,dup=0.02,reset_every=250,partition=0.3:3",
+    )
+    .expect("heavy chaos plan");
+    let chaos = ChaosSchedule::new(vec![
+        (0, ChaosPlan::quiet(7)),
+        (third, mild),
+        (2 * third, heavy),
+    ]);
+
+    let dir = std::env::temp_dir().join(format!("vigil-soak-fleet-{}", std::process::id()));
+    let spec = SoakSpec {
+        config,
+        agents: 2,
+        chaos: Some(chaos),
+        agent_kill_after: Some(Duration::from_millis(if fast { 50 } else { 2_000 })),
+        collector_kill_window: Some((epochs / 2).max(1)),
+        resilience: ResilienceConfig {
+            backoff_base: Duration::from_millis(10),
+            backoff_cap: Duration::from_millis(250),
+            ..ResilienceConfig::default()
+        },
+        collector: CollectorConfig::default(),
+        dir: dir.clone(),
+        report_path: Some("BENCH_soak.json".into()),
+    };
+
+    let report = run_soak(&spec).expect("soak run");
+    println!(
+        "soak_fleet: {} windows in {:.1}s — {} reconnects ({} agent-side), \
+         {} quarantined frames, {} agent kills, {} collector kills, \
+         RSS {} -> {} kB",
+        report.windows,
+        report.wall_ms / 1e3,
+        report.collector_reconnects,
+        report.agent_reconnects,
+        report.quarantined_frames,
+        report.agent_kills,
+        report.collector_kills,
+        report.rss_peak_early_kb,
+        report.rss_peak_late_kb,
+    );
+
+    let mut bad = Vec::new();
+    if !report.byte_identical {
+        bad.push("tally diverged from the chaos-free stream".to_string());
+    }
+    if report.leaked_epochs != 0 {
+        bad.push(format!("{} epoch(s) leaked", report.leaked_epochs));
+    }
+    if report.shed != 0 {
+        bad.push(format!("{} event(s) shed", report.shed));
+    }
+    if report.hosts_evicted != 0 {
+        bad.push(format!("{} host(s) evicted", report.hosts_evicted));
+    }
+    let rss_ceiling = report.rss_peak_early_kb + report.rss_peak_early_kb / 2 + 16 * 1024;
+    if report.rss_peak_late_kb > rss_ceiling {
+        bad.push(format!(
+            "RSS grew: early peak {} kB, late peak {} kB (ceiling {} kB)",
+            report.rss_peak_early_kb, report.rss_peak_late_kb, rss_ceiling
+        ));
+    }
+    if report.idle_cpu_ms >= 250 {
+        bad.push(format!(
+            "idle collector burned {} ms of CPU in 400 ms — something polls",
+            report.idle_cpu_ms
+        ));
+    }
+    if !bad.is_empty() {
+        // Keep the scratch dir: it holds the tally diff on divergence.
+        eprintln!(
+            "soak_fleet: FAILED: {} (scratch kept at {})",
+            bad.join("; "),
+            dir.display()
+        );
+        std::process::exit(1);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    println!("soak_fleet: all invariants held (report in BENCH_soak.json)");
+}

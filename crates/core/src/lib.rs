@@ -45,12 +45,13 @@ pub mod matrix;
 mod pool;
 pub mod run;
 pub mod scenarios;
+pub mod soak;
 pub mod stream;
 pub mod sweep;
 
 pub use distributed::{
-    run_agent, run_collector, AgentSpec, AgentStats, CollectorConfig, CollectorOutcome,
-    CollectorSnapshot, CollectorStats, Endpoint, Listener,
+    run_agent, run_agent_resilient, run_collector, AgentSpec, AgentStats, CollectorConfig,
+    CollectorOutcome, CollectorSnapshot, CollectorStats, Endpoint, Listener, ResilienceConfig,
 };
 pub use evaluate::{EpochReport, MethodMetrics};
 pub use experiment::{
@@ -61,6 +62,7 @@ pub use matrix::{CaseOutcome, Envelope, MatrixReport, MatrixRunner, ScenarioCase
 pub use run::{
     run_epoch, run_epoch_threaded, run_epoch_with, Baselines, EpochRun, PacerBudget, RunConfig,
 };
+pub use soak::{run_soak, SoakReport, SoakSpec};
 pub use stream::{
     stream_experiment, stream_trial, RetainPolicy, StreamSession, StreamStats, StreamTuning,
 };
@@ -69,7 +71,8 @@ pub use sweep::{epoch_rng, task_rng, task_seed, SweepEngine, SweepSpec};
 /// Convenient glob-import for examples and benches.
 pub mod prelude {
     pub use crate::distributed::{
-        run_agent, run_collector, AgentSpec, CollectorConfig, CollectorOutcome, Endpoint,
+        run_agent, run_agent_resilient, run_collector, AgentSpec, CollectorConfig,
+        CollectorOutcome, Endpoint, ResilienceConfig,
     };
     pub use crate::evaluate::{EpochReport, MethodMetrics};
     pub use crate::experiment::{run_experiment, ExperimentConfig, ExperimentReport, MethodReport};
@@ -78,6 +81,7 @@ pub mod prelude {
         run_epoch, run_epoch_threaded, run_epoch_with, Baselines, EpochRun, PacerBudget, RunConfig,
     };
     pub use crate::scenarios;
+    pub use crate::soak::{run_soak, SoakReport, SoakSpec};
     pub use crate::stream::{
         stream_experiment, stream_trial, RetainPolicy, StreamSession, StreamStats, StreamTuning,
     };

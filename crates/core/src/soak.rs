@@ -1,0 +1,470 @@
+//! Soak harness for the distributed service mode: a long-running
+//! in-process fleet under a churn schedule — seeded wire chaos, agent
+//! kills + restarts, a collector kill + `--resume` — with the
+//! invariants asserted at the end instead of eyeballed:
+//!
+//! - **exactly-once tally**: the final report is byte-identical to the
+//!   chaos-free in-process stream whenever the chaos plan is
+//!   loss-recoverable (no evictions);
+//! - **zero leaked epochs**: every window closes exactly once across
+//!   collector generations;
+//! - **flat memory**: peak RSS late in the run stays within a small
+//!   factor of peak RSS early (retention is bounded per window);
+//! - **near-zero idle CPU**: an idle collector burns no cycles — the
+//!   window loop blocks on its control channel, it does not poll.
+//!
+//! The harness runs everything in one process (threads, a Unix-domain
+//! socket) so a CI job can gate on the [`SoakReport`] it writes;
+//! `vigil-sim soak` and the `soak_fleet` bench bin are thin wrappers.
+
+use std::io::{self, Write as _};
+use std::ops::Range;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use serde::Serialize;
+use vigil_topology::ClosTopology;
+use vigil_wire::chaos::ChaosSchedule;
+
+use crate::distributed::{
+    run_agent_resilient, run_collector, AgentSpec, AgentStats, CollectorConfig, CollectorOutcome,
+    CollectorStats, Endpoint, ResilienceConfig,
+};
+use crate::experiment::{ExperimentConfig, ExperimentReport};
+use crate::stream::{stream_trial, StreamTuning};
+
+fn invalid<E: std::fmt::Display>(e: E) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidInput, e.to_string())
+}
+
+fn other<E: std::fmt::Display>(e: E) -> io::Error {
+    io::Error::other(e.to_string())
+}
+
+/// What the soak runs and what it injects.
+#[derive(Debug, Clone)]
+pub struct SoakSpec {
+    /// The experiment (epochs = soak length; `trials` is forced to 1).
+    pub config: ExperimentConfig,
+    /// Fleet size: the topology's hosts are split into this many
+    /// equal ranges, one resilient agent each.
+    pub agents: usize,
+    /// Seeded wire chaos applied by every agent (None = clean wire).
+    pub chaos: Option<ChaosSchedule>,
+    /// Kill agent 0 this long after the first window closes; its
+    /// supervisor restarts a fresh agent that rebuilds state and
+    /// resumes from the collector's `ResumeAt`.
+    pub agent_kill_after: Option<Duration>,
+    /// Kill the collector (clean `exit_after` pause) after this many
+    /// windows and restore a successor with `--resume` on the same
+    /// socket path. Must be `1..epochs` to trigger.
+    pub collector_kill_window: Option<usize>,
+    /// Reconnect/backoff tuning for the fleet.
+    pub resilience: ResilienceConfig,
+    /// Collector knobs template (`agents`/`epochs`/snapshot/resume/
+    /// `exit_after` are overridden by the harness).
+    pub collector: CollectorConfig,
+    /// Scratch directory: holds the Unix socket and the snapshot.
+    pub dir: PathBuf,
+    /// Where to write the JSON [`SoakReport`] (also returned).
+    pub report_path: Option<PathBuf>,
+}
+
+/// The soak's verdict — every field a CI gate can threshold.
+#[derive(Debug, Clone, Serialize)]
+pub struct SoakReport {
+    /// Windows closed across all collector generations.
+    pub windows: u64,
+    /// Hub events absorbed (all generations).
+    pub events: u64,
+    /// Evidence events among them.
+    pub evidence: u64,
+    /// Events shed by collector backpressure (gate: 0).
+    pub shed: u64,
+    /// Wire-loss sequence gaps observed (diagnostic; replays repair).
+    pub seq_gaps: u64,
+    /// Agent restarts observed by sequence accounting.
+    pub seq_resets: u64,
+    /// Reconnects the collector admitted.
+    pub collector_reconnects: u64,
+    /// Reconnect attempts the agents made (refused ones included).
+    pub agent_reconnects: u64,
+    /// Corrupt frames quarantined by the lenient readers.
+    pub quarantined_frames: u64,
+    /// Hosts evicted (gate: 0 for a loss-recoverable plan).
+    pub hosts_evicted: u64,
+    /// Agent kill/restart cycles the churn schedule performed.
+    pub agent_kills: u64,
+    /// Collector kill/restore cycles performed.
+    pub collector_kills: u64,
+    /// Final tally byte-identical to the chaos-free stream (gate: true).
+    pub byte_identical: bool,
+    /// Epochs that never closed: `epochs - windows` (gate: 0).
+    pub leaked_epochs: i64,
+    /// Process CPU burned during a 400 ms window while the collector
+    /// idled at its start barrier (gate: near zero — no polling).
+    pub idle_cpu_ms: u64,
+    /// Peak RSS over the first half of the samples, in kB.
+    pub rss_peak_early_kb: u64,
+    /// Peak RSS over the second half (gate: within ~1.5× of early).
+    pub rss_peak_late_kb: u64,
+    /// RSS samples taken (50 ms cadence).
+    pub rss_samples: usize,
+    /// Wall-clock of the whole soak.
+    pub wall_ms: f64,
+}
+
+/// `VmRSS` of this process in kB, from procfs (None off-Linux).
+fn rss_kb() -> Option<u64> {
+    let text = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = text.lines().find(|l| l.starts_with("VmRSS:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+/// utime+stime of this process in ms, from procfs (None off-Linux).
+/// Assumes the (universal) 100 Hz `CLK_TCK`.
+fn cpu_ms() -> Option<u64> {
+    let text = std::fs::read_to_string("/proc/self/stat").ok()?;
+    // comm may contain spaces; fields are stable after the ')'.
+    let rest = text.rsplit_once(')')?.1;
+    let fields: Vec<&str> = rest.split_whitespace().collect();
+    let utime: u64 = fields.get(11)?.parse().ok()?;
+    let stime: u64 = fields.get(12)?.parse().ok()?;
+    Some((utime + stime) * 10)
+}
+
+fn fold(total: &mut SoakReport, stats: &CollectorStats) {
+    total.windows = stats.windows; // cumulative across generations
+    total.events += stats.events;
+    total.evidence += stats.evidence;
+    total.shed += stats.shed;
+    total.seq_gaps += stats.seq_gaps;
+    total.seq_resets += stats.seq_resets;
+    total.collector_reconnects += stats.reconnects;
+    total.quarantined_frames += stats.quarantined_frames;
+    total.hosts_evicted += stats.hosts_evicted;
+}
+
+/// Runs the full soak: reference tally, fleet + collector under churn,
+/// invariant measurement, report. See the module docs for what gates.
+pub fn run_soak(spec: &SoakSpec) -> io::Result<SoakReport> {
+    let t0 = Instant::now();
+    if spec.agents == 0 {
+        return Err(invalid("soak needs at least one agent"));
+    }
+    let mut config = spec.config.clone();
+    config.trials = 1;
+    let epochs = config.epochs;
+    std::fs::create_dir_all(&spec.dir)?;
+
+    // The chaos-free ground truth, computed up front (it is also the
+    // CPU-heavy part, keeping the idle probe window clean).
+    let reference = {
+        let (trial, _) = stream_trial(&config, 0, &StreamTuning::default());
+        let mut report = ExperimentReport::empty(&config);
+        report.merge_trial(trial);
+        serde_json::to_string_pretty(&report).map_err(other)?
+    };
+
+    let num_hosts = ClosTopology::new(config.params, 0)
+        .map_err(invalid)?
+        .num_hosts() as u32;
+    let agents = (spec.agents as u32).min(num_hosts) as usize;
+    let step = num_hosts / agents as u32;
+    let ranges: Vec<Range<u32>> = (0..agents)
+        .map(|i| {
+            let lo = i as u32 * step;
+            let hi = if i + 1 == agents {
+                num_hosts
+            } else {
+                lo + step
+            };
+            lo..hi
+        })
+        .collect();
+
+    let sock = spec.dir.join("soak.sock");
+    let endpoint = Endpoint::parse(&sock.display().to_string());
+    let snapshot = spec.dir.join("snapshot.json");
+    let _ = std::fs::remove_file(&snapshot);
+    let kill_window = spec.collector_kill_window.filter(|&k| k >= 1 && k < epochs);
+
+    // RSS sampler: 50 ms cadence for the whole soak.
+    let rss_stop = Arc::new(AtomicBool::new(false));
+    let rss_samples: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+    let sampler = {
+        let stop = Arc::clone(&rss_stop);
+        let samples = Arc::clone(&rss_samples);
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                if let Some(kb) = rss_kb() {
+                    samples.lock().expect("rss lock").push(kb);
+                }
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        })
+    };
+
+    let kill_flags: Vec<Arc<AtomicBool>> = (0..agents)
+        .map(|_| Arc::new(AtomicBool::new(false)))
+        .collect();
+    let agent_kills = Arc::new(AtomicU64::new(0));
+
+    let mut report = SoakReport {
+        windows: 0,
+        events: 0,
+        evidence: 0,
+        shed: 0,
+        seq_gaps: 0,
+        seq_resets: 0,
+        collector_reconnects: 0,
+        agent_reconnects: 0,
+        quarantined_frames: 0,
+        hosts_evicted: 0,
+        agent_kills: 0,
+        collector_kills: 0,
+        byte_identical: false,
+        leaked_epochs: epochs as i64,
+        idle_cpu_ms: 0,
+        rss_peak_early_kb: 0,
+        rss_peak_late_kb: 0,
+        rss_samples: 0,
+        wall_ms: 0.0,
+    };
+    let mut final_json: Option<String> = None;
+
+    let listener = endpoint.bind()?;
+    let agent_stats: Vec<AgentStats> =
+        std::thread::scope(|scope| -> io::Result<Vec<AgentStats>> {
+            // Collector generation A (paused mid-run when a kill window is
+            // scheduled).
+            let ccfg_a = CollectorConfig {
+                agents,
+                epochs,
+                snapshot_path: Some(snapshot.clone()),
+                resume: false,
+                exit_after: kill_window,
+                ..spec.collector.clone()
+            };
+            let (cfg_ref, listener_ref) = (&config, &listener);
+            let coll_a = scope.spawn(move || run_collector(cfg_ref, listener_ref, &ccfg_a));
+
+            // Idle probe: the collector is parked at its start barrier (no
+            // agents yet) — an event-driven loop burns ~nothing here.
+            std::thread::sleep(Duration::from_millis(200));
+            let cpu_before = cpu_ms();
+            std::thread::sleep(Duration::from_millis(400));
+            report.idle_cpu_ms = match (cpu_before, cpu_ms()) {
+                (Some(a), Some(b)) => b.saturating_sub(a),
+                _ => 0,
+            };
+
+            // The fleet: one supervisor per range; a kill flag flips the
+            // agent into an Interrupted exit, and the supervisor restarts
+            // a fresh one (state rebuilt, `ResumeAt` repositions it).
+            let supervisors: Vec<_> = ranges
+                .iter()
+                .enumerate()
+                .map(|(i, range)| {
+                    let range = range.clone();
+                    let kill = Arc::clone(&kill_flags[i]);
+                    let kills = Arc::clone(&agent_kills);
+                    let config = &config;
+                    let endpoint = &endpoint;
+                    let rcfg = &spec.resilience;
+                    let chaos = spec.chaos.as_ref();
+                    scope.spawn(move || -> io::Result<AgentStats> {
+                        let aspec = AgentSpec {
+                            hosts: range,
+                            start_epoch: 0,
+                            epochs,
+                            chunk_flows: 128,
+                        };
+                        loop {
+                            match run_agent_resilient(
+                                config,
+                                &aspec,
+                                endpoint,
+                                rcfg,
+                                chaos,
+                                Some(&kill),
+                            ) {
+                                Ok(stats) => return Ok(stats),
+                                Err(e) if e.kind() == io::ErrorKind::Interrupted => {
+                                    kill.store(false, Ordering::Relaxed);
+                                    kills.fetch_add(1, Ordering::Relaxed);
+                                    // Restart from scratch: the successor
+                                    // re-simulates up to the collector's
+                                    // ResumeAt and replays the live window.
+                                }
+                                Err(e) => return Err(e),
+                            }
+                        }
+                    })
+                })
+                .collect();
+
+            // Churn: one agent kill. Anchored to run progress — the first
+            // snapshot write marks the first window close — so the kill
+            // lands mid-run at any build speed, then `after` on top.
+            if let Some(after) = spec.agent_kill_after {
+                let flag = Arc::clone(&kill_flags[0]);
+                let snap = snapshot.clone();
+                scope.spawn(move || {
+                    let t0 = Instant::now();
+                    while !snap.exists() && t0.elapsed() < Duration::from_secs(600) {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    std::thread::sleep(after);
+                    flag.store(true, Ordering::Relaxed);
+                });
+            }
+
+            let out_a = coll_a
+                .join()
+                .map_err(|_| other("collector generation A panicked"))??;
+            match out_a {
+                CollectorOutcome::Completed(exp, stats) => {
+                    fold(&mut report, &stats);
+                    final_json = Some(serde_json::to_string_pretty(&*exp).map_err(other)?);
+                }
+                CollectorOutcome::Paused(stats) => {
+                    fold(&mut report, &stats);
+                    report.collector_kills += 1;
+                    // Restore: rebind the same path (agents are already in
+                    // their backoff loops) and resume from the snapshot.
+                    let listener_b = endpoint.bind()?;
+                    let ccfg_b = CollectorConfig {
+                        agents,
+                        epochs,
+                        snapshot_path: Some(snapshot.clone()),
+                        resume: true,
+                        exit_after: None,
+                        ..spec.collector.clone()
+                    };
+                    match run_collector(&config, &listener_b, &ccfg_b)? {
+                        CollectorOutcome::Completed(exp, stats) => {
+                            fold(&mut report, &stats);
+                            final_json = Some(serde_json::to_string_pretty(&*exp).map_err(other)?);
+                        }
+                        CollectorOutcome::Paused(_) => {
+                            return Err(other("collector generation B paused unexpectedly"));
+                        }
+                    }
+                }
+            }
+
+            supervisors
+                .into_iter()
+                .map(|h| h.join().map_err(|_| other("agent supervisor panicked"))?)
+                .collect()
+        })?;
+
+    rss_stop.store(true, Ordering::Relaxed);
+    let _ = sampler.join();
+
+    for stats in &agent_stats {
+        report.agent_reconnects += stats.reconnects;
+    }
+    report.agent_kills = agent_kills.load(Ordering::Relaxed);
+    report.byte_identical = final_json.as_deref() == Some(reference.as_str());
+    if !report.byte_identical {
+        // Leave both tallies in the scratch dir for a post-mortem diff.
+        let _ = std::fs::write(spec.dir.join("reference.json"), &reference);
+        if let Some(text) = &final_json {
+            let _ = std::fs::write(spec.dir.join("final.json"), text);
+        }
+    }
+    report.leaked_epochs = epochs as i64 - report.windows as i64;
+    {
+        let samples = rss_samples.lock().expect("rss lock");
+        report.rss_samples = samples.len();
+        let half = samples.len() / 2;
+        report.rss_peak_early_kb = samples[..half].iter().copied().max().unwrap_or(0);
+        report.rss_peak_late_kb = samples[half..].iter().copied().max().unwrap_or(0);
+    }
+    report.wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    if let Some(path) = &spec.report_path {
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(
+            serde_json::to_string_pretty(&report)
+                .map_err(other)?
+                .as_bytes(),
+        )?;
+        f.write_all(b"\n")?;
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run::RunConfig;
+    use vigil_fabric::faults::{FaultPlan, RateRange};
+    use vigil_fabric::traffic::{ConnCount, TrafficSpec};
+    use vigil_topology::ClosParams;
+    use vigil_wire::chaos::ChaosPlan;
+
+    #[cfg(unix)]
+    #[test]
+    fn soak_survives_churn_and_stays_byte_identical() {
+        let config = ExperimentConfig {
+            name: "soak-test".into(),
+            params: ClosParams::tiny(),
+            faults: FaultPlan {
+                failure_rate: RateRange::fixed(0.05),
+                ..FaultPlan::paper_default(2)
+            },
+            run: RunConfig {
+                traffic: TrafficSpec {
+                    conns_per_host: ConnCount::Fixed(30),
+                    ..TrafficSpec::paper_default()
+                },
+                ..RunConfig::default()
+            },
+            epochs: 3,
+            trials: 1,
+            seed: 51,
+        };
+        let dir = std::env::temp_dir().join(format!("vigil-soak-{}", std::process::id()));
+        let spec = SoakSpec {
+            config,
+            agents: 2,
+            chaos: Some(ChaosSchedule::constant(
+                ChaosPlan::parse("seed=3,corrupt=0.02,dup=0.02,reset_every=200").unwrap(),
+            )),
+            agent_kill_after: Some(Duration::from_millis(50)),
+            collector_kill_window: Some(1),
+            resilience: ResilienceConfig {
+                backoff_base: Duration::from_millis(5),
+                backoff_cap: Duration::from_millis(50),
+                ack_timeout: Duration::from_secs(5),
+                read_tick: Duration::from_millis(25),
+                ..ResilienceConfig::default()
+            },
+            collector: CollectorConfig {
+                idle_timeout: Duration::from_secs(5),
+                reconnect_grace: Duration::from_secs(30),
+                ..CollectorConfig::default()
+            },
+            dir: dir.clone(),
+            report_path: None,
+        };
+        let report = run_soak(&spec).expect("soak run");
+        let _ = std::fs::remove_dir_all(&dir);
+        assert!(report.byte_identical, "soak tally must match the stream");
+        assert_eq!(report.leaked_epochs, 0, "every window closed once");
+        assert_eq!(report.shed, 0, "loopback must not shed");
+        assert_eq!(report.hosts_evicted, 0, "no evictions under mild chaos");
+        assert_eq!(report.collector_kills, 1, "collector was killed + restored");
+        assert!(
+            report.idle_cpu_ms < 250,
+            "idle collector must not poll (burned {} ms of CPU in 400 ms)",
+            report.idle_cpu_ms
+        );
+        assert!(report.rss_samples > 0, "sampler ran");
+    }
+}

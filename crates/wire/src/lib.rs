@@ -10,19 +10,26 @@
 //! frame layout is part of the protocol, not an implementation detail.
 //!
 //! ```text
-//! frame := magic "007" (3B) | kind (1B) | payload_len (u32 BE) | payload
+//! frame := magic "007" (3B) | kind (1B) | payload_len (u32 BE) | checksum (u32 BE) | payload
 //! ```
+//!
+//! The checksum is FNV-1a-32 over the kind byte, the length field, and
+//! the payload — the wire is treated as unreliable (protocol v2): a
+//! flipped bit anywhere in a frame is a typed [`FrameError::BadChecksum`]
+//! (or a framing error), never a silently-wrong event.
 //!
 //! Frame kinds:
 //!
-//! | kind | frame | payload |
-//! |------|-------|---------|
-//! | 1 | [`WireFrame::Hello`]     | version u16 ‖ host_lo u32 ‖ host_hi u32 |
-//! | 2 | `FlowOpen`               | host u32 ‖ seq u64 ‖ tuple 13B |
-//! | 3 | `Evidence`               | seq u64 ‖ host u32 ‖ tuple 13B ‖ retx u32 ‖ complete u8 ‖ n u32 ‖ n × link u32 |
-//! | 4 | `EpochTick`              | host u32 ‖ seq u64 ‖ epoch u64 |
-//! | 5 | `Drain`                  | host u32 ‖ seq u64 |
-//! | 6 | [`WireFrame::EpochDone`] | epoch u64 |
+//! | kind | frame | payload | direction |
+//! |------|-------|---------|-----------|
+//! | 1 | [`WireFrame::Hello`]     | version u16 ‖ flags u8 ‖ host_lo u32 ‖ host_hi u32 | agent → collector |
+//! | 2 | `FlowOpen`               | host u32 ‖ seq u64 ‖ tuple 13B | agent → collector |
+//! | 3 | `Evidence`               | seq u64 ‖ host u32 ‖ tuple 13B ‖ retx u32 ‖ complete u8 ‖ n u32 ‖ n × link u32 | agent → collector |
+//! | 4 | `EpochTick`              | host u32 ‖ seq u64 ‖ epoch u64 | agent → collector |
+//! | 5 | `Drain`                  | host u32 ‖ seq u64 | agent → collector |
+//! | 6 | [`WireFrame::EpochDone`] | epoch u64 ‖ events u64 | agent → collector |
+//! | 7 | [`WireFrame::ResumeAt`]  | epoch u64 | collector → agent |
+//! | 8 | [`WireFrame::Heartbeat`] | (empty) | agent → collector |
 //!
 //! All integers big-endian; the 13-byte tuple is
 //! [`FiveTuple::to_bytes`] (`src_ip ‖ dst_ip ‖ src_port ‖ dst_port ‖
@@ -30,11 +37,25 @@
 //! the protocol version and the host-id range the connection will emit
 //! for, which is what the collector's admission control checks.
 //! `EpochDone` is the per-connection epoch barrier: the agent sends it
-//! after the last event of an epoch, so the collector knows the
-//! connection is drained for that window.
+//! after the last event of an epoch, carrying the exact number of event
+//! frames the epoch held, so the collector can verify completeness.
+//! `ResumeAt { epoch }` is the collector's only utterance: every epoch
+//! below `epoch` is settled; begin (or replay) at `epoch`. It serves as
+//! the admission response after a `Hello`, the per-window ack
+//! (`ResumeAt { w + 1 }`), and the replay request (`ResumeAt { w }` when
+//! the window arrived incomplete). `Heartbeat` proves liveness while an
+//! agent waits out a slow window.
+//!
+//! [`FrameReader::next_frame`] is strict (any framing error poisons the
+//! stream); [`FrameReader::next_frame_lenient`] quarantines corrupt
+//! bytes and resynchronizes on the next magic instead — the collector's
+//! reading mode, with the skipped bytes surfaced via
+//! [`FrameReader::quarantined_frames`] / [`quarantined_bytes`](FrameReader::quarantined_bytes).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod chaos;
 
 use std::fmt;
 use std::io::{self, Read, Write};
@@ -44,7 +65,18 @@ use vigil_packet::{FiveTuple, Protocol};
 use vigil_topology::{HostId, LinkId};
 
 /// The protocol version carried in every [`WireFrame::Hello`].
-pub const WIRE_VERSION: u16 = 1;
+/// Version 2 added the header checksum, the `events` count on
+/// [`WireFrame::EpochDone`], and the [`WireFrame::ResumeAt`] /
+/// [`WireFrame::Heartbeat`] control frames.
+pub const WIRE_VERSION: u16 = 2;
+
+/// [`WireFrame::Hello`] flag: the agent reads collector responses
+/// (acks, replay requests) and survives reconnects. The collector never
+/// writes to a connection without this bit — writing into a socket a
+/// fire-and-forget agent already closed raises a TCP reset that
+/// discards any of its frames still buffered unread on the collector
+/// side.
+pub const HELLO_RESILIENT: u8 = 1;
 
 /// Frame magic: every frame opens with these three bytes.
 pub const MAGIC: [u8; 3] = *b"007";
@@ -53,7 +85,7 @@ pub const MAGIC: [u8; 3] = *b"007";
 /// beyond it is [`FrameError::Malformed`], not an allocation request.
 pub const MAX_PAYLOAD: usize = 1 << 20;
 
-const HEADER_LEN: usize = 3 + 1 + 4;
+const HEADER_LEN: usize = 3 + 1 + 4 + 4;
 const TUPLE_LEN: usize = 13;
 
 const KIND_HELLO: u8 = 1;
@@ -62,6 +94,26 @@ const KIND_EVIDENCE: u8 = 3;
 const KIND_EPOCH_TICK: u8 = 4;
 const KIND_DRAIN: u8 = 5;
 const KIND_EPOCH_DONE: u8 = 6;
+const KIND_RESUME_AT: u8 = 7;
+const KIND_HEARTBEAT: u8 = 8;
+
+/// FNV-1a-32 over the kind byte, the big-endian payload length, and the
+/// payload bytes — the per-frame checksum of protocol v2.
+pub fn frame_checksum(kind: u8, payload: &[u8]) -> u32 {
+    let mut h: u32 = 0x811c_9dc5;
+    let mut eat = |b: u8| {
+        h ^= u32::from(b);
+        h = h.wrapping_mul(0x0100_0193);
+    };
+    eat(kind);
+    for b in (payload.len() as u32).to_be_bytes() {
+        eat(b);
+    }
+    for &b in payload {
+        eat(b);
+    }
+    h
+}
 
 /// Errors produced when parsing a frame.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -73,6 +125,9 @@ pub enum FrameError {
     BadMagic,
     /// The kind byte names no known frame kind.
     UnknownKind(u8),
+    /// The header checksum does not cover the received bytes — the frame
+    /// was corrupted in flight.
+    BadChecksum,
     /// A length or field value is inconsistent with the layout.
     Malformed,
 }
@@ -83,6 +138,7 @@ impl fmt::Display for FrameError {
             FrameError::Truncated => write!(f, "frame truncated"),
             FrameError::BadMagic => write!(f, "bad frame magic"),
             FrameError::UnknownKind(k) => write!(f, "unknown frame kind {k}"),
+            FrameError::BadChecksum => write!(f, "frame checksum mismatch"),
             FrameError::Malformed => write!(f, "malformed frame payload"),
         }
     }
@@ -90,7 +146,7 @@ impl fmt::Display for FrameError {
 
 impl std::error::Error for FrameError {}
 
-/// One frame of the agent→collector protocol.
+/// One frame of the agent↔collector protocol.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum WireFrame {
     /// Connection handshake — must be the first frame. Carries the
@@ -99,6 +155,9 @@ pub enum WireFrame {
     Hello {
         /// Protocol version ([`WIRE_VERSION`]).
         version: u16,
+        /// Capability bits ([`HELLO_RESILIENT`]); unknown bits are
+        /// ignored by the collector.
+        flags: u8,
         /// First host id (inclusive).
         host_lo: u32,
         /// Last host id (exclusive).
@@ -111,7 +170,22 @@ pub enum WireFrame {
     EpochDone {
         /// The epoch that is now fully sent (0-based window index).
         epoch: u64,
+        /// Event frames the epoch held on this connection — the
+        /// collector checks its delivered count against this to decide
+        /// between ack (`ResumeAt {epoch+1}`) and replay (`ResumeAt {epoch}`).
+        events: u64,
     },
+    /// Collector → agent: every epoch below `epoch` is settled; begin
+    /// (or replay) at `epoch`. Sent after admission, as the per-window
+    /// ack, and as the replay request for an incomplete window.
+    ResumeAt {
+        /// First unsettled epoch.
+        epoch: u64,
+    },
+    /// Liveness beacon: no payload, no sequence — an agent waiting out a
+    /// slow window sends these so the collector's idle timeout doesn't
+    /// reap a healthy connection.
+    Heartbeat,
 }
 
 fn put_u16(out: &mut Vec<u8>, v: u16) {
@@ -134,13 +208,16 @@ pub fn emit_frame(frame: &WireFrame, out: &mut Vec<u8>) {
     out.extend_from_slice(&MAGIC);
     out.push(0); // kind, patched below
     put_u32(out, 0); // payload length, patched below
+    put_u32(out, 0); // checksum, patched below
     let kind = match frame {
         WireFrame::Hello {
             version,
+            flags,
             host_lo,
             host_hi,
         } => {
             put_u16(out, *version);
+            out.push(*flags);
             put_u32(out, *host_lo);
             put_u32(out, *host_hi);
             KIND_HELLO
@@ -176,14 +253,22 @@ pub fn emit_frame(frame: &WireFrame, out: &mut Vec<u8>) {
                 KIND_DRAIN
             }
         },
-        WireFrame::EpochDone { epoch } => {
+        WireFrame::EpochDone { epoch, events } => {
             put_u64(out, *epoch);
+            put_u64(out, *events);
             KIND_EPOCH_DONE
         }
+        WireFrame::ResumeAt { epoch } => {
+            put_u64(out, *epoch);
+            KIND_RESUME_AT
+        }
+        WireFrame::Heartbeat => KIND_HEARTBEAT,
     };
     out[start + 3] = kind;
     let payload_len = (out.len() - start - HEADER_LEN) as u32;
     out[start + 4..start + 8].copy_from_slice(&payload_len.to_be_bytes());
+    let csum = frame_checksum(kind, &out[start + HEADER_LEN..]);
+    out[start + 8..start + 12].copy_from_slice(&csum.to_be_bytes());
 }
 
 /// A checked, consuming reader over one frame's payload bytes.
@@ -239,7 +324,8 @@ impl<'a> Payload<'a> {
 /// Returns the frame and the number of bytes it occupied.
 /// [`FrameError::Truncated`] means `buf` holds a frame prefix — read
 /// more bytes and retry; every other error is unrecoverable for the
-/// stream. Never panics, whatever the input bytes.
+/// position (a lenient reader resynchronizes on the next magic). Never
+/// panics and never reads past the claimed frame, whatever the input.
 pub fn parse_frame(buf: &[u8]) -> Result<(WireFrame, usize), FrameError> {
     if buf.len() < HEADER_LEN {
         // Report BadMagic as soon as the prefix can't be ours, so garbage
@@ -261,16 +347,21 @@ pub fn parse_frame(buf: &[u8]) -> Result<(WireFrame, usize), FrameError> {
     if buf.len() < total {
         return Err(FrameError::Truncated);
     }
-    let mut p = Payload {
-        buf: &buf[HEADER_LEN..total],
-    };
+    let claimed = u32::from_be_bytes(buf[8..12].try_into().expect("len 4"));
+    let payload = &buf[HEADER_LEN..total];
+    if frame_checksum(kind, payload) != claimed {
+        return Err(FrameError::BadChecksum);
+    }
+    let mut p = Payload { buf: payload };
     let frame = match kind {
         KIND_HELLO => {
             let version = p.u16()?;
+            let flags = p.take(1)?[0];
             let host_lo = p.u32()?;
             let host_hi = p.u32()?;
             WireFrame::Hello {
                 version,
+                flags,
                 host_lo,
                 host_hi,
             }
@@ -321,8 +412,14 @@ pub fn parse_frame(buf: &[u8]) -> Result<(WireFrame, usize), FrameError> {
         }
         KIND_EPOCH_DONE => {
             let epoch = p.u64()?;
-            WireFrame::EpochDone { epoch }
+            let events = p.u64()?;
+            WireFrame::EpochDone { epoch, events }
         }
+        KIND_RESUME_AT => {
+            let epoch = p.u64()?;
+            WireFrame::ResumeAt { epoch }
+        }
+        KIND_HEARTBEAT => WireFrame::Heartbeat,
         other => return Err(FrameError::UnknownKind(other)),
     };
     p.finish()?;
@@ -334,11 +431,15 @@ pub fn parse_frame(buf: &[u8]) -> Result<(WireFrame, usize), FrameError> {
 /// Buffers internally; [`next_frame`](Self::next_frame) returns `None`
 /// on a clean end-of-stream (EOF on a frame boundary) and an error when
 /// the peer sent garbage or hung up mid-frame.
+/// [`next_frame_lenient`](Self::next_frame_lenient) quarantines garbage
+/// and resynchronizes instead.
 #[derive(Debug)]
 pub struct FrameReader<R> {
     inner: R,
     buf: Vec<u8>,
     start: usize,
+    quarantined_frames: u64,
+    quarantined_bytes: u64,
 }
 
 impl<R: Read> FrameReader<R> {
@@ -348,26 +449,53 @@ impl<R: Read> FrameReader<R> {
             inner,
             buf: Vec::with_capacity(8 * 1024),
             start: 0,
+            quarantined_frames: 0,
+            quarantined_bytes: 0,
         }
     }
 
-    /// Reads the next frame, blocking for more bytes as needed.
+    /// Resync events so far: each is one run of quarantined bytes that
+    /// [`next_frame_lenient`](Self::next_frame_lenient) skipped to find
+    /// the next frame boundary (≈ corrupt frames seen).
+    pub fn quarantined_frames(&self) -> u64 {
+        self.quarantined_frames
+    }
+
+    /// Total bytes skipped while resynchronizing.
+    pub fn quarantined_bytes(&self) -> u64 {
+        self.quarantined_bytes
+    }
+
+    fn reclaim(&mut self) {
+        // Reclaim consumed space once it dominates the buffer.
+        if self.start > 4096 && self.start * 2 > self.buf.len() {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+    }
+
+    fn fill(&mut self) -> io::Result<bool> {
+        let mut chunk = [0u8; 8 * 1024];
+        let n = self.inner.read(&mut chunk)?;
+        if n == 0 {
+            return Ok(false);
+        }
+        self.buf.extend_from_slice(&chunk[..n]);
+        Ok(true)
+    }
+
+    /// Reads the next frame, blocking for more bytes as needed. Strict:
+    /// any framing error poisons the stream (`InvalidData`).
     pub fn next_frame(&mut self) -> io::Result<Option<WireFrame>> {
         loop {
             match parse_frame(&self.buf[self.start..]) {
                 Ok((frame, used)) => {
                     self.start += used;
-                    // Reclaim consumed space once it dominates the buffer.
-                    if self.start > 4096 && self.start * 2 > self.buf.len() {
-                        self.buf.drain(..self.start);
-                        self.start = 0;
-                    }
+                    self.reclaim();
                     return Ok(Some(frame));
                 }
                 Err(FrameError::Truncated) => {
-                    let mut chunk = [0u8; 8 * 1024];
-                    let n = self.inner.read(&mut chunk)?;
-                    if n == 0 {
+                    if !self.fill()? {
                         if self.start == self.buf.len() {
                             return Ok(None); // clean EOF on a boundary
                         }
@@ -376,10 +504,58 @@ impl<R: Read> FrameReader<R> {
                             "connection closed mid-frame",
                         ));
                     }
-                    self.buf.extend_from_slice(&chunk[..n]);
                 }
                 Err(e) => {
                     return Err(io::Error::new(io::ErrorKind::InvalidData, e.to_string()));
+                }
+            }
+        }
+    }
+
+    /// Reads the next frame, quarantining garbage: on any framing error
+    /// other than truncation the reader skips forward to the next `"007"`
+    /// magic (counting the skipped run in the quarantine counters) and
+    /// keeps going. Mid-frame EOF is still an error — a torn connection
+    /// is the caller's signal to reconcile, not bytes to skip.
+    ///
+    /// One caveat is inherent to length-prefixed framing: a corrupted
+    /// length field that stays within [`MAX_PAYLOAD`] makes the reader
+    /// wait for that many bytes before the checksum unmasks the frame;
+    /// recovery then re-finds every swallowed frame (the buffer is only
+    /// discarded byte-by-byte past verified boundaries), but a stalled
+    /// peer can hold the wait — the collector's idle timeout bounds it.
+    pub fn next_frame_lenient(&mut self) -> io::Result<Option<WireFrame>> {
+        loop {
+            match parse_frame(&self.buf[self.start..]) {
+                Ok((frame, used)) => {
+                    self.start += used;
+                    self.reclaim();
+                    return Ok(Some(frame));
+                }
+                Err(FrameError::Truncated) => {
+                    if !self.fill()? {
+                        if self.start == self.buf.len() {
+                            return Ok(None);
+                        }
+                        return Err(io::Error::new(
+                            io::ErrorKind::UnexpectedEof,
+                            "connection closed mid-frame",
+                        ));
+                    }
+                }
+                Err(_) => {
+                    // Resync: skip at least one byte, up to the next
+                    // possible magic (keeping a 2-byte tail that could be
+                    // a magic prefix still being received).
+                    let window = &self.buf[self.start..];
+                    let skip = match window[1..].windows(MAGIC.len()).position(|w| w == MAGIC) {
+                        Some(k) => k + 1,
+                        None => window.len().saturating_sub(MAGIC.len() - 1).max(1),
+                    };
+                    self.start += skip;
+                    self.quarantined_bytes += skip as u64;
+                    self.quarantined_frames += 1;
+                    self.reclaim();
                 }
             }
         }
@@ -402,7 +578,9 @@ impl<W: Write> FrameWriter<W> {
         }
     }
 
-    /// Serializes and writes one frame.
+    /// Serializes and writes one frame, as a single `write_all` call on
+    /// the sink — a sink that treats each call as one frame (the chaos
+    /// injector does) sees exact frame boundaries.
     pub fn write_frame(&mut self, frame: &WireFrame) -> io::Result<()> {
         self.scratch.clear();
         emit_frame(frame, &mut self.scratch);
@@ -412,6 +590,11 @@ impl<W: Write> FrameWriter<W> {
     /// Flushes the underlying sink.
     pub fn flush(&mut self) -> io::Result<()> {
         self.inner.flush()
+    }
+
+    /// The underlying sink (to retune a chaos injector mid-stream).
+    pub fn get_mut(&mut self) -> &mut W {
+        &mut self.inner
     }
 }
 
@@ -433,6 +616,7 @@ mod tests {
         vec![
             WireFrame::Hello {
                 version: WIRE_VERSION,
+                flags: HELLO_RESILIENT,
                 host_lo: 0,
                 host_hi: 16,
             },
@@ -460,8 +644,25 @@ mod tests {
                 host: HostId(3),
                 seq: 3,
             }),
-            WireFrame::EpochDone { epoch: 7 },
+            WireFrame::EpochDone {
+                epoch: 7,
+                events: 4,
+            },
+            WireFrame::ResumeAt { epoch: 8 },
+            WireFrame::Heartbeat,
         ]
+    }
+
+    /// A raw frame with a *valid* checksum over arbitrary kind/payload —
+    /// for reaching the post-checksum error paths.
+    fn raw_frame(kind: u8, payload: &[u8]) -> Vec<u8> {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC);
+        buf.push(kind);
+        buf.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+        buf.extend_from_slice(&frame_checksum(kind, payload).to_be_bytes());
+        buf.extend_from_slice(payload);
+        buf
     }
 
     #[test]
@@ -509,6 +710,27 @@ mod tests {
     }
 
     #[test]
+    fn every_single_bit_flip_is_detected() {
+        // The v2 contract: no flipped bit anywhere in a frame can yield
+        // Ok — corruption is always a typed error (usually BadChecksum;
+        // framing errors for bits in the magic/length).
+        for frame in sample_frames() {
+            let mut clean = Vec::new();
+            emit_frame(&frame, &mut clean);
+            for byte in 0..clean.len() {
+                for bit in 0..8u8 {
+                    let mut buf = clean.clone();
+                    buf[byte] ^= 1 << bit;
+                    assert!(
+                        parse_frame(&buf).is_err(),
+                        "flip of byte {byte} bit {bit} parsed as valid"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn garbage_prefix_is_bad_magic() {
         assert_eq!(
             parse_frame(b"GET / HTTP/1.0\r\n").unwrap_err(),
@@ -521,28 +743,40 @@ mod tests {
 
     #[test]
     fn unknown_kind_and_oversize_rejected() {
-        let mut buf = Vec::new();
-        buf.extend_from_slice(&MAGIC);
-        buf.push(200);
-        buf.extend_from_slice(&0u32.to_be_bytes());
-        assert_eq!(parse_frame(&buf).unwrap_err(), FrameError::UnknownKind(200));
+        assert_eq!(
+            parse_frame(&raw_frame(200, &[])).unwrap_err(),
+            FrameError::UnknownKind(200)
+        );
 
         let mut buf = Vec::new();
         buf.extend_from_slice(&MAGIC);
         buf.push(KIND_DRAIN);
         buf.extend_from_slice(&(MAX_PAYLOAD as u32 + 1).to_be_bytes());
+        buf.extend_from_slice(&0u32.to_be_bytes());
         assert_eq!(parse_frame(&buf).unwrap_err(), FrameError::Malformed);
     }
 
     #[test]
     fn trailing_payload_bytes_rejected() {
+        // A correctly-checksummed frame whose payload is one byte too
+        // long must still fail the layout check.
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&3u64.to_be_bytes());
+        payload.extend_from_slice(&0u64.to_be_bytes());
+        payload.push(0xFF);
+        assert_eq!(
+            parse_frame(&raw_frame(KIND_EPOCH_DONE, &payload)).unwrap_err(),
+            FrameError::Malformed
+        );
+    }
+
+    #[test]
+    fn corrupt_payload_is_bad_checksum() {
         let mut buf = Vec::new();
-        emit_frame(&WireFrame::EpochDone { epoch: 3 }, &mut buf);
-        // Grow the payload by one byte and patch the length prefix.
-        buf.push(0xFF);
-        let len = (buf.len() - HEADER_LEN) as u32;
-        buf[4..8].copy_from_slice(&len.to_be_bytes());
-        assert_eq!(parse_frame(&buf).unwrap_err(), FrameError::Malformed);
+        emit_frame(&WireFrame::ResumeAt { epoch: 9 }, &mut buf);
+        let last = buf.len() - 1;
+        buf[last] ^= 0x40;
+        assert_eq!(parse_frame(&buf).unwrap_err(), FrameError::BadChecksum);
     }
 
     #[test]
@@ -578,11 +812,49 @@ mod tests {
     #[test]
     fn reader_flags_mid_frame_eof() {
         let mut data = Vec::new();
-        emit_frame(&WireFrame::EpochDone { epoch: 1 }, &mut data);
+        emit_frame(
+            &WireFrame::EpochDone {
+                epoch: 1,
+                events: 0,
+            },
+            &mut data,
+        );
         data.truncate(data.len() - 2);
         let mut reader = FrameReader::new(io::Cursor::new(data));
         let err = reader.next_frame().unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn lenient_reader_resyncs_past_corruption() {
+        let frames = sample_frames();
+        let mut data = Vec::new();
+        emit_frame(&frames[0], &mut data);
+        data.extend_from_slice(b"\xDE\xAD\xBE\xEF garbage between frames");
+        emit_frame(&frames[1], &mut data);
+        // A corrupted frame (payload bit flip) followed by a clean one.
+        let mut corrupt = Vec::new();
+        emit_frame(&frames[2], &mut corrupt);
+        let mid = corrupt.len() / 2;
+        corrupt[mid] ^= 0x01;
+        data.extend_from_slice(&corrupt);
+        emit_frame(&frames[3], &mut data);
+
+        let mut reader = FrameReader::new(io::Cursor::new(data));
+        let mut out = Vec::new();
+        while let Some(f) = reader.next_frame_lenient().unwrap() {
+            out.push(f);
+        }
+        assert_eq!(
+            out,
+            vec![frames[0].clone(), frames[1].clone(), frames[3].clone()],
+            "clean frames survive, corrupt bytes are skipped"
+        );
+        assert!(
+            reader.quarantined_frames() >= 2,
+            "both garbage runs counted"
+        );
+        assert!(reader.quarantined_bytes() > 0);
     }
 
     fn arb_tuple() -> impl Strategy<Value = FiveTuple> {
@@ -607,7 +879,7 @@ mod tests {
     /// vendored proptest has no `prop_oneof!`).
     fn arb_frame() -> impl Strategy<Value = WireFrame> {
         (
-            0u8..6,
+            0u8..8,
             (any::<u32>(), any::<u64>(), any::<u64>(), any::<u16>()),
             arb_tuple(),
             (any::<u32>(), any::<bool>()),
@@ -617,6 +889,7 @@ mod tests {
                 |(which, (host, seq, epoch, version), tuple, (retx, complete), links)| match which {
                     0 => WireFrame::Hello {
                         version,
+                        flags: (seq % 251) as u8,
                         host_lo: host,
                         host_hi: epoch as u32,
                     },
@@ -644,7 +917,9 @@ mod tests {
                         host: HostId(host),
                         seq,
                     }),
-                    _ => WireFrame::EpochDone { epoch },
+                    5 => WireFrame::EpochDone { epoch, events: seq },
+                    6 => WireFrame::ResumeAt { epoch },
+                    _ => WireFrame::Heartbeat,
                 },
             )
     }
@@ -677,7 +952,8 @@ mod tests {
         fn garbage_prefix_never_parses(mut bytes in proptest::collection::vec(any::<u8>(), 1..64),
                                        frame in arb_frame()) {
             // Force a non-magic first byte, then append a valid frame:
-            // the parser must reject at the front, not resync silently.
+            // the strict parser must reject at the front, not resync
+            // silently (resync is next_frame_lenient's explicit job).
             if bytes[0] == MAGIC[0] {
                 bytes[0] = bytes[0].wrapping_add(1);
             }

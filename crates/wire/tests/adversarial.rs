@@ -1,0 +1,212 @@
+//! Adversarial byte-stream tests for the frame codec: whatever the
+//! wire delivers — arbitrary split points, truncation, flipped
+//! magic/version/length/kind bytes, interleaved garbage — the decoder
+//! must return a typed error (never panic, never read past the claimed
+//! frame), and the lenient reader must resynchronize onto the clean
+//! frames that follow a quarantined one.
+
+use std::io::{self, Read};
+
+use proptest::prelude::*;
+use vigil_agents::{AgentEvent, TraceReport};
+use vigil_packet::{FiveTuple, Protocol};
+use vigil_topology::{HostId, LinkId};
+use vigil_wire::{emit_frame, parse_frame, FrameError, FrameReader, WireFrame, WIRE_VERSION};
+
+fn arb_tuple() -> impl Strategy<Value = FiveTuple> {
+    (
+        any::<u32>(),
+        any::<u32>(),
+        any::<u16>(),
+        any::<u16>(),
+        any::<bool>(),
+    )
+        .prop_map(|(src, dst, sp, dp, udp)| FiveTuple {
+            src_ip: std::net::Ipv4Addr::from(src.to_be_bytes()),
+            dst_ip: std::net::Ipv4Addr::from(dst.to_be_bytes()),
+            src_port: sp,
+            dst_port: dp,
+            protocol: if udp { Protocol::Udp } else { Protocol::Tcp },
+        })
+}
+
+/// Every frame variant from one selector draw (the vendored proptest
+/// has no `prop_oneof!`).
+fn arb_frame() -> impl Strategy<Value = WireFrame> {
+    (
+        0u8..8,
+        (any::<u32>(), any::<u64>(), any::<u64>()),
+        arb_tuple(),
+        proptest::collection::vec(any::<u32>(), 0..8),
+    )
+        .prop_map(|(which, (host, seq, epoch), tuple, links)| match which {
+            0 => WireFrame::Hello {
+                version: WIRE_VERSION,
+                flags: (seq % 251) as u8,
+                host_lo: host,
+                host_hi: host.wrapping_add(16),
+            },
+            1 => WireFrame::Event(AgentEvent::FlowOpen {
+                host: HostId(host),
+                seq,
+                tuple,
+            }),
+            2 => WireFrame::Event(AgentEvent::Evidence {
+                seq,
+                report: TraceReport {
+                    host: HostId(host),
+                    tuple,
+                    retransmissions: host ^ 3,
+                    links: links.into_iter().map(LinkId).collect(),
+                    complete: seq % 2 == 0,
+                },
+            }),
+            3 => WireFrame::Event(AgentEvent::EpochTick {
+                host: HostId(host),
+                seq,
+                epoch,
+            }),
+            4 => WireFrame::Event(AgentEvent::Drain {
+                host: HostId(host),
+                seq,
+            }),
+            5 => WireFrame::EpochDone { epoch, events: seq },
+            6 => WireFrame::ResumeAt { epoch },
+            _ => WireFrame::Heartbeat,
+        })
+}
+
+/// A reader that delivers its bytes in caller-chosen chunk sizes,
+/// exercising every reassembly path in `FrameReader`.
+struct Chopped {
+    data: Vec<u8>,
+    cuts: Vec<usize>,
+    at: usize,
+    turn: usize,
+}
+
+impl Read for Chopped {
+    fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+        if self.at >= self.data.len() {
+            return Ok(0);
+        }
+        let want = 1 + self.cuts[self.turn % self.cuts.len()] % 97;
+        self.turn += 1;
+        let n = want.min(out.len()).min(self.data.len() - self.at);
+        out[..n].copy_from_slice(&self.data[self.at..self.at + n]);
+        self.at += n;
+        Ok(n)
+    }
+}
+
+proptest! {
+    /// Whatever bytes arrive, parse_frame returns a typed result and a
+    /// consumed length that never exceeds the buffer.
+    #[test]
+    fn decoder_never_panics_or_overreads(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        if let Ok((_, used)) = parse_frame(&bytes) {
+            prop_assert!(used <= bytes.len());
+        }
+    }
+
+    /// A stream of valid frames survives arbitrary read-chunk splits.
+    #[test]
+    fn any_split_points_reassemble(
+        frames in proptest::collection::vec(arb_frame(), 1..8),
+        cuts in proptest::collection::vec(any::<usize>(), 1..16),
+    ) {
+        let mut data = Vec::new();
+        for f in &frames {
+            emit_frame(f, &mut data);
+        }
+        let mut reader = FrameReader::new(Chopped { data, cuts, at: 0, turn: 0 });
+        let mut out = Vec::new();
+        while let Some(f) = reader.next_frame().unwrap() {
+            out.push(f);
+        }
+        prop_assert_eq!(out, frames);
+    }
+
+    /// Flipping any single byte of a frame makes the strict parser
+    /// reject it with a typed error — checksum, magic, or framing.
+    #[test]
+    fn any_flipped_byte_is_rejected(frame in arb_frame(), at in any::<usize>(), mask in 1u8..=255) {
+        let mut buf = Vec::new();
+        emit_frame(&frame, &mut buf);
+        let at = at % buf.len();
+        buf[at] ^= mask;
+        match parse_frame(&buf) {
+            Err(FrameError::BadChecksum)
+            | Err(FrameError::BadMagic)
+            | Err(FrameError::Malformed)
+            | Err(FrameError::UnknownKind(_)) => {}
+            // A corrupted length field may claim more bytes than we
+            // hold; a blocking reader would then stall until the
+            // checksum unmasks it — still never a wrong frame.
+            Err(FrameError::Truncated) => {}
+            Ok(_) => prop_assert!(false, "flipped byte {at} (mask {mask:#x}) parsed as valid"),
+        }
+    }
+
+    /// A truncated frame is always Truncated — the parser never
+    /// fabricates a frame from a prefix.
+    #[test]
+    fn every_prefix_is_truncated(frame in arb_frame(), frac in 0.0f64..1.0) {
+        let mut buf = Vec::new();
+        emit_frame(&frame, &mut buf);
+        let cut = (((buf.len() - 1) as f64) * frac) as usize;
+        prop_assert_eq!(parse_frame(&buf[..cut]).unwrap_err(), FrameError::Truncated);
+    }
+
+    /// The lenient reader recovers after a quarantined frame: corrupt
+    /// one mid-stream frame and the frames after it still come through
+    /// in order (the result is a subsequence of what was sent).
+    #[test]
+    fn lenient_reader_resynchronizes(
+        frames in proptest::collection::vec(arb_frame(), 3..10),
+        victim_sel in any::<usize>(),
+        at in any::<usize>(),
+        mask in 1u8..=255,
+        garbage in proptest::collection::vec(any::<u8>(), 0..32),
+    ) {
+        // Corrupt one interior frame and splice garbage after it.
+        let victim = victim_sel % (frames.len() - 2) + 1;
+        let mut data = Vec::new();
+        let mut marks = Vec::new();
+        for f in &frames {
+            let start = data.len();
+            emit_frame(f, &mut data);
+            marks.push((start, data.len()));
+        }
+        let (vs, ve) = marks[victim];
+        let at = vs + at % (ve - vs);
+        data[at] ^= mask;
+        data.splice(ve..ve, garbage.iter().copied());
+
+        let mut reader = FrameReader::new(io::Cursor::new(data));
+        let mut out = Vec::new();
+        loop {
+            match reader.next_frame_lenient() {
+                Ok(Some(f)) => out.push(f),
+                Ok(None) => break,
+                // A corrupted length field can swallow the stream tail;
+                // mid-frame EOF is the documented escape hatch.
+                Err(e) => {
+                    prop_assert_eq!(e.kind(), io::ErrorKind::UnexpectedEof);
+                    break;
+                }
+            }
+        }
+        // Everything decoded must be a subsequence of what was sent —
+        // resync may drop frames, it must never invent or reorder them.
+        let mut cursor = 0;
+        for f in &out {
+            let found = frames[cursor..].iter().position(|s| s == f);
+            prop_assert!(found.is_some(), "decoded frame not in sent order: {f:?}");
+            cursor += found.unwrap() + 1;
+        }
+        // Frames strictly before the victim always survive.
+        prop_assert!(out.len() >= victim, "lost frames that preceded the corruption");
+        prop_assert_eq!(&out[..victim], &frames[..victim]);
+    }
+}

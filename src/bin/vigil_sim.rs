@@ -13,6 +13,8 @@
 //! vigil-sim collect [preset] [options]    # distributed collector daemon
 //! vigil-sim agent [preset] [options]      # one distributed host-agent
 //!                                         # process (feeds a collector)
+//! vigil-sim soak [preset] [options]       # chaos soak: in-process fleet
+//!                                         # under churn, gated report
 //!
 //! options:
 //!   --trials N     independent trials (fresh topology + fault draw)
@@ -46,8 +48,15 @@
 //!            [--epochs N] [--seed N] [--json] [--snapshot F] [--resume]
 //!            [--exit-after K] [--metrics ADDR] [--metrics-addr-file F]
 //!            [--hub-capacity N] [--max-events-per-window N] [--max-hosts N]
+//!            [--reconnect-grace-ms N] [--idle-timeout-ms N]
+//!            [--quarantine-budget N]
 //! vigil-sim agent [preset] --collector ADDR --hosts LO..HI
-//!            [--start-epoch S] [--epochs N] [--seed N]
+//!            [--start-epoch S] [--epochs N] [--seed N] [--resilient]
+//!            [--chaos SPEC] [--backoff-ms N] [--ack-timeout-ms N]
+//!            [--max-reconnects N]
+//! vigil-sim soak [preset] --dir D [--agents N] [--epochs N] [--seed N]
+//!            [--chaos SPEC] [--agent-kill-after-ms N]
+//!            [--collector-kill-window K] [--report F] [--gate]
 //! ```
 //!
 //! Addresses containing `/` are Unix-domain socket paths, anything else
@@ -55,7 +64,23 @@
 //! the bound address for agents to discover). A loopback fleet whose
 //! `--hosts` ranges cover the topology emits a final `--json` report
 //! byte-identical to `stream --json --trials 1`; `--snapshot` +
-//! `--exit-after` + `--resume` drill the collector failover path.
+//! `--exit-after` + `--resume` drill the collector failover path
+//! (`--resume` requires `--snapshot` — there is nothing to resume from
+//! otherwise).
+//!
+//! `agent --resilient` switches the agent into the self-healing
+//! protocol: capped exponential backoff with seeded jitter, resume from
+//! the collector's last acked epoch, replay of unacked epochs (the
+//! collector deduplicates, so the tally stays exactly-once). `--chaos`
+//! (implies `--resilient`) wraps the connection in a seeded fault
+//! injector — `seed=7,corrupt=0.01,truncate=0.005,dup=0.01,`
+//! `delay=0.01:5,reset_every=500,partition=0.2:3` — whose faults are
+//! a pure function of `(seed, host range, frame index)`, identical over
+//! loopback and real sockets. `soak` runs the whole fleet in one
+//! process under a churn schedule (agent kill + restart, collector
+//! kill + `--resume`, chaos) and writes a JSON report; `--gate` exits
+//! nonzero unless the tally is byte-identical, no epoch leaked, and
+//! nothing was shed.
 //!
 //! `matrix` runs every named scenario (fault × topology × traffic) and
 //! asserts each case's accuracy envelope: exit code 1 when any case
@@ -71,6 +96,7 @@
 
 use std::process::ExitCode;
 use vigil::prelude::*;
+use vigil_wire::chaos::{ChaosPlan, ChaosSchedule};
 
 const PRESETS: &[(&str, &str)] = &[
     (
@@ -197,10 +223,11 @@ fn main() -> ExitCode {
         Some("stream") => run_stream(&args[1..]),
         Some("agent") => run_agent_cmd(&args[1..]),
         Some("collect") => run_collect_cmd(&args[1..]),
+        Some("soak") => run_soak_cmd(&args[1..]),
         Some("matrix") => run_matrix(&args[1..]),
         _ => {
             eprintln!(
-                "usage: vigil-sim <list|bounds|run|stream|agent|collect|run-config|matrix> …"
+                "usage: vigil-sim <list|bounds|run|stream|agent|collect|soak|run-config|matrix> …"
             );
             ExitCode::FAILURE
         }
@@ -432,12 +459,16 @@ fn run_agent_cmd(flags: &[String]) -> ExitCode {
     let mut hosts: Option<std::ops::Range<u32>> = None;
     let mut start_epoch = 0usize;
     let mut epochs: Option<usize> = None;
+    let mut resilient = false;
+    let mut chaos: Option<ChaosSchedule> = None;
+    let mut rcfg = ResilienceConfig::default();
     let mut it = rest.iter();
     let fail = |msg: &str| {
         eprintln!("{msg}");
         eprintln!(
             "usage: vigil-sim agent [preset] --collector ADDR --hosts LO..HI \
-             [--start-epoch S] [--epochs N] [--seed N]"
+             [--start-epoch S] [--epochs N] [--seed N] [--resilient] [--chaos SPEC] \
+             [--backoff-ms N] [--ack-timeout-ms N] [--max-reconnects N]"
         );
         ExitCode::FAILURE
     };
@@ -472,6 +503,29 @@ fn run_agent_cmd(flags: &[String]) -> ExitCode {
                 Some(Ok(v)) => cfg.seed = v,
                 _ => return fail("--seed needs an integer"),
             },
+            "--resilient" => resilient = true,
+            "--chaos" => match it.next().map(|v| ChaosPlan::parse(v)) {
+                Some(Ok(plan)) => {
+                    chaos = Some(ChaosSchedule::constant(plan));
+                    resilient = true; // chaos without reconnect is just loss
+                }
+                Some(Err(e)) => return fail(&format!("--chaos: {e}")),
+                None => {
+                    return fail("--chaos needs a spec, e.g. seed=7,corrupt=0.01,reset_every=500")
+                }
+            },
+            "--backoff-ms" => match positive(flag, it.next()) {
+                Ok(v) => rcfg.backoff_base = std::time::Duration::from_millis(v),
+                Err(e) => return fail(&e),
+            },
+            "--ack-timeout-ms" => match positive(flag, it.next()) {
+                Ok(v) => rcfg.ack_timeout = std::time::Duration::from_millis(v),
+                Err(e) => return fail(&e),
+            },
+            "--max-reconnects" => match positive(flag, it.next()) {
+                Ok(v) => rcfg.max_reconnects = v,
+                Err(e) => return fail(&e),
+            },
             other => return fail(&format!("unknown flag {other}")),
         }
     }
@@ -487,22 +541,31 @@ fn run_agent_cmd(flags: &[String]) -> ExitCode {
         epochs: epochs.unwrap_or(cfg.epochs),
         chunk_flows: 256,
     };
-    let sink = match Endpoint::parse(&collector).connect() {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("agent: cannot connect to {collector}: {e}");
-            return ExitCode::FAILURE;
+    // Decorrelate the fleet's reconnect storms by host range.
+    rcfg.jitter_seed ^= (spec.hosts.start as u64) << 32 | spec.hosts.end as u64;
+    let endpoint = Endpoint::parse(&collector);
+    let result = if resilient {
+        run_agent_resilient(&cfg, &spec, &endpoint, &rcfg, chaos.as_ref(), None)
+    } else {
+        match endpoint.connect() {
+            Ok(sink) => run_agent(&cfg, &spec, sink),
+            Err(e) => {
+                eprintln!("agent: cannot connect to {collector}: {e}");
+                return ExitCode::FAILURE;
+            }
         }
     };
-    match run_agent(&cfg, &spec, sink) {
+    match result {
         Ok(stats) => {
             eprintln!(
-                "agent: hosts {}..{}: {} epoch(s), {} event(s) sent ({} evidence)",
+                "agent: hosts {}..{}: {} epoch(s), {} event(s) sent ({} evidence), \
+                 {} reconnect(s)",
                 spec.hosts.start,
                 spec.hosts.end,
                 stats.epochs,
                 stats.events_sent,
-                stats.evidence_sent
+                stats.evidence_sent,
+                stats.reconnects
             );
             ExitCode::SUCCESS
         }
@@ -534,7 +597,8 @@ fn run_collect_cmd(flags: &[String]) -> ExitCode {
             "usage: vigil-sim collect [preset] --agents N [--listen ADDR] [--addr-file F] \
              [--epochs N] [--seed N] [--json] [--snapshot F] [--resume] [--exit-after K] \
              [--metrics ADDR] [--metrics-addr-file F] [--hub-capacity N] \
-             [--max-events-per-window N] [--max-hosts N]"
+             [--max-events-per-window N] [--max-hosts N] [--reconnect-grace-ms N] \
+             [--idle-timeout-ms N] [--quarantine-budget N]"
         );
         ExitCode::FAILURE
     };
@@ -593,8 +657,25 @@ fn run_collect_cmd(flags: &[String]) -> ExitCode {
                 Ok(v) => ccfg.max_hosts = Some(v as u32),
                 Err(e) => return fail(&e),
             },
+            "--reconnect-grace-ms" => match positive(flag, it.next()) {
+                Ok(v) => ccfg.reconnect_grace = std::time::Duration::from_millis(v),
+                Err(e) => return fail(&e),
+            },
+            "--idle-timeout-ms" => match positive(flag, it.next()) {
+                Ok(v) => ccfg.idle_timeout = std::time::Duration::from_millis(v),
+                Err(e) => return fail(&e),
+            },
+            "--quarantine-budget" => match positive(flag, it.next()) {
+                Ok(v) => ccfg.quarantine_budget = v,
+                Err(e) => return fail(&e),
+            },
             other => return fail(&format!("unknown flag {other}")),
         }
+    }
+    if ccfg.resume && ccfg.snapshot_path.is_none() {
+        return fail(
+            "--resume needs --snapshot: the snapshot file is what a successor resumes from",
+        );
     }
     let listener = match Endpoint::parse(&listen).bind() {
         Ok(l) => l,
@@ -615,14 +696,18 @@ fn run_collect_cmd(flags: &[String]) -> ExitCode {
         Ok(CollectorOutcome::Completed(report, stats)) => {
             eprintln!(
                 "collect: done: {} window(s), {} evidence, delivered {}, shed {}, \
-                 gaps {}, resets {}, rate-limited {}",
+                 gaps {}, resets {}, rate-limited {}, reconnects {}, \
+                 quarantined {}, evicted {}",
                 stats.windows,
                 stats.evidence,
                 stats.delivered,
                 stats.shed,
                 stats.seq_gaps,
                 stats.seq_resets,
-                stats.rate_limited
+                stats.rate_limited,
+                stats.reconnects,
+                stats.quarantined_frames,
+                stats.hosts_evicted
             );
             if json {
                 match serde_json::to_string_pretty(&*report) {
@@ -650,6 +735,113 @@ fn run_collect_cmd(flags: &[String]) -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// The `soak` subcommand: the in-process chaos soak harness.
+fn run_soak_cmd(flags: &[String]) -> ExitCode {
+    let (mut cfg, rest) = match split_preset(flags) {
+        Ok(x) => x,
+        Err(code) => return code,
+    };
+    let mut spec = SoakSpec {
+        config: cfg.clone(),
+        agents: 2,
+        chaos: None,
+        agent_kill_after: None,
+        collector_kill_window: None,
+        resilience: ResilienceConfig::default(),
+        collector: CollectorConfig::default(),
+        dir: std::env::temp_dir().join(format!("vigil-soak-{}", std::process::id())),
+        report_path: None,
+    };
+    let mut gate = false;
+    let mut it = rest.iter();
+    let fail = |msg: &str| {
+        eprintln!("{msg}");
+        eprintln!(
+            "usage: vigil-sim soak [preset] --dir D [--agents N] [--epochs N] [--seed N] \
+             [--chaos SPEC] [--agent-kill-after-ms N] [--collector-kill-window K] \
+             [--report F] [--gate]"
+        );
+        ExitCode::FAILURE
+    };
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--dir" => match it.next() {
+                Some(d) => spec.dir = d.into(),
+                None => return fail("--dir needs a path"),
+            },
+            "--agents" => match positive(flag, it.next()) {
+                Ok(v) => spec.agents = v as usize,
+                Err(e) => return fail(&e),
+            },
+            "--epochs" => match positive(flag, it.next()) {
+                Ok(v) => cfg.epochs = v as usize,
+                Err(e) => return fail(&e),
+            },
+            "--seed" => match it.next().map(|v| v.parse::<u64>()) {
+                Some(Ok(v)) => cfg.seed = v,
+                _ => return fail("--seed needs an integer"),
+            },
+            "--chaos" => match it.next().map(|v| ChaosPlan::parse(v)) {
+                Some(Ok(plan)) => spec.chaos = Some(ChaosSchedule::constant(plan)),
+                Some(Err(e)) => return fail(&format!("--chaos: {e}")),
+                None => {
+                    return fail("--chaos needs a spec, e.g. seed=7,corrupt=0.01,reset_every=500")
+                }
+            },
+            "--agent-kill-after-ms" => match positive(flag, it.next()) {
+                Ok(v) => spec.agent_kill_after = Some(std::time::Duration::from_millis(v)),
+                Err(e) => return fail(&e),
+            },
+            "--collector-kill-window" => match positive(flag, it.next()) {
+                Ok(v) => spec.collector_kill_window = Some(v as usize),
+                Err(e) => return fail(&e),
+            },
+            "--report" => match it.next() {
+                Some(p) => spec.report_path = Some(p.into()),
+                None => return fail("--report needs a path"),
+            },
+            "--gate" => gate = true,
+            other => return fail(&format!("unknown flag {other}")),
+        }
+    }
+    spec.config = cfg;
+    let report = match run_soak(&spec) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("soak: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match serde_json::to_string_pretty(&report) {
+        Ok(s) => println!("{s}"),
+        Err(e) => {
+            eprintln!("serialization failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if gate {
+        let mut bad = Vec::new();
+        if !report.byte_identical {
+            bad.push("tally diverged from the chaos-free stream".to_string());
+        }
+        if report.leaked_epochs != 0 {
+            bad.push(format!("{} epoch(s) leaked", report.leaked_epochs));
+        }
+        if report.shed != 0 {
+            bad.push(format!("{} event(s) shed", report.shed));
+        }
+        if report.hosts_evicted != 0 {
+            bad.push(format!("{} host(s) evicted", report.hosts_evicted));
+        }
+        if !bad.is_empty() {
+            eprintln!("soak: GATE FAILED: {}", bad.join("; "));
+            return ExitCode::FAILURE;
+        }
+        eprintln!("soak: gate passed");
+    }
+    ExitCode::SUCCESS
 }
 
 /// The `matrix` subcommand: run the scenario grid, assert envelopes,

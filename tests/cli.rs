@@ -388,6 +388,47 @@ fn zero_valued_counts_are_rejected_not_vacuous() {
 }
 
 #[test]
+fn collect_resume_without_snapshot_is_rejected_at_parse() {
+    // `--resume` restores collector state from the snapshot file; with
+    // no `--snapshot` there is nothing to resume from. That must be an
+    // argument error with a clear message — not a daemon that binds a
+    // socket and then dies (or silently starts from scratch).
+    let out = vigil_sim()
+        .args(["collect", "--agents", "1", "--resume"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "collect --resume alone must fail");
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        err.contains("--resume needs --snapshot"),
+        "expected a clear arg-parse message, got:\n{err}"
+    );
+    assert!(
+        !err.contains("listening on"),
+        "must be rejected before binding the listener:\n{err}"
+    );
+
+    // The valid combination still parses (bad path → later I/O error is
+    // fine, but not the arg-parse message).
+    let out = vigil_sim()
+        .args([
+            "collect",
+            "--agents",
+            "1",
+            "--resume",
+            "--snapshot",
+            "/nonexistent/dir/snap.json",
+        ])
+        .output()
+        .unwrap();
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        !err.contains("--resume needs --snapshot"),
+        "--resume with --snapshot must pass arg parsing:\n{err}"
+    );
+}
+
+#[test]
 fn threads_flag_is_accepted_and_output_is_thread_invariant() {
     // `--threads N` routes through the sweep engine; the JSON report must
     // be byte-identical at any width.
