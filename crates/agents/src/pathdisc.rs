@@ -59,7 +59,7 @@ pub trait Tracer {
 /// routing).
 #[derive(Debug, Clone, Default)]
 pub struct OracleTracer {
-    paths: HashMap<FiveTuple, Path>,
+    paths: HashMap<FiveTuple, std::sync::Arc<Path>>,
 }
 
 impl OracleTracer {

@@ -59,6 +59,12 @@ static ALLOCATOR: CountingAllocator = CountingAllocator;
 const PRE_PR_ALLOCS_PER_EPOCH: f64 = 22_423.0;
 const PRE_PR_MEAN_NS: f64 = 1_837_533.0;
 
+/// Warm-pass numbers committed by the PR before the epoch-compiled
+/// route cache (same scenario, same 1-core bench container) — the
+/// baseline the route-cache speedup and alloc cut are judged against.
+const PRE_ROUTE_CACHE_WARM_MEAN_NS: f64 = 2_115_772.0;
+const PRE_ROUTE_CACHE_WARM_ALLOCS: f64 = 4_794.0;
+
 fn scenario() -> (ClosTopology, vigil_fabric::LinkFaults, RunConfig) {
     let topo = ClosTopology::new(ClosParams::tiny(), 11).unwrap();
     let mut rng = ChaCha8Rng::seed_from_u64(5);
@@ -133,6 +139,10 @@ fn main() {
     }
     let warm_allocs = ALLOCATIONS.load(Ordering::Relaxed) - warm_allocs_before;
     let warm_bytes = ALLOCATED_BYTES.load(Ordering::Relaxed) - warm_bytes_before;
+    // Static faults keep one down-set for the whole run, so the route
+    // cache compiles once (during warm-up) and every measured iteration
+    // is a table hit — the steady state the trial loop lives in.
+    let route = scratch.route_cache_stats();
 
     let stats = |samples: &[f64]| {
         let n = samples.len() as f64;
@@ -169,6 +179,14 @@ fn main() {
         "pre_pr_allocs_per_epoch": PRE_PR_ALLOCS_PER_EPOCH,
         "pre_pr_mean_ns_per_epoch": PRE_PR_MEAN_NS,
         "alloc_reduction_vs_pre_pr": reduction,
+        "route_table_hits": route.table_hits,
+        "route_table_misses": route.table_misses,
+        "route_table_compiles": route.compiles,
+        "route_path_hits": route.path_hits,
+        "route_path_misses": route.path_misses,
+        "pre_route_cache_warm_mean_ns_per_epoch": PRE_ROUTE_CACHE_WARM_MEAN_NS,
+        "pre_route_cache_warm_allocs_per_epoch": PRE_ROUTE_CACHE_WARM_ALLOCS,
+        "warm_speedup_vs_pre_route_cache": PRE_ROUTE_CACHE_WARM_MEAN_NS / warm_mean_ns,
     });
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_epoch.json");
     let json = serde_json::to_string_pretty(&doc).expect("serialize BENCH_epoch.json");
@@ -178,6 +196,13 @@ fn main() {
          {allocs_per_epoch:.1} allocs/epoch; warm (scratch reused) {warm_mean_ns:.0} ns/epoch \
          (σ {warm_std_dev_ns:.0}), {warm_allocs_per_epoch:.1} allocs/epoch, \
          {warm_bytes_per_epoch:.0} bytes/epoch over {iters} iters ({cores} core(s)) \
-         -> BENCH_epoch.json [{reduction:.2}x fewer cold allocs than pre-PR]"
+         -> BENCH_epoch.json [{reduction:.2}x fewer cold allocs than pre-PR, \
+         {:.2}x warm speedup vs pre-route-cache; route cache {} compile(s), \
+         {} table hit(s), {}/{} path hits/misses]",
+        PRE_ROUTE_CACHE_WARM_MEAN_NS / warm_mean_ns,
+        route.compiles,
+        route.table_hits,
+        route.path_hits,
+        route.path_misses,
     );
 }

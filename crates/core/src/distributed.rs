@@ -281,6 +281,11 @@ pub struct AgentStats {
     /// Reconnect attempts a resilient agent made (always 0 for
     /// [`run_agent`]).
     pub reconnects: u64,
+    /// Buffered-writer flushes at [`WireFrame::EpochDone`] barriers —
+    /// event frames coalesce in the agent's `BufWriter` and hit the
+    /// socket here, so this counts wire pushes, not frames. Replays
+    /// after a reconnect flush (and count) again.
+    pub flushes: u64,
 }
 
 /// Routes one eventful record through its (lazily created) host agent —
@@ -566,6 +571,7 @@ pub fn run_agent<W: Write>(
             events,
         })?;
         writer.flush()?;
+        stats.flushes += 1;
         stats.epochs += 1;
     }
     Ok(stats)
@@ -834,6 +840,7 @@ impl ResilientState<'_> {
                 events,
             })?;
             writer.flush()?;
+            self.stats.flushes += 1;
             resume_at = wait_resume_at(reader, writer, self.rcfg)?;
             if resume_at > target as u64 {
                 // Acked: the epoch is settled. `emit_epoch` already
@@ -2479,6 +2486,10 @@ mod tests {
         for h in handles {
             let stats = h.join().unwrap();
             assert_eq!(stats.epochs, cfg.epochs);
+            assert_eq!(
+                stats.flushes, cfg.epochs as u64,
+                "plain agent pushes the wire exactly once per epoch"
+            );
         }
         let CollectorOutcome::Completed(report, stats) = outcome else {
             panic!("expected a completed run");

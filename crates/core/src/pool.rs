@@ -137,7 +137,6 @@ struct TrialContext {
     trial_seed: u64,
     topo: ClosTopology,
     faults: TrialFaults,
-    scratch: EpochScratch,
     session: StreamSession,
 }
 
@@ -160,16 +159,21 @@ fn build_trial(group: &EpochGroup<'_>, trial: usize) -> TrialContext {
         trial_seed,
         topo,
         faults,
-        scratch: EpochScratch::new(),
         session,
     }
 }
 
 /// One worker's cached trial state (plus the key it was built for).
+/// The simulator scratch lives here rather than in [`TrialContext`] so
+/// its interned paths and compiled route tables survive trial switches:
+/// trials share [`ClosParams`], so a worker crossing a trial boundary
+/// keeps its arena and — when the down-link set repeats, as flap and
+/// maintenance timelines make it do — its fault-keyed routing plans.
 #[derive(Default)]
 struct WorkerState {
     key: Option<(usize, usize)>,
     ctx: Option<TrialContext>,
+    scratch: EpochScratch,
 }
 
 /// One cell's output, before assembly.
@@ -216,7 +220,8 @@ pub(crate) fn run_epoch_grid(engine: &SweepEngine, groups: &[EpochGroup<'_>]) ->
             state.ctx = Some(build_trial(group, trial));
             state.key = Some((gi, trial));
         }
-        let ctx = state.ctx.as_mut().expect("context built above");
+        let WorkerState { ctx, scratch, .. } = state;
+        let ctx = ctx.as_mut().expect("context built above");
 
         let started = std::time::Instant::now();
         let mut rng = epoch_rng(ctx.trial_seed, epoch);
@@ -226,13 +231,9 @@ pub(crate) fn run_epoch_grid(engine: &SweepEngine, groups: &[EpochGroup<'_>]) ->
             (evaluate_epoch(&run), StreamStats::default())
         } else {
             let before = ctx.session.stats().clone();
-            let run = ctx.session.run_window(
-                &ctx.topo,
-                group.run,
-                faults.as_ref(),
-                &mut rng,
-                &mut ctx.scratch,
-            );
+            let run =
+                ctx.session
+                    .run_window(&ctx.topo, group.run, faults.as_ref(), &mut rng, scratch);
             let stats = ctx.session.stats().delta_since(&before);
             (evaluate_epoch(&run), stats)
         };

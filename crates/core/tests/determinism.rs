@@ -106,6 +106,77 @@ fn scratch_reuse_across_epochs_is_invisible() {
 }
 
 #[test]
+fn route_cache_on_off_and_warmth_are_invisible() {
+    // The epoch-compiled route cache consumes no RNG draws, so cached
+    // and uncached routing must agree byte for byte — first in-process
+    // (the per-scratch override, epoch by epoch), then end to end
+    // through the env escape hatch for run, stream, and matrix JSON.
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use vigil_fabric::EpochScratch;
+
+    let cfg = config();
+    let topo = ClosTopology::new(ClosParams::tiny(), 7).unwrap();
+    let mut fault_rng = ChaCha8Rng::seed_from_u64(7);
+    let faults = cfg.faults.build(&topo, &mut fault_rng);
+
+    let mut cached_rng = ChaCha8Rng::seed_from_u64(43);
+    let mut walked_rng = ChaCha8Rng::seed_from_u64(43);
+    let mut cached = EpochScratch::new();
+    cached.set_route_cache(true);
+    let mut walked = EpochScratch::new();
+    walked.set_route_cache(false);
+    for epoch in 0..3 {
+        let with_cache = run_epoch_with(&topo, &faults, &cfg.run, &mut cached_rng, &mut cached);
+        let without = run_epoch_with(&topo, &faults, &cfg.run, &mut walked_rng, &mut walked);
+        assert_eq!(
+            with_cache.outcome.flows, without.outcome.flows,
+            "epoch {epoch}: route cache changed the simulated flows"
+        );
+        assert_eq!(
+            with_cache.reports, without.reports,
+            "epoch {epoch}: route cache changed the reports"
+        );
+    }
+    let stats = cached.route_cache_stats();
+    assert_eq!(stats.compiles, 1, "static faults compile one table");
+    assert_eq!(stats.table_hits, 2, "epochs 1 and 2 reuse it warm");
+    assert!(stats.path_hits > 0, "repeated flows hit the path memo");
+    let off = walked.route_cache_stats();
+    assert_eq!(
+        (off.compiles, off.table_hits),
+        (0, 0),
+        "override stayed off"
+    );
+
+    // End to end: the env hatch must leave run/stream/matrix JSON
+    // untouched (safe even if other tests observe the var mid-run —
+    // both modes produce identical bytes by construction).
+    let run_json = |cfg: &ExperimentConfig| {
+        serde_json::to_string_pretty(&SweepEngine::new(2).run_experiment(cfg)).unwrap()
+    };
+    let stream_json = |cfg: &ExperimentConfig| {
+        let (report, _) = stream_experiment(cfg, &SweepEngine::new(2), &StreamTuning::default());
+        serde_json::to_string_pretty(&report).unwrap()
+    };
+    let matrix_json = || {
+        let cases = vigil::matrix::filter_cases(scenarios::standard_matrix(), "flap/k1");
+        assert!(!cases.is_empty());
+        let mut runner = MatrixRunner::new(SweepEngine::new(2));
+        runner.trials = 2;
+        runner.epochs = 2;
+        serde_json::to_string_pretty(&runner.run(&cases)).unwrap()
+    };
+    let (run_on, stream_on, matrix_on) = (run_json(&cfg), stream_json(&cfg), matrix_json());
+    std::env::set_var("VIGIL_NO_ROUTE_CACHE", "1");
+    let (run_off, stream_off, matrix_off) = (run_json(&cfg), stream_json(&cfg), matrix_json());
+    std::env::remove_var("VIGIL_NO_ROUTE_CACHE");
+    assert_eq!(run_on, run_off, "cache leaked into the run report");
+    assert_eq!(stream_on, stream_off, "cache leaked into the stream report");
+    assert_eq!(matrix_on, matrix_off, "cache leaked into the matrix report");
+}
+
+#[test]
 fn stream_pipeline_reproduces_the_batch_experiment_exactly() {
     // The streaming refactor's contract, at the report level: the
     // event-driven constant-memory pipeline produces the same

@@ -20,10 +20,13 @@ use crate::faults::LinkFaults;
 use crate::traffic::{FlowSpec, TrafficSpec};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeSet;
+use std::collections::hash_map::Entry;
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
 use vigil_packet::FiveTuple;
 use vigil_topology::{
-    ClosTopology, HostId, LinkId, Path, PathArena, RouteError, RouteScratch, Routed,
+    ClosParams, ClosTopology, HostId, LinkId, LinkSet, Path, PathArena, PathId, RouteError,
+    RouteScratch, RouteTable, Routed,
 };
 
 /// Dense flow index within one epoch.
@@ -67,8 +70,9 @@ pub struct FlowRecord {
     /// drops of retransmitted copies).
     pub retransmissions: u32,
     /// The actual path taken (ground truth; in the DES this is what
-    /// EverFlow would capture).
-    pub path: Path,
+    /// EverFlow would capture). Shared: every record on the same interned
+    /// path clones one `Arc` (serializes exactly like an owned `Path`).
+    pub path: Arc<Path>,
     /// Ground truth: drops per link on this flow's path (parallel to
     /// nothing — sparse pairs).
     pub drops_per_link: Vec<(LinkId, u32)>,
@@ -140,13 +144,118 @@ impl EpochOutcome {
     }
 }
 
+/// Route-cache effectiveness counters, cumulative over an
+/// [`EpochScratch`]'s lifetime (the bench and CI artifacts record them;
+/// see `BENCH_epoch.json`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RouteCacheStats {
+    /// Epoch opens that reused an already-compiled [`RouteTable`].
+    pub table_hits: u64,
+    /// Epoch opens whose down-set matched no cached table.
+    pub table_misses: u64,
+    /// Tables compiled (one per miss; kept explicit for the artifact).
+    pub compiles: u64,
+    /// Per-flow routes resolved to an interned path without emitting it.
+    pub path_hits: u64,
+    /// Per-flow routes that had to emit and intern their path once.
+    pub path_misses: u64,
+}
+
+/// Hasher for the packed [`vigil_topology::RouteDecision`] cache keys: a
+/// single value is hashed, so two splitmix rounds beat SipHash without
+/// giving up distribution (the keys are dense host/choice packings).
+#[derive(Debug, Clone, Copy, Default)]
+struct DecisionKeyHasher(u64);
+
+impl std::hash::Hasher for DecisionKeyHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Generic fallback (unused by the u128 keys, kept total).
+        for &b in bytes {
+            self.0 = vigil_topology::splitmix64(self.0 ^ u64::from(b));
+        }
+    }
+
+    fn write_u128(&mut self, v: u128) {
+        let hi = vigil_topology::splitmix64((v >> 64) as u64);
+        self.0 = vigil_topology::splitmix64((v as u64) ^ hi.rotate_left(32));
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct DecisionKeyHash;
+
+impl std::hash::BuildHasher for DecisionKeyHash {
+    type Hasher = DecisionKeyHasher;
+
+    fn build_hasher(&self) -> DecisionKeyHasher {
+        DecisionKeyHasher::default()
+    }
+}
+
+/// One compiled routing plan plus its per-path memo: decision key →
+/// interned [`vigil_topology::PathId`]. The memo is what turns the
+/// per-flow hot path into "three tuple hashes and a map probe" — no
+/// topology walk, no link-slice hashing in the arena.
+#[derive(Debug, Clone)]
+struct CompiledPlan {
+    table: RouteTable,
+    paths: HashMap<u128, vigil_topology::PathId, DecisionKeyHash>,
+}
+
+/// Per-path drop parameters, valid for one epoch (`stamp` matches the
+/// cache's epoch counter): the aggregate per-packet drop probability and
+/// its log, computed once per (path, epoch) with the exact float-op
+/// order of the uncached path so reuse is bit-identical.
+#[derive(Debug, Clone, Copy, Default)]
+struct PathStats {
+    stamp: u64,
+    q: f64,
+    ln_survive: f64,
+}
+
+/// Worker-lifetime route-cache state. Compiled tables are keyed by the
+/// epoch's down-link set (fingerprint first, exact [`LinkSet`] compare
+/// second) and kept in a small move-to-front list, so flap timelines
+/// (whose down-set never changes) and maintenance timelines (which
+/// alternate between two down-sets) hit the cache on repeated states —
+/// across epochs and across trial switches of the same parameters.
+/// ECMP seeds are read live at lookup time, so reseeds need no
+/// invalidation; a parameter change clears everything (link ids are
+/// only meaningful within one parameter set).
+#[derive(Debug, Clone, Default)]
+struct RouteCache {
+    params: Option<ClosParams>,
+    plans: Vec<CompiledPlan>,
+    stats: Vec<PathStats>,
+    down: LinkSet,
+    epoch_stamp: u64,
+    active: bool,
+    enabled_override: Option<bool>,
+    counters: RouteCacheStats,
+}
+
+/// Compiled tables kept per scratch: enough for a maintenance timeline's
+/// alternating states plus a few trial-boundary stragglers.
+const MAX_CACHED_PLANS: usize = 8;
+
+/// `VIGIL_NO_ROUTE_CACHE=1` is the escape hatch that forces the legacy
+/// per-flow topology walk — CI byte-compares both modes. Read per epoch
+/// open (its cost is noise at that granularity), so tests can toggle it
+/// within one process.
+fn route_cache_disabled_by_env() -> bool {
+    std::env::var("VIGIL_NO_ROUTE_CACHE").is_ok_and(|v| v == "1")
+}
+
 /// Reusable per-epoch buffers for the simulator's hot path: routing
-/// scratch, the path-interning arena, and the per-flow rate/drop
-/// accumulators that used to be allocated fresh for every flow. One
-/// scratch serves a whole trial — the trial loop clears nothing between
-/// epochs (the arena keeps its interned paths; the flat buffers are
-/// cleared per flow), and every epoch's output is byte-identical to the
-/// scratch-free path.
+/// scratch, the path-interning arena, the compiled route cache, and the
+/// per-flow rate/drop accumulators that used to be allocated fresh for
+/// every flow. One scratch serves a whole trial — or, with the pool's
+/// worker-local reuse, many trials — and every epoch's output is
+/// byte-identical to the scratch-free path.
 #[derive(Debug, Clone, Default)]
 pub struct EpochScratch {
     route: RouteScratch,
@@ -154,6 +263,20 @@ pub struct EpochScratch {
     rates: Vec<f64>,
     local_drops: Vec<u32>,
     drop_pairs: Vec<(LinkId, u32)>,
+    cache: RouteCache,
+    /// Materialized [`Path`]s shared across every [`FlowRecord`] on the
+    /// same interned path (indexed by [`vigil_topology::PathId`]): the
+    /// warm epoch's record materialization clones an `Arc` instead of
+    /// re-allocating two `Vec`s per flow. Cleared with the arena.
+    shared: Vec<Option<Arc<Path>>>,
+}
+
+/// Returns the shared materialization of `id`, building it on first use.
+fn shared_path(arena: &PathArena, shared: &mut Vec<Option<Arc<Path>>>, id: PathId) -> Arc<Path> {
+    if id.index() >= shared.len() {
+        shared.resize(id.index() + 1, None);
+    }
+    Arc::clone(shared[id.index()].get_or_insert_with(|| Arc::new(arena.to_path(id))))
 }
 
 impl EpochScratch {
@@ -168,11 +291,89 @@ impl EpochScratch {
         self.arena.len()
     }
 
-    /// Resets the interned-path arena. Required at a topology boundary
-    /// (link ids are only meaningful within one topology); the trial
-    /// runners use a fresh scratch per trial instead.
+    /// Cumulative route-cache counters (table reuse per epoch open,
+    /// path-memo hits per flow).
+    pub fn route_cache_stats(&self) -> RouteCacheStats {
+        self.cache.counters
+    }
+
+    /// Overrides the `VIGIL_NO_ROUTE_CACHE` gate for this scratch —
+    /// the in-process form of the escape hatch, used by the tests that
+    /// assert cached ≡ uncached bitwise.
+    pub fn set_route_cache(&mut self, enabled: bool) {
+        self.cache.enabled_override = Some(enabled);
+    }
+
+    /// Resets the interned-path arena and the compiled route cache.
+    /// Required at a topology-parameter boundary (link ids are only
+    /// meaningful within one parameter set); the epoch-open preparation
+    /// does this automatically when the parameters change.
     pub fn clear(&mut self) {
         self.arena.clear();
+        self.shared.clear();
+        self.cache.plans.clear();
+        self.cache.stats.clear();
+        self.cache.params = None;
+    }
+
+    /// Epoch-open preparation: stamps the epoch, derives the down-set
+    /// from `faults`, and compiles or reuses the matching [`RouteTable`].
+    /// Invalidation is purely by value — a timeline that flaps rates
+    /// without withdrawing links reuses one table for every epoch.
+    fn prepare_route_cache(&mut self, topo: &ClosTopology, faults: &LinkFaults) {
+        let EpochScratch {
+            arena,
+            cache,
+            shared,
+            ..
+        } = self;
+        cache.epoch_stamp = cache.epoch_stamp.wrapping_add(1);
+        let enabled = cache
+            .enabled_override
+            .unwrap_or_else(|| !route_cache_disabled_by_env());
+        if !enabled {
+            cache.active = false;
+            return;
+        }
+        if cache.params != Some(*topo.params()) {
+            arena.clear();
+            shared.clear();
+            cache.plans.clear();
+            cache.stats.clear();
+            cache.params = Some(*topo.params());
+        }
+        cache.down.clear();
+        for i in 0..topo.num_links() as u32 {
+            let l = LinkId(i);
+            if faults.is_down(l) {
+                cache.down.insert(l);
+            }
+        }
+        let fp = RouteTable::fingerprint_of(&cache.down);
+        let found = cache
+            .plans
+            .iter()
+            .position(|p| p.table.fingerprint() == fp && *p.table.down_set() == cache.down);
+        match found {
+            Some(pos) => {
+                cache.plans[..=pos].rotate_right(1);
+                cache.counters.table_hits += 1;
+            }
+            None => {
+                let table = RouteTable::compile(topo, &cache.down);
+                cache.plans.insert(
+                    0,
+                    CompiledPlan {
+                        table,
+                        paths: HashMap::default(),
+                    },
+                );
+                cache.plans.truncate(MAX_CACHED_PLANS);
+                cache.counters.table_misses += 1;
+                cache.counters.compiles += 1;
+            }
+        }
+        cache.active = true;
     }
 }
 
@@ -252,6 +453,12 @@ struct RawFlow {
 /// factoring it here is what makes their RNG draw order identical by
 /// construction. Drop pairs are *appended* to `pairs_out` (the record
 /// path clears it per flow; the batch path accumulates CSR-style).
+///
+/// With a prepared route cache the per-flow route is a compiled-table
+/// lookup plus a path-memo probe; without one (the
+/// `VIGIL_NO_ROUTE_CACHE` escape hatch) it is the legacy topology walk.
+/// Routing consumes no RNG draws in either mode, so both produce
+/// byte-identical output — CI compares them.
 fn simulate_spec_raw<R: Rng + ?Sized>(
     topo: &ClosTopology,
     faults: &LinkFaults,
@@ -270,7 +477,76 @@ fn simulate_spec_raw<R: Rng + ?Sized>(
         rates,
         local_drops,
         drop_pairs: _,
+        cache,
+        shared: _,
     } = scratch;
+
+    if cache.active {
+        let RouteCache {
+            plans,
+            stats,
+            epoch_stamp,
+            counters,
+            ..
+        } = cache;
+        let plan = &mut plans[0];
+        let decision = match plan.table.lookup(topo, &spec.tuple, spec.src, spec.dst) {
+            Ok(d) => d,
+            Err(_) => panic!("traffic generator produced a same-host flow"),
+        };
+        let path = match plan.paths.entry(decision.cache_key()) {
+            Entry::Occupied(e) => {
+                counters.path_hits += 1;
+                *e.get()
+            }
+            Entry::Vacant(e) => {
+                counters.path_misses += 1;
+                plan.table.emit_into(&decision, route);
+                *e.insert(arena.intern(&route.nodes, &route.links))
+            }
+        };
+        return match decision.routed() {
+            Routed::Complete => {
+                let idx = path.index();
+                if stats.len() <= idx {
+                    stats.resize(idx + 1, PathStats::default());
+                }
+                let st = &mut stats[idx];
+                if st.stamp != *epoch_stamp {
+                    // First flow on this path this epoch: derive q and
+                    // ln(1 − q) with the exact float-op order of the
+                    // uncached path, then reuse the bits.
+                    rates.clear();
+                    rates.extend(arena.links(path).iter().map(|l| faults.rate(*l)));
+                    let survive_all: f64 = rates.iter().map(|r| 1.0 - r).product();
+                    *st = PathStats {
+                        stamp: *epoch_stamp,
+                        q: 1.0 - survive_all,
+                        ln_survive: survive_all.ln(),
+                    };
+                }
+                let precomputed = (st.q, st.ln_survive);
+                simulate_one_flow(
+                    spec,
+                    arena,
+                    path,
+                    Some(precomputed),
+                    faults,
+                    config,
+                    rng,
+                    drops_per_link,
+                    (rates, local_drops, pairs_out),
+                )
+            }
+            Routed::Blackholed => RawFlow {
+                path,
+                retransmissions: config.syn_attempts,
+                established: false,
+                completed: false,
+            },
+        };
+    }
+
     match topo.route_filtered_into(
         &spec.tuple,
         spec.src,
@@ -284,6 +560,7 @@ fn simulate_spec_raw<R: Rng + ?Sized>(
                 spec,
                 arena,
                 path,
+                None,
                 faults,
                 config,
                 rng,
@@ -344,7 +621,7 @@ fn simulate_spec<R: Rng + ?Sized>(
         tuple: spec.tuple,
         packets: spec.packets,
         retransmissions: raw.retransmissions,
-        path: scratch.arena.to_path(raw.path),
+        path: shared_path(&scratch.arena, &mut scratch.shared, raw.path),
         drops_per_link: pairs.as_slice().to_vec(),
         established: raw.established,
         completed: raw.completed,
@@ -498,6 +775,7 @@ impl<'a, R: Rng + ?Sized> EpochStream<'a, R> {
         scratch: &'a mut EpochScratch,
     ) -> Self {
         let specs = traffic.generate(topo, rng);
+        scratch.prepare_route_cache(topo, faults);
         Self {
             topo,
             faults,
@@ -521,6 +799,7 @@ impl<'a, R: Rng + ?Sized> EpochStream<'a, R> {
         rng: &'a mut R,
         scratch: &'a mut EpochScratch,
     ) -> Self {
+        scratch.prepare_route_cache(topo, faults);
         Self {
             topo,
             faults,
@@ -613,7 +892,7 @@ impl<'a, R: Rng + ?Sized> EpochStream<'a, R> {
     /// [`FlowRecord`] — bit-identical to what
     /// [`next_chunk`](Self::next_chunk) would have pushed for the same
     /// flow.
-    pub fn materialize(&self, batch: &FlowBatch, i: usize) -> FlowRecord {
+    pub fn materialize(&mut self, batch: &FlowBatch, i: usize) -> FlowRecord {
         FlowRecord {
             id: batch.id(i),
             src: batch.src[i],
@@ -621,7 +900,7 @@ impl<'a, R: Rng + ?Sized> EpochStream<'a, R> {
             tuple: batch.tuple[i],
             packets: batch.packets[i],
             retransmissions: batch.retransmissions[i],
-            path: self.scratch.arena.to_path(batch.path[i]),
+            path: shared_path(&self.scratch.arena, &mut self.scratch.shared, batch.path[i]),
             drops_per_link: batch.drops(i).to_vec(),
             established: batch.established[i],
             completed: batch.completed[i],
@@ -644,11 +923,19 @@ impl<'a, R: Rng + ?Sized> EpochStream<'a, R> {
 /// path arrives interned and *stays* interned — the outcome is a
 /// [`RawFlow`] row; drop pairs are appended to `pairs_out`. The common
 /// zero-drop flow touches no heap at all.
+///
+/// `precomputed` carries the epoch-cached `(q, ln(1 − q))` pair from the
+/// route cache; `None` derives them from the per-link rates in place
+/// (the legacy order — the cached values are computed with the identical
+/// float-op sequence, so both modes agree bit for bit). The per-link
+/// rate vector itself is only needed once a drop actually occurs, so it
+/// is (re)filled lazily behind the first-drop check.
 #[allow(clippy::too_many_arguments)]
 fn simulate_one_flow<R: Rng + ?Sized>(
     spec: &FlowSpec,
     arena: &PathArena,
     path: vigil_topology::PathId,
+    precomputed: Option<(f64, f64)>,
     faults: &LinkFaults,
     config: &SimConfig,
     rng: &mut R,
@@ -656,12 +943,17 @@ fn simulate_one_flow<R: Rng + ?Sized>(
     (rates, local, pairs_out): (&mut Vec<f64>, &mut Vec<u32>, &mut Vec<(LinkId, u32)>),
 ) -> RawFlow {
     let links = arena.links(path);
-    // Per-link drop rates along the path, and the aggregate per-packet
-    // drop probability q = 1 − Π(1 − r_i).
-    rates.clear();
-    rates.extend(links.iter().map(|l| faults.rate(*l)));
-    let survive_all: f64 = rates.iter().map(|r| 1.0 - r).product();
-    let q = 1.0 - survive_all;
+    // The aggregate per-packet drop probability q = 1 − Π(1 − r_i) and
+    // ln(1 − q) — cached per (path, epoch), or derived here.
+    let (q, ln_survive) = match precomputed {
+        Some(pair) => pair,
+        None => {
+            rates.clear();
+            rates.extend(links.iter().map(|l| faults.rate(*l)));
+            let survive_all: f64 = rates.iter().map(|r| 1.0 - r).product();
+            (1.0 - survive_all, survive_all.ln()) // ln is −∞ when q = 1
+        }
+    };
 
     let mut record = RawFlow {
         path,
@@ -679,7 +971,6 @@ fn simulate_one_flow<R: Rng + ?Sized>(
     // geometric. One log-uniform draw jumps over every clean packet —
     // O(drops) per flow instead of O(packets) — with the exact
     // distribution (no conditioning bias).
-    let ln_survive = survive_all.ln(); // −∞ when q = 1 (blackhole): gap 0
     let geometric_gap = |rng: &mut R| -> u32 {
         if q >= 1.0 {
             return 0;
@@ -693,12 +984,21 @@ fn simulate_one_flow<R: Rng + ?Sized>(
         }
     };
 
+    let mut pkt = geometric_gap(rng);
+    if pkt >= spec.packets {
+        // No first-transmission drop anywhere in the flow — the common
+        // case. Nothing downstream needs the per-link rates.
+        return record;
+    }
+
+    // A drop happened: the attribution samplers need the per-link rates.
+    rates.clear();
+    rates.extend(links.iter().map(|l| faults.rate(*l)));
     local.clear();
     local.resize(rates.len(), 0);
     let mut established = true;
     let mut completed = true;
 
-    let mut pkt = geometric_gap(rng);
     while pkt < spec.packets {
         // Packet `pkt`'s first attempt dropped: attribute it.
         local[attribute_drop(rates, q, rng)] += 1;
@@ -1129,10 +1429,10 @@ mod tests {
             ),
             packets: 10,
             retransmissions: 4,
-            path: Path::new(
+            path: Arc::new(Path::new(
                 vec![vigil_topology::Node::Host(vigil_topology::HostId(0))],
                 vec![],
-            ),
+            )),
             drops_per_link: vec![(LinkId(7), 2), (LinkId(3), 2)],
             established: true,
             completed: true,

@@ -39,7 +39,7 @@ pub use dynamics::{Episode, FaultTimeline};
 pub use faults::{FaultPlan, LinkFaults};
 pub use flowsim::{
     simulate_epoch, simulate_epoch_with, EpochOutcome, EpochScratch, EpochStream, FlowBatch,
-    FlowId, FlowRecord, GroundTruth, SimConfig,
+    FlowId, FlowRecord, GroundTruth, RouteCacheStats, SimConfig,
 };
 pub use netsim::{NetSim, NetSimConfig, TracerouteOutcome};
 pub use replay::{RecordedConn, Recording};

@@ -91,6 +91,15 @@ impl LinkSet {
     pub fn is_empty(&self) -> bool {
         self.words.iter().all(|w| *w == 0)
     }
+
+    /// Iterates the members in ascending link-id order.
+    pub fn iter(&self) -> impl Iterator<Item = LinkId> + '_ {
+        self.words.iter().enumerate().flat_map(|(w, &word)| {
+            (0..64)
+                .filter(move |b| word & (1 << b) != 0)
+                .map(move |b| LinkId((w * 64 + b) as u32))
+        })
+    }
 }
 
 impl FromIterator<LinkId> for LinkSet {

@@ -31,6 +31,7 @@ pub mod ids;
 pub mod params;
 pub mod paths;
 pub mod route;
+pub mod route_table;
 
 pub use clos::{ClosTopology, Link, LinkKind};
 pub use degrade::DegradeSpec;
@@ -48,3 +49,4 @@ pub use arena::{PathArena, PathId};
 pub use ids::{HostId, LinkId, LinkSet, Node, SwitchId, SwitchKind};
 pub use params::ClosParams;
 pub use route::{Path, RouteError, RouteScratch, Routed};
+pub use route_table::{RouteDecision, RouteTable};

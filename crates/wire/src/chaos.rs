@@ -321,6 +321,9 @@ pub struct ChaosWriter<W> {
     /// Set when an injected reset fires: the ordinal to feed
     /// [`ChaosPlan::blocked_attempts`] for partition simulation.
     last_reset_ordinal: Option<u64>,
+    /// Reused by the corrupt fault so flipping one byte never allocates
+    /// per frame — the same scratch discipline as `FrameWriter`.
+    scratch: Vec<u8>,
 }
 
 impl<W: Write> ChaosWriter<W> {
@@ -333,6 +336,7 @@ impl<W: Write> ChaosWriter<W> {
             key,
             index,
             last_reset_ordinal: None,
+            scratch: Vec::new(),
         }
     }
 
@@ -359,10 +363,11 @@ impl<W: Write> Write for ChaosWriter<W> {
         match plan.frame_fault(self.key, index, buf.len()) {
             FrameFault::None => self.inner.write_all(buf)?,
             FrameFault::Corrupt { byte, mask } => {
-                let mut copy = buf.to_vec();
-                let at = byte % copy.len().max(1);
-                copy[at] ^= mask;
-                self.inner.write_all(&copy)?;
+                self.scratch.clear();
+                self.scratch.extend_from_slice(buf);
+                let at = byte % self.scratch.len().max(1);
+                self.scratch[at] ^= mask;
+                self.inner.write_all(&self.scratch)?;
             }
             FrameFault::Truncate { keep } => {
                 self.inner.write_all(&buf[..keep.min(buf.len())])?;

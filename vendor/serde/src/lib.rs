@@ -341,6 +341,34 @@ impl<T: Deserialize> Deserialize for Box<T> {
     }
 }
 
+impl<T: Serialize + ?Sized> Serialize for std::rc::Rc<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::rc::Rc<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        T::from_value(value).map(std::rc::Rc::new)
+    }
+}
+
+/// Transparent, like `Box`: shared ownership is a memory-layout choice,
+/// not a wire-format one. (Real serde gates these behind the `rc`
+/// feature; this workspace wants them on — `FlowRecord` shares interned
+/// paths via `Arc` and must serialize exactly as if it owned them.)
+impl<T: Serialize + ?Sized> Serialize for std::sync::Arc<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::sync::Arc<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        T::from_value(value).map(std::sync::Arc::new)
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Container impls
 // ---------------------------------------------------------------------------
